@@ -1,0 +1,158 @@
+// Command experiments regenerates every figure of the YCSB+T paper's
+// evaluation section and prints the series as text tables (and
+// optionally JSON). See EXPERIMENTS.md for the paper-vs-measured
+// comparison.
+//
+//	experiments            # all figures, full-size sweeps
+//	experiments -fig 3     # one figure
+//	experiments -quick     # small sweeps (seconds instead of minutes)
+//	experiments -json out.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ycsbt/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fig := flag.Int("fig", 0, "figure to regenerate (2, 3, 4, 5, 6 = oracle-RTT comparison, 7 = staleness probe, 8 = multi-host split; 0 = all)")
+	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+	verbose := flag.Bool("v", false, "log each cell as it completes")
+	jsonPath := flag.String("json", "", "also write all series as JSON to this file")
+	flag.Parse()
+
+	opts := bench.SweepOptions{Quick: *quick}
+	if *verbose {
+		opts.Log = os.Stderr
+	}
+	ctx := context.Background()
+	all := map[string]any{}
+
+	want := func(n int) bool { return *fig == 0 || *fig == n }
+
+	if want(2) {
+		series, err := bench.Figure2(ctx, opts)
+		if err != nil {
+			return fmt.Errorf("figure 2: %w", err)
+		}
+		bench.PrintSeries(os.Stdout,
+			"Figure 2: YCSB+T transactional throughput on simulated WAS (CEW)",
+			"txn/sec", bench.Tput, series)
+		all["figure2"] = series
+	}
+	if want(3) {
+		series, err := bench.Figure3(ctx, opts)
+		if err != nil {
+			return fmt.Errorf("figure 3: %w", err)
+		}
+		bench.PrintSeries(os.Stdout,
+			"Figure 3: impact of transactions on throughput (CEW 90:10)",
+			"ops/sec", bench.Tput, series)
+		overhead(series)
+		all["figure3"] = series
+
+		rows, err := bench.Tier5Overhead(ctx, opts)
+		if err != nil {
+			return fmt.Errorf("tier 5 table: %w", err)
+		}
+		bench.PrintOverhead(os.Stdout, rows)
+		all["tier5"] = rows
+	}
+	if want(4) || want(5) {
+		fig4, fig5, err := bench.Figure45(ctx, opts)
+		if err != nil {
+			return fmt.Errorf("figures 4/5: %w", err)
+		}
+		if want(4) {
+			bench.PrintSeries(os.Stdout,
+				"Figure 4: threads vs anomaly score (non-transactional store over HTTP)",
+				"anomaly score", bench.Score, []bench.Series{fig4})
+			all["figure4"] = fig4
+		}
+		if want(5) {
+			bench.PrintSeries(os.Stdout,
+				"Figure 5: threads vs throughput (non-transactional store over HTTP)",
+				"ops/sec", bench.Tput, []bench.Series{fig5})
+			all["figure5"] = fig5
+		}
+	}
+
+	if want(6) {
+		series, err := bench.OracleSweep(ctx, opts)
+		if err != nil {
+			return fmt.Errorf("oracle sweep: %w", err)
+		}
+		bench.PrintOracleSweep(os.Stdout, series)
+		all["oracle_sweep"] = series
+	}
+
+	if want(7) {
+		lag := 10 * time.Millisecond
+		delays := []time.Duration{0, 2 * time.Millisecond, 5 * time.Millisecond,
+			10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+		probes := 200
+		if *quick {
+			probes = 30
+		}
+		points, err := bench.StalenessProbe(ctx, lag, delays, probes)
+		if err != nil {
+			return fmt.Errorf("staleness probe: %w", err)
+		}
+		bench.PrintStaleness(os.Stdout, lag, points)
+		all["staleness"] = points
+	}
+
+	if want(8) {
+		points, err := bench.MultiHost(ctx, opts)
+		if err != nil {
+			return fmt.Errorf("multi-host sweep: %w", err)
+		}
+		bench.PrintMultiHost(os.Stdout, points)
+		all["multihost"] = points
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	return nil
+}
+
+// overhead prints the tx/non-tx throughput ratio per thread count —
+// the paper's "reduced by about 30 to 40%" claim.
+func overhead(series []bench.Series) {
+	if len(series) != 2 {
+		return
+	}
+	fmt.Println("Transactional overhead (tx / non-tx throughput):")
+	for i, pt := range series[1].Points {
+		if i < len(series[0].Points) && series[0].Points[i].Throughput > 0 {
+			ratio := pt.Throughput / series[0].Points[i].Throughput
+			fmt.Printf("  threads=%-4d ratio=%.2f (overhead %.0f%%)\n",
+				pt.Threads, ratio, (1-ratio)*100)
+		}
+	}
+	fmt.Println()
+}

@@ -1,0 +1,92 @@
+// Command kvserver serves the embedded key-value store over HTTP —
+// the reproduction's stand-in for the paper's "WiredTiger key-value
+// store augmented with an HTTP interface".
+//
+// Run it, then point the benchmark client at it:
+//
+//	kvserver -addr 127.0.0.1:8077 -wal /tmp/cew.wal &
+//	ycsbt -db rawhttp -p rawhttp.url=http://127.0.0.1:8077 \
+//	      -P workloads/closed_economy_workload -threads 16 -load -t
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ycsbt/internal/httpkv"
+	"ycsbt/internal/kvstore"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "kvserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:8077", "listen address")
+	wal := flag.String("wal", "", "write-ahead-log path (empty = volatile)")
+	syncWrites := flag.Bool("sync", false, "fsync the WAL on every write")
+	delay := flag.Duration("delay", 0, "artificial per-request service latency")
+	flag.Parse()
+
+	store, err := kvstore.Open(kvstore.Options{Path: *wal, SyncWrites: *syncWrites})
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	var handler http.Handler = httpkv.NewServer(store)
+	if *delay > 0 {
+		inner := handler
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			time.Sleep(*delay)
+			inner.ServeHTTP(w, r)
+		})
+	}
+	// Admin surface: compaction and store stats.
+	mux := http.NewServeMux()
+	mux.Handle("/", handler)
+	mux.HandleFunc("/admin/compact", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		before, _ := store.WALSize()
+		if err := store.Compact(); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		after, _ := store.WALSize()
+		fmt.Fprintf(w, "compacted: %d -> %d bytes\n", before, after)
+	})
+	mux.HandleFunc("/admin/stats", func(w http.ResponseWriter, r *http.Request) {
+		size, _ := store.WALSize()
+		fmt.Fprintf(w, "wal_bytes %d\n", size)
+		for _, table := range store.Tables() {
+			fmt.Fprintf(w, "records{table=%q} %d\n", table, store.Len(table))
+		}
+	})
+	srv := &http.Server{Addr: *addr, Handler: mux}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("kvserver listening on http://%s (wal=%q sync=%v)\n", *addr, *wal, *syncWrites)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		fmt.Printf("kvserver: received %v, shutting down\n", s)
+		srv.Close()
+		return store.Sync()
+	}
+}

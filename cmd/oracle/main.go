@@ -1,0 +1,42 @@
+// Command oracle serves a timestamp oracle over HTTP for
+// multi-process Percolator-style deployments:
+//
+//	oracle -addr 127.0.0.1:8099 &
+//	ycsbt -db percolator -p percolator.oracle_url=http://127.0.0.1:8099 \
+//	      -P workloads/closed_economy_workload -load -t
+//
+// Clients fetch timestamps with GET /ts (optionally batched:
+// GET /ts?n=100).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ycsbt/internal/oracle"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8099", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{Addr: *addr, Handler: oracle.NewServer(oracle.NewLocal())}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("timestamp oracle listening on http://%s/ts\n", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "oracle:", err)
+		os.Exit(1)
+	case s := <-sig:
+		fmt.Printf("oracle: received %v, shutting down\n", s)
+		srv.Close()
+	}
+}

@@ -1,0 +1,157 @@
+// Command ycsbt is the YCSB+T benchmark client — the Go equivalent of
+// the paper's Listing 1 invocation:
+//
+//	ycsbt -db rawhttp -P workloads/closed_economy_workload -threads 16 -t
+//
+// It loads one or more workload property files (-P, Java .properties
+// format), applies -p key=value overrides, runs the load phase
+// (-load) and/or the transaction phase (-t), executes the Tier 6
+// validation stage, and prints the measurements in the Listing 3
+// format.
+//
+// Registered bindings: memory, kvstore (embedded engine, optional
+// WAL), rawhttp (HTTP client for cmd/kvserver), cloudsim (simulated
+// WAS/GCS container) and txnkv (client-coordinated transactions).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ycsbt/internal/client"
+	"ycsbt/internal/db"
+	"ycsbt/internal/properties"
+	"ycsbt/internal/workload"
+
+	// Register every binding with the -db registry.
+	_ "ycsbt/internal/cloudsim"
+	_ "ycsbt/internal/httpkv"
+	_ "ycsbt/internal/kvstore"
+	_ "ycsbt/internal/percolator"
+	_ "ycsbt/internal/txn"
+)
+
+// repeatedFlag collects a repeatable string flag.
+type repeatedFlag []string
+
+func (r *repeatedFlag) String() string { return strings.Join(*r, ",") }
+
+func (r *repeatedFlag) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ycsbt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ycsbt", flag.ContinueOnError)
+	var (
+		propFiles repeatedFlag
+		overrides repeatedFlag
+		dbName    = fs.String("db", "", "database binding (overrides the 'db' property)")
+		wlName    = fs.String("workload", "", "workload name (overrides the 'workload' property)")
+		threads   = fs.Int("threads", 0, "client threads (overrides 'threadcount')")
+		target    = fs.Float64("target", 0, "target total ops/sec (overrides 'target')")
+		doLoad    = fs.Bool("load", false, "execute the load phase")
+		doRun     = fs.Bool("t", false, "execute the transaction phase")
+		status    = fs.Bool("s", false, "print interim status to stderr")
+		timeline  = fs.Bool("timeline", false, "record and report 1-second throughput time series")
+		listDBs   = fs.Bool("list", false, "list registered bindings and workloads, then exit")
+	)
+	fs.Var(&propFiles, "P", "workload property file (repeatable)")
+	fs.Var(&overrides, "p", "property override key=value (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *listDBs {
+		fmt.Println("bindings: ", strings.Join(db.Bindings(), ", "))
+		fmt.Println("workloads:", strings.Join(workload.Names(), ", "))
+		return nil
+	}
+
+	props := properties.New()
+	for _, pf := range propFiles {
+		loaded, err := properties.LoadFile(pf)
+		if err != nil {
+			return err
+		}
+		props.Merge(loaded)
+	}
+	for _, ov := range overrides {
+		key, val, ok := strings.Cut(ov, "=")
+		if !ok {
+			return fmt.Errorf("bad -p override %q (want key=value)", ov)
+		}
+		props.Set(key, val)
+	}
+	if *dbName != "" {
+		props.Set("db", *dbName)
+	}
+	if *wlName != "" {
+		props.Set("workload", *wlName)
+	}
+	if *threads > 0 {
+		props.Set("threadcount", fmt.Sprint(*threads))
+	}
+	if *target > 0 {
+		props.Set("target", fmt.Sprint(*target))
+	}
+	if !*doLoad && !*doRun {
+		return fmt.Errorf("nothing to do: pass -load, -t or both")
+	}
+
+	fmt.Println(client.Version)
+	fmt.Printf("Command line: %s\n", strings.Join(args, " "))
+
+	c, _, err := client.NewFromProperties(props)
+	if err != nil {
+		return err
+	}
+	if *status || *timeline {
+		// Rebuild with the extra instrumentation; the config is cheap
+		// to redo.
+		cfg := client.BuildConfig(props)
+		if *status {
+			cfg.StatusInterval = 10 * time.Second
+			cfg.Status = os.Stderr
+		}
+		if *timeline {
+			cfg.TimelineInterval = time.Second
+		}
+		c, err = client.New(cfg, c.Workload(), c.DB(), c.Registry())
+		if err != nil {
+			return err
+		}
+	}
+	defer c.DB().Cleanup()
+
+	ctx := context.Background()
+	if *doLoad {
+		fmt.Println("Loading workload...")
+		res, err := c.Load(ctx)
+		if err != nil {
+			return err
+		}
+		if !*doRun {
+			return client.Report(os.Stdout, res)
+		}
+		fmt.Printf("Load complete: %d records in %.1fs\n",
+			res.Operations, res.RunTime.Seconds())
+	}
+	fmt.Println("Starting test.")
+	res, err := c.Run(ctx)
+	if err != nil {
+		return err
+	}
+	return client.Report(os.Stdout, res)
+}

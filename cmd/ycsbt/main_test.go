@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeProps drops a minimal CEW property file for CLI tests.
+func writeProps(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cew.properties")
+	content := `recordcount=100
+operationcount=500
+workload=closedeconomy
+totalcash=10000
+readproportion=0.8
+readmodifywriteproportion=0.2
+requestdistribution=zipfian
+threadcount=2
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunLoadAndTransactionPhases(t *testing.T) {
+	props := writeProps(t)
+	if err := run([]string{"-db", "memory", "-P", props, "-load", "-t"}); err != nil {
+		t.Fatalf("run = %v", err)
+	}
+}
+
+func TestRunTxnkvBinding(t *testing.T) {
+	props := writeProps(t)
+	if err := run([]string{"-db", "txnkv", "-P", props, "-threads", "4", "-load", "-t", "-timeline"}); err != nil {
+		t.Fatalf("run txnkv = %v", err)
+	}
+}
+
+func TestRunLoadOnly(t *testing.T) {
+	props := writeProps(t)
+	if err := run([]string{"-db", "memory", "-P", props, "-load"}); err != nil {
+		t.Fatalf("load only = %v", err)
+	}
+}
+
+func TestRunOverrides(t *testing.T) {
+	props := writeProps(t)
+	err := run([]string{
+		"-db", "memory", "-P", props,
+		"-p", "operationcount=100",
+		"-p", "recordcount=50",
+		"-workload", "closedeconomy",
+		"-target", "100000",
+		"-load", "-t",
+	})
+	if err != nil {
+		t.Fatalf("run with overrides = %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	props := writeProps(t)
+	cases := [][]string{
+		{"-db", "memory", "-P", props},                        // neither -load nor -t
+		{"-db", "nope", "-P", props, "-t"},                    // unknown binding
+		{"-db", "memory", "-P", "/no/such/file", "-t"},        // missing props file
+		{"-db", "memory", "-P", props, "-p", "badpair", "-t"}, // malformed override
+		{"-workload", "nope", "-P", props, "-t"},              // unknown workload
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list = %v", err)
+	}
+}

@@ -1,0 +1,102 @@
+// Isolation levels under the Tier 6 microscope: the write-skew
+// workload (the paper's Section VII direction) run at two isolation
+// levels of the client-coordinated transaction library. Snapshot
+// isolation admits write skew — pairs of accounts jointly overdrawn
+// by concurrent withdrawals that each looked safe — while
+// serializable-read validation eliminates it at the cost of extra
+// aborts. The Tier 6 validation stage quantifies both.
+//
+//	go run ./examples/isolation
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"ycsbt/internal/client"
+	"ycsbt/internal/cloudsim"
+	"ycsbt/internal/kvstore"
+	"ycsbt/internal/measurement"
+	"ycsbt/internal/properties"
+	"ycsbt/internal/txn"
+	"ycsbt/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "isolation:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("write-skew workload: pairs of accounts, constraint a+b >= 0,")
+	fmt.Println("withdrawals of $150 against two $100 accounts — safe alone, unsafe in parallel")
+	fmt.Println()
+	for _, mode := range []struct {
+		label        string
+		serializable bool
+	}{
+		{"snapshot isolation (default)", false},
+		{"serializable reads", true},
+	} {
+		res, err := runMode(mode.serializable)
+		if err != nil {
+			return err
+		}
+		v := res.Validation
+		fmt.Printf("%-30s violations=%d/%d pairs, anomaly score=%.2g, aborts=%d\n",
+			mode.label, v.Counted, 10, v.AnomalyScore, res.Aborts)
+	}
+	fmt.Println("\nsnapshot isolation permits exactly this anomaly; serializable validation")
+	fmt.Println("converts would-be violations into aborts — Tier 6 makes the difference measurable.")
+	return nil
+}
+
+func runMode(serializable bool) (*client.Result, error) {
+	ctx := context.Background()
+	inner := kvstore.OpenMemory()
+	defer inner.Close()
+	// A store with small per-request latency so concurrent
+	// transactions genuinely interleave.
+	store := cloudsim.NewOver(cloudsim.Config{
+		Name:         "local",
+		ReadLatency:  150 * time.Microsecond,
+		WriteLatency: 300 * time.Microsecond,
+	}, inner)
+	m, err := txn.NewManager(txn.Options{SerializableReads: serializable}, store)
+	if err != nil {
+		return nil, err
+	}
+	p := properties.FromMap(map[string]string{
+		"workload":             "writeskew",
+		"recordcount":          "10",
+		"operationcount":       "3000",
+		"threadcount":          "16",
+		"readproportion":       "0",
+		"ws.depositproportion": "0.4",
+		"ws.initial":           "100",
+		"ws.withdraw":          "150",
+		"requestdistribution":  "zipfian",
+	})
+	w, err := workload.New("writeskew")
+	if err != nil {
+		return nil, err
+	}
+	reg := measurement.NewRegistry(0)
+	if err := w.Init(p, reg); err != nil {
+		return nil, err
+	}
+	cfg := client.BuildConfig(p)
+	cfg.RecordCount = 10
+	c, err := client.New(cfg, w, txn.NewBinding(m), reg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.Load(ctx); err != nil {
+		return nil, err
+	}
+	return c.Run(ctx)
+}

@@ -1,0 +1,61 @@
+// Quickstart: run YCSB Workload A (50/50 read/update, zipfian)
+// against the embedded key-value store and print the standard YCSB+T
+// report.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"ycsbt/internal/client"
+	"ycsbt/internal/properties"
+
+	_ "ycsbt/internal/kvstore" // register the "kvstore" binding
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Workload A over 10k records and 100k operations, 8 client
+	// threads, on the embedded B-tree engine.
+	props := properties.FromMap(map[string]string{
+		"workload":            "core",
+		"db":                  "kvstore",
+		"recordcount":         "10000",
+		"operationcount":      "100000",
+		"threadcount":         "8",
+		"readproportion":      "0.5",
+		"updateproportion":    "0.5",
+		"requestdistribution": "zipfian",
+	})
+
+	c, _, err := client.NewFromProperties(props)
+	if err != nil {
+		return err
+	}
+	defer c.DB().Cleanup()
+	ctx := context.Background()
+
+	fmt.Println("== load phase ==")
+	loadRes, err := c.Load(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %d records at %.0f inserts/sec\n\n",
+		loadRes.Operations, loadRes.Throughput)
+
+	fmt.Println("== transaction phase ==")
+	runRes, err := c.Run(ctx)
+	if err != nil {
+		return err
+	}
+	return client.Report(os.Stdout, runRes)
+}

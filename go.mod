@@ -1,0 +1,3 @@
+module ycsbt
+
+go 1.22

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"ycsbt/internal/kvstore"
+	"ycsbt/internal/replica"
+)
+
+// StalenessPoint is one cell of the staleness probe: how often a read
+// issued delay after a write still returns the old value.
+type StalenessPoint struct {
+	DelayMS       float64 `json:"delay_ms"`
+	Probes        int     `json:"probes"`
+	Stale         int     `json:"stale"`
+	StaleFraction float64 `json:"stale_fraction"`
+}
+
+// StalenessProbe reproduces the experiment style of Wada et al. (CIDR
+// 2011), which the paper cites as the alternative consistency-
+// measurement approach to its own Tier 6 ("measured the probability
+// of returning stale values, as a function of how much time had
+// elapsed between the latest write and the read"). The probe runs
+// against the asynchronously replicated store reading from backups:
+// write a new value, wait `delay`, read from a backup, and record
+// whether the read returned the pre-write value.
+func StalenessProbe(ctx context.Context, replicaLag time.Duration, delays []time.Duration, probesPerDelay int) ([]StalenessPoint, error) {
+	if probesPerDelay <= 0 {
+		probesPerDelay = 50
+	}
+	if len(delays) == 0 {
+		delays = []time.Duration{0, replicaLag / 2, replicaLag, 2 * replicaLag}
+	}
+	s, err := replica.New(replica.Config{
+		Name:       "probe",
+		Backups:    1,
+		Mode:       replica.Async,
+		ReadPolicy: replica.ReadBackup,
+		ReplicaLag: replicaLag,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+
+	// Seed the key and let it settle.
+	if _, err := s.Put(ctx, "t", "probe", value(0), kvstore.AnyVersion); err != nil {
+		return nil, err
+	}
+	s.Flush()
+
+	out := make([]StalenessPoint, 0, len(delays))
+	gen := 0
+	for _, delay := range delays {
+		pt := StalenessPoint{DelayMS: float64(delay.Microseconds()) / 1000, Probes: probesPerDelay}
+		for i := 0; i < probesPerDelay; i++ {
+			gen++
+			if _, err := s.Put(ctx, "t", "probe", value(gen), kvstore.AnyVersion); err != nil {
+				return nil, err
+			}
+			if delay > 0 {
+				if err := sleepFor(ctx, delay); err != nil {
+					return nil, err
+				}
+			}
+			rec, err := s.Get(ctx, "t", "probe")
+			switch {
+			case err == nil:
+				if string(rec.Fields["gen"]) != fmt.Sprint(gen) {
+					pt.Stale++
+				}
+			case errors.Is(err, kvstore.ErrNotFound):
+				pt.Stale++ // nothing replicated yet: maximally stale
+			default:
+				return nil, err
+			}
+			// Settle before the next probe so staleness measures this
+			// write only.
+			s.Flush()
+		}
+		pt.StaleFraction = float64(pt.Stale) / float64(pt.Probes)
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func value(gen int) map[string][]byte {
+	return map[string][]byte{"gen": []byte(fmt.Sprint(gen))}
+}
+
+func sleepFor(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// PrintStaleness renders the probe results.
+func PrintStaleness(w io.Writer, replicaLag time.Duration, points []StalenessPoint) {
+	title := fmt.Sprintf("Staleness probe (Wada et al. style): async replication, backup reads, lag %v", replicaLag)
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%-18s %8s %8s %14s\n", "delay after write", "probes", "stale", "P(stale read)")
+	for _, pt := range points {
+		fmt.Fprintf(w, "%-18s %8d %8d %14.2f\n",
+			fmt.Sprintf("%.1fms", pt.DelayMS), pt.Probes, pt.Stale, pt.StaleFraction)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,61 @@
+package client
+
+import (
+	"fmt"
+	"io"
+)
+
+// Version string printed at the top of every report, mirroring the
+// paper's "YCSB+T Client 0.1".
+const Version = "YCSB+T Client 0.1 (Go reproduction)"
+
+// Report writes a phase result in the format of the paper's Listing
+// 3: the validation outcome and anomaly score first, then the overall
+// runtime and throughput, then every measurement series.
+func Report(w io.Writer, res *Result) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if v := res.Validation; v != nil {
+		if !v.Valid {
+			if err := p("Validation failed\n"); err != nil {
+				return err
+			}
+		}
+		if err := p("[TOTAL CASH], %d\n", v.Expected); err != nil {
+			return err
+		}
+		if err := p("[COUNTED CASH], %d\n", v.Counted); err != nil {
+			return err
+		}
+		if err := p("[ACTUAL OPERATIONS], %d\n", v.Operations); err != nil {
+			return err
+		}
+		if err := p("[ANOMALY SCORE], %g\n", v.AnomalyScore); err != nil {
+			return err
+		}
+		if !v.Valid {
+			if err := p("Database validation failed\n"); err != nil {
+				return err
+			}
+		}
+	}
+	if err := p("[OVERALL], RunTime(ms), %.1f\n", float64(res.RunTime.Microseconds())/1000); err != nil {
+		return err
+	}
+	if err := p("[OVERALL], Throughput(ops/sec), %g\n", res.Throughput); err != nil {
+		return err
+	}
+	if res.Aborts > 0 {
+		if err := p("[OVERALL], AbortedTransactions, %d\n", res.Aborts); err != nil {
+			return err
+		}
+	}
+	if res.Timeline != nil {
+		if err := res.Timeline.ExportText(w); err != nil {
+			return err
+		}
+	}
+	return res.Registry.ExportText(w)
+}

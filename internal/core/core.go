@@ -1,0 +1,116 @@
+// Package core is the YCSB+T entry point: it ties the framework's
+// pieces — property files, workload registry, binding registry,
+// workload executor, Tier 5 measurement and Tier 6 validation — into
+// the single load → run → validate → report pipeline that the paper's
+// client executes (Listing 1 → Listing 3). cmd/ycsbt is a thin flag
+// wrapper around this package; tests and examples can drive the same
+// pipeline programmatically.
+//
+// Importing core registers every binding (memory, kvstore, rawhttp,
+// cloudsim, txnkv, percolator) and every workload (core/A–F,
+// closedeconomy, writeskew).
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"ycsbt/internal/client"
+	"ycsbt/internal/properties"
+
+	// Register every binding and workload implementation.
+	_ "ycsbt/internal/cloudsim"
+	_ "ycsbt/internal/httpkv"
+	_ "ycsbt/internal/kvstore"
+	_ "ycsbt/internal/percolator"
+	_ "ycsbt/internal/txn"
+	_ "ycsbt/internal/workload"
+)
+
+// RunOptions selects which phases to execute and where output goes.
+type RunOptions struct {
+	// Load executes the load phase (the YCSB -load flag).
+	Load bool
+	// Transactions executes the transaction phase (the -t flag).
+	Transactions bool
+	// Report receives the Listing-3-format results (nil = discard).
+	Report io.Writer
+	// Status receives interim throughput lines every StatusInterval
+	// (nil = none).
+	Status io.Writer
+	// StatusInterval defaults to 10s when Status is set.
+	StatusInterval time.Duration
+	// Timeline records a 1-second throughput time series.
+	Timeline bool
+}
+
+// Outcome bundles the phase results of one Execute call.
+type Outcome struct {
+	// Load is the load-phase result (nil when the phase was skipped).
+	Load *client.Result
+	// Run is the transaction-phase result (nil when skipped).
+	Run *client.Result
+}
+
+// Final returns the result of the last phase executed.
+func (o *Outcome) Final() *client.Result {
+	if o.Run != nil {
+		return o.Run
+	}
+	return o.Load
+}
+
+// Execute runs the configured phases of the benchmark described by
+// props (workload, db, recordcount, operationcount, threadcount, …)
+// and writes the report of the final phase.
+func Execute(ctx context.Context, props *properties.Properties, opts RunOptions) (*Outcome, error) {
+	if !opts.Load && !opts.Transactions {
+		return nil, fmt.Errorf("core: nothing to do: enable Load, Transactions or both")
+	}
+	c, _, err := client.NewFromProperties(props)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Status != nil || opts.Timeline {
+		cfg := client.BuildConfig(props)
+		if opts.Status != nil {
+			cfg.Status = opts.Status
+			cfg.StatusInterval = opts.StatusInterval
+			if cfg.StatusInterval <= 0 {
+				cfg.StatusInterval = 10 * time.Second
+			}
+		}
+		if opts.Timeline {
+			cfg.TimelineInterval = time.Second
+		}
+		c, err = client.New(cfg, c.Workload(), c.DB(), c.Registry())
+		if err != nil {
+			return nil, err
+		}
+	}
+	defer c.DB().Cleanup()
+
+	out := &Outcome{}
+	if opts.Load {
+		res, err := c.Load(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("core: load phase: %w", err)
+		}
+		out.Load = res
+	}
+	if opts.Transactions {
+		res, err := c.Run(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("core: transaction phase: %w", err)
+		}
+		out.Run = res
+	}
+	if opts.Report != nil {
+		if err := client.Report(opts.Report, out.Final()); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

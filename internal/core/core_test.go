@@ -1,0 +1,91 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"ycsbt/internal/properties"
+)
+
+func cewProps() *properties.Properties {
+	return properties.FromMap(map[string]string{
+		"workload":                  "closedeconomy",
+		"db":                        "txnkv",
+		"recordcount":               "100",
+		"operationcount":            "1000",
+		"totalcash":                 "10000",
+		"threadcount":               "4",
+		"readproportion":            "0.8",
+		"readmodifywriteproportion": "0.2",
+	})
+}
+
+func TestExecuteFullPipeline(t *testing.T) {
+	var report bytes.Buffer
+	out, err := Execute(context.Background(), cewProps(), RunOptions{
+		Load:         true,
+		Transactions: true,
+		Report:       &report,
+		Timeline:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Load == nil || out.Run == nil {
+		t.Fatalf("phases missing: %+v", out)
+	}
+	if out.Final() != out.Run {
+		t.Error("Final should be the run phase")
+	}
+	if out.Run.Validation == nil || !out.Run.Validation.Valid {
+		t.Errorf("transactional pipeline broke the invariant: %+v", out.Run.Validation)
+	}
+	text := report.String()
+	for _, want := range []string{"[TOTAL CASH], 10000", "[ANOMALY SCORE], 0", "[TX-READ]", "[TIMELINE]"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestExecuteLoadOnly(t *testing.T) {
+	out, err := Execute(context.Background(), cewProps(), RunOptions{Load: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Run != nil || out.Load == nil {
+		t.Fatalf("phases = %+v", out)
+	}
+	if out.Final() != out.Load {
+		t.Error("Final should be the load phase")
+	}
+}
+
+func TestExecuteValidation(t *testing.T) {
+	if _, err := Execute(context.Background(), cewProps(), RunOptions{}); err == nil {
+		t.Error("no phases accepted")
+	}
+	bad := properties.FromMap(map[string]string{"workload": "missing"})
+	if _, err := Execute(context.Background(), bad, RunOptions{Load: true}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestExecuteRegistersEverything(t *testing.T) {
+	// Every binding and workload combination the README advertises
+	// must resolve through the registries core imports.
+	for _, dbName := range []string{"memory", "kvstore", "cloudsim", "txnkv", "percolator"} {
+		p := cewProps()
+		p.Set("db", dbName)
+		p.Set("operationcount", "50")
+		p.Set("recordcount", "20")
+		p.Set("totalcash", "2000")
+		p.Set("cloudsim.readlatency_us", "0")
+		p.Set("cloudsim.writelatency_us", "0")
+		if _, err := Execute(context.Background(), p, RunOptions{Load: true, Transactions: true}); err != nil {
+			t.Errorf("pipeline with db=%s: %v", dbName, err)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"ycsbt/internal/properties"
+)
+
+// TestShippedWorkloadFiles loads every property file under workloads/
+// and runs a shrunken version of it end to end, so the files the
+// README points users at can never rot.
+func TestShippedWorkloadFiles(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "workloads", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 7 { // CEW + A-F + write-skew
+		t.Fatalf("only %d workload files found: %v", len(files), files)
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			p, err := properties.LoadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Shrink for test speed; keep proportions intact.
+			p.Set("recordcount", "100")
+			p.Set("operationcount", "300")
+			p.Set("totalcash", "10000")
+			p.Set("threadcount", "2")
+			p.Set("maxscanlength", "10")
+			p.Set("db", "txnkv")
+			out, err := Execute(context.Background(), p, RunOptions{Load: true, Transactions: true})
+			if err != nil {
+				t.Fatalf("pipeline for %s: %v", file, err)
+			}
+			if out.Run.Operations != 300 {
+				t.Errorf("operations = %d", out.Run.Operations)
+			}
+			if out.Run.Validation == nil {
+				t.Error("no validation result")
+			}
+		})
+	}
+}

@@ -1,0 +1,89 @@
+package generator
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Discrete chooses among a fixed set of string-labelled alternatives
+// with given weights; YCSB+T uses it as the operation chooser that
+// picks read / update / insert / scan / delete / read-modify-write
+// according to the workload's proportion parameters.
+type Discrete struct {
+	values  []string
+	weights []float64
+	sum     float64
+	last    string
+}
+
+// NewDiscrete returns an empty discrete chooser; populate it with Add.
+func NewDiscrete() *Discrete { return &Discrete{} }
+
+// Add registers value with the given non-negative weight. Zero-weight
+// values are accepted and never chosen.
+func (d *Discrete) Add(weight float64, value string) {
+	if weight < 0 {
+		panic(fmt.Sprintf("generator: negative weight %v for %q", weight, value))
+	}
+	d.values = append(d.values, value)
+	d.weights = append(d.weights, weight)
+	d.sum += weight
+}
+
+// NextString picks the next value according to the registered
+// weights. It panics when no positive-weight value is registered.
+func (d *Discrete) NextString(r *rand.Rand) string {
+	if d.sum <= 0 {
+		panic("generator: discrete chooser has no positive-weight values")
+	}
+	u := r.Float64() * d.sum
+	for i, w := range d.weights {
+		if w <= 0 {
+			continue
+		}
+		u -= w
+		if u < 0 {
+			d.last = d.values[i]
+			return d.last
+		}
+	}
+	// Floating-point slack: return the final positive-weight value.
+	for i := len(d.weights) - 1; i >= 0; i-- {
+		if d.weights[i] > 0 {
+			d.last = d.values[i]
+			return d.last
+		}
+	}
+	panic("generator: unreachable")
+}
+
+// LastString returns the most recent choice.
+func (d *Discrete) LastString() string { return d.last }
+
+// Clone returns an independent chooser with the same values and
+// weights; each benchmark thread clones the workload's chooser so the
+// hot path stays lock-free.
+func (d *Discrete) Clone() *Discrete {
+	return &Discrete{
+		values:  append([]string(nil), d.values...),
+		weights: append([]float64(nil), d.weights...),
+		sum:     d.sum,
+	}
+}
+
+// Values returns the registered values in insertion order.
+func (d *Discrete) Values() []string {
+	out := make([]string, len(d.values))
+	copy(out, d.values)
+	return out
+}
+
+// Weight returns the weight registered for value (0 when absent).
+func (d *Discrete) Weight(value string) float64 {
+	for i, v := range d.values {
+		if v == value {
+			return d.weights[i]
+		}
+	}
+	return 0
+}

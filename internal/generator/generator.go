@@ -1,0 +1,492 @@
+// Package generator provides the random-distribution generators that
+// drive YCSB/YCSB+T workloads: which key to operate on, which
+// operation to perform, how many records to scan, and so on.
+//
+// The generators are faithful ports of the YCSB originals
+// (com.yahoo.ycsb.generator.*): CounterGenerator,
+// AcknowledgedCounterGenerator, UniformIntegerGenerator,
+// ZipfianGenerator (Gray et al.'s "Quickly generating billion-record
+// synthetic databases" algorithm), ScrambledZipfianGenerator,
+// SkewedLatestGenerator, HotspotIntegerGenerator,
+// ExponentialGenerator, ConstantIntegerGenerator and
+// DiscreteGenerator.
+//
+// Each generator consumes randomness from a caller-supplied
+// *rand.Rand so benchmark threads can own independent, seeded
+// streams; the generators themselves hold only distribution state.
+// Generators documented as safe for concurrent use say so explicitly;
+// all others must be confined to one goroutine (YCSB gives each client
+// thread its own generator instances, and so do we).
+package generator
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// Integer produces a sequence of int64 values drawn from some
+// distribution. Last reports the most recent value returned by Next,
+// without advancing the sequence.
+type Integer interface {
+	Next(r *rand.Rand) int64
+	Last() int64
+}
+
+// Constant always returns the same value. It is trivially safe for
+// concurrent use.
+type Constant struct {
+	value int64
+}
+
+// NewConstant returns a generator that always yields value.
+func NewConstant(value int64) *Constant { return &Constant{value: value} }
+
+// Next returns the constant value.
+func (c *Constant) Next(*rand.Rand) int64 { return c.value }
+
+// Last returns the constant value.
+func (c *Constant) Last() int64 { return c.value }
+
+// Counter returns a strictly increasing sequence starting at a given
+// origin. It is safe for concurrent use; YCSB uses it to generate
+// fresh record keys during the load phase across many threads.
+type Counter struct {
+	next atomic.Int64
+}
+
+// NewCounter returns a counter whose first Next value is start.
+func NewCounter(start int64) *Counter {
+	c := &Counter{}
+	c.next.Store(start)
+	return c
+}
+
+// Next returns the next value in the sequence.
+func (c *Counter) Next(*rand.Rand) int64 { return c.next.Add(1) - 1 }
+
+// Last returns the most recently returned value. Calling Last before
+// any Next returns start-1.
+func (c *Counter) Last() int64 { return c.next.Load() - 1 }
+
+// AcknowledgedCounter is a Counter whose Last only advances once the
+// consumer acknowledges that the corresponding insert completed. YCSB
+// uses it so that key-choosing generators never select a key whose
+// record is still being inserted by another thread.
+//
+// It is safe for concurrent use.
+type AcknowledgedCounter struct {
+	c Counter
+
+	mu     sync.Mutex
+	limit  int64  // highest value v such that all of [start, v] are acked
+	window []bool // ring buffer of acks above limit
+}
+
+// ackWindow is the size of the acknowledgement ring buffer; inserts
+// more than ackWindow ahead of the slowest outstanding insert block
+// conceptually (we grow instead, YCSB throws).
+const ackWindow = 1 << 16
+
+// NewAcknowledgedCounter returns an acknowledged counter starting at
+// start.
+func NewAcknowledgedCounter(start int64) *AcknowledgedCounter {
+	a := &AcknowledgedCounter{limit: start - 1}
+	a.c.next.Store(start)
+	a.window = make([]bool, ackWindow)
+	return a
+}
+
+// Next reserves and returns the next key to insert.
+func (a *AcknowledgedCounter) Next(r *rand.Rand) int64 { return a.c.Next(r) }
+
+// Last returns the highest value v such that every value up to and
+// including v has been acknowledged.
+func (a *AcknowledgedCounter) Last() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.limit
+}
+
+// Acknowledge records that the insert of value completed. Values may
+// be acknowledged in any order.
+func (a *AcknowledgedCounter) Acknowledge(value int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if value <= a.limit {
+		return // duplicate ack
+	}
+	for value-a.limit > int64(len(a.window)) {
+		a.window = append(a.window, make([]bool, len(a.window))...)
+	}
+	a.window[value%int64(len(a.window))] = true
+	// Slide the limit over every contiguous acknowledged slot.
+	for {
+		idx := (a.limit + 1) % int64(len(a.window))
+		if !a.window[idx] {
+			break
+		}
+		a.window[idx] = false
+		a.limit++
+	}
+}
+
+// Uniform returns integers uniformly distributed in [lb, ub], both
+// inclusive, matching YCSB's UniformIntegerGenerator.
+type Uniform struct {
+	lb, ub int64
+	last   int64
+}
+
+// NewUniform returns a uniform generator over the inclusive interval
+// [lb, ub]. It panics if ub < lb.
+func NewUniform(lb, ub int64) *Uniform {
+	if ub < lb {
+		panic("generator: uniform interval is empty")
+	}
+	return &Uniform{lb: lb, ub: ub}
+}
+
+// Next returns the next uniformly distributed value.
+func (u *Uniform) Next(r *rand.Rand) int64 {
+	u.last = u.lb + r.Int63n(u.ub-u.lb+1)
+	return u.last
+}
+
+// Last returns the most recent value produced by Next.
+func (u *Uniform) Last() int64 { return u.last }
+
+// zipfianConstant is the default theta for Zipfian generators, as in
+// YCSB.
+const zipfianConstant = 0.99
+
+// Zipfian generates integers in [base, base+items) with a Zipfian
+// ("80/20") popularity skew: item 0 is most popular, item 1 next, and
+// so on. The implementation follows Gray et al., "Quickly Generating
+// Billion-Record Synthetic Databases" (SIGMOD 1994), like YCSB's
+// ZipfianGenerator, including support for growing item counts.
+type Zipfian struct {
+	items int64
+	base  int64
+
+	theta          float64
+	zeta2theta     float64
+	alpha          float64
+	zetan          float64
+	eta            float64
+	countForZeta   int64
+	allowItemDecr  bool
+	lastVal        int64
+	allowShrinkLog bool
+}
+
+// NewZipfian returns a Zipfian generator over [base, base+items) with
+// the default YCSB constant 0.99.
+func NewZipfian(base, items int64) *Zipfian {
+	return NewZipfianTheta(base, items, zipfianConstant)
+}
+
+// NewZipfianTheta returns a Zipfian generator over [base, base+items)
+// with the given theta in (0, 1).
+func NewZipfianTheta(base, items int64, theta float64) *Zipfian {
+	if items < 1 {
+		panic("generator: zipfian needs at least one item")
+	}
+	z := &Zipfian{
+		items: items,
+		base:  base,
+		theta: theta,
+	}
+	z.zeta2theta = zetaStatic(0, 2, theta, 0)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.zetan = zetaStatic(0, items, theta, 0)
+	z.countForZeta = items
+	z.eta = z.etaFor(items)
+	return z
+}
+
+func (z *Zipfian) etaFor(n int64) float64 {
+	return (1 - math.Pow(2.0/float64(n), 1-z.theta)) / (1 - z.zeta2theta/z.zetan)
+}
+
+// zetaStatic computes the incremental zeta sum over (st, n] given the
+// partial sum initial over (0, st].
+func zetaStatic(st, n int64, theta, initial float64) float64 {
+	sum := initial
+	for i := st; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), theta)
+	}
+	return sum
+}
+
+// NextCount returns the next value assuming itemCount items; it
+// recomputes the zeta constant incrementally when the item count has
+// grown (as during inserts with the "latest" distribution).
+func (z *Zipfian) NextCount(r *rand.Rand, itemCount int64) int64 {
+	if itemCount != z.countForZeta {
+		if itemCount > z.countForZeta {
+			z.zetan = zetaStatic(z.countForZeta, itemCount, z.theta, z.zetan)
+		} else {
+			// Recompute from scratch on shrink (delete-heavy loads).
+			z.zetan = zetaStatic(0, itemCount, z.theta, 0)
+		}
+		z.countForZeta = itemCount
+		z.eta = z.etaFor(itemCount)
+	}
+	u := r.Float64()
+	uz := u * z.zetan
+	var ret int64
+	switch {
+	case uz < 1.0:
+		ret = z.base
+	case uz < 1.0+math.Pow(0.5, z.theta):
+		ret = z.base + 1
+	default:
+		ret = z.base + int64(float64(itemCount)*math.Pow(z.eta*u-z.eta+1, z.alpha))
+	}
+	if ret >= z.base+itemCount {
+		ret = z.base + itemCount - 1 // guard fp rounding at u→1
+	}
+	z.lastVal = ret
+	return ret
+}
+
+// Next returns the next Zipfian-distributed value over the
+// construction-time item count.
+func (z *Zipfian) Next(r *rand.Rand) int64 { return z.NextCount(r, z.items) }
+
+// Last returns the most recent value produced.
+func (z *Zipfian) Last() int64 { return z.lastVal }
+
+// fnvOffset64 and fnvPrime64 are the FNV-1a 64-bit parameters used by
+// YCSB's Utils.FNVhash64.
+const (
+	fnvOffset64 = 0xCBF29CE484222325
+	fnvPrime64  = 0x100000001B3
+)
+
+// FNVHash64 hashes an int64 with FNV-1a exactly as YCSB's
+// Utils.FNVhash64 does (byte-at-a-time over the 8 little-endian
+// bytes), returning a non-negative value.
+func FNVHash64(v int64) int64 {
+	hash := uint64(fnvOffset64)
+	uv := uint64(v)
+	for i := 0; i < 8; i++ {
+		octet := uv & 0xff
+		uv >>= 8
+		hash ^= octet
+		hash *= fnvPrime64
+	}
+	h := int64(hash)
+	if h < 0 {
+		h = -h
+	}
+	return h
+}
+
+// ScrambledZipfian produces a Zipfian-popularity sequence whose
+// popular items are scattered across the whole keyspace rather than
+// clustered at the low end, by hashing the underlying Zipfian draw.
+// This matches YCSB's ScrambledZipfianGenerator, the default
+// "zipfian" request distribution.
+type ScrambledZipfian struct {
+	z         *Zipfian
+	min       int64
+	itemCount int64
+	last      int64
+}
+
+// scrambledZetan is the precomputed zetan YCSB uses for its fixed
+// internal item count.
+const (
+	scrambledItemCount = int64(10000000000)
+	scrambledZetan     = 26.46902820178302
+)
+
+// NewScrambledZipfian returns a scrambled-Zipfian generator over the
+// inclusive interval [min, max].
+func NewScrambledZipfian(min, max int64) *ScrambledZipfian {
+	s := &ScrambledZipfian{min: min, itemCount: max - min + 1}
+	// Like YCSB: the underlying Zipfian runs over a huge fixed item
+	// space with a precomputed zetan so construction is O(1).
+	s.z = &Zipfian{
+		items:        scrambledItemCount,
+		base:         0,
+		theta:        zipfianConstant,
+		zeta2theta:   zetaStatic(0, 2, zipfianConstant, 0),
+		alpha:        1.0 / (1.0 - zipfianConstant),
+		zetan:        scrambledZetan,
+		countForZeta: scrambledItemCount,
+	}
+	s.z.eta = s.z.etaFor(scrambledItemCount)
+	return s
+}
+
+// Next returns the next scrambled-Zipfian value in [min, max].
+func (s *ScrambledZipfian) Next(r *rand.Rand) int64 {
+	v := s.z.Next(r)
+	s.last = s.min + FNVHash64(v)%s.itemCount
+	return s.last
+}
+
+// Last returns the most recent value produced.
+func (s *ScrambledZipfian) Last() int64 { return s.last }
+
+// SkewedLatest draws keys Zipfian-skewed towards the most recently
+// inserted record: key N-1 is the most popular. The basis counter
+// supplies the current maximum key.
+type SkewedLatest struct {
+	basis Integer
+	z     *Zipfian
+	last  int64
+}
+
+// NewSkewedLatest returns a skewed-latest generator over keys counted
+// by basis (typically the insert-key AcknowledgedCounter).
+func NewSkewedLatest(basis Integer) *SkewedLatest {
+	return &SkewedLatest{basis: basis, z: NewZipfian(0, max64(basis.Last()+1, 1))}
+}
+
+// Next returns the next skewed-latest key.
+func (s *SkewedLatest) Next(r *rand.Rand) int64 {
+	maxKey := s.basis.Last()
+	n := max64(maxKey+1, 1)
+	s.last = maxKey - s.z.NextCount(r, n)
+	if s.last < 0 {
+		s.last = 0
+	}
+	return s.last
+}
+
+// Last returns the most recent value produced.
+func (s *SkewedLatest) Last() int64 { return s.last }
+
+// Hotspot returns integers from [lb, ub] where a fraction
+// hotOpnFraction of draws land in the first hotsetFraction of the
+// interval, matching YCSB's HotspotIntegerGenerator.
+type Hotspot struct {
+	lb, ub         int64
+	hotInterval    int64
+	coldInterval   int64
+	hotsetFraction float64
+	hotOpnFraction float64
+	last           int64
+}
+
+// NewHotspot returns a hotspot generator over [lb, ub] with the given
+// hot-set and hot-operation fractions in [0, 1].
+func NewHotspot(lb, ub int64, hotsetFraction, hotOpnFraction float64) *Hotspot {
+	if hotsetFraction < 0 || hotsetFraction > 1 {
+		hotsetFraction = 0.2
+	}
+	if hotOpnFraction < 0 || hotOpnFraction > 1 {
+		hotOpnFraction = 0.8
+	}
+	if lb > ub {
+		panic("generator: hotspot interval is empty")
+	}
+	interval := ub - lb + 1
+	hot := int64(float64(interval) * hotsetFraction)
+	return &Hotspot{
+		lb:             lb,
+		ub:             ub,
+		hotsetFraction: hotsetFraction,
+		hotOpnFraction: hotOpnFraction,
+		hotInterval:    hot,
+		coldInterval:   interval - hot,
+	}
+}
+
+// Next returns the next hotspot-distributed value.
+func (h *Hotspot) Next(r *rand.Rand) int64 {
+	if r.Float64() < h.hotOpnFraction && h.hotInterval > 0 {
+		h.last = h.lb + r.Int63n(h.hotInterval)
+	} else {
+		if h.coldInterval <= 0 {
+			h.last = h.lb + r.Int63n(h.hotInterval)
+		} else {
+			h.last = h.lb + h.hotInterval + r.Int63n(h.coldInterval)
+		}
+	}
+	return h.last
+}
+
+// Last returns the most recent value produced.
+func (h *Hotspot) Last() int64 { return h.last }
+
+// Exponential generates values with an exponential distribution, used
+// by YCSB to model recency skew ("exponential" request distribution).
+// A fraction `percentile` of draws fall within the first `frac` of
+// the keyspace of size n (YCSB defaults: 95 % within 0.8571…).
+type Exponential struct {
+	gamma float64
+	last  int64
+}
+
+// NewExponential returns a generator where percentile (e.g. 95) of
+// the mass lies within fraction range of the dataset size bound.
+func NewExponential(percentile, rangeFraction float64, datasetSize int64) *Exponential {
+	bound := rangeFraction * float64(datasetSize)
+	if bound <= 0 {
+		bound = 1
+	}
+	return &Exponential{gamma: -math.Log(1.0-percentile/100.0) / bound}
+}
+
+// NewExponentialMean returns an exponential generator with the given
+// mean.
+func NewExponentialMean(mean float64) *Exponential {
+	if mean <= 0 {
+		panic("generator: exponential mean must be positive")
+	}
+	return &Exponential{gamma: 1.0 / mean}
+}
+
+// Next returns the next exponentially distributed value (≥ 0).
+func (e *Exponential) Next(r *rand.Rand) int64 {
+	e.last = int64(-math.Log(1.0-r.Float64()) / e.gamma)
+	return e.last
+}
+
+// Last returns the most recent value produced.
+func (e *Exponential) Last() int64 { return e.last }
+
+// Sequential returns keys in strictly sequential order looping over
+// [lb, ub], matching YCSB's SequentialGenerator; useful for full
+// sweeps such as the CEW validation scan.
+type Sequential struct {
+	lb, ub  int64
+	counter atomic.Int64
+}
+
+// NewSequential returns a sequential generator over [lb, ub].
+func NewSequential(lb, ub int64) *Sequential {
+	if ub < lb {
+		panic("generator: sequential interval is empty")
+	}
+	return &Sequential{lb: lb, ub: ub}
+}
+
+// Next returns the next key in sequence, wrapping at ub. It is safe
+// for concurrent use.
+func (s *Sequential) Next(*rand.Rand) int64 {
+	n := s.counter.Add(1) - 1
+	return s.lb + n%(s.ub-s.lb+1)
+}
+
+// Last returns the most recent value produced.
+func (s *Sequential) Last() int64 {
+	n := s.counter.Load() - 1
+	if n < 0 {
+		return s.lb
+	}
+	return s.lb + n%(s.ub-s.lb+1)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,297 @@
+package httpkv
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"ycsbt/internal/db"
+	"ycsbt/internal/kvstore"
+	"ycsbt/internal/properties"
+)
+
+// Client is the "rawhttp" DB binding: it speaks the httpkv protocol
+// to a remote (or in-process httptest) server. Like the paper's
+// RawHttpDB it has no transaction support — Start/Commit/Abort fall
+// back to the DB class's no-op defaults.
+type Client struct {
+	db.NoTransactions
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a binding that talks to the server at baseURL
+// (e.g. "http://127.0.0.1:8077"). A nil hc uses http.DefaultClient.
+func NewClient(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: baseURL, hc: hc}
+}
+
+func init() {
+	db.Register("rawhttp", func() (db.DB, error) { return &Client{}, nil })
+}
+
+// Init reads the "rawhttp.url" property when the binding was opened
+// by name through the registry.
+func (c *Client) Init(p *properties.Properties) error {
+	if c.base == "" {
+		c.base = p.GetString("rawhttp.url", "http://127.0.0.1:8077")
+	}
+	if c.hc == nil {
+		c.hc = http.DefaultClient
+	}
+	return nil
+}
+
+// Cleanup implements db.DB.
+func (c *Client) Cleanup() error {
+	c.hc.CloseIdleConnections()
+	return nil
+}
+
+func (c *Client) recordURL(table, key string) string {
+	return c.base + "/v1/" + url.PathEscape(table) + "/" + url.PathEscape(key)
+}
+
+// statusError maps HTTP status codes back to db-layer sentinels.
+func statusError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	switch resp.StatusCode {
+	case http.StatusNotFound:
+		return fmt.Errorf("%w: %s", db.ErrNotFound, bytes.TrimSpace(body))
+	case http.StatusPreconditionFailed:
+		return fmt.Errorf("%w: %s", db.ErrConflict, bytes.TrimSpace(body))
+	case http.StatusTooManyRequests:
+		return fmt.Errorf("%w: %s", db.ErrThrottled, bytes.TrimSpace(body))
+	default:
+		return fmt.Errorf("httpkv: server returned %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+}
+
+func (c *Client) do(req *http.Request) (*http.Response, error) {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("httpkv: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		defer resp.Body.Close()
+		return nil, statusError(resp)
+	}
+	return resp, nil
+}
+
+// Read implements db.DB.
+func (c *Client) Read(ctx context.Context, table, key string, fields []string) (db.Record, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.recordURL(table, key), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var wr wireRecord
+	if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
+		return nil, fmt.Errorf("httpkv: decoding record: %w", err)
+	}
+	return projectFields(wr.Fields, fields), nil
+}
+
+// ReadVersioned fetches a record together with its version (ETag);
+// used by tests and by callers that need the CAS handle.
+func (c *Client) ReadVersioned(ctx context.Context, table, key string) (*kvstore.VersionedRecord, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.recordURL(table, key), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var wr wireRecord
+	if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
+		return nil, fmt.Errorf("httpkv: decoding record: %w", err)
+	}
+	return &kvstore.VersionedRecord{Version: wr.Version, Fields: wr.Fields}, nil
+}
+
+// Scan implements db.DB.
+func (c *Client) Scan(ctx context.Context, table, startKey string, count int, fields []string) ([]db.KV, error) {
+	u := c.base + "/v1/" + url.PathEscape(table) + "?start=" + url.QueryEscape(startKey) + "&count=" + strconv.Itoa(count)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var wrs []wireRecord
+	if err := json.NewDecoder(resp.Body).Decode(&wrs); err != nil {
+		return nil, fmt.Errorf("httpkv: decoding scan: %w", err)
+	}
+	out := make([]db.KV, 0, len(wrs))
+	for _, wr := range wrs {
+		out = append(out, db.KV{Key: wr.Key, Record: projectFields(wr.Fields, fields)})
+	}
+	return out, nil
+}
+
+// writeReq sends method with a JSON fields body and optional headers.
+func (c *Client) writeReq(ctx context.Context, method, u string, values db.Record, hdr map[string]string) error {
+	body, err := json.Marshal(wireRecord{Fields: values})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Update implements db.DB (merge semantics, key must exist).
+func (c *Client) Update(ctx context.Context, table, key string, values db.Record) error {
+	return c.writeReq(ctx, http.MethodPatch, c.recordURL(table, key), values, nil)
+}
+
+// Insert implements db.DB (unconditional put).
+func (c *Client) Insert(ctx context.Context, table, key string, values db.Record) error {
+	return c.writeReq(ctx, http.MethodPut, c.recordURL(table, key), values, nil)
+}
+
+// PutIfVersion performs a conditional put via If-Match /
+// If-None-Match, exposing the store's test-and-set over HTTP.
+func (c *Client) PutIfVersion(ctx context.Context, table, key string, values db.Record, expect uint64) error {
+	_, err := c.putVersioned(ctx, table, key, values, expect)
+	return err
+}
+
+// condHeaders builds the conditional-write headers for expect.
+func condHeaders(expect uint64) map[string]string {
+	hdr := map[string]string{}
+	switch expect {
+	case kvstore.AnyVersion:
+	case kvstore.MustNotExist:
+		hdr["If-None-Match"] = "*"
+	default:
+		hdr["If-Match"] = strconv.FormatUint(expect, 10)
+	}
+	return hdr
+}
+
+// putVersioned performs a conditional put and returns the new version
+// from the response ETag.
+func (c *Client) putVersioned(ctx context.Context, table, key string, values db.Record, expect uint64) (uint64, error) {
+	body, err := json.Marshal(wireRecord{Fields: values})
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.recordURL(table, key), bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range condHeaders(expect) {
+		req.Header.Set(k, v)
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	ver, err := strconv.ParseUint(resp.Header.Get("ETag"), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("httpkv: missing ETag on put response: %w", err)
+	}
+	return ver, nil
+}
+
+// deleteVersioned performs a conditional delete.
+func (c *Client) deleteVersioned(ctx context.Context, table, key string, expect uint64) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.recordURL(table, key), nil)
+	if err != nil {
+		return err
+	}
+	for k, v := range condHeaders(expect) {
+		req.Header.Set(k, v)
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// scanVersioned fetches a scan page with record versions.
+func (c *Client) scanVersioned(ctx context.Context, table, startKey string, count int) ([]kvstore.VersionedKV, error) {
+	u := c.base + "/v1/" + url.PathEscape(table) + "?start=" + url.QueryEscape(startKey) + "&count=" + strconv.Itoa(count)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var wrs []wireRecord
+	if err := json.NewDecoder(resp.Body).Decode(&wrs); err != nil {
+		return nil, fmt.Errorf("httpkv: decoding scan: %w", err)
+	}
+	out := make([]kvstore.VersionedKV, 0, len(wrs))
+	for _, wr := range wrs {
+		out = append(out, kvstore.VersionedKV{
+			Key:    wr.Key,
+			Record: &kvstore.VersionedRecord{Version: wr.Version, Fields: wr.Fields},
+		})
+	}
+	return out, nil
+}
+
+// Delete implements db.DB.
+func (c *Client) Delete(ctx context.Context, table, key string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.recordURL(table, key), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+func projectFields(all map[string][]byte, fields []string) db.Record {
+	if fields == nil {
+		return all
+	}
+	out := make(db.Record, len(fields))
+	for _, f := range fields {
+		if v, ok := all[f]; ok {
+			out[f] = v
+		}
+	}
+	return out
+}

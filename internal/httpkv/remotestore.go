@@ -1,0 +1,80 @@
+package httpkv
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"ycsbt/internal/db"
+	"ycsbt/internal/kvstore"
+)
+
+// RemoteStore adapts an httpkv server to the transaction libraries'
+// store interface (txn.Store / percolator.Store): versioned gets and
+// scans plus conditional writes, all over HTTP. With it, one
+// client-coordinated transaction can span stores "deployed in
+// different regions" reachable only over the network — the
+// heterogeneous-store scenario of Section II-B — with no software on
+// the server side beyond the plain key-value interface.
+type RemoteStore struct {
+	name string
+	c    *Client
+}
+
+// NewRemoteStore wraps the httpkv server at baseURL as a named
+// transaction store.
+func NewRemoteStore(name, baseURL string, hc *http.Client) *RemoteStore {
+	return &RemoteStore{name: name, c: NewClient(baseURL, hc)}
+}
+
+// Name implements the store interface.
+func (r *RemoteStore) Name() string { return r.name }
+
+// Get implements the store interface.
+func (r *RemoteStore) Get(ctx context.Context, table, key string) (*kvstore.VersionedRecord, error) {
+	rec, err := r.c.ReadVersioned(ctx, table, key)
+	if err != nil {
+		return nil, remoteTranslate(err)
+	}
+	return rec, nil
+}
+
+// Put implements the store interface (conditional put via ETag
+// headers).
+func (r *RemoteStore) Put(ctx context.Context, table, key string, fields map[string][]byte, expect uint64) (uint64, error) {
+	ver, err := r.c.putVersioned(ctx, table, key, fields, expect)
+	if err != nil {
+		return 0, remoteTranslate(err)
+	}
+	return ver, nil
+}
+
+// Delete implements the store interface.
+func (r *RemoteStore) Delete(ctx context.Context, table, key string, expect uint64) error {
+	return remoteTranslate(r.c.deleteVersioned(ctx, table, key, expect))
+}
+
+// Scan implements the store interface.
+func (r *RemoteStore) Scan(ctx context.Context, table, startKey string, count int) ([]kvstore.VersionedKV, error) {
+	kvs, err := r.c.scanVersioned(ctx, table, startKey, count)
+	if err != nil {
+		return nil, remoteTranslate(err)
+	}
+	return kvs, nil
+}
+
+// remoteTranslate maps the client's db-layer sentinels back to the
+// kvstore-layer errors the transaction protocols match on.
+func remoteTranslate(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, db.ErrNotFound):
+		return fmt.Errorf("%w: %v", kvstore.ErrNotFound, err)
+	case errors.Is(err, db.ErrConflict):
+		return fmt.Errorf("%w: %v", kvstore.ErrVersionMismatch, err)
+	default:
+		return err
+	}
+}

@@ -1,0 +1,242 @@
+// Package httpkv exposes a kvstore.Store over HTTP and provides the
+// matching client-side DB binding ("rawhttp").
+//
+// This is the reproduction's analog of the paper's Tier 6 testbed: "a
+// WiredTiger key-value store augmented with an HTTP interface that we
+// implemented using the Boost ASIO library", accessed through the
+// RawHttpDB client class. The interface is deliberately plain REST
+// with no multi-key operations, so concurrent read-modify-write
+// sequences race and the Closed Economy Workload's validation stage
+// detects the resulting lost updates.
+//
+// Protocol (JSON bodies, record values base64-encoded by
+// encoding/json's []byte rules):
+//
+//	GET    /v1/{table}/{key}          → 200 {"version":n,"fields":{...}} | 404
+//	PUT    /v1/{table}/{key}          → 200; If-Match: <ver> CAS, If-None-Match: * create-only; 412 on conflict
+//	PATCH  /v1/{table}/{key}          → 200 merge-update | 404
+//	DELETE /v1/{table}/{key}          → 204; If-Match honored; 404/412
+//	GET    /v1/{table}?start=k&count=n → 200 [{"key":k,"version":v,"fields":{...}},...]
+//	GET    /healthz                   → 200 "ok"
+//
+// Every successful record response carries the version in the "ETag"
+// header, the idiom the simulated cloud stores share.
+package httpkv
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"ycsbt/internal/kvstore"
+)
+
+// wireRecord is the JSON shape of one record on the wire.
+type wireRecord struct {
+	Key     string            `json:"key,omitempty"`
+	Version uint64            `json:"version"`
+	Fields  map[string][]byte `json:"fields"`
+}
+
+// Server is an http.Handler serving a kvstore.Store.
+type Server struct {
+	store *kvstore.Store
+	mux   *http.ServeMux
+}
+
+// NewServer returns a handler serving store.
+func NewServer(store *kvstore.Store) *Server {
+	s := &Server{store: store, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/", s.handleRecord)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// splitPath parses /v1/{table}[/{key}] and reports whether a key part
+// is present.
+func splitPath(path string) (table, key string, hasKey bool, ok bool) {
+	rest := strings.TrimPrefix(path, "/v1/")
+	if rest == path || rest == "" {
+		return "", "", false, false
+	}
+	parts := strings.SplitN(rest, "/", 2)
+	table = parts[0]
+	if table == "" {
+		return "", "", false, false
+	}
+	if len(parts) == 1 || parts[1] == "" {
+		return table, "", false, true
+	}
+	return table, parts[1], true, true
+}
+
+func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request) {
+	table, key, hasKey, ok := splitPath(r.URL.Path)
+	if !ok {
+		http.Error(w, "bad path", http.StatusBadRequest)
+		return
+	}
+	if !hasKey {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		s.handleScan(w, r, table)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		s.handleGet(w, table, key)
+	case http.MethodPut:
+		s.handlePut(w, r, table, key)
+	case http.MethodPatch:
+		s.handlePatch(w, r, table, key)
+	case http.MethodDelete:
+		s.handleDelete(w, r, table, key)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, table, key string) {
+	rec, err := s.store.Get(table, key)
+	if err != nil {
+		writeStoreError(w, err)
+		return
+	}
+	writeRecord(w, "", rec)
+}
+
+func (s *Server) handleScan(w http.ResponseWriter, r *http.Request, table string) {
+	q := r.URL.Query()
+	start := q.Get("start")
+	count := 100
+	if c := q.Get("count"); c != "" {
+		n, err := strconv.Atoi(c)
+		if err != nil || n < 0 {
+			http.Error(w, "bad count", http.StatusBadRequest)
+			return
+		}
+		count = n
+	}
+	kvs, err := s.store.Scan(table, start, count)
+	if err != nil {
+		writeStoreError(w, err)
+		return
+	}
+	out := make([]wireRecord, 0, len(kvs))
+	for _, kv := range kvs {
+		out = append(out, wireRecord{Key: kv.Key, Version: kv.Record.Version, Fields: kv.Record.Fields})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// condition extracts the conditional-write expectation from If-Match /
+// If-None-Match headers; default is unconditional.
+func condition(r *http.Request) (uint64, error) {
+	if r.Header.Get("If-None-Match") == "*" {
+		return kvstore.MustNotExist, nil
+	}
+	im := r.Header.Get("If-Match")
+	if im == "" {
+		return kvstore.AnyVersion, nil
+	}
+	v, err := strconv.ParseUint(strings.Trim(im, `"`), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad If-Match %q", im)
+	}
+	return v, nil
+}
+
+func decodeFields(r *http.Request) (map[string][]byte, error) {
+	var body wireRecord
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&body); err != nil {
+		return nil, err
+	}
+	if body.Fields == nil {
+		return nil, errors.New("missing fields")
+	}
+	return body.Fields, nil
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request, table, key string) {
+	expect, err := condition(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	fields, err := decodeFields(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ver, err := s.store.PutIfVersion(table, key, fields, expect)
+	if err != nil {
+		writeStoreError(w, err)
+		return
+	}
+	w.Header().Set("ETag", strconv.FormatUint(ver, 10))
+	w.WriteHeader(http.StatusOK)
+}
+
+func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request, table, key string) {
+	fields, err := decodeFields(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ver, err := s.store.Update(table, key, fields)
+	if err != nil {
+		writeStoreError(w, err)
+		return
+	}
+	w.Header().Set("ETag", strconv.FormatUint(ver, 10))
+	w.WriteHeader(http.StatusOK)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request, table, key string) {
+	expect, err := condition(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.store.DeleteIfVersion(table, key, expect); err != nil {
+		writeStoreError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func writeRecord(w http.ResponseWriter, key string, rec *kvstore.VersionedRecord) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("ETag", strconv.FormatUint(rec.Version, 10))
+	json.NewEncoder(w).Encode(wireRecord{Key: key, Version: rec.Version, Fields: rec.Fields})
+}
+
+func writeStoreError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, kvstore.ErrNotFound):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, kvstore.ErrVersionMismatch), errors.Is(err, kvstore.ErrExists):
+		http.Error(w, err.Error(), http.StatusPreconditionFailed)
+	case errors.Is(err, kvstore.ErrClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

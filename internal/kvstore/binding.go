@@ -1,0 +1,128 @@
+package kvstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"ycsbt/internal/db"
+	"ycsbt/internal/properties"
+)
+
+// Binding adapts a Store to the YCSB+T db.DB interface. It is the
+// non-transactional embedded binding ("kvstore"): single-key
+// operations are linearizable but multi-operation sequences are not
+// isolated, so the CEW anomaly score grows with concurrency exactly
+// as in Figure 4 of the paper.
+type Binding struct {
+	db.NoTransactions
+	store *Store
+	owns  bool // Close the store on Cleanup
+}
+
+// NewBinding wraps an existing store; Cleanup leaves it open.
+func NewBinding(s *Store) *Binding { return &Binding{store: s} }
+
+func init() {
+	db.Register("kvstore", func() (db.DB, error) { return &Binding{}, nil })
+}
+
+// Init opens the store per the "kvstore.path" and "kvstore.sync"
+// properties unless NewBinding supplied one.
+func (b *Binding) Init(p *properties.Properties) error {
+	if b.store != nil {
+		return nil
+	}
+	s, err := Open(Options{
+		Path:       p.GetString("kvstore.path", ""),
+		SyncWrites: p.GetBool("kvstore.sync", false),
+	})
+	if err != nil {
+		return err
+	}
+	b.store = s
+	b.owns = true
+	return nil
+}
+
+// Cleanup closes the store when this binding opened it.
+func (b *Binding) Cleanup() error {
+	if b.owns && b.store != nil {
+		return b.store.Close()
+	}
+	return nil
+}
+
+// Store exposes the underlying engine (for validation scans and
+// tests).
+func (b *Binding) Store() *Store { return b.store }
+
+// translate maps engine errors to db-layer sentinels.
+func translate(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrNotFound):
+		return fmt.Errorf("%w: %v", db.ErrNotFound, err)
+	case errors.Is(err, ErrVersionMismatch), errors.Is(err, ErrExists):
+		return fmt.Errorf("%w: %v", db.ErrConflict, err)
+	default:
+		return err
+	}
+}
+
+// Read implements db.DB.
+func (b *Binding) Read(_ context.Context, table, key string, fields []string) (db.Record, error) {
+	rec, err := b.store.Get(table, key)
+	if err != nil {
+		return nil, translate(err)
+	}
+	return filterFields(rec.Fields, fields), nil
+}
+
+// Scan implements db.DB.
+func (b *Binding) Scan(_ context.Context, table, startKey string, count int, fields []string) ([]db.KV, error) {
+	kvs, err := b.store.Scan(table, startKey, count)
+	if err != nil {
+		return nil, translate(err)
+	}
+	out := make([]db.KV, 0, len(kvs))
+	for _, kv := range kvs {
+		out = append(out, db.KV{Key: kv.Key, Record: filterFields(kv.Record.Fields, fields)})
+	}
+	return out, nil
+}
+
+// Update implements db.DB.
+func (b *Binding) Update(_ context.Context, table, key string, values db.Record) error {
+	_, err := b.store.Update(table, key, values)
+	return translate(err)
+}
+
+// Insert implements db.DB; like most key-value stores, an insert of
+// an existing key overwrites it.
+func (b *Binding) Insert(_ context.Context, table, key string, values db.Record) error {
+	_, err := b.store.Put(table, key, values)
+	return translate(err)
+}
+
+// Delete implements db.DB.
+func (b *Binding) Delete(_ context.Context, table, key string) error {
+	return translate(b.store.Delete(table, key))
+}
+
+// filterFields projects fields out of a stored record, copying values
+// so callers never alias engine memory (Get/Scan already cloned, but
+// the projection keeps the contract obvious and cheap).
+func filterFields(all map[string][]byte, fields []string) db.Record {
+	if fields == nil {
+		return all
+	}
+	out := make(db.Record, len(fields))
+	for _, f := range fields {
+		if v, ok := all[f]; ok {
+			out[f] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,349 @@
+// Package kvstore implements the embedded key-value storage engine
+// used as the local NoSQL substrate of the reproduction — the analog
+// of the WiredTiger store (fronted by HTTP) that the paper's Tier 6
+// experiments run against.
+//
+// The engine provides:
+//
+//   - an ordered index (an in-memory B-tree) supporting point gets,
+//     range scans and full iteration (the CEW validation phase scans
+//     every record);
+//   - per-record versions with conditional put / delete (test-and-set
+//     on the version, the ETag idiom of WAS and GCS) — the primitive
+//     the client-coordinated transaction library builds on;
+//   - an optional write-ahead log for durability with replay on open.
+//
+// Operations on single keys are linearizable. The store offers no
+// multi-key transactions by itself; that is the transaction library's
+// job (internal/txn).
+package kvstore
+
+import "strings"
+
+// btreeMinDegree is the B-tree minimum degree t: every node except
+// the root holds between t-1 and 2t-1 keys.
+const btreeMinDegree = 32
+
+// item is one key/value pair stored in the tree.
+type item struct {
+	key string
+	val *VersionedRecord
+}
+
+// node is one B-tree node. Leaf nodes have no children.
+type node struct {
+	items    []item
+	children []*node
+}
+
+func (n *node) leaf() bool { return len(n.children) == 0 }
+
+// find returns the position of key in n.items, or the child index to
+// descend into, and whether the key was found at that position.
+func (n *node) find(key string) (int, bool) {
+	lo, hi := 0, len(n.items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.items[mid].key < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(n.items) && n.items[lo].key == key {
+		return lo, true
+	}
+	return lo, false
+}
+
+// btree is a classic CLRS B-tree mapping string keys to records. It
+// is not internally synchronized; the Store serializes access.
+type btree struct {
+	root *node
+	size int
+}
+
+func newBTree() *btree {
+	return &btree{root: &node{}}
+}
+
+// get returns the value stored under key, or nil.
+func (t *btree) get(key string) *VersionedRecord {
+	n := t.root
+	for {
+		i, ok := n.find(key)
+		if ok {
+			return n.items[i].val
+		}
+		if n.leaf() {
+			return nil
+		}
+		n = n.children[i]
+	}
+}
+
+// put stores val under key, replacing any existing value. It reports
+// whether a new key was inserted.
+func (t *btree) put(key string, val *VersionedRecord) bool {
+	if len(t.root.items) == 2*btreeMinDegree-1 {
+		old := t.root
+		t.root = &node{children: []*node{old}}
+		t.root.splitChild(0)
+	}
+	inserted := t.root.insertNonFull(key, val)
+	if inserted {
+		t.size++
+	}
+	return inserted
+}
+
+// splitChild splits the full child at index i of n, moving its median
+// item up into n.
+func (n *node) splitChild(i int) {
+	child := n.children[i]
+	t := btreeMinDegree
+	median := child.items[t-1]
+	right := &node{
+		items: append([]item(nil), child.items[t:]...),
+	}
+	if !child.leaf() {
+		right.children = append([]*node(nil), child.children[t:]...)
+		child.children = child.children[:t]
+	}
+	child.items = child.items[:t-1]
+
+	n.items = append(n.items, item{})
+	copy(n.items[i+1:], n.items[i:])
+	n.items[i] = median
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// insertNonFull inserts into a node known not to be full; it reports
+// whether the key is new.
+func (n *node) insertNonFull(key string, val *VersionedRecord) bool {
+	for {
+		i, ok := n.find(key)
+		if ok {
+			n.items[i].val = val
+			return false
+		}
+		if n.leaf() {
+			n.items = append(n.items, item{})
+			copy(n.items[i+1:], n.items[i:])
+			n.items[i] = item{key: key, val: val}
+			return true
+		}
+		if len(n.children[i].items) == 2*btreeMinDegree-1 {
+			n.splitChild(i)
+			if key == n.items[i].key {
+				n.items[i].val = val
+				return false
+			}
+			if key > n.items[i].key {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+}
+
+// delete removes key and reports whether it was present.
+func (t *btree) delete(key string) bool {
+	removed := t.root.remove(key)
+	if len(t.root.items) == 0 && !t.root.leaf() {
+		t.root = t.root.children[0]
+	}
+	if removed {
+		t.size--
+	}
+	return removed
+}
+
+// remove implements CLRS B-tree deletion; on entry n has at least t
+// items unless it is the root.
+func (n *node) remove(key string) bool {
+	t := btreeMinDegree
+	i, found := n.find(key)
+	if found {
+		if n.leaf() {
+			// Case 1: delete from leaf directly.
+			n.items = append(n.items[:i], n.items[i+1:]...)
+			return true
+		}
+		// Case 2: key in internal node.
+		if len(n.children[i].items) >= t {
+			// 2a: replace with predecessor from the left subtree.
+			pred := n.children[i].maxItem()
+			n.items[i] = pred
+			return n.children[i].remove(pred.key)
+		}
+		if len(n.children[i+1].items) >= t {
+			// 2b: replace with successor from the right subtree.
+			succ := n.children[i+1].minItem()
+			n.items[i] = succ
+			return n.children[i+1].remove(succ.key)
+		}
+		// 2c: merge the two t-1 children around the key, recurse.
+		n.mergeChildren(i)
+		return n.children[i].remove(key)
+	}
+	if n.leaf() {
+		return false
+	}
+	// Case 3: key (if present) lives in subtree i; ensure that child
+	// has ≥ t items before descending.
+	if len(n.children[i].items) < t {
+		i = n.growChild(i)
+	}
+	return n.children[i].remove(key)
+}
+
+// growChild ensures child i has at least t items by borrowing from a
+// sibling or merging; it returns the (possibly shifted) child index
+// to descend into.
+func (n *node) growChild(i int) int {
+	t := btreeMinDegree
+	switch {
+	case i > 0 && len(n.children[i-1].items) >= t:
+		// 3a-left: rotate an item from the left sibling through n.
+		child, left := n.children[i], n.children[i-1]
+		child.items = append(child.items, item{})
+		copy(child.items[1:], child.items)
+		child.items[0] = n.items[i-1]
+		n.items[i-1] = left.items[len(left.items)-1]
+		left.items = left.items[:len(left.items)-1]
+		if !left.leaf() {
+			borrowed := left.children[len(left.children)-1]
+			left.children = left.children[:len(left.children)-1]
+			child.children = append(child.children, nil)
+			copy(child.children[1:], child.children)
+			child.children[0] = borrowed
+		}
+		return i
+	case i < len(n.children)-1 && len(n.children[i+1].items) >= t:
+		// 3a-right: rotate an item from the right sibling through n.
+		child, right := n.children[i], n.children[i+1]
+		child.items = append(child.items, n.items[i])
+		n.items[i] = right.items[0]
+		right.items = append(right.items[:0], right.items[1:]...)
+		if !right.leaf() {
+			child.children = append(child.children, right.children[0])
+			right.children = append(right.children[:0], right.children[1:]...)
+		}
+		return i
+	case i > 0:
+		// 3b: merge with the left sibling.
+		n.mergeChildren(i - 1)
+		return i - 1
+	default:
+		// 3b: merge with the right sibling.
+		n.mergeChildren(i)
+		return i
+	}
+}
+
+// mergeChildren merges child i, item i and child i+1 into one node.
+func (n *node) mergeChildren(i int) {
+	left, right := n.children[i], n.children[i+1]
+	left.items = append(left.items, n.items[i])
+	left.items = append(left.items, right.items...)
+	left.children = append(left.children, right.children...)
+	n.items = append(n.items[:i], n.items[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+func (n *node) minItem() item {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.items[0]
+}
+
+func (n *node) maxItem() item {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.items[len(n.items)-1]
+}
+
+// ascend visits every item with key ≥ start in order, until fn
+// returns false.
+func (t *btree) ascend(start string, fn func(key string, val *VersionedRecord) bool) {
+	t.root.ascend(start, fn)
+}
+
+func (n *node) ascend(start string, fn func(string, *VersionedRecord) bool) bool {
+	i, _ := n.find(start)
+	for ; i < len(n.items); i++ {
+		if !n.leaf() && !n.children[i].ascend(start, fn) {
+			return false
+		}
+		if n.items[i].key >= start && !fn(n.items[i].key, n.items[i].val) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return n.children[len(n.children)-1].ascend(start, fn)
+	}
+	return true
+}
+
+// check verifies the B-tree structural invariants (used by tests):
+// sorted keys, occupancy bounds, uniform depth. It returns a
+// description of the first violation, or "".
+func (t *btree) check() string {
+	depth := -1
+	var walk func(n *node, d int, lo, hi string, isRoot bool) string
+	walk = func(n *node, d int, lo, hi string, isRoot bool) string {
+		tt := btreeMinDegree
+		if !isRoot && len(n.items) < tt-1 {
+			return "underfull node"
+		}
+		if len(n.items) > 2*tt-1 {
+			return "overfull node"
+		}
+		for i := 0; i < len(n.items); i++ {
+			k := n.items[i].key
+			if i > 0 && n.items[i-1].key >= k {
+				return "unsorted items"
+			}
+			if lo != "" && k <= lo {
+				return "item below subtree bound"
+			}
+			if hi != "" && k >= hi {
+				return "item above subtree bound"
+			}
+		}
+		if n.leaf() {
+			if depth == -1 {
+				depth = d
+			} else if depth != d {
+				return "leaves at different depths"
+			}
+			return ""
+		}
+		if len(n.children) != len(n.items)+1 {
+			return "child count mismatch"
+		}
+		for i, c := range n.children {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = n.items[i-1].key
+			}
+			if i < len(n.items) {
+				chi = n.items[i].key
+			}
+			if msg := walk(c, d+1, clo, chi, false); msg != "" {
+				return msg
+			}
+		}
+		return ""
+	}
+	return walk(t.root, 0, "", "", true)
+}
+
+// compareKeys orders keys the way the store does (plain lexicographic
+// byte order); exposed for documentation via tests.
+func compareKeys(a, b string) int { return strings.Compare(a, b) }

@@ -1,0 +1,230 @@
+package kvstore
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func rec(v uint64) *VersionedRecord {
+	return &VersionedRecord{Version: v, Fields: map[string][]byte{"f": []byte("x")}}
+}
+
+func TestBTreeBasic(t *testing.T) {
+	bt := newBTree()
+	if bt.get("a") != nil {
+		t.Error("get on empty tree")
+	}
+	if !bt.put("a", rec(1)) {
+		t.Error("put should report new key")
+	}
+	if bt.put("a", rec(2)) {
+		t.Error("overwrite should not report new key")
+	}
+	if got := bt.get("a"); got == nil || got.Version != 2 {
+		t.Errorf("get = %+v", got)
+	}
+	if bt.size != 1 {
+		t.Errorf("size = %d", bt.size)
+	}
+	if !bt.delete("a") {
+		t.Error("delete should report removal")
+	}
+	if bt.delete("a") {
+		t.Error("double delete should report absence")
+	}
+	if bt.size != 0 {
+		t.Errorf("size = %d", bt.size)
+	}
+}
+
+func TestBTreeManyKeysSortedAscend(t *testing.T) {
+	bt := newBTree()
+	const n = 10000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		bt.put(fmt.Sprintf("key%08d", i), rec(uint64(i)))
+	}
+	if bt.size != n {
+		t.Fatalf("size = %d", bt.size)
+	}
+	if msg := bt.check(); msg != "" {
+		t.Fatalf("invariant violated: %s", msg)
+	}
+	var keys []string
+	bt.ascend("", func(k string, _ *VersionedRecord) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != n {
+		t.Fatalf("ascend visited %d keys", len(keys))
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Error("ascend not in sorted order")
+	}
+}
+
+func TestBTreeAscendFromMidpoint(t *testing.T) {
+	bt := newBTree()
+	for i := 0; i < 100; i++ {
+		bt.put(fmt.Sprintf("k%03d", i), rec(uint64(i)))
+	}
+	var keys []string
+	bt.ascend("k050", func(k string, _ *VersionedRecord) bool {
+		keys = append(keys, k)
+		return len(keys) < 5
+	})
+	want := []string{"k050", "k051", "k052", "k053", "k054"}
+	if len(keys) != len(want) {
+		t.Fatalf("got %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("got %v, want %v", keys, want)
+		}
+	}
+	// Start between keys.
+	keys = nil
+	bt.ascend("k0505", func(k string, _ *VersionedRecord) bool {
+		keys = append(keys, k)
+		return len(keys) < 2
+	})
+	if len(keys) != 2 || keys[0] != "k051" {
+		t.Fatalf("between-keys ascend = %v", keys)
+	}
+}
+
+func TestBTreeDeleteRebalancing(t *testing.T) {
+	// Insert enough to force multiple levels, then delete in several
+	// orders to exercise all CLRS cases.
+	orders := []string{"forward", "reverse", "random"}
+	for _, order := range orders {
+		t.Run(order, func(t *testing.T) {
+			bt := newBTree()
+			const n = 5000
+			for i := 0; i < n; i++ {
+				bt.put(fmt.Sprintf("k%06d", i), rec(uint64(i)))
+			}
+			idx := make([]int, n)
+			for i := range idx {
+				idx[i] = i
+			}
+			switch order {
+			case "reverse":
+				for i, j := 0, n-1; i < j; i, j = i+1, j-1 {
+					idx[i], idx[j] = idx[j], idx[i]
+				}
+			case "random":
+				rand.New(rand.NewSource(7)).Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+			}
+			for step, i := range idx {
+				if !bt.delete(fmt.Sprintf("k%06d", i)) {
+					t.Fatalf("delete k%06d failed", i)
+				}
+				if step%500 == 0 {
+					if msg := bt.check(); msg != "" {
+						t.Fatalf("invariant after %d deletes: %s", step+1, msg)
+					}
+				}
+			}
+			if bt.size != 0 {
+				t.Fatalf("size = %d after deleting all", bt.size)
+			}
+			if msg := bt.check(); msg != "" {
+				t.Fatalf("final invariant: %s", msg)
+			}
+		})
+	}
+}
+
+// TestBTreeVsMapQuick drives random operation sequences against the
+// tree and a reference map, checking equivalence and structural
+// invariants.
+func TestBTreeVsMapQuick(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint16
+	}
+	f := func(ops []op) bool {
+		bt := newBTree()
+		ref := make(map[string]uint64)
+		ver := uint64(0)
+		for _, o := range ops {
+			key := fmt.Sprintf("k%04d", o.Key%500)
+			switch o.Kind % 3 {
+			case 0: // put
+				ver++
+				newKey := bt.put(key, rec(ver))
+				_, existed := ref[key]
+				if newKey == existed {
+					return false
+				}
+				ref[key] = ver
+			case 1: // delete
+				removed := bt.delete(key)
+				_, existed := ref[key]
+				if removed != existed {
+					return false
+				}
+				delete(ref, key)
+			case 2: // get
+				got := bt.get(key)
+				want, existed := ref[key]
+				if existed != (got != nil) {
+					return false
+				}
+				if got != nil && got.Version != want {
+					return false
+				}
+			}
+		}
+		if bt.size != len(ref) {
+			return false
+		}
+		if bt.check() != "" {
+			return false
+		}
+		// Full ascend must reproduce the reference exactly, in order.
+		var keys []string
+		bt.ascend("", func(k string, v *VersionedRecord) bool {
+			if want, ok := ref[k]; !ok || v.Version != want {
+				keys = nil
+				return false
+			}
+			keys = append(keys, k)
+			return true
+		})
+		return len(keys) == len(ref) && sort.StringsAreSorted(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareKeys(t *testing.T) {
+	if compareKeys("a", "b") >= 0 || compareKeys("b", "a") <= 0 || compareKeys("a", "a") != 0 {
+		t.Error("compareKeys is not lexicographic")
+	}
+}
+
+func BenchmarkBTreePut(b *testing.B) {
+	bt := newBTree()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bt.put(fmt.Sprintf("key%010d", i%100000), rec(uint64(i)))
+	}
+}
+
+func BenchmarkBTreeGet(b *testing.B) {
+	bt := newBTree()
+	for i := 0; i < 100000; i++ {
+		bt.put(fmt.Sprintf("key%010d", i), rec(uint64(i)))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bt.get(fmt.Sprintf("key%010d", i%100000))
+	}
+}

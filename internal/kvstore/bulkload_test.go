@@ -1,0 +1,231 @@
+package kvstore
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func bulkKVs(n int) []BulkKV {
+	out := make([]BulkKV, n)
+	for i := range out {
+		out[i] = BulkKV{
+			Key:    fmt.Sprintf("key%08d", i),
+			Fields: map[string][]byte{"field0": []byte(fmt.Sprint(i))},
+		}
+	}
+	return out
+}
+
+func TestBulkLoadBasic(t *testing.T) {
+	s := OpenMemory()
+	defer s.Close()
+	const n = 5000
+	if err := s.BulkLoad("t", bulkKVs(n)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len("t") != n {
+		t.Fatalf("Len = %d", s.Len("t"))
+	}
+	// Point reads, ordering and versions all intact.
+	rec, err := s.Get("t", "key00001234")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec.Fields["field0"]) != "1234" || rec.Version != 1 {
+		t.Errorf("record = %+v", rec)
+	}
+	kvs, err := s.Scan("t", "", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != n {
+		t.Fatalf("scan = %d records", len(kvs))
+	}
+	for i := 1; i < len(kvs); i++ {
+		if kvs[i-1].Key >= kvs[i].Key {
+			t.Fatal("scan out of order after bulk load")
+		}
+	}
+	// Tree invariants hold.
+	s.mu.RLock()
+	msg := s.tables["t"].check()
+	s.mu.RUnlock()
+	if msg != "" {
+		t.Errorf("B-tree invariant violated after bulk load: %s", msg)
+	}
+	// Subsequent mutations behave normally.
+	if _, err := s.Put("t", "key00001234", fields("updated")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("t", "key00000000"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bulk load of any size produces a valid tree holding
+// exactly the input, including the tail-rebalancing edge sizes.
+func TestBulkLoadSizesQuick(t *testing.T) {
+	check := func(n int) error {
+		s := OpenMemory()
+		defer s.Close()
+		if err := s.BulkLoad("t", bulkKVs(n)); err != nil {
+			return fmt.Errorf("n=%d: %v", n, err)
+		}
+		if s.Len("t") != n {
+			return fmt.Errorf("n=%d: Len = %d", n, s.Len("t"))
+		}
+		s.mu.RLock()
+		msg := s.tables["t"].check()
+		size := s.tables["t"].size
+		s.mu.RUnlock()
+		if msg != "" {
+			return fmt.Errorf("n=%d: invariant: %s", n, msg)
+		}
+		if size != n {
+			return fmt.Errorf("n=%d: tree size %d", n, size)
+		}
+		count := 0
+		s.ForEach("t", func(key string, _ *VersionedRecord) bool {
+			count++
+			return true
+		})
+		if count != n {
+			return fmt.Errorf("n=%d: iterated %d", n, count)
+		}
+		return nil
+	}
+	// Deterministic edge sizes around the fill boundaries.
+	fill := 2*btreeMinDegree - 1
+	for _, n := range []int{0, 1, 2, btreeMinDegree - 1, fill - 1, fill, fill + 1, fill + 2,
+		2*fill + 1, 2*fill + 2, 3 * fill, fill*fill + fill} {
+		if err := check(n); err != nil {
+			t.Error(err)
+		}
+	}
+	// Random sizes.
+	f := func(raw uint16) bool {
+		return check(int(raw%20000)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBulkLoadValidation(t *testing.T) {
+	s := OpenMemory()
+	defer s.Close()
+	// Unsorted input.
+	bad := []BulkKV{{Key: "b"}, {Key: "a"}}
+	if err := s.BulkLoad("t", bad); err == nil {
+		t.Error("unsorted input accepted")
+	}
+	// Duplicate keys.
+	dup := []BulkKV{{Key: "a"}, {Key: "a"}}
+	if err := s.BulkLoad("t", dup); err == nil {
+		t.Error("duplicate keys accepted")
+	}
+	// Non-empty table.
+	s.Put("t", "existing", fields("v"))
+	if err := s.BulkLoad("t", bulkKVs(3)); err == nil {
+		t.Error("bulk load into non-empty table accepted")
+	}
+	// Closed store.
+	s2 := OpenMemory()
+	s2.Close()
+	if err := s2.BulkLoad("t", bulkKVs(3)); err != ErrClosed {
+		t.Errorf("closed store = %v", err)
+	}
+}
+
+func TestBulkLoadDurability(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bulk.wal")
+	s, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BulkLoad("t", bulkKVs(500)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len("t") != 500 {
+		t.Errorf("recovered %d records", r.Len("t"))
+	}
+	rec, err := r.Get("t", "key00000042")
+	if err != nil || string(rec.Fields["field0"]) != "42" {
+		t.Errorf("recovered record = %v, %v", rec, err)
+	}
+}
+
+func TestBulkLoadMatchesSequentialInserts(t *testing.T) {
+	kvs := bulkKVs(3000)
+	bulk := OpenMemory()
+	defer bulk.Close()
+	if err := bulk.BulkLoad("t", kvs); err != nil {
+		t.Fatal(err)
+	}
+	seq := OpenMemory()
+	defer seq.Close()
+	for _, kv := range kvs {
+		if _, err := seq.Insert("t", kv.Key, kv.Fields); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var bulkKeys, seqKeys []string
+	bulk.ForEach("t", func(k string, _ *VersionedRecord) bool {
+		bulkKeys = append(bulkKeys, k)
+		return true
+	})
+	seq.ForEach("t", func(k string, _ *VersionedRecord) bool {
+		seqKeys = append(seqKeys, k)
+		return true
+	})
+	if len(bulkKeys) != len(seqKeys) {
+		t.Fatalf("key counts differ: %d vs %d", len(bulkKeys), len(seqKeys))
+	}
+	if !sort.StringsAreSorted(bulkKeys) {
+		t.Error("bulk keys unsorted")
+	}
+	for i := range bulkKeys {
+		if bulkKeys[i] != seqKeys[i] {
+			t.Fatalf("key %d differs: %s vs %s", i, bulkKeys[i], seqKeys[i])
+		}
+	}
+}
+
+func BenchmarkBulkLoadVsInserts(b *testing.B) {
+	const n = 20000
+	kvs := bulkKVs(n)
+	b.Run("BulkLoad", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := OpenMemory()
+			if err := s.BulkLoad("t", kvs); err != nil {
+				b.Fatal(err)
+			}
+			s.Close()
+		}
+	})
+	b.Run("SequentialInserts", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := OpenMemory()
+			for _, kv := range kvs {
+				if _, err := s.Insert("t", kv.Key, kv.Fields); err != nil {
+					b.Fatal(err)
+				}
+			}
+			s.Close()
+		}
+	})
+}

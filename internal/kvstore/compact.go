@@ -1,0 +1,132 @@
+package kvstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// Compact rewrites the write-ahead log as a snapshot of the store's
+// current state, reclaiming the space of overwritten and deleted
+// records. The snapshot is written to a temporary file, fsynced, and
+// atomically renamed over the log, so a crash at any point leaves
+// either the old log or the complete new one. No-op for in-memory
+// stores.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.wal == nil {
+		return nil
+	}
+	path := s.wal.f.Name()
+	tmp := path + ".compact"
+
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("kvstore: compacting: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	writeFrame := func(rec walRecord) error {
+		payload := encodeWALRecord(rec)
+		var header [8]byte
+		binary.LittleEndian.PutUint32(header[:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(header[4:], crc32.ChecksumIEEE(payload))
+		if _, err := w.Write(header[:]); err != nil {
+			return err
+		}
+		_, err := w.Write(payload)
+		return err
+	}
+	for table, tree := range s.tables {
+		var werr error
+		tree.ascend("", func(key string, val *VersionedRecord) bool {
+			werr = writeFrame(walRecord{
+				Op:      walPut,
+				Table:   table,
+				Key:     key,
+				Version: val.Version,
+				Fields:  val.Fields,
+			})
+			return werr == nil
+		})
+		if werr != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("kvstore: compacting: %w", werr)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("kvstore: compacting: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("kvstore: compacting: %w", err)
+	}
+
+	// Swap the new log in: close the old handle, rename, reopen for
+	// appending at the end.
+	oldSync := s.wal.syncOn
+	if err := s.wal.close(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("kvstore: compacting: closing old WAL: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("kvstore: compacting: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("kvstore: compacting: %w", err)
+	}
+	nw, err := openWAL(path, oldSync)
+	if err != nil {
+		return err
+	}
+	// Position for appending without replaying into the live store.
+	if err := nw.seekEnd(); err != nil {
+		nw.close()
+		return err
+	}
+	s.wal = nw
+	return nil
+}
+
+// WALSize reports the current log size in bytes (0 for in-memory
+// stores); useful for deciding when to compact.
+func (s *Store) WALSize() (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if s.wal == nil {
+		return 0, nil
+	}
+	if err := s.wal.w.Flush(); err != nil {
+		return 0, err
+	}
+	st, err := s.wal.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// seekEnd positions the WAL for appending at its current end.
+func (w *wal) seekEnd() error {
+	off, err := w.f.Seek(0, 2 /* io.SeekEnd */)
+	if err != nil {
+		return err
+	}
+	w.replayN = off
+	w.w = bufio.NewWriter(w.f)
+	return nil
+}

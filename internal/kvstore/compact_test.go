@@ -1,0 +1,129 @@
+package kvstore
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+func TestCompactShrinksLogAndPreservesState(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.wal")
+	s, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Overwrite a small key set many times and delete some keys: the
+	// log grows far beyond the live data.
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 20; i++ {
+			if _, err := s.Put("t", fmt.Sprintf("k%02d", i), fields(fmt.Sprintf("v%d", round))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 10; i < 20; i++ {
+		if err := s.Delete("t", fmt.Sprintf("k%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := s.WALSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.WALSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before/10 {
+		t.Errorf("compaction barely shrank the log: %d → %d", before, after)
+	}
+
+	// The store still works after compaction.
+	if _, err := s.Put("t", "post", fields("compact")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery from the compacted log reproduces exactly the state.
+	r, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len("t") != 11 { // k00..k09 + post
+		t.Errorf("recovered %d records, want 11", r.Len("t"))
+	}
+	rec, err := r.Get("t", "k05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec.Fields["field0"]) != "v49" {
+		t.Errorf("k05 = %s", rec.Fields["field0"])
+	}
+	if rec.Version != 50 {
+		t.Errorf("k05 version = %d, want 50 (preserved through compaction)", rec.Version)
+	}
+	if _, err := r.Get("t", "k15"); err == nil {
+		t.Error("deleted key resurrected by compaction")
+	}
+	if _, err := r.Get("t", "post"); err != nil {
+		t.Errorf("post-compaction write lost: %v", err)
+	}
+}
+
+func TestCompactInMemoryIsNoop(t *testing.T) {
+	s := OpenMemory()
+	defer s.Close()
+	if err := s.Compact(); err != nil {
+		t.Errorf("Compact on memory store = %v", err)
+	}
+	if n, err := s.WALSize(); err != nil || n != 0 {
+		t.Errorf("WALSize = %d, %v", n, err)
+	}
+}
+
+func TestCompactClosedStore(t *testing.T) {
+	s := OpenMemory()
+	s.Close()
+	if err := s.Compact(); err != ErrClosed {
+		t.Errorf("Compact after close = %v", err)
+	}
+	if _, err := s.WALSize(); err != ErrClosed {
+		t.Errorf("WALSize after close = %v", err)
+	}
+}
+
+func TestCompactMultipleTables(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.wal")
+	s, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("a", "k", fields("1"))
+	s.Put("b", "k", fields("2"))
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	r, err := Open(Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ra, err := r.Get("a", "k")
+	if err != nil || string(ra.Fields["field0"]) != "1" {
+		t.Errorf("table a after compaction: %v, %v", ra, err)
+	}
+	rb, err := r.Get("b", "k")
+	if err != nil || string(rb.Fields["field0"]) != "2" {
+		t.Errorf("table b after compaction: %v, %v", rb, err)
+	}
+}

@@ -1,0 +1,350 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Common storage errors. They are distinct from the db-layer
+// sentinels so the engine can be used standalone; the binding in
+// binding.go translates them.
+var (
+	// ErrNotFound reports that the key does not exist.
+	ErrNotFound = errors.New("kvstore: key not found")
+	// ErrVersionMismatch reports a failed conditional operation.
+	ErrVersionMismatch = errors.New("kvstore: version mismatch")
+	// ErrExists reports that a create-only put found an existing key.
+	ErrExists = errors.New("kvstore: key already exists")
+	// ErrClosed reports use after Close.
+	ErrClosed = errors.New("kvstore: store is closed")
+)
+
+// VersionedRecord is a stored record together with its version. The
+// version starts at 1 on insert and increments on every successful
+// mutation; it is the engine's ETag and the compare handle of every
+// conditional operation.
+type VersionedRecord struct {
+	Version uint64
+	Fields  map[string][]byte
+}
+
+// clone deep-copies the record so callers never alias engine memory.
+func (v *VersionedRecord) clone() *VersionedRecord {
+	out := &VersionedRecord{Version: v.Version, Fields: make(map[string][]byte, len(v.Fields))}
+	for f, b := range v.Fields {
+		out.Fields[f] = append([]byte(nil), b...)
+	}
+	return out
+}
+
+// VersionedKV pairs a key with its versioned record in scan results.
+type VersionedKV struct {
+	Key    string
+	Record *VersionedRecord
+}
+
+// AnyVersion passes any current version in conditional operations.
+const AnyVersion = ^uint64(0)
+
+// MustNotExist is the expected version for create-only puts.
+const MustNotExist = uint64(0)
+
+// Options configures a Store.
+type Options struct {
+	// Path is the WAL file path; empty means a volatile in-memory
+	// store with no durability.
+	Path string
+	// SyncWrites forces an fsync after every logged mutation. Off by
+	// default, trading durability for latency exactly as the paper's
+	// "latency versus durability" discussion describes.
+	SyncWrites bool
+}
+
+// Store is a concurrent, versioned, ordered key-value store with
+// multiple named tables. Single-key operations are linearizable.
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]*btree
+	wal    *wal
+	closed bool
+}
+
+// Open creates or reopens a store. When opts.Path names an existing
+// WAL the store replays it to rebuild its state.
+func Open(opts Options) (*Store, error) {
+	s := &Store{tables: make(map[string]*btree)}
+	if opts.Path != "" {
+		w, err := openWAL(opts.Path, opts.SyncWrites)
+		if err != nil {
+			return nil, err
+		}
+		if err := w.replay(func(rec walRecord) error {
+			return s.applyReplay(rec)
+		}); err != nil {
+			w.close()
+			return nil, fmt.Errorf("kvstore: replaying %s: %w", opts.Path, err)
+		}
+		s.wal = w
+	}
+	return s, nil
+}
+
+// OpenMemory returns a volatile in-memory store.
+func OpenMemory() *Store {
+	s, _ := Open(Options{})
+	return s
+}
+
+// applyReplay applies one WAL record during recovery, bypassing
+// version checks (the log records outcomes, not intents).
+func (s *Store) applyReplay(rec walRecord) error {
+	tree := s.table(rec.Table)
+	switch rec.Op {
+	case walPut:
+		tree.put(rec.Key, &VersionedRecord{Version: rec.Version, Fields: rec.Fields})
+	case walDelete:
+		tree.delete(rec.Key)
+	default:
+		return fmt.Errorf("unknown WAL op %d", rec.Op)
+	}
+	return nil
+}
+
+// table returns the tree for name, creating it when absent. Caller
+// must hold at least the read lock for lookups of existing tables;
+// creation upgrades internally via the write path, so table is only
+// called with the write lock held (or during single-threaded open).
+func (s *Store) table(name string) *btree {
+	t, ok := s.tables[name]
+	if !ok {
+		t = newBTree()
+		s.tables[name] = t
+	}
+	return t
+}
+
+// readTable returns the tree for name or nil, for read paths.
+func (s *Store) readTable(name string) *btree {
+	return s.tables[name]
+}
+
+// Get returns a copy of the record under table/key.
+func (s *Store) Get(table, key string) (*VersionedRecord, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	t := s.readTable(table)
+	if t == nil {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, table, key)
+	}
+	v := t.get(key)
+	if v == nil {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, table, key)
+	}
+	return v.clone(), nil
+}
+
+// Put unconditionally stores fields under table/key (insert or full
+// replace) and returns the new version.
+func (s *Store) Put(table, key string, fields map[string][]byte) (uint64, error) {
+	return s.PutIfVersion(table, key, fields, AnyVersion)
+}
+
+// Insert stores fields under table/key only when the key does not
+// already exist.
+func (s *Store) Insert(table, key string, fields map[string][]byte) (uint64, error) {
+	return s.PutIfVersion(table, key, fields, MustNotExist)
+}
+
+// PutIfVersion stores fields under table/key when the current version
+// matches expect: AnyVersion always matches, MustNotExist matches
+// only a missing key, any other value must equal the stored version.
+// It returns the new version, or ErrVersionMismatch / ErrExists.
+func (s *Store) PutIfVersion(table, key string, fields map[string][]byte, expect uint64) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	t := s.table(table)
+	cur := t.get(key)
+	switch expect {
+	case AnyVersion:
+	case MustNotExist:
+		if cur != nil {
+			return 0, fmt.Errorf("%w: %s/%s", ErrExists, table, key)
+		}
+	default:
+		if cur == nil {
+			return 0, fmt.Errorf("%w: %s/%s not found, expected version %d", ErrVersionMismatch, table, key, expect)
+		}
+		if cur.Version != expect {
+			return 0, fmt.Errorf("%w: %s/%s at version %d, expected %d", ErrVersionMismatch, table, key, cur.Version, expect)
+		}
+	}
+	var next uint64 = 1
+	if cur != nil {
+		next = cur.Version + 1
+	}
+	stored := &VersionedRecord{Version: next, Fields: make(map[string][]byte, len(fields))}
+	for f, b := range fields {
+		stored.Fields[f] = append([]byte(nil), b...)
+	}
+	if s.wal != nil {
+		if err := s.wal.append(walRecord{Op: walPut, Table: table, Key: key, Version: next, Fields: stored.Fields}); err != nil {
+			return 0, err
+		}
+	}
+	t.put(key, stored)
+	return next, nil
+}
+
+// Update merges fields into the existing record under table/key and
+// returns the new version; the key must exist.
+func (s *Store) Update(table, key string, fields map[string][]byte) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	t := s.table(table)
+	cur := t.get(key)
+	if cur == nil {
+		return 0, fmt.Errorf("%w: %s/%s", ErrNotFound, table, key)
+	}
+	merged := cur.clone()
+	merged.Version = cur.Version + 1
+	for f, b := range fields {
+		merged.Fields[f] = append([]byte(nil), b...)
+	}
+	if s.wal != nil {
+		if err := s.wal.append(walRecord{Op: walPut, Table: table, Key: key, Version: merged.Version, Fields: merged.Fields}); err != nil {
+			return 0, err
+		}
+	}
+	t.put(key, merged)
+	return merged.Version, nil
+}
+
+// Delete removes table/key; it returns ErrNotFound when absent.
+func (s *Store) Delete(table, key string) error {
+	return s.DeleteIfVersion(table, key, AnyVersion)
+}
+
+// DeleteIfVersion removes table/key when its version matches expect
+// (AnyVersion always matches).
+func (s *Store) DeleteIfVersion(table, key string, expect uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	t := s.table(table)
+	cur := t.get(key)
+	if cur == nil {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, table, key)
+	}
+	if expect != AnyVersion && cur.Version != expect {
+		return fmt.Errorf("%w: %s/%s at version %d, expected %d", ErrVersionMismatch, table, key, cur.Version, expect)
+	}
+	if s.wal != nil {
+		if err := s.wal.append(walRecord{Op: walDelete, Table: table, Key: key}); err != nil {
+			return err
+		}
+	}
+	t.delete(key)
+	return nil
+}
+
+// Scan returns up to count records with key ≥ startKey in key order.
+// A count < 0 means no limit.
+func (s *Store) Scan(table, startKey string, count int) ([]VersionedKV, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	t := s.readTable(table)
+	if t == nil {
+		return nil, nil
+	}
+	var out []VersionedKV
+	t.ascend(startKey, func(key string, val *VersionedRecord) bool {
+		if count >= 0 && len(out) >= count {
+			return false
+		}
+		out = append(out, VersionedKV{Key: key, Record: val.clone()})
+		return true
+	})
+	return out, nil
+}
+
+// ForEach visits every record of table in key order. The callback
+// receives engine-owned data and must not retain or mutate it; it
+// runs under the store's read lock.
+func (s *Store) ForEach(table string, fn func(key string, rec *VersionedRecord) bool) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	t := s.readTable(table)
+	if t == nil {
+		return nil
+	}
+	t.ascend("", fn)
+	return nil
+}
+
+// Len returns the number of records in table.
+func (s *Store) Len(table string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t := s.readTable(table)
+	if t == nil {
+		return 0
+	}
+	return t.size
+}
+
+// Tables returns the names of all tables that have ever been written.
+func (s *Store) Tables() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Sync flushes the WAL to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.sync()
+}
+
+// Close flushes and closes the store. Further operations return
+// ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.wal != nil {
+		return s.wal.close()
+	}
+	return nil
+}

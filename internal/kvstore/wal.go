@@ -1,0 +1,229 @@
+package kvstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// WAL op codes.
+const (
+	walPut byte = iota + 1
+	walDelete
+)
+
+// walRecord is one logged mutation. Put records carry the full
+// post-image (version and fields) so replay is a blind apply; delete
+// records carry only the key.
+type walRecord struct {
+	Op      byte
+	Table   string
+	Key     string
+	Version uint64
+	Fields  map[string][]byte
+}
+
+// wal is an append-only redo log with per-record CRC32 checksums.
+// Frame layout:
+//
+//	[4-byte length][4-byte CRC32(payload)][payload]
+//
+// Payload layout (all integers little-endian, strings/bytes
+// length-prefixed with uvarint):
+//
+//	op(1) table key version nfields {fieldName fieldValue}*
+//
+// A torn final frame (crash mid-append) is detected by length or CRC
+// mismatch and truncated away on open, so a crashed store reopens to
+// its last complete mutation.
+type wal struct {
+	f       *os.File
+	w       *bufio.Writer
+	syncOn  bool
+	replayN int64 // bytes of valid replayed prefix
+}
+
+func openWAL(path string, syncWrites bool) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: opening WAL: %w", err)
+	}
+	return &wal{f: f, syncOn: syncWrites}, nil
+}
+
+// replay streams every complete record to fn, then positions the file
+// for appending, truncating any torn tail.
+func (w *wal) replay(fn func(walRecord) error) error {
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	r := bufio.NewReader(w.f)
+	var offset int64
+	var header [8]byte
+	for {
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				break // torn or clean end
+			}
+			return err
+		}
+		length := binary.LittleEndian.Uint32(header[:4])
+		sum := binary.LittleEndian.Uint32(header[4:])
+		if length > 1<<30 {
+			break // corrupt length; treat as torn tail
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				break
+			}
+			return err
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // corrupt record; stop at last good prefix
+		}
+		rec, err := decodeWALRecord(payload)
+		if err != nil {
+			break
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+		offset += int64(8 + len(payload))
+	}
+	w.replayN = offset
+	if err := w.f.Truncate(offset); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(offset, io.SeekStart); err != nil {
+		return err
+	}
+	w.w = bufio.NewWriter(w.f)
+	return nil
+}
+
+func (w *wal) append(rec walRecord) error {
+	payload := encodeWALRecord(rec)
+	var header [8]byte
+	binary.LittleEndian.PutUint32(header[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(header[4:], crc32.ChecksumIEEE(payload))
+	if _, err := w.w.Write(header[:]); err != nil {
+		return fmt.Errorf("kvstore: WAL append: %w", err)
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		return fmt.Errorf("kvstore: WAL append: %w", err)
+	}
+	if w.syncOn {
+		return w.syncLocked()
+	}
+	return nil
+}
+
+func (w *wal) sync() error { return w.syncLocked() }
+
+func (w *wal) syncLocked() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *wal) close() error {
+	if w.w != nil {
+		if err := w.w.Flush(); err != nil {
+			w.f.Close()
+			return err
+		}
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+func encodeWALRecord(rec walRecord) []byte {
+	buf := make([]byte, 0, 64+len(rec.Table)+len(rec.Key))
+	buf = append(buf, rec.Op)
+	buf = appendString(buf, rec.Table)
+	buf = appendString(buf, rec.Key)
+	buf = binary.AppendUvarint(buf, rec.Version)
+	buf = binary.AppendUvarint(buf, uint64(len(rec.Fields)))
+	for f, v := range rec.Fields {
+		buf = appendString(buf, f)
+		buf = appendBytes(buf, v)
+	}
+	return buf
+}
+
+func decodeWALRecord(payload []byte) (walRecord, error) {
+	var rec walRecord
+	if len(payload) < 1 {
+		return rec, errors.New("kvstore: empty WAL payload")
+	}
+	rec.Op = payload[0]
+	rest := payload[1:]
+	var err error
+	if rec.Table, rest, err = readString(rest); err != nil {
+		return rec, err
+	}
+	if rec.Key, rest, err = readString(rest); err != nil {
+		return rec, err
+	}
+	var n int
+	rec.Version, n = binary.Uvarint(rest)
+	if n <= 0 {
+		return rec, errors.New("kvstore: bad WAL version")
+	}
+	rest = rest[n:]
+	nf, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return rec, errors.New("kvstore: bad WAL field count")
+	}
+	rest = rest[n:]
+	if nf > 0 {
+		rec.Fields = make(map[string][]byte, nf)
+		for i := uint64(0); i < nf; i++ {
+			var name string
+			if name, rest, err = readString(rest); err != nil {
+				return rec, err
+			}
+			var val []byte
+			if val, rest, err = readBytes(rest); err != nil {
+				return rec, err
+			}
+			rec.Fields[name] = val
+		}
+	}
+	if len(rest) != 0 {
+		return rec, errors.New("kvstore: trailing WAL bytes")
+	}
+	return rec, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+func readString(buf []byte) (string, []byte, error) {
+	b, rest, err := readBytes(buf)
+	return string(b), rest, err
+}
+
+func readBytes(buf []byte) ([]byte, []byte, error) {
+	l, n := binary.Uvarint(buf)
+	if n <= 0 || uint64(len(buf)-n) < l {
+		return nil, nil, errors.New("kvstore: truncated WAL field")
+	}
+	return buf[n : n+int(l)], buf[n+int(l):], nil
+}

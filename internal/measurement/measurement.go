@@ -1,0 +1,341 @@
+// Package measurement collects and reports the per-operation latency
+// metrics of a YCSB+T run.
+//
+// Every database operation type gets its own named series: the raw
+// CRUD series ("READ", "UPDATE", …), the transaction-demarcation
+// series ("START", "COMMIT", "ABORT"), and — for Tier 5, transactional
+// overhead — one "TX-<TYPE>" series per workload operation type that
+// records the latency of the whole wrapping transaction. The text
+// exporter reproduces the output format of Listing 3 in the paper:
+//
+//	[UPDATE], Operations, 200206
+//	[UPDATE], AverageLatency(us), 1536.4616944547117
+//	[UPDATE], MinLatency(us), 1202
+//	[UPDATE], MaxLatency(us), 80946
+//	[UPDATE], Return=0, 200206
+//
+// Series are safe for concurrent use by many client threads; the hot
+// path (Measure) is a handful of atomic operations.
+package measurement
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// defaultHistogramBuckets is the number of 1-ms histogram buckets
+// maintained for percentile estimation, matching YCSB's default.
+const defaultHistogramBuckets = 1000
+
+// Series accumulates latency measurements for one operation type.
+type Series struct {
+	name string
+
+	count atomic.Int64
+	sumUS atomic.Int64
+	minUS atomic.Int64 // math.MaxInt64 until first measurement
+	maxUS atomic.Int64
+
+	// histogram of latencies in 1-ms buckets; the final slot counts
+	// overflow (latency ≥ len-1 ms).
+	buckets []atomic.Int64
+
+	mu      sync.Mutex
+	returns map[int]int64 // return code → count
+}
+
+func newSeries(name string, nbuckets int) *Series {
+	if nbuckets <= 0 {
+		nbuckets = defaultHistogramBuckets
+	}
+	s := &Series{
+		name:    name,
+		buckets: make([]atomic.Int64, nbuckets+1),
+		returns: make(map[int]int64),
+	}
+	s.minUS.Store(math.MaxInt64)
+	return s
+}
+
+// Name returns the series name, e.g. "READ" or "TX-READMODIFYWRITE".
+func (s *Series) Name() string { return s.name }
+
+// Measure records one operation with the given latency and return
+// code (0 = success, like YCSB's Status ordinals).
+func (s *Series) Measure(latency time.Duration, returnCode int) {
+	us := latency.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	s.count.Add(1)
+	s.sumUS.Add(us)
+	for {
+		cur := s.minUS.Load()
+		if us >= cur || s.minUS.CompareAndSwap(cur, us) {
+			break
+		}
+	}
+	for {
+		cur := s.maxUS.Load()
+		if us <= cur || s.maxUS.CompareAndSwap(cur, us) {
+			break
+		}
+	}
+	ms := us / 1000
+	if ms >= int64(len(s.buckets)-1) {
+		ms = int64(len(s.buckets) - 1)
+	}
+	s.buckets[ms].Add(1)
+
+	s.mu.Lock()
+	s.returns[returnCode]++
+	s.mu.Unlock()
+}
+
+// Summary is a point-in-time snapshot of a series.
+type Summary struct {
+	Name       string        `json:"name"`
+	Operations int64         `json:"operations"`
+	AvgUS      float64       `json:"avg_us"`
+	MinUS      int64         `json:"min_us"`
+	MaxUS      int64         `json:"max_us"`
+	P95MS      int64         `json:"p95_ms"`
+	P99MS      int64         `json:"p99_ms"`
+	Returns    map[int]int64 `json:"returns"`
+}
+
+// Snapshot returns a consistent-enough summary of the series. Called
+// after the run completes, so no tearing matters in practice.
+func (s *Series) Snapshot() Summary {
+	n := s.count.Load()
+	sum := s.sumUS.Load()
+	min := s.minUS.Load()
+	if n == 0 {
+		min = 0
+	}
+	out := Summary{
+		Name:       s.name,
+		Operations: n,
+		MinUS:      min,
+		MaxUS:      s.maxUS.Load(),
+		Returns:    make(map[int]int64),
+	}
+	if n > 0 {
+		out.AvgUS = float64(sum) / float64(n)
+	}
+	out.P95MS = s.percentileMS(n, 0.95)
+	out.P99MS = s.percentileMS(n, 0.99)
+	s.mu.Lock()
+	for k, v := range s.returns {
+		out.Returns[k] = v
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// percentileMS estimates the p-th percentile latency in milliseconds
+// from the bucket histogram.
+func (s *Series) percentileMS(n int64, p float64) int64 {
+	if n == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(float64(n) * p))
+	var cum int64
+	for i := range s.buckets {
+		cum += s.buckets[i].Load()
+		if cum >= target {
+			return int64(i)
+		}
+	}
+	return int64(len(s.buckets) - 1)
+}
+
+// HistogramBucket returns the count of measurements that fell in the
+// i-th 1-ms bucket (the final index is the overflow bucket).
+func (s *Series) HistogramBucket(i int) int64 {
+	if i < 0 || i >= len(s.buckets) {
+		return 0
+	}
+	return s.buckets[i].Load()
+}
+
+// NumBuckets returns the number of histogram buckets including the
+// overflow slot.
+func (s *Series) NumBuckets() int { return len(s.buckets) }
+
+// Registry holds all measurement series of one benchmark run.
+type Registry struct {
+	mu             sync.RWMutex
+	series         map[string]*Series
+	order          []string // insertion order, for stable reporting
+	histogramCount int      // buckets to *print*; 0 disables bucket lines
+}
+
+// NewRegistry returns an empty registry. printBuckets controls how
+// many histogram bucket lines the text exporter prints per series
+// (the "histogram.buckets" workload property; 0 disables).
+func NewRegistry(printBuckets int) *Registry {
+	return &Registry{
+		series:         make(map[string]*Series),
+		histogramCount: printBuckets,
+	}
+}
+
+// Series returns the series with the given name, creating it when
+// absent. Safe for concurrent use.
+func (r *Registry) Series(name string) *Series {
+	r.mu.RLock()
+	s, ok := r.series[name]
+	r.mu.RUnlock()
+	if ok {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok = r.series[name]; ok {
+		return s
+	}
+	s = newSeries(name, defaultHistogramBuckets)
+	r.series[name] = s
+	r.order = append(r.order, name)
+	return s
+}
+
+// Measure records one measurement in the named series.
+func (r *Registry) Measure(name string, latency time.Duration, returnCode int) {
+	r.Series(name).Measure(latency, returnCode)
+}
+
+// Names returns the series names in first-use order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// Snapshots returns summaries for every series in first-use order.
+func (r *Registry) Snapshots() []Summary {
+	names := r.Names()
+	out := make([]Summary, 0, len(names))
+	for _, n := range names {
+		out = append(out, r.Series(n).Snapshot())
+	}
+	return out
+}
+
+// Snapshot returns the summary for one named series (zero Summary
+// when the series does not exist yet).
+func (r *Registry) Snapshot(name string) Summary {
+	r.mu.RLock()
+	s, ok := r.series[name]
+	r.mu.RUnlock()
+	if !ok {
+		return Summary{Name: name, Returns: map[int]int64{}}
+	}
+	return s.Snapshot()
+}
+
+// TotalOperations sums the operation counts of the listed series; it
+// is used for the overall-throughput line. When no names are given it
+// sums every series.
+func (r *Registry) TotalOperations(names ...string) int64 {
+	if len(names) == 0 {
+		names = r.Names()
+	}
+	var total int64
+	for _, n := range names {
+		total += r.Snapshot(n).Operations
+	}
+	return total
+}
+
+// ExportText writes every series in the paper's Listing 3 format.
+func (r *Registry) ExportText(w io.Writer) error {
+	for _, s := range r.Snapshots() {
+		if err := exportSeriesText(w, s, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func exportSeriesText(w io.Writer, s Summary, r *Registry) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("[%s], Operations, %d\n", s.Name, s.Operations); err != nil {
+		return err
+	}
+	if err := p("[%s], AverageLatency(us), %g\n", s.Name, s.AvgUS); err != nil {
+		return err
+	}
+	if err := p("[%s], MinLatency(us), %d\n", s.Name, s.MinUS); err != nil {
+		return err
+	}
+	if err := p("[%s], MaxLatency(us), %d\n", s.Name, s.MaxUS); err != nil {
+		return err
+	}
+	if err := p("[%s], 95thPercentileLatency(ms), %d\n", s.Name, s.P95MS); err != nil {
+		return err
+	}
+	if err := p("[%s], 99thPercentileLatency(ms), %d\n", s.Name, s.P99MS); err != nil {
+		return err
+	}
+	codes := make([]int, 0, len(s.Returns))
+	for c := range s.Returns {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		if err := p("[%s], Return=%d, %d\n", s.Name, c, s.Returns[c]); err != nil {
+			return err
+		}
+	}
+	if r.histogramCount > 0 {
+		ser := r.Series(s.Name)
+		n := r.histogramCount
+		if n > ser.NumBuckets()-1 {
+			n = ser.NumBuckets() - 1
+		}
+		for i := 0; i < n; i++ {
+			if err := p("[%s], %d, %d\n", s.Name, i, ser.HistogramBucket(i)); err != nil {
+				return err
+			}
+		}
+		var overflow int64
+		for i := n; i < ser.NumBuckets(); i++ {
+			overflow += ser.HistogramBucket(i)
+		}
+		if err := p("[%s], >%d, %d\n", s.Name, n-1, overflow); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExportJSON writes every series summary as a JSON array.
+func (r *Registry) ExportJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshots())
+}
+
+// Timer measures one interval; use Start then observe with Done.
+type Timer struct {
+	start time.Time
+}
+
+// StartTimer begins timing now.
+func StartTimer() Timer { return Timer{start: time.Now()} }
+
+// Done returns the elapsed time since StartTimer.
+func (t Timer) Done() time.Duration { return time.Since(t.start) }

@@ -1,0 +1,259 @@
+package measurement
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSeriesBasic(t *testing.T) {
+	r := NewRegistry(0)
+	r.Measure("READ", 100*time.Microsecond, 0)
+	r.Measure("READ", 300*time.Microsecond, 0)
+	r.Measure("READ", 200*time.Microsecond, 1)
+	s := r.Snapshot("READ")
+	if s.Operations != 3 {
+		t.Errorf("Operations = %d", s.Operations)
+	}
+	if s.AvgUS != 200 {
+		t.Errorf("AvgUS = %v", s.AvgUS)
+	}
+	if s.MinUS != 100 || s.MaxUS != 300 {
+		t.Errorf("Min/Max = %d/%d", s.MinUS, s.MaxUS)
+	}
+	if s.Returns[0] != 2 || s.Returns[1] != 1 {
+		t.Errorf("Returns = %v", s.Returns)
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	r := NewRegistry(0)
+	s := r.Snapshot("NOPE")
+	if s.Operations != 0 || s.MinUS != 0 || s.MaxUS != 0 || s.AvgUS != 0 {
+		t.Errorf("empty snapshot = %+v", s)
+	}
+	// Creating the series but never measuring must also give zeros.
+	r.Series("EMPTY")
+	s = r.Snapshot("EMPTY")
+	if s.MinUS != 0 {
+		t.Errorf("MinUS of empty created series = %d", s.MinUS)
+	}
+}
+
+func TestNegativeLatencyClamped(t *testing.T) {
+	r := NewRegistry(0)
+	r.Measure("X", -5*time.Microsecond, 0)
+	s := r.Snapshot("X")
+	if s.MinUS != 0 || s.MaxUS != 0 {
+		t.Errorf("negative latency not clamped: %+v", s)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	r := NewRegistry(0)
+	// 100 measurements: 1ms..100ms.
+	for i := 1; i <= 100; i++ {
+		r.Measure("OP", time.Duration(i)*time.Millisecond, 0)
+	}
+	s := r.Snapshot("OP")
+	if s.P95MS < 94 || s.P95MS > 96 {
+		t.Errorf("P95 = %d, want ≈95", s.P95MS)
+	}
+	if s.P99MS < 98 || s.P99MS > 100 {
+		t.Errorf("P99 = %d, want ≈99", s.P99MS)
+	}
+}
+
+func TestPercentileOverflowBucket(t *testing.T) {
+	r := NewRegistry(0)
+	r.Measure("SLOW", 5*time.Second, 0)
+	s := r.Snapshot("SLOW")
+	if s.P99MS != 1000 {
+		t.Errorf("overflow percentile = %d, want capped at 1000", s.P99MS)
+	}
+}
+
+func TestConcurrentMeasure(t *testing.T) {
+	r := NewRegistry(0)
+	const workers, per = 16, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Measure("READ", time.Duration(i%50)*time.Microsecond, i%3)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot("READ")
+	if s.Operations != workers*per {
+		t.Errorf("Operations = %d, want %d", s.Operations, workers*per)
+	}
+	var retSum int64
+	for _, c := range s.Returns {
+		retSum += c
+	}
+	if retSum != workers*per {
+		t.Errorf("return counts sum to %d", retSum)
+	}
+	if s.MinUS != 0 || s.MaxUS != 49 {
+		t.Errorf("Min/Max = %d/%d", s.MinUS, s.MaxUS)
+	}
+}
+
+// Property: count equals the histogram bucket sum, and min ≤ avg ≤ max.
+func TestHistogramInvariantsQuick(t *testing.T) {
+	f := func(latenciesMS []uint16) bool {
+		r := NewRegistry(0)
+		ser := r.Series("P")
+		for _, l := range latenciesMS {
+			ser.Measure(time.Duration(l%2000)*time.Millisecond, 0)
+		}
+		var bucketSum int64
+		for i := 0; i < ser.NumBuckets(); i++ {
+			bucketSum += ser.HistogramBucket(i)
+		}
+		s := ser.Snapshot()
+		if bucketSum != s.Operations {
+			return false
+		}
+		if s.Operations > 0 {
+			minUS, maxUS := float64(s.MinUS), float64(s.MaxUS)
+			if s.AvgUS < minUS-0.5 || s.AvgUS > maxUS+0.5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExportTextFormat(t *testing.T) {
+	r := NewRegistry(0)
+	r.Measure("UPDATE", 1536*time.Microsecond, 0)
+	r.Measure("COMMIT", 1*time.Microsecond, 0)
+	var buf bytes.Buffer
+	if err := r.ExportText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"[UPDATE], Operations, 1",
+		"[UPDATE], AverageLatency(us), 1536",
+		"[UPDATE], MinLatency(us), 1536",
+		"[UPDATE], MaxLatency(us), 1536",
+		"[UPDATE], Return=0, 1",
+		"[COMMIT], Operations, 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// First-use order preserved: UPDATE before COMMIT.
+	if strings.Index(out, "[UPDATE]") > strings.Index(out, "[COMMIT]") {
+		t.Error("series not in first-use order")
+	}
+}
+
+func TestExportTextHistogramLines(t *testing.T) {
+	r := NewRegistry(3)
+	r.Measure("OP", 500*time.Microsecond, 0)  // bucket 0
+	r.Measure("OP", 1500*time.Microsecond, 0) // bucket 1
+	r.Measure("OP", 10*time.Millisecond, 0)   // overflow (>2)
+	var buf bytes.Buffer
+	if err := r.ExportText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"[OP], 0, 1",
+		"[OP], 1, 1",
+		"[OP], 2, 0",
+		"[OP], >2, 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExportJSON(t *testing.T) {
+	r := NewRegistry(0)
+	r.Measure("READ", time.Millisecond, 0)
+	var buf bytes.Buffer
+	if err := r.ExportJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got []Summary
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Name != "READ" || got[0].Operations != 1 {
+		t.Errorf("JSON round trip = %+v", got)
+	}
+}
+
+func TestTotalOperations(t *testing.T) {
+	r := NewRegistry(0)
+	r.Measure("A", time.Microsecond, 0)
+	r.Measure("A", time.Microsecond, 0)
+	r.Measure("B", time.Microsecond, 0)
+	if got := r.TotalOperations("A"); got != 2 {
+		t.Errorf("TotalOperations(A) = %d", got)
+	}
+	if got := r.TotalOperations(); got != 3 {
+		t.Errorf("TotalOperations() = %d", got)
+	}
+	if got := r.TotalOperations("A", "B"); got != 3 {
+		t.Errorf("TotalOperations(A,B) = %d", got)
+	}
+}
+
+func TestTimer(t *testing.T) {
+	tm := StartTimer()
+	time.Sleep(2 * time.Millisecond)
+	if d := tm.Done(); d < time.Millisecond || d > time.Second {
+		t.Errorf("timer measured %v", d)
+	}
+}
+
+func TestSeriesRace(t *testing.T) {
+	// Snapshot concurrently with Measure must not race (run with -race).
+	r := NewRegistry(0)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5000; i++ {
+			r.Measure("R", time.Duration(i)*time.Microsecond, 0)
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		s := r.Snapshot("R")
+		if s.Operations > 0 && float64(s.MinUS) > math.Max(s.AvgUS, 1) {
+			// MinUS can briefly exceed avg only through tearing, which
+			// the atomics prevent for a single writer.
+			t.Fatalf("torn snapshot: %+v", s)
+		}
+	}
+	<-done
+}
+
+func BenchmarkMeasure(b *testing.B) {
+	r := NewRegistry(0)
+	s := r.Series("READ")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			s.Measure(123*time.Microsecond, 0)
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package measurement
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Timeline records per-interval operation counts — YCSB's
+// "timeseries" measurement type. It answers questions the aggregate
+// histogram cannot: warm-up ramps, throttling plateaus, and
+// throughput collapses mid-run.
+//
+// Record is safe for concurrent use and lock-free once a bucket
+// exists; buckets grow on demand.
+type Timeline struct {
+	start    time.Time
+	interval time.Duration
+
+	mu      sync.RWMutex
+	buckets []*atomic.Int64
+}
+
+// NewTimeline starts a timeline now with the given bucket interval.
+func NewTimeline(interval time.Duration) *Timeline {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Timeline{start: time.Now(), interval: interval}
+}
+
+// Record counts one operation completing now.
+func (t *Timeline) Record() {
+	idx := int(time.Since(t.start) / t.interval)
+	if idx < 0 {
+		idx = 0
+	}
+	t.mu.RLock()
+	if idx < len(t.buckets) {
+		t.buckets[idx].Add(1)
+		t.mu.RUnlock()
+		return
+	}
+	t.mu.RUnlock()
+	t.mu.Lock()
+	for len(t.buckets) <= idx {
+		t.buckets = append(t.buckets, &atomic.Int64{})
+	}
+	t.buckets[idx].Add(1)
+	t.mu.Unlock()
+}
+
+// Interval returns the bucket width.
+func (t *Timeline) Interval() time.Duration { return t.interval }
+
+// Counts returns a copy of the per-interval operation counts.
+func (t *Timeline) Counts() []int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]int64, len(t.buckets))
+	for i, b := range t.buckets {
+		out[i] = b.Load()
+	}
+	return out
+}
+
+// Rates returns per-interval throughput in ops/sec.
+func (t *Timeline) Rates() []float64 {
+	counts := t.Counts()
+	out := make([]float64, len(counts))
+	secs := t.interval.Seconds()
+	for i, c := range counts {
+		out[i] = float64(c) / secs
+	}
+	return out
+}
+
+// ExportText writes the timeline in the YCSB time-series style:
+//
+//	[TIMELINE], 0, 812.0
+//	[TIMELINE], 1, 1033.0
+//
+// where the second column is the interval start in seconds and the
+// third the interval's throughput in ops/sec.
+func (t *Timeline) ExportText(w io.Writer) error {
+	for i, r := range t.Rates() {
+		sec := float64(i) * t.interval.Seconds()
+		if _, err := fmt.Fprintf(w, "[TIMELINE], %g, %.1f\n", sec, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package measurement
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTimelineBasics(t *testing.T) {
+	tl := NewTimeline(10 * time.Millisecond)
+	for i := 0; i < 5; i++ {
+		tl.Record()
+	}
+	time.Sleep(12 * time.Millisecond)
+	for i := 0; i < 3; i++ {
+		tl.Record()
+	}
+	counts := tl.Counts()
+	if len(counts) < 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 8 {
+		t.Errorf("total = %d, want 8", total)
+	}
+	if counts[0] != 5 {
+		t.Errorf("first bucket = %d, want 5", counts[0])
+	}
+	if tl.Interval() != 10*time.Millisecond {
+		t.Errorf("Interval = %v", tl.Interval())
+	}
+	rates := tl.Rates()
+	if rates[0] != 500 { // 5 ops / 0.01s
+		t.Errorf("rate[0] = %v, want 500", rates[0])
+	}
+}
+
+func TestTimelineDefaultInterval(t *testing.T) {
+	tl := NewTimeline(0)
+	if tl.Interval() != time.Second {
+		t.Errorf("default interval = %v", tl.Interval())
+	}
+}
+
+func TestTimelineConcurrent(t *testing.T) {
+	tl := NewTimeline(time.Millisecond)
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tl.Record()
+			}
+		}()
+	}
+	wg.Wait()
+	var total int64
+	for _, c := range tl.Counts() {
+		total += c
+	}
+	if total != workers*per {
+		t.Errorf("total = %d, want %d", total, workers*per)
+	}
+}
+
+func TestTimelineExportText(t *testing.T) {
+	tl := NewTimeline(10 * time.Millisecond)
+	tl.Record()
+	tl.Record()
+	var buf bytes.Buffer
+	if err := tl.ExportText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "[TIMELINE], 0, 200.0") {
+		t.Errorf("export = %q", buf.String())
+	}
+}

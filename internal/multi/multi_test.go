@@ -1,0 +1,159 @@
+package multi
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"ycsbt/internal/client"
+	"ycsbt/internal/cloudsim"
+	"ycsbt/internal/kvstore"
+	"ycsbt/internal/measurement"
+	"ycsbt/internal/properties"
+	"ycsbt/internal/txn"
+	"ycsbt/internal/workload"
+)
+
+// buildInstances creates n clients over the SAME shared simulated
+// container, each with its own workload/registry — one per "host".
+func buildInstances(t *testing.T, n, threadsEach int, cloud *cloudsim.Store) []*client.Client {
+	t.Helper()
+	out := make([]*client.Client, n)
+	for i := 0; i < n; i++ {
+		m, err := txn.NewManager(txn.Options{}, cloud)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := properties.FromMap(map[string]string{
+			"workload":                  "closedeconomy",
+			"recordcount":               "300",
+			"totalcash":                 "30000",
+			"operationcount":            "1000000000",
+			"maxexecutiontime":          "1",
+			"threadcount":               fmt.Sprint(threadsEach),
+			"readproportion":            "0.9",
+			"readmodifywriteproportion": "0.1",
+			"requestdistribution":       "zipfian",
+			"seed":                      fmt.Sprint(42 + i*1000),
+		})
+		w, err := workload.New("closedeconomy")
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := measurement.NewRegistry(0)
+		if err := w.Init(p, reg); err != nil {
+			t.Fatal(err)
+		}
+		cfg := client.BuildConfig(p)
+		cfg.SkipValidation = true
+		cfg.MaxExecutionTime = 400 * time.Millisecond
+		c, err := client.New(cfg, w, txn.NewBinding(m), reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// loadStore populates the shared store through a zero-latency path.
+func loadStore(t *testing.T, inner *kvstore.Store) {
+	t.Helper()
+	m, err := txn.NewManager(txn.Options{}, txn.NewLocalStore("was", inner))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := properties.FromMap(map[string]string{
+		"workload":    "closedeconomy",
+		"recordcount": "300",
+		"totalcash":   "30000",
+		"threadcount": "8",
+	})
+	w, _ := workload.New("closedeconomy")
+	if err := w.Init(p, nil); err != nil {
+		t.Fatal(err)
+	}
+	cfg := client.BuildConfig(p)
+	cfg.SkipValidation = true
+	c, err := client.New(cfg, w, txn.NewBinding(m), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Load(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), nil); err == nil {
+		t.Error("empty instance list accepted")
+	}
+}
+
+func TestMultiInstanceAggregation(t *testing.T) {
+	ctx := context.Background()
+	inner := kvstore.OpenMemory()
+	defer inner.Close()
+	loadStore(t, inner)
+	cfg := cloudsim.WASPreset()
+	cfg.ReadLatency = 500 * time.Microsecond
+	cfg.WriteLatency = time.Millisecond
+	cloud := cloudsim.NewOver(cfg, inner)
+
+	instances := buildInstances(t, 3, 2, cloud)
+	res, err := Run(ctx, instances)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerInstance) != 3 {
+		t.Fatalf("per-instance results: %d", len(res.PerInstance))
+	}
+	var sum int64
+	for _, r := range res.PerInstance {
+		if r.Operations == 0 {
+			t.Error("an instance did no work")
+		}
+		sum += r.Operations
+	}
+	if sum != res.TotalOperations {
+		t.Errorf("TotalOperations = %d, sum = %d", res.TotalOperations, sum)
+	}
+	if res.TotalThroughput <= 0 {
+		t.Errorf("TotalThroughput = %v", res.TotalThroughput)
+	}
+}
+
+// TestRateLimitGovernsAggregateThroughput reproduces the paper's
+// Section V-A observation: against a rate-capped container, N
+// instances with T/N threads each achieve roughly the same total
+// throughput as one instance with T threads — the container, not the
+// client host, is the bottleneck.
+func TestRateLimitGovernsAggregateThroughput(t *testing.T) {
+	ctx := context.Background()
+	run := func(instances, threadsEach int) float64 {
+		inner := kvstore.OpenMemory()
+		defer inner.Close()
+		loadStore(t, inner)
+		cfg := cloudsim.Config{
+			Name:         "was",
+			ReadLatency:  500 * time.Microsecond,
+			WriteLatency: time.Millisecond,
+			RateLimit:    2000, // requests/sec cap well below latency-bound demand
+		}
+		cloud := cloudsim.NewOver(cfg, inner)
+		res, err := Run(ctx, buildInstances(t, instances, threadsEach, cloud))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalThroughput
+	}
+	single := run(1, 16)
+	split := run(4, 4)
+	ratio := split / single
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("splitting threads across instances changed capped throughput: 1×16 = %.0f, 4×4 = %.0f (ratio %.2f)",
+			single, split, ratio)
+	}
+	t.Logf("rate-capped: 1 instance × 16 threads = %.0f tps; 4 instances × 4 threads = %.0f tps", single, split)
+}

@@ -1,0 +1,129 @@
+package percolator
+
+import (
+	"encoding/binary"
+	"errors"
+	"sort"
+)
+
+// Wire encodings for the reserved fields. All integers little-endian;
+// strings and values uvarint-length-prefixed.
+
+// lockRecord is the decoded _perc:lock field: which transaction holds
+// the record, and where its primary lives.
+type lockRecord struct {
+	PrimaryTable string
+	PrimaryKey   string
+	StartTS      int64
+	WallNano     int64 // wall-clock time of the prewrite, for the TTL
+}
+
+func encodeLock(lk lockRecord) []byte {
+	buf := make([]byte, 0, 32+len(lk.PrimaryTable)+len(lk.PrimaryKey))
+	buf = appendChunk(buf, []byte(lk.PrimaryTable))
+	buf = appendChunk(buf, []byte(lk.PrimaryKey))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(lk.StartTS))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(lk.WallNano))
+	return buf
+}
+
+func decodeLock(buf []byte) (lockRecord, error) {
+	var lk lockRecord
+	tbl, rest, err := readChunk(buf)
+	if err != nil {
+		return lk, errors.New("percolator: corrupt lock (table)")
+	}
+	key, rest, err := readChunk(rest)
+	if err != nil {
+		return lk, errors.New("percolator: corrupt lock (key)")
+	}
+	if len(rest) != 16 {
+		return lk, errors.New("percolator: corrupt lock (timestamps)")
+	}
+	lk.PrimaryTable = string(tbl)
+	lk.PrimaryKey = string(key)
+	lk.StartTS = int64(binary.LittleEndian.Uint64(rest[:8]))
+	lk.WallNano = int64(binary.LittleEndian.Uint64(rest[8:]))
+	return lk, nil
+}
+
+// Pending / committed version payload:
+//
+//	kind(1: 0=put 1=delete) startTS(8) nfields {name value}*
+//
+// The start_ts inside the payload is what lets crash recovery match a
+// committed version on the primary back to the lock that references
+// it (Percolator's write-column start_ts pointer).
+
+func encodePending(del bool, startTS int64, fields map[string][]byte) []byte {
+	kind := byte(0)
+	if del {
+		kind = 1
+	}
+	buf := make([]byte, 0, 16)
+	buf = append(buf, kind)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(startTS))
+	names := make([]string, 0, len(fields))
+	for f := range fields {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, f := range names {
+		buf = appendChunk(buf, []byte(f))
+		buf = appendChunk(buf, fields[f])
+	}
+	return buf
+}
+
+func decodePending(buf []byte) (del bool, fields map[string][]byte, err error) {
+	if len(buf) < 9 {
+		return false, nil, errors.New("percolator: corrupt pending payload")
+	}
+	del = buf[0] == 1
+	rest := buf[9:]
+	n, w := binary.Uvarint(rest)
+	if w <= 0 {
+		return false, nil, errors.New("percolator: corrupt pending field count")
+	}
+	rest = rest[w:]
+	fields = make(map[string][]byte, n)
+	for i := uint64(0); i < n; i++ {
+		var name, val []byte
+		name, rest, err = readChunk(rest)
+		if err != nil {
+			return false, nil, err
+		}
+		val, rest, err = readChunk(rest)
+		if err != nil {
+			return false, nil, err
+		}
+		fields[string(name)] = append([]byte(nil), val...)
+	}
+	if len(rest) != 0 {
+		return false, nil, errors.New("percolator: trailing pending bytes")
+	}
+	return del, fields, nil
+}
+
+// pendingStartTS extracts just the start_ts from a pending/committed
+// payload.
+func pendingStartTS(buf []byte) (int64, bool) {
+	if len(buf) < 9 {
+		return 0, false
+	}
+	return int64(binary.LittleEndian.Uint64(buf[1:9])), true
+}
+
+func appendChunk(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+func readChunk(buf []byte) ([]byte, []byte, error) {
+	l, n := binary.Uvarint(buf)
+	if n <= 0 || uint64(len(buf)-n) < l {
+		return nil, nil, errors.New("percolator: truncated chunk")
+	}
+	return buf[n : n+int(l)], buf[n+int(l):], nil
+}

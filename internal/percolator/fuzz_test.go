@@ -1,0 +1,43 @@
+package percolator
+
+import "testing"
+
+// FuzzDecodeLock checks the lock decoder never panics.
+func FuzzDecodeLock(f *testing.F) {
+	f.Add(encodeLock(lockRecord{PrimaryTable: "t", PrimaryKey: "k", StartTS: 1, WallNano: 2}))
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x61})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lk, err := decodeLock(data)
+		if err != nil {
+			return
+		}
+		got, err2 := decodeLock(encodeLock(lk))
+		if err2 != nil || got != lk {
+			t.Fatalf("round trip: %+v vs %+v (%v)", got, lk, err2)
+		}
+	})
+}
+
+// FuzzDecodePending checks the pending-payload decoder never panics.
+func FuzzDecodePending(f *testing.F) {
+	f.Add(encodePending(false, 42, map[string][]byte{"a": []byte("1")}))
+	f.Add(encodePending(true, 7, nil))
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		del, fields, err := decodePending(data)
+		if err != nil {
+			return
+		}
+		sts, ok := pendingStartTS(data)
+		if !ok {
+			t.Fatal("accepted payload has no start_ts")
+		}
+		round := encodePending(del, sts, fields)
+		d2, f2, err2 := decodePending(round)
+		if err2 != nil || d2 != del || len(f2) != len(fields) {
+			t.Fatalf("round trip mismatch: %v %v %v", d2, f2, err2)
+		}
+	})
+}

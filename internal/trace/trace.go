@@ -1,0 +1,289 @@
+// Package trace implements execution-trace capture and
+// dependency-graph serializability checking — the alternative
+// consistency-measurement approach the paper discusses in its related
+// work ("A different approach to measure consistency is found in
+// Zellag and Kemme where the execution trace is captured, and the
+// non-serializable executions are detected by cycles in the
+// dependency graph").
+//
+// A Recorder collects, per committed transaction, which record
+// versions it read and which versions it installed. From the trace a
+// direct serialization graph (DSG) is built:
+//
+//   - WR (read-from): Ti installed version v of x, Tj read v  → Ti → Tj
+//   - WW (write-after-write): Ti installed version v of x, Tj
+//     installed the next version of x                         → Ti → Tj
+//   - RW (anti-dependency): Ti read version v of x, Tj installed
+//     the next version of x                                   → Ti → Tj
+//
+// A serializable execution yields an acyclic DSG; every strongly
+// connected component with more than one transaction is a
+// serializability violation. Snapshot isolation's write skew, for
+// example, shows up as a cycle of two RW edges — detectable here even
+// when an application-level invariant (Tier 6) happens not to be
+// disturbed.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Access is one recorded read or write.
+type Access struct {
+	// Txn identifies the committed transaction.
+	Txn string
+	// Key identifies the record (store/table/key composite).
+	Key string
+	// Version is the record version read, or installed by a write.
+	Version uint64
+	// Write distinguishes installs from reads.
+	Write bool
+}
+
+// Recorder accumulates accesses of committed transactions. It is safe
+// for concurrent use.
+type Recorder struct {
+	mu       sync.Mutex
+	accesses []Access
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Read records that txn read version of key.
+func (r *Recorder) Read(txn, key string, version uint64) {
+	r.add(Access{Txn: txn, Key: key, Version: version})
+}
+
+// Write records that txn installed version of key.
+func (r *Recorder) Write(txn, key string, version uint64) {
+	r.add(Access{Txn: txn, Key: key, Version: version, Write: true})
+}
+
+func (r *Recorder) add(a Access) {
+	r.mu.Lock()
+	r.accesses = append(r.accesses, a)
+	r.mu.Unlock()
+}
+
+// Len returns the number of recorded accesses.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.accesses)
+}
+
+// Accesses returns a copy of the recorded accesses.
+func (r *Recorder) Accesses() []Access {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Access(nil), r.accesses...)
+}
+
+// Report is the outcome of a serializability check.
+type Report struct {
+	// Transactions is the number of distinct transactions traced.
+	Transactions int
+	// Edges is the number of DSG dependency edges.
+	Edges int
+	// Violations lists the non-serializable groups: each is the set
+	// of transaction ids forming one strongly connected component of
+	// size > 1.
+	Violations [][]string
+}
+
+// Serializable reports whether no violation was found.
+func (rep *Report) Serializable() bool { return len(rep.Violations) == 0 }
+
+// String summarizes the report.
+func (rep *Report) String() string {
+	return fmt.Sprintf("trace: %d txns, %d edges, %d non-serializable groups",
+		rep.Transactions, rep.Edges, len(rep.Violations))
+}
+
+// Check builds the dependency graph from the recorded trace and
+// returns the violations.
+func (r *Recorder) Check() *Report {
+	return CheckAccesses(r.Accesses())
+}
+
+// CheckAccesses runs the serializability check over an explicit
+// access list.
+func CheckAccesses(accesses []Access) *Report {
+	// Group by key: writers ordered by version, readers by the
+	// version they saw.
+	type keyHistory struct {
+		writeVersions []uint64          // sorted unique installed versions
+		writerOf      map[uint64]string // version → txn
+		readers       map[uint64][]string
+	}
+	hist := map[string]*keyHistory{}
+	txns := map[string]bool{}
+	for _, a := range accesses {
+		txns[a.Txn] = true
+		h := hist[a.Key]
+		if h == nil {
+			h = &keyHistory{writerOf: map[uint64]string{}, readers: map[uint64][]string{}}
+			hist[a.Key] = h
+		}
+		if a.Write {
+			if _, dup := h.writerOf[a.Version]; !dup {
+				h.writeVersions = append(h.writeVersions, a.Version)
+			}
+			h.writerOf[a.Version] = a.Txn
+		} else {
+			h.readers[a.Version] = append(h.readers[a.Version], a.Txn)
+		}
+	}
+
+	// Build adjacency.
+	adj := map[string]map[string]bool{}
+	addEdge := func(from, to string) {
+		if from == to || from == "" || to == "" {
+			return
+		}
+		m := adj[from]
+		if m == nil {
+			m = map[string]bool{}
+			adj[from] = m
+		}
+		m[to] = true
+	}
+	for _, h := range hist {
+		sort.Slice(h.writeVersions, func(i, j int) bool { return h.writeVersions[i] < h.writeVersions[j] })
+		for i, v := range h.writeVersions {
+			writer := h.writerOf[v]
+			// WW: consecutive installed versions.
+			if i+1 < len(h.writeVersions) {
+				addEdge(writer, h.writerOf[h.writeVersions[i+1]])
+			}
+			// WR: everyone who read v depends on its writer.
+			for _, reader := range h.readers[v] {
+				addEdge(writer, reader)
+			}
+		}
+		// RW: a reader of version v precedes the writer that
+		// installed the next version after v.
+		for v, readers := range h.readers {
+			next, ok := nextVersionAfter(h.writeVersions, v)
+			if !ok {
+				continue
+			}
+			for _, reader := range readers {
+				addEdge(reader, h.writerOf[next])
+			}
+		}
+	}
+
+	edges := 0
+	for _, m := range adj {
+		edges += len(m)
+	}
+	rep := &Report{Transactions: len(txns), Edges: edges}
+
+	// Tarjan SCC over all traced transactions.
+	for _, comp := range tarjan(txns, adj) {
+		if len(comp) > 1 {
+			sort.Strings(comp)
+			rep.Violations = append(rep.Violations, comp)
+		}
+	}
+	return rep
+}
+
+// nextVersionAfter returns the smallest installed version > v.
+func nextVersionAfter(sorted []uint64, v uint64) (uint64, bool) {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] > v })
+	if i == len(sorted) {
+		return 0, false
+	}
+	return sorted[i], true
+}
+
+// tarjan computes strongly connected components iteratively.
+func tarjan(nodes map[string]bool, adj map[string]map[string]bool) [][]string {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var comps [][]string
+	counter := 0
+
+	type frame struct {
+		node string
+		succ []string
+		i    int
+	}
+	successors := func(n string) []string {
+		out := make([]string, 0, len(adj[n]))
+		for s := range adj[n] {
+			out = append(out, s)
+		}
+		sort.Strings(out) // deterministic traversal
+		return out
+	}
+
+	var order []string
+	for n := range nodes {
+		order = append(order, n)
+	}
+	sort.Strings(order)
+
+	for _, root := range order {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		frames := []frame{{node: root, succ: successors(root)}}
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.i < len(f.succ) {
+				next := f.succ[f.i]
+				f.i++
+				if _, seen := index[next]; !seen {
+					index[next] = counter
+					low[next] = counter
+					counter++
+					stack = append(stack, next)
+					onStack[next] = true
+					frames = append(frames, frame{node: next, succ: successors(next)})
+				} else if onStack[next] {
+					if index[next] < low[f.node] {
+						low[f.node] = index[next]
+					}
+				}
+				continue
+			}
+			// Pop the frame.
+			n := f.node
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := frames[len(frames)-1].node
+				if low[n] < low[parent] {
+					low[parent] = low[n]
+				}
+			}
+			if low[n] == index[n] {
+				var comp []string
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[top] = false
+					comp = append(comp, top)
+					if top == n {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}

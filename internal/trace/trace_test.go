@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTrace(t *testing.T) {
+	rep := NewRecorder().Check()
+	if !rep.Serializable() || rep.Transactions != 0 || rep.Edges != 0 {
+		t.Errorf("empty trace = %+v", rep)
+	}
+}
+
+func TestSerialHistoryIsSerializable(t *testing.T) {
+	r := NewRecorder()
+	// T1 writes x@1, T2 reads x@1 and writes x@2, T3 reads x@2.
+	r.Write("T1", "x", 1)
+	r.Read("T2", "x", 1)
+	r.Write("T2", "x", 2)
+	r.Read("T3", "x", 2)
+	rep := r.Check()
+	if !rep.Serializable() {
+		t.Errorf("serial history flagged: %+v", rep)
+	}
+	if rep.Transactions != 3 {
+		t.Errorf("transactions = %d", rep.Transactions)
+	}
+	if rep.Edges == 0 {
+		t.Error("no edges built")
+	}
+	if rep.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestLostUpdateCycleDetected(t *testing.T) {
+	// Classic lost update: both read x@1, both write (T1 installs 2,
+	// T2 installs 3). RW: T1→T2 (T1 read 1, T2 wrote next-after-1? no:
+	// next after 1 is 2, written by T1 itself — skip self). T2 read 1,
+	// next version after 1 is 2 by T1 → T2→T1. WW: T1→T2. So cycle
+	// T1→T2 (WW) and T2→T1 (RW).
+	r := NewRecorder()
+	r.Read("T1", "x", 1)
+	r.Read("T2", "x", 1)
+	r.Write("T1", "x", 2)
+	r.Write("T2", "x", 3)
+	rep := r.Check()
+	if rep.Serializable() {
+		t.Fatalf("lost update not detected: %+v", rep)
+	}
+	if len(rep.Violations) != 1 || len(rep.Violations[0]) != 2 {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+}
+
+func TestWriteSkewCycleDetected(t *testing.T) {
+	// Write skew: T1 reads x@1,y@1 writes x@2; T2 reads x@1,y@1
+	// writes y@2. RW edges: T1 read y@1 → T2 (wrote y@2); T2 read
+	// x@1 → T1 (wrote x@2). Pure anti-dependency cycle.
+	r := NewRecorder()
+	r.Read("T1", "x", 1)
+	r.Read("T1", "y", 1)
+	r.Write("T1", "x", 2)
+	r.Read("T2", "x", 1)
+	r.Read("T2", "y", 1)
+	r.Write("T2", "y", 2)
+	rep := r.Check()
+	if rep.Serializable() {
+		t.Fatalf("write skew not detected: %+v", rep)
+	}
+}
+
+func TestSnapshotNonCycleNotFlagged(t *testing.T) {
+	// T1 reads x@1 then T2 writes x@2: a single RW edge, no cycle.
+	r := NewRecorder()
+	r.Write("T0", "x", 1)
+	r.Read("T1", "x", 1)
+	r.Write("T2", "x", 2)
+	rep := r.Check()
+	if !rep.Serializable() {
+		t.Errorf("acyclic history flagged: %+v", rep)
+	}
+}
+
+func TestThreeWayCycle(t *testing.T) {
+	// T1 → T2 → T3 → T1 via RW edges across three keys.
+	r := NewRecorder()
+	r.Write("T0", "x", 1)
+	r.Write("T0", "y", 1)
+	r.Write("T0", "z", 1)
+	r.Read("T1", "x", 1)
+	r.Write("T2", "x", 2)
+	r.Read("T2", "y", 1)
+	r.Write("T3", "y", 2)
+	r.Read("T3", "z", 1)
+	r.Write("T1", "z", 2)
+	rep := r.Check()
+	if rep.Serializable() {
+		t.Fatal("3-cycle not detected")
+	}
+	if len(rep.Violations[0]) != 3 {
+		t.Errorf("component = %v", rep.Violations[0])
+	}
+	// T0 is not part of the violation.
+	for _, txn := range rep.Violations[0] {
+		if txn == "T0" {
+			t.Error("T0 wrongly included")
+		}
+	}
+}
+
+func TestDisjointKeysNeverCycle(t *testing.T) {
+	// Property: transactions touching disjoint keys are always
+	// serializable.
+	f := func(raw []uint8) bool {
+		r := NewRecorder()
+		for i, b := range raw {
+			txn := string(rune('A' + i%26))
+			key := txn + "-private" // one key per txn
+			if b%2 == 0 {
+				r.Write(txn, key, uint64(b)+1)
+			} else {
+				r.Read(txn, key, uint64(b))
+			}
+		}
+		return r.Check().Serializable()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVersionOrderDefinesWW(t *testing.T) {
+	// Writers recorded out of order must still chain by version.
+	r := NewRecorder()
+	r.Write("T3", "x", 30)
+	r.Write("T1", "x", 10)
+	r.Write("T2", "x", 20)
+	rep := r.Check()
+	if !rep.Serializable() {
+		t.Errorf("WW chain flagged: %+v", rep)
+	}
+	if rep.Edges != 2 {
+		t.Errorf("edges = %d, want 2 (T1→T2→T3)", rep.Edges)
+	}
+}
+
+func TestAccessesCopy(t *testing.T) {
+	r := NewRecorder()
+	r.Write("T1", "x", 1)
+	a := r.Accesses()
+	if len(a) != 1 || r.Len() != 1 {
+		t.Fatalf("accesses = %v", a)
+	}
+	a[0].Txn = "mutated"
+	if r.Accesses()[0].Txn != "T1" {
+		t.Error("Accesses returned aliased storage")
+	}
+}

@@ -1,0 +1,47 @@
+package txn
+
+import "testing"
+
+// FuzzDecodeImage checks the prepared-record image decoder never
+// panics and accepted inputs re-encode consistently.
+func FuzzDecodeImage(f *testing.F) {
+	f.Add(encodeImage(map[string][]byte{"a": []byte("1"), "b": []byte("two")}))
+	f.Add(encodeImage(map[string][]byte{}))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x00, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := decodeImage(data)
+		if err != nil {
+			return
+		}
+		out, err2 := decodeImage(encodeImage(img))
+		if err2 != nil {
+			t.Fatalf("re-decode failed: %v", err2)
+		}
+		if len(out) != len(img) {
+			t.Fatalf("round trip size mismatch: %d vs %d", len(out), len(img))
+		}
+		for k, v := range img {
+			if string(out[k]) != string(v) {
+				t.Fatalf("field %q mismatch", k)
+			}
+		}
+	})
+}
+
+// FuzzDecodeWriteSet checks the vacuum write-set decoder never panics.
+func FuzzDecodeWriteSet(f *testing.F) {
+	f.Add(encodeWriteSet([]wkey{{"s", "t", "k"}}))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got := decodeWriteSet(data)
+		if got == nil {
+			return
+		}
+		round := decodeWriteSet(encodeWriteSet(got))
+		if len(round) != len(got) {
+			t.Fatalf("round trip length mismatch")
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package txn
+
+import (
+	"encoding/binary"
+	"errors"
+	"sort"
+)
+
+// encodeImage serializes a committed record image (user fields only)
+// into the metaPrev field of a prepared record. Layout: uvarint field
+// count, then for each field (sorted by name for determinism) a
+// uvarint-length-prefixed name and value.
+func encodeImage(fields map[string][]byte) []byte {
+	names := make([]string, 0, len(fields))
+	for f := range fields {
+		if !isMetaField(f) {
+			names = append(names, f)
+		}
+	}
+	sort.Strings(names)
+	buf := binary.AppendUvarint(nil, uint64(len(names)))
+	for _, f := range names {
+		buf = binary.AppendUvarint(buf, uint64(len(f)))
+		buf = append(buf, f...)
+		v := fields[f]
+		buf = binary.AppendUvarint(buf, uint64(len(v)))
+		buf = append(buf, v...)
+	}
+	return buf
+}
+
+// decodeImage reverses encodeImage.
+func decodeImage(buf []byte) (map[string][]byte, error) {
+	n, w := binary.Uvarint(buf)
+	if w <= 0 {
+		return nil, errors.New("txn: corrupt image header")
+	}
+	buf = buf[w:]
+	out := make(map[string][]byte, n)
+	for i := uint64(0); i < n; i++ {
+		name, rest, err := imageChunk(buf)
+		if err != nil {
+			return nil, err
+		}
+		val, rest, err := imageChunk(rest)
+		if err != nil {
+			return nil, err
+		}
+		out[string(name)] = append([]byte(nil), val...)
+		buf = rest
+	}
+	if len(buf) != 0 {
+		return nil, errors.New("txn: trailing image bytes")
+	}
+	return out, nil
+}
+
+func imageChunk(buf []byte) ([]byte, []byte, error) {
+	l, w := binary.Uvarint(buf)
+	if w <= 0 || uint64(len(buf)-w) < l {
+		return nil, nil, errors.New("txn: truncated image chunk")
+	}
+	return buf[w : w+int(l)], buf[w+int(l):], nil
+}

@@ -1,0 +1,47 @@
+package txn
+
+import (
+	"context"
+
+	"ycsbt/internal/kvstore"
+)
+
+// LocalStore adapts an embedded kvstore.Store to the txn.Store
+// interface, giving it a name and a context-aware surface. It is the
+// zero-latency store used in unit tests and local examples; cloudsim
+// provides the latency-faithful equivalent.
+type LocalStore struct {
+	name  string
+	inner *kvstore.Store
+}
+
+// NewLocalStore wraps inner under the given name.
+func NewLocalStore(name string, inner *kvstore.Store) *LocalStore {
+	return &LocalStore{name: name, inner: inner}
+}
+
+// Name implements Store.
+func (l *LocalStore) Name() string { return l.name }
+
+// Inner returns the wrapped engine.
+func (l *LocalStore) Inner() *kvstore.Store { return l.inner }
+
+// Get implements Store.
+func (l *LocalStore) Get(_ context.Context, table, key string) (*kvstore.VersionedRecord, error) {
+	return l.inner.Get(table, key)
+}
+
+// Put implements Store.
+func (l *LocalStore) Put(_ context.Context, table, key string, fields map[string][]byte, expect uint64) (uint64, error) {
+	return l.inner.PutIfVersion(table, key, fields, expect)
+}
+
+// Delete implements Store.
+func (l *LocalStore) Delete(_ context.Context, table, key string, expect uint64) error {
+	return l.inner.DeleteIfVersion(table, key, expect)
+}
+
+// Scan implements Store.
+func (l *LocalStore) Scan(_ context.Context, table, startKey string, count int) ([]kvstore.VersionedKV, error) {
+	return l.inner.Scan(table, startKey, count)
+}

@@ -1,0 +1,180 @@
+package txn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"ycsbt/internal/kvstore"
+)
+
+// isPrepared reports whether a stored record is a prepared image.
+func isPrepared(fields map[string][]byte) bool {
+	return string(fields[metaState]) == "P"
+}
+
+// isMetaField reports whether a field name is reserved for protocol
+// metadata.
+func isMetaField(name string) bool {
+	return len(name) >= 5 && name[:5] == "_txn:"
+}
+
+// userFields strips protocol metadata, returning a copy with only
+// application fields.
+func userFields(fields map[string][]byte) map[string][]byte {
+	out := make(map[string][]byte, len(fields))
+	for f, v := range fields {
+		if !isMetaField(f) {
+			out[f] = append([]byte(nil), v...)
+		}
+	}
+	return out
+}
+
+// readResolved gets a record and resolves it to its committed user
+// image, returning the version that image is filed under.
+func (m *Manager) readResolved(ctx context.Context, s Store, table, key string) (map[string][]byte, uint64, error) {
+	rec, err := s.Get(ctx, table, key)
+	if err != nil {
+		if errors.Is(err, kvstore.ErrNotFound) {
+			return nil, 0, fmt.Errorf("%w: %s/%s/%s", ErrNotFound, s.Name(), table, key)
+		}
+		return nil, 0, err
+	}
+	return m.resolveRecord(ctx, s, table, key, rec)
+}
+
+// resolveRecord turns a fetched record into its committed user image.
+// Clean records pass through. For prepared records it consults the
+// writer's TSR:
+//
+//   - TSR committed → the new image is the committed one; roll the
+//     record forward opportunistically.
+//   - TSR aborted, or TSR absent and the prepare is older than the
+//     recovery timeout → the previous image is current; roll back.
+//   - TSR absent and the prepare is fresh → the writer is in flight;
+//     return the previous image (read-around) without touching the
+//     record.
+func (m *Manager) resolveRecord(ctx context.Context, s Store, table, key string, rec *kvstore.VersionedRecord) (map[string][]byte, uint64, error) {
+	if !isPrepared(rec.Fields) {
+		return userFields(rec.Fields), rec.Version, nil
+	}
+
+	writerID := string(rec.Fields[metaID])
+	coordName := string(rec.Fields[metaCoord])
+	prepTS, _ := strconv.ParseInt(string(rec.Fields[metaPrepareTS]), 10, 64)
+	prevImage := rec.Fields[metaPrev]
+	isDelete := len(rec.Fields[metaDelete]) > 0
+
+	outcome := m.lookupTSR(ctx, coordName, writerID)
+
+	switch outcome {
+	case tsrCommitted:
+		// Roll forward: the new image (or deletion) is committed.
+		m.recovered.Add(1)
+		if isDelete {
+			if err := s.Delete(ctx, table, key, rec.Version); err != nil && !errors.Is(err, kvstore.ErrVersionMismatch) && !errors.Is(err, kvstore.ErrNotFound) {
+				return nil, 0, err
+			}
+			return nil, 0, fmt.Errorf("%w: %s/%s/%s (deleted by committed txn)", ErrNotFound, s.Name(), table, key)
+		}
+		clean := userFields(rec.Fields)
+		newVer, err := s.Put(ctx, table, key, clean, rec.Version)
+		if err != nil {
+			// Someone else rolled it forward first; reread.
+			if errors.Is(err, kvstore.ErrVersionMismatch) {
+				return m.readResolved(ctx, s, table, key)
+			}
+			return nil, 0, err
+		}
+		return clean, newVer, nil
+
+	case tsrAborted:
+		m.recovered.Add(1)
+		return m.rollbackAndRead(ctx, s, table, key, rec.Version, prevImage, len(prevImage) > 0)
+
+	default: // TSR absent: in-flight or crashed writer.
+		age := time.Duration(m.opts.Clock.Now() - prepTS)
+		if age > m.opts.RecoveryTimeout {
+			// Presume the writer dead and roll back.
+			m.recovered.Add(1)
+			return m.rollbackAndRead(ctx, s, table, key, rec.Version, prevImage, len(prevImage) > 0)
+		}
+		// Read around the in-flight writer: its previous image is the
+		// committed state.
+		if len(prevImage) == 0 {
+			return nil, 0, fmt.Errorf("%w: %s/%s/%s (prepared insert in flight)", ErrNotFound, s.Name(), table, key)
+		}
+		prev, err := decodeImage(prevImage)
+		if err != nil {
+			return nil, 0, err
+		}
+		// The version reported is the prepared record's version: a
+		// committing reader that validates on it will conflict with
+		// the in-flight writer, which is the safe outcome.
+		return userFields(prev), rec.Version, nil
+	}
+}
+
+// rollbackAndRead restores the previous committed image over a dead
+// prepared record, then returns it.
+func (m *Manager) rollbackAndRead(ctx context.Context, s Store, table, key string, preparedVer uint64, prevImage []byte, prevExisted bool) (map[string][]byte, uint64, error) {
+	if err := m.rollbackRecord(ctx, s, table, key, preparedVer, prevImage, prevExisted); err != nil {
+		return nil, 0, err
+	}
+	if !prevExisted {
+		return nil, 0, fmt.Errorf("%w: %s/%s/%s (aborted insert)", ErrNotFound, s.Name(), table, key)
+	}
+	return m.readResolved(ctx, s, table, key)
+}
+
+// rollbackRecord undoes one prepared record: restore the previous
+// image, or delete it when the prepare was an insert. Version races
+// (someone else resolved it first) are not errors.
+func (m *Manager) rollbackRecord(ctx context.Context, s Store, table, key string, preparedVer uint64, prevImage []byte, prevExisted bool) error {
+	if !prevExisted {
+		err := s.Delete(ctx, table, key, preparedVer)
+		if err != nil && !errors.Is(err, kvstore.ErrVersionMismatch) && !errors.Is(err, kvstore.ErrNotFound) {
+			return err
+		}
+		return nil
+	}
+	prev, err := decodeImage(prevImage)
+	if err != nil {
+		return err
+	}
+	if _, err := s.Put(ctx, table, key, prev, preparedVer); err != nil && !errors.Is(err, kvstore.ErrVersionMismatch) && !errors.Is(err, kvstore.ErrNotFound) {
+		return err
+	}
+	return nil
+}
+
+// rollForwardRecord applies one committed write over its prepared
+// image. Failures are swallowed: the TSR already made the commit
+// durable and any reader can finish the roll-forward.
+func (m *Manager) rollForwardRecord(ctx context.Context, s Store, table, key string, w *pendingWrite) {
+	if !w.prepared {
+		return
+	}
+	if w.kind == kindDelete {
+		s.Delete(ctx, table, key, w.preparedVer)
+		return
+	}
+	s.Put(ctx, table, key, w.fields, w.preparedVer)
+}
+
+// lookupTSR returns the TSR state for a transaction, or "" when the
+// TSR is absent or the coordinating store unknown/unreachable.
+func (m *Manager) lookupTSR(ctx context.Context, coordName, txnID string) string {
+	coord, ok := m.stores[coordName]
+	if !ok {
+		return ""
+	}
+	rec, err := coord.Get(ctx, tsrTable, txnID)
+	if err != nil {
+		return ""
+	}
+	return string(rec.Fields[tsrState])
+}

@@ -1,0 +1,748 @@
+// Package txn implements client-coordinated multi-item transactions
+// over versioned key-value stores — the reproduction's analog of the
+// transaction library the YCSB+T paper evaluates ("We have
+// implemented a system similar to Percolator and ReTSO... It does not
+// depend on any centralized timestamp oracle or logging
+// infrastructure", Dey et al. [28], the Cherry Garcia protocol).
+//
+// Protocol sketch. A transaction buffers writes at the client. Commit
+// proceeds in phases, all executed by the client against the stores
+// themselves — there is no central coordinator:
+//
+//  1. PREPARE: the write set is sorted globally (store, table, key) —
+//     the paper's "simple ordered locking protocol" that makes
+//     deadlock impossible — and each record is replaced via
+//     conditional put (test-and-set on the version the transaction
+//     read) with a prepared image that carries the new value, the
+//     transaction id, the coordinating store, a prepare timestamp,
+//     and the encoded previous committed image. A version mismatch
+//     means a concurrent writer won; the transaction rolls back its
+//     prepares and aborts.
+//  2. COMMIT POINT: a transaction status record (TSR) is written to
+//     the coordinating store (create-only). Once the TSR exists the
+//     transaction is durably committed.
+//  3. ROLL FORWARD: each prepared record is rewritten as a clean
+//     committed image (conditional on the prepared version); deletes
+//     are applied. Then the TSR is removed.
+//
+// Readers that encounter a prepared record resolve it: if the
+// writer's TSR exists the new image is committed (the reader may
+// opportunistically roll the record forward); otherwise the reader
+// returns the previous image (read-around), and if the prepare is
+// older than the recovery timeout the reader rolls the record back,
+// recovering from a crashed writer. Committers enforce a commit
+// deadline well under the recovery timeout so a live writer is never
+// rolled back by an impatient reader.
+//
+// Records need no gateway or daemon: transaction state lives in
+// reserved "_txn:" fields of the records themselves and in the "_tsr"
+// table, so the library works across heterogeneous stores — anything
+// that offers a versioned conditional put.
+package txn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"ycsbt/internal/kvstore"
+)
+
+// Store is what the transaction library needs from a data store: get
+// and scan with versions, and conditional put/delete (test-and-set on
+// the record version). kvstore (via LocalStore), cloudsim.Store and
+// the HTTP client adapter all satisfy it.
+type Store interface {
+	// Name identifies the store in multi-store transactions.
+	Name() string
+	// Get returns the record and its version.
+	Get(ctx context.Context, table, key string) (*kvstore.VersionedRecord, error)
+	// Put stores fields when the current version matches expect
+	// (kvstore.AnyVersion / kvstore.MustNotExist / exact) and returns
+	// the new version.
+	Put(ctx context.Context, table, key string, fields map[string][]byte, expect uint64) (uint64, error)
+	// Delete removes the record when the version matches expect.
+	Delete(ctx context.Context, table, key string, expect uint64) error
+	// Scan returns up to count records from startKey in key order.
+	Scan(ctx context.Context, table, startKey string, count int) ([]kvstore.VersionedKV, error)
+}
+
+// Sentinel errors.
+var (
+	// ErrConflict reports that the transaction lost a race and was
+	// rolled back; the caller may retry.
+	ErrConflict = errors.New("txn: conflict, transaction aborted")
+	// ErrNotFound reports a missing record.
+	ErrNotFound = errors.New("txn: key not found")
+	// ErrTxnDone reports use of a finished transaction.
+	ErrTxnDone = errors.New("txn: transaction already committed or aborted")
+	// ErrUnknownStore reports a reference to an unregistered store.
+	ErrUnknownStore = errors.New("txn: unknown store")
+)
+
+// Reserved metadata field names stored inside prepared records.
+const (
+	metaState     = "_txn:state" // "P" while prepared; absent when clean
+	metaID        = "_txn:id"
+	metaCoord     = "_txn:coord"
+	metaPrepareTS = "_txn:prepare_ts"
+	metaPrev      = "_txn:prev" // encoded previous committed image
+	metaDelete    = "_txn:del"  // present when the write is a delete
+)
+
+// tsrTable is the reserved table holding transaction status records.
+const tsrTable = "_tsr"
+
+// TSR field names and states.
+const (
+	tsrState     = "state"
+	tsrCommitTS  = "commit_ts"
+	tsrWriteSet  = "write_set" // encoded list of written keys, for Vacuum
+	tsrCommitted = "committed"
+	tsrAborted   = "aborted"
+)
+
+// Options tunes a Manager.
+type Options struct {
+	// RecoveryTimeout is how old a prepared record must be before a
+	// reader may roll it back, presuming its writer dead. The
+	// committer enforces CommitDeadline (RecoveryTimeout/2) between
+	// first prepare and TSR write, so live writers are never rolled
+	// back. Default 10s.
+	RecoveryTimeout time.Duration
+	// SerializableReads makes read-write transactions fully
+	// serializable by materializing their reads: at commit time every
+	// key read but not written joins the write set as a no-op write,
+	// so its prepare lock (a conditional put on the version read)
+	// both validates the read and blocks concurrent writers through
+	// the commit point. Off by default, matching the paper's
+	// snapshot-isolation semantics. Read-only transactions still
+	// commit trivially: each of their reads individually returned a
+	// committed image, and they take no locks.
+	SerializableReads bool
+	// DisableOrderedPrepare skips sorting the write set before the
+	// prepare phase (ablation: the paper's "simple ordered locking
+	// protocol"). Correctness is unaffected — prepares are
+	// conditional puts, not blocking locks — but contended
+	// transactions that prepare in conflicting orders abort each
+	// other more often.
+	DisableOrderedPrepare bool
+	// Clock supplies timestamps; nil uses a monotonic wrapper over
+	// the local clock ("in the current version, it relies on the
+	// local clock" — Section II-B).
+	Clock Clock
+	// Tracer, when set, receives the read and write sets of every
+	// COMMITTED transaction for dependency-graph serializability
+	// checking (internal/trace, the Zellag & Kemme approach the paper
+	// discusses). Aborted transactions are not traced. Note: keys
+	// that are deleted and later re-created restart their version
+	// sequence, which confuses the version-ordered graph; trace
+	// workloads that do not reuse deleted keys.
+	Tracer Tracer
+}
+
+// Tracer receives committed transactions' access sets.
+// trace.Recorder implements it.
+type Tracer interface {
+	// Read records that txn observed version of key.
+	Read(txn, key string, version uint64)
+	// Write records that txn installed version of key.
+	Write(txn, key string, version uint64)
+}
+
+func (o Options) withDefaults() Options {
+	if o.RecoveryTimeout <= 0 {
+		o.RecoveryTimeout = 10 * time.Second
+	}
+	if o.Clock == nil {
+		o.Clock = NewHLC()
+	}
+	return o
+}
+
+// Clock produces strictly increasing timestamps (nanoseconds).
+type Clock interface {
+	Now() int64
+}
+
+// HLC is a hybrid logical clock: physical time, bumped to stay
+// strictly monotonic under bursts and small clock steps.
+type HLC struct {
+	last atomic.Int64
+}
+
+// NewHLC returns a monotonic clock over the local wall clock.
+func NewHLC() *HLC { return &HLC{} }
+
+// Now returns a strictly increasing nanosecond timestamp.
+func (c *HLC) Now() int64 {
+	for {
+		phys := time.Now().UnixNano()
+		last := c.last.Load()
+		next := phys
+		if next <= last {
+			next = last + 1
+		}
+		if c.last.CompareAndSwap(last, next) {
+			return next
+		}
+	}
+}
+
+// Manager coordinates transactions across one or more stores.
+type Manager struct {
+	opts   Options
+	stores map[string]Store
+	defalt string // the sole store's name, for single-store shorthand
+	seq    atomic.Uint64
+	id     string // manager instance id, part of txn ids
+
+	// Stats.
+	commits   atomic.Int64
+	aborts    atomic.Int64
+	conflicts atomic.Int64
+	recovered atomic.Int64
+}
+
+// NewManager returns a manager over the given stores. With exactly
+// one store, the empty store name refers to it.
+func NewManager(opts Options, stores ...Store) (*Manager, error) {
+	if len(stores) == 0 {
+		return nil, errors.New("txn: at least one store required")
+	}
+	m := &Manager{
+		opts:   opts.withDefaults(),
+		stores: make(map[string]Store, len(stores)),
+	}
+	for _, s := range stores {
+		if s.Name() == "" {
+			return nil, errors.New("txn: store with empty name")
+		}
+		if _, dup := m.stores[s.Name()]; dup {
+			return nil, fmt.Errorf("txn: duplicate store name %q", s.Name())
+		}
+		m.stores[s.Name()] = s
+	}
+	if len(stores) == 1 {
+		m.defalt = stores[0].Name()
+	}
+	m.id = strconv.FormatInt(m.opts.Clock.Now()&0xFFFFFFFF, 36)
+	return m, nil
+}
+
+// Stats reports commit/abort/conflict/recovery counts.
+func (m *Manager) Stats() (commits, aborts, conflicts, recovered int64) {
+	return m.commits.Load(), m.aborts.Load(), m.conflicts.Load(), m.recovered.Load()
+}
+
+// store resolves a store name ("" = the sole store).
+func (m *Manager) store(name string) (Store, error) {
+	if name == "" {
+		if m.defalt == "" {
+			return nil, fmt.Errorf("%w: empty name with multiple stores", ErrUnknownStore)
+		}
+		name = m.defalt
+	}
+	s, ok := m.stores[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownStore, name)
+	}
+	return s, nil
+}
+
+// Begin starts a transaction.
+func (m *Manager) Begin(_ context.Context) (*Txn, error) {
+	startTS := m.opts.Clock.Now()
+	return &Txn{
+		m:       m,
+		id:      fmt.Sprintf("t%s-%x-%x", m.id, startTS, m.seq.Add(1)),
+		startTS: startTS,
+		reads:   make(map[wkey]uint64),
+		writes:  make(map[wkey]*pendingWrite),
+	}, nil
+}
+
+// RunInTxn executes fn inside a transaction, committing on success
+// and retrying (up to maxRetries) when the commit conflicts. fn must
+// be idempotent.
+func (m *Manager) RunInTxn(ctx context.Context, maxRetries int, fn func(*Txn) error) error {
+	var lastErr error
+	for attempt := 0; attempt <= maxRetries; attempt++ {
+		t, err := m.Begin(ctx)
+		if err != nil {
+			return err
+		}
+		if err := fn(t); err != nil {
+			t.Abort(ctx)
+			if errors.Is(err, ErrConflict) {
+				lastErr = err
+				continue
+			}
+			return err
+		}
+		err = t.Commit(ctx)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, ErrConflict) {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("txn: retries exhausted: %w", lastErr)
+}
+
+// wkey identifies one record across stores.
+type wkey struct {
+	store, table, key string
+}
+
+func (k wkey) String() string { return k.store + "/" + k.table + "/" + k.key }
+
+// writeKind enumerates buffered-write types.
+type writeKind uint8
+
+const (
+	kindPut writeKind = iota + 1
+	kindInsert
+	kindDelete
+	// kindReadLock is a materialized read: the record is re-written
+	// with its current committed image, so the prepare conditional
+	// put validates the read version and excludes concurrent writers
+	// until the transaction finishes (SerializableReads mode).
+	kindReadLock
+)
+
+// pendingWrite is one buffered write.
+type pendingWrite struct {
+	kind   writeKind
+	fields map[string][]byte
+
+	// Set during prepare:
+	prepared    bool
+	preparedVer uint64
+	prevImage   []byte // encoded previous committed image ("" for insert)
+	prevExisted bool
+}
+
+// Txn is one client-coordinated transaction. A Txn is confined to a
+// single goroutine.
+type Txn struct {
+	m       *Manager
+	id      string
+	startTS int64
+	done    bool
+
+	reads  map[wkey]uint64 // version observed for each read key
+	writes map[wkey]*pendingWrite
+}
+
+// ID returns the transaction id.
+func (t *Txn) ID() string { return t.id }
+
+// Read returns the committed user fields of store/table/key, seeing
+// the transaction's own buffered writes first.
+func (t *Txn) Read(ctx context.Context, store, table, key string) (map[string][]byte, error) {
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	s, err := t.m.store(store)
+	if err != nil {
+		return nil, err
+	}
+	k := wkey{s.Name(), table, key}
+	if w, ok := t.writes[k]; ok {
+		if w.kind == kindDelete {
+			return nil, fmt.Errorf("%w: %s (deleted in this transaction)", ErrNotFound, k)
+		}
+		return cloneFields(w.fields), nil
+	}
+	fields, ver, err := t.m.readResolved(ctx, s, table, key)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.noteRead(k, ver); err != nil {
+		return nil, err
+	}
+	return fields, nil
+}
+
+// noteRead records the version observed for a key and enforces
+// repeatable reads: seeing a different version than an earlier read
+// in the same transaction means a concurrent commit slid underneath
+// us, and any derived write would be based on stale data — conflict
+// now rather than silently losing an update at prepare time.
+func (t *Txn) noteRead(k wkey, ver uint64) error {
+	if prev, ok := t.reads[k]; ok && prev != ver {
+		return fmt.Errorf("%w: %s read at v%d then v%d", ErrConflict, k, prev, ver)
+	}
+	t.reads[k] = ver
+	return nil
+}
+
+// Write buffers a full-record put.
+func (t *Txn) Write(store, table, key string, fields map[string][]byte) error {
+	return t.buffer(store, table, key, kindPut, fields)
+}
+
+// Insert buffers a create-only put; commit fails with ErrConflict if
+// the key exists by then.
+func (t *Txn) Insert(store, table, key string, fields map[string][]byte) error {
+	return t.buffer(store, table, key, kindInsert, fields)
+}
+
+// Delete buffers a delete.
+func (t *Txn) Delete(store, table, key string) error {
+	return t.buffer(store, table, key, kindDelete, nil)
+}
+
+func (t *Txn) buffer(store, table, key string, kind writeKind, fields map[string][]byte) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	s, err := t.m.store(store)
+	if err != nil {
+		return err
+	}
+	for f := range fields {
+		if isMetaField(f) {
+			return fmt.Errorf("txn: field name %q is reserved", f)
+		}
+	}
+	t.writes[wkey{s.Name(), table, key}] = &pendingWrite{kind: kind, fields: cloneFields(fields)}
+	return nil
+}
+
+// Scan returns up to count committed records of store/table from
+// startKey, resolving prepared records and overlaying this
+// transaction's buffered writes.
+func (t *Txn) Scan(ctx context.Context, store, table, startKey string, count int) ([]ScanKV, error) {
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	s, err := t.m.store(store)
+	if err != nil {
+		return nil, err
+	}
+	kvs, err := s.Scan(ctx, table, startKey, count)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve store records.
+	resolved := make([]ScanKV, 0, len(kvs))
+	for _, kv := range kvs {
+		k := wkey{s.Name(), table, kv.Key}
+		if w, ok := t.writes[k]; ok {
+			if w.kind != kindDelete {
+				resolved = append(resolved, ScanKV{Key: kv.Key, Fields: cloneFields(w.fields)})
+			}
+			continue
+		}
+		fields, ver, err := t.m.resolveRecord(ctx, s, table, kv.Key, kv.Record)
+		if err != nil {
+			if errors.Is(err, ErrNotFound) {
+				continue // prepared insert whose txn aborted
+			}
+			return nil, err
+		}
+		if err := t.noteRead(k, ver); err != nil {
+			return nil, err
+		}
+		resolved = append(resolved, ScanKV{Key: kv.Key, Fields: fields})
+	}
+	// Overlay buffered inserts/puts that fall in range but were not
+	// returned by the store.
+	present := make(map[string]bool, len(resolved))
+	for _, kv := range resolved {
+		present[kv.Key] = true
+	}
+	for k, w := range t.writes {
+		if k.store != s.Name() || k.table != table || w.kind == kindDelete {
+			continue
+		}
+		if k.key >= startKey && !present[k.key] {
+			resolved = append(resolved, ScanKV{Key: k.key, Fields: cloneFields(w.fields)})
+		}
+	}
+	sort.Slice(resolved, func(i, j int) bool { return resolved[i].Key < resolved[j].Key })
+	if count >= 0 && len(resolved) > count {
+		resolved = resolved[:count]
+	}
+	return resolved, nil
+}
+
+// ScanKV is one scan result: key and committed user fields.
+type ScanKV struct {
+	Key    string
+	Fields map[string][]byte
+}
+
+// Abort rolls back any prepared records and finishes the transaction.
+// Aborting a finished transaction is a no-op.
+func (t *Txn) Abort(ctx context.Context) error {
+	if t.done {
+		return nil
+	}
+	t.done = true
+	t.m.aborts.Add(1)
+	return t.rollbackPrepared(ctx)
+}
+
+func (t *Txn) rollbackPrepared(ctx context.Context) error {
+	var firstErr error
+	for k, w := range t.writes {
+		if !w.prepared {
+			continue
+		}
+		s, err := t.m.store(k.store)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if err := t.m.rollbackRecord(ctx, s, k.table, k.key, w.preparedVer, w.prevImage, w.prevExisted); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Commit runs the prepare / TSR / roll-forward protocol. On conflict
+// it rolls back and returns ErrConflict; the transaction is finished
+// either way.
+func (t *Txn) Commit(ctx context.Context) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if len(t.writes) == 0 {
+		// Read-only transactions commit trivially: every read already
+		// returned a committed image.
+		t.done = true
+		t.m.commits.Add(1)
+		t.emitTrace()
+		return nil
+	}
+
+	// Serializable mode: materialize the read set so prepare locks
+	// cover it atomically through the commit point (validating at
+	// commit time and then writing the TSR would leave a window for a
+	// concurrent writer to slip in between).
+	if t.m.opts.SerializableReads {
+		for k := range t.reads {
+			if _, written := t.writes[k]; !written {
+				t.writes[k] = &pendingWrite{kind: kindReadLock}
+			}
+		}
+	}
+
+	// Deterministic global order — the ordered locking protocol
+	// (unless ablated; map iteration order is effectively random).
+	keys := make([]wkey, 0, len(t.writes))
+	for k := range t.writes {
+		keys = append(keys, k)
+	}
+	if !t.m.opts.DisableOrderedPrepare {
+		sort.Slice(keys, func(i, j int) bool {
+			a, b := keys[i], keys[j]
+			if a.store != b.store {
+				return a.store < b.store
+			}
+			if a.table != b.table {
+				return a.table < b.table
+			}
+			return a.key < b.key
+		})
+	}
+
+	prepareStart := time.Now()
+	prepTS := t.m.opts.Clock.Now()
+
+	// Failure-path rollbacks run on a detached context: cleanup must
+	// complete even when the caller's context caused the failure.
+	cleanupCtx := context.WithoutCancel(ctx)
+
+	// Phase 1: prepare every write in order.
+	for _, k := range keys {
+		if err := t.prepareOne(ctx, k, prepTS); err != nil {
+			t.done = true
+			t.m.conflicts.Add(1)
+			t.m.aborts.Add(1)
+			t.rollbackPrepared(cleanupCtx)
+			return fmt.Errorf("%w: preparing %s: %v", ErrConflict, k, err)
+		}
+	}
+
+	// Enforce the commit deadline so readers' crash recovery can
+	// never roll back a live committer.
+	if time.Since(prepareStart) > t.m.opts.RecoveryTimeout/2 {
+		t.done = true
+		t.m.aborts.Add(1)
+		t.rollbackPrepared(cleanupCtx)
+		return fmt.Errorf("%w: commit deadline exceeded", ErrConflict)
+	}
+
+	// Phase 2: the commit point — write the TSR to the coordinating
+	// store (the store of the first write in the global order).
+	coordName := keys[0].store
+	coord := t.m.stores[coordName]
+	commitTS := t.m.opts.Clock.Now()
+	tsrFields := map[string][]byte{
+		tsrState:    []byte(tsrCommitted),
+		tsrCommitTS: []byte(strconv.FormatInt(commitTS, 10)),
+		tsrWriteSet: encodeWriteSet(keys),
+	}
+	if _, err := coord.Put(ctx, tsrTable, t.id, tsrFields, kvstore.MustNotExist); err != nil {
+		t.done = true
+		t.m.aborts.Add(1)
+		t.rollbackPrepared(cleanupCtx)
+		return fmt.Errorf("%w: writing TSR: %v", ErrConflict, err)
+	}
+
+	// Phase 3: roll forward and clean up on a detached context (the
+	// transaction is already durably committed; finish the job even
+	// if the caller's deadline fires). Failures here are benign —
+	// readers can finish the roll-forward from the TSR.
+	for _, k := range keys {
+		w := t.writes[k]
+		s := t.m.stores[k.store]
+		t.m.rollForwardRecord(cleanupCtx, s, k.table, k.key, w)
+	}
+	coord.Delete(cleanupCtx, tsrTable, t.id, kvstore.AnyVersion)
+
+	t.done = true
+	t.m.commits.Add(1)
+	t.emitTrace()
+	return nil
+}
+
+// emitTrace reports this committed transaction's access sets to the
+// configured tracer. The installed version of each write is the
+// roll-forward version, preparedVer+1 (versions advance by exactly
+// one per successful conditional put, and the roll-forward — whether
+// performed by this committer or by a racing reader — always CASes
+// on preparedVer).
+func (t *Txn) emitTrace() {
+	tr := t.m.opts.Tracer
+	if tr == nil {
+		return
+	}
+	for k, ver := range t.reads {
+		if _, written := t.writes[k]; written {
+			continue
+		}
+		tr.Read(t.id, k.String(), ver)
+	}
+	for k, w := range t.writes {
+		if w.prepared {
+			tr.Write(t.id, k.String(), w.preparedVer+1)
+		}
+	}
+}
+
+// prepareOne installs the prepared image for one write.
+func (t *Txn) prepareOne(ctx context.Context, k wkey, prepTS int64) error {
+	w := t.writes[k]
+	s := t.m.stores[k.store]
+
+	// Determine the expected version: what we read in this
+	// transaction, or the current committed version fetched now.
+	expect, haveExpect := t.reads[k]
+	var prevImage []byte
+	var prevExisted bool
+	cur, err := s.Get(ctx, k.table, k.key)
+	switch {
+	case err == nil:
+		if isPrepared(cur.Fields) {
+			// Another transaction holds this record; try to resolve
+			// it (it may be long-committed or long-dead).
+			if _, _, rerr := t.m.resolveRecord(ctx, s, k.table, k.key, cur); rerr != nil && !errors.Is(rerr, ErrNotFound) {
+				return fmt.Errorf("record held by %s", cur.Fields[metaID])
+			}
+			cur, err = s.Get(ctx, k.table, k.key)
+			if err != nil && !errors.Is(err, kvstore.ErrNotFound) {
+				return err
+			}
+			if cur != nil && isPrepared(cur.Fields) {
+				return fmt.Errorf("record still held by %s", cur.Fields[metaID])
+			}
+		}
+		if cur != nil {
+			if haveExpect && cur.Version != expect {
+				return fmt.Errorf("version moved %d → %d", expect, cur.Version)
+			}
+			expect = cur.Version
+			prevImage = encodeImage(cur.Fields)
+			prevExisted = true
+		} else {
+			expect = kvstore.MustNotExist
+		}
+	case errors.Is(err, kvstore.ErrNotFound):
+		if haveExpect {
+			return fmt.Errorf("record vanished (read version %d)", expect)
+		}
+		expect = kvstore.MustNotExist
+	default:
+		return err
+	}
+
+	if w.kind == kindInsert && prevExisted {
+		return fmt.Errorf("insert of existing key")
+	}
+	if (w.kind == kindDelete || w.kind == kindReadLock) && !prevExisted {
+		return fmt.Errorf("%s of missing key", map[writeKind]string{kindDelete: "delete", kindReadLock: "read-lock"}[w.kind])
+	}
+	if w.kind == kindReadLock {
+		// The materialized read re-writes the image it observed.
+		w.fields = userFields(cur.Fields)
+	}
+
+	prepared := make(map[string][]byte, len(w.fields)+6)
+	for f, v := range w.fields {
+		prepared[f] = v
+	}
+	prepared[metaState] = []byte("P")
+	prepared[metaID] = []byte(t.id)
+	prepared[metaCoord] = []byte(t.coordName())
+	prepared[metaPrepareTS] = []byte(strconv.FormatInt(prepTS, 10))
+	prepared[metaPrev] = prevImage
+	if w.kind == kindDelete {
+		prepared[metaDelete] = []byte("1")
+	}
+
+	ver, err := s.Put(ctx, k.table, k.key, prepared, expect)
+	if err != nil {
+		return err
+	}
+	w.prepared = true
+	w.preparedVer = ver
+	w.prevImage = prevImage
+	w.prevExisted = prevExisted
+	return nil
+}
+
+// coordName returns the coordinating store's name: the first write in
+// global order.
+func (t *Txn) coordName() string {
+	var best wkey
+	first := true
+	for k := range t.writes {
+		if first || k.store < best.store || (k.store == best.store && (k.table < best.table || (k.table == best.table && k.key < best.key))) {
+			best = k
+			first = false
+		}
+	}
+	return best.store
+}
+
+func cloneFields(in map[string][]byte) map[string][]byte {
+	out := make(map[string][]byte, len(in))
+	for f, v := range in {
+		out[f] = append([]byte(nil), v...)
+	}
+	return out
+}

@@ -1,0 +1,399 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"ycsbt/internal/db"
+	"ycsbt/internal/generator"
+	"ycsbt/internal/measurement"
+	"ycsbt/internal/properties"
+)
+
+// CoreWorkload is a port of com.yahoo.ycsb.workloads.CoreWorkload:
+// the standard YCSB mix of read/update/insert/scan/read-modify-write
+// operations over a table of records with randomly generated fields.
+// All of the YCSB core properties are honoured (defaults in
+// parentheses):
+//
+//	table            (usertable)   fieldcount        (10)
+//	fieldlength      (100)         fieldlengthdistribution (constant:
+//	                               constant|uniform|zipfian)
+//	readallfields    (true)
+//	writeallfields   (false)       readproportion    (0.95)
+//	updateproportion (0.05)        insertproportion  (0)
+//	scanproportion   (0)           readmodifywriteproportion (0)
+//	requestdistribution (uniform: uniform|zipfian|latest|sequential|
+//	                     hotspot|exponential)
+//	maxscanlength    (1000)        scanlengthdistribution (uniform)
+//	insertstart      (0)           recordcount       (1000)
+//	insertorder      (hashed)      zeropadding       (1)
+//	hotspotdatafraction (0.2)      hotspotopnfraction (0.8)
+//	core_workload_insertion_retry_limit (0)
+//	seed             (42)            dataintegrity (false)
+//
+// With dataintegrity=true, field values are a deterministic function
+// of (key, field name), every read verifies the returned bytes, and
+// Validate reports corrupt reads — YCSB's data-integrity checking,
+// which complements Tier 6: Tier 6 detects isolation anomalies,
+// integrity checking detects stores returning wrong bytes.
+//
+// Otherwise CoreWorkload has no consistency invariant and Validate
+// returns the paper's default no-op result.
+type CoreWorkload struct {
+	table        string
+	fieldCount   int
+	fieldLength  int
+	fieldLenDist string
+	readAll      bool
+	writeAll     bool
+	recordCount  int64
+	insertStart  int64
+	orderedKeys  bool
+	zeroPadding  int
+	maxScanLen   int64
+	uniformScan  bool
+	distName     string
+	seed         int64
+
+	dataIntegrity bool
+
+	opChooser    *generator.Discrete
+	keyLow       int64
+	loadSeq      *generator.Counter
+	insertSeq    *generator.AcknowledgedCounter
+	reg          *measurement.Registry
+	proportionOf map[OpType]float64
+
+	ops            atomic.Int64
+	verifyFailures atomic.Int64
+	verifiedReads  atomic.Int64
+}
+
+// NewCore returns an uninitialized CoreWorkload.
+func NewCore() *CoreWorkload { return &CoreWorkload{} }
+
+func init() {
+	Register("core", func() Workload { return NewCore() })
+	Register("com.yahoo.ycsb.workloads.CoreWorkload", func() Workload { return NewCore() })
+}
+
+// coreThreadState is the per-thread generator bundle.
+type coreThreadState struct {
+	r         *rand.Rand
+	keyChoose generator.Integer
+	scanLen   generator.Integer
+	opChoose  *generator.Discrete
+	fieldGen  *generator.Uniform
+	fieldLen  generator.Integer
+}
+
+// Init implements Workload.
+func (c *CoreWorkload) Init(p *properties.Properties, reg *measurement.Registry) error {
+	c.reg = reg
+	c.table = p.GetString("table", "usertable")
+	c.fieldCount = p.GetInt("fieldcount", 10)
+	c.fieldLength = p.GetInt("fieldlength", 100)
+	c.fieldLenDist = p.GetString("fieldlengthdistribution", "constant")
+	switch c.fieldLenDist {
+	case "constant", "uniform", "zipfian":
+	default:
+		return fmt.Errorf("workload: unknown fieldlengthdistribution %q", c.fieldLenDist)
+	}
+	c.readAll = p.GetBool("readallfields", true)
+	c.writeAll = p.GetBool("writeallfields", false)
+	c.recordCount = p.GetInt64("recordcount", 1000)
+	if c.recordCount <= 0 {
+		return fmt.Errorf("workload: recordcount must be positive, got %d", c.recordCount)
+	}
+	c.insertStart = p.GetInt64("insertstart", 0)
+	c.orderedKeys = p.GetString("insertorder", "hashed") == "ordered"
+	c.zeroPadding = p.GetInt("zeropadding", 1)
+	c.maxScanLen = p.GetInt64("maxscanlength", 1000)
+	c.uniformScan = p.GetString("scanlengthdistribution", "uniform") == "uniform"
+	c.distName = p.GetString("requestdistribution", "uniform")
+	c.seed = p.GetInt64("seed", 42)
+	c.dataIntegrity = p.GetBool("dataintegrity", false)
+
+	read := p.GetFloat("readproportion", 0.95)
+	update := p.GetFloat("updateproportion", 0.05)
+	insert := p.GetFloat("insertproportion", 0)
+	scan := p.GetFloat("scanproportion", 0)
+	rmw := p.GetFloat("readmodifywriteproportion", 0)
+	c.opChooser = generator.NewDiscrete()
+	c.proportionOf = map[OpType]float64{}
+	for _, e := range []struct {
+		op   OpType
+		prop float64
+	}{
+		{OpRead, read}, {OpUpdate, update}, {OpInsert, insert}, {OpScan, scan}, {OpRMW, rmw},
+	} {
+		if e.prop < 0 {
+			return fmt.Errorf("workload: negative proportion for %s", e.op)
+		}
+		c.opChooser.Add(e.prop, string(e.op))
+		c.proportionOf[e.op] = e.prop
+	}
+	c.keyLow = c.insertStart
+	c.loadSeq = generator.NewCounter(c.insertStart)
+	c.insertSeq = generator.NewAcknowledgedCounter(c.insertStart + c.recordCount)
+	return nil
+}
+
+// InitThread implements Workload.
+func (c *CoreWorkload) InitThread(id, count int) (ThreadState, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("workload: thread count %d", count)
+	}
+	ts := &coreThreadState{r: threadRand(c.seed, id), opChoose: c.opChooser.Clone()}
+	upper := c.insertStart + c.recordCount - 1
+	switch c.distName {
+	case "uniform":
+		ts.keyChoose = generator.NewUniform(c.keyLow, upper)
+	case "zipfian":
+		// Like YCSB: size the zipfian over the expected final keyspace
+		// so inserts during the run stay in range.
+		ts.keyChoose = generator.NewScrambledZipfian(c.keyLow, upper)
+	case "latest":
+		ts.keyChoose = generator.NewSkewedLatest(c.insertSeq)
+	case "sequential":
+		ts.keyChoose = generator.NewSequential(c.keyLow, upper)
+	case "hotspot":
+		ts.keyChoose = generator.NewHotspot(c.keyLow, upper, 0.2, 0.8)
+	case "exponential":
+		ts.keyChoose = generator.NewExponential(95, 0.8571428571, c.recordCount)
+	default:
+		return nil, fmt.Errorf("workload: unknown requestdistribution %q", c.distName)
+	}
+	if c.uniformScan {
+		ts.scanLen = generator.NewUniform(1, c.maxScanLen)
+	} else {
+		ts.scanLen = generator.NewZipfian(1, c.maxScanLen)
+	}
+	ts.fieldGen = generator.NewUniform(0, int64(c.fieldCount-1))
+	switch c.fieldLenDist {
+	case "uniform":
+		ts.fieldLen = generator.NewUniform(1, int64(c.fieldLength))
+	case "zipfian":
+		ts.fieldLen = generator.NewZipfian(1, int64(c.fieldLength))
+	default:
+		ts.fieldLen = generator.NewConstant(int64(c.fieldLength))
+	}
+	return ts, nil
+}
+
+// keyName formats a key number the way YCSB does: optionally hashed,
+// zero-padded, "user"-prefixed.
+func (c *CoreWorkload) keyName(keynum int64) string {
+	if !c.orderedKeys {
+		keynum = generator.FNVHash64(keynum)
+	}
+	s := strconv.FormatInt(keynum, 10)
+	if pad := c.zeroPadding - len(s); pad > 0 {
+		buf := make([]byte, 0, c.zeroPadding+4)
+		buf = append(buf, "user"...)
+		for i := 0; i < pad; i++ {
+			buf = append(buf, '0')
+		}
+		return string(append(buf, s...))
+	}
+	return "user" + s
+}
+
+// nextKey draws an existing key, clamped to the acknowledged insert
+// frontier for the "latest" distribution.
+func (c *CoreWorkload) nextKey(ts *coreThreadState) int64 {
+	for {
+		k := ts.keyChoose.Next(ts.r)
+		if c.distName == "latest" {
+			// Only acknowledged inserts are safe to read; newly
+			// inserted keys above the initial range are fair game.
+			if k <= c.insertSeq.Last() {
+				return k
+			}
+			continue
+		}
+		// Unbounded distributions (exponential) clamp to the loaded
+		// keyspace.
+		if k > c.insertStart+c.recordCount-1 {
+			k = c.insertStart + c.recordCount - 1
+		}
+		return k
+	}
+}
+
+// buildValues generates a full record: random bytes, or — with
+// dataintegrity — bytes derived deterministically from the key and
+// field name so any read can verify them.
+func (c *CoreWorkload) buildValues(s *coreThreadState, key string) db.Record {
+	rec := make(db.Record, c.fieldCount)
+	for i := 0; i < c.fieldCount; i++ {
+		f := fieldName(i)
+		if c.dataIntegrity {
+			// Integrity checking requires deterministic lengths.
+			rec[f] = integrityValue(key, f, c.fieldLength)
+		} else {
+			rec[f] = randomValue(s.r, int(s.fieldLen.Next(s.r)))
+		}
+	}
+	return rec
+}
+
+// integrityValue derives the canonical value of key/field: an
+// FNV-seeded printable expansion, reproducible by any reader.
+func integrityValue(key, field string, n int) []byte {
+	const alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	h := uint64(fnvOffsetCore)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * fnvPrimeCore
+	}
+	for i := 0; i < len(field); i++ {
+		h = (h ^ uint64(field[i])) * fnvPrimeCore
+	}
+	out := make([]byte, n)
+	for i := range out {
+		h = h*fnvPrimeCore + uint64(i)
+		out[i] = alphabet[h%uint64(len(alphabet))]
+	}
+	return out
+}
+
+const (
+	fnvOffsetCore = 0xCBF29CE484222325
+	fnvPrimeCore  = 0x100000001B3
+)
+
+// verifyRead checks a returned record against the canonical values.
+func (c *CoreWorkload) verifyRead(key string, rec db.Record) {
+	if !c.dataIntegrity {
+		return
+	}
+	c.verifiedReads.Add(1)
+	for f, v := range rec {
+		if string(v) != string(integrityValue(key, f, c.fieldLength)) {
+			c.verifyFailures.Add(1)
+			return
+		}
+	}
+}
+
+// buildUpdate generates the values for an update: all fields or one
+// random field per writeallfields.
+func (c *CoreWorkload) buildUpdate(ts *coreThreadState, key string) db.Record {
+	if c.writeAll {
+		return c.buildValues(ts, key)
+	}
+	f := fieldName(int(ts.fieldGen.Next(ts.r)))
+	if c.dataIntegrity {
+		return db.Record{f: integrityValue(key, f, c.fieldLength)}
+	}
+	return db.Record{f: randomValue(ts.r, int(ts.fieldLen.Next(ts.r)))}
+}
+
+// readFields returns the field projection for reads.
+func (c *CoreWorkload) readFields(ts *coreThreadState) []string {
+	if c.readAll {
+		return nil
+	}
+	return []string{fieldName(int(ts.fieldGen.Next(ts.r)))}
+}
+
+// Load implements Workload: one sequential insert filling
+// [insertstart, insertstart+recordcount). The transaction-phase
+// insert frontier (insertSeq) starts past that range and is not
+// advanced here.
+func (c *CoreWorkload) Load(ctx context.Context, d db.DB, ts ThreadState) error {
+	s := ts.(*coreThreadState)
+	keynum := c.loadSeq.Next(s.r)
+	key := c.keyName(keynum)
+	return d.Insert(ctx, c.table, key, c.buildValues(s, key))
+}
+
+// Do implements Workload: one operation per the configured mix.
+func (c *CoreWorkload) Do(ctx context.Context, d db.DB, ts ThreadState) (OpType, error) {
+	s := ts.(*coreThreadState)
+	op := OpType(s.opChoose.NextString(s.r))
+	c.ops.Add(1)
+	switch op {
+	case OpRead:
+		key := c.keyName(c.nextKey(s))
+		rec, err := d.Read(ctx, c.table, key, c.readFields(s))
+		if err == nil {
+			c.verifyRead(key, rec)
+		}
+		return op, err
+	case OpUpdate:
+		key := c.keyName(c.nextKey(s))
+		return op, d.Update(ctx, c.table, key, c.buildUpdate(s, key))
+	case OpInsert:
+		keynum := c.insertSeq.Next(s.r)
+		key := c.keyName(keynum)
+		err := d.Insert(ctx, c.table, key, c.buildValues(s, key))
+		if err == nil {
+			c.insertSeq.Acknowledge(keynum)
+		}
+		return op, err
+	case OpScan:
+		kvs, err := d.Scan(ctx, c.table, c.keyName(c.nextKey(s)), int(s.scanLen.Next(s.r)), c.readFields(s))
+		if err == nil {
+			for _, kv := range kvs {
+				c.verifyRead(kv.Key, kv.Record)
+			}
+		}
+		return op, err
+	case OpRMW:
+		start := time.Now()
+		key := c.keyName(c.nextKey(s))
+		rec, err := d.Read(ctx, c.table, key, c.readFields(s))
+		if err == nil {
+			c.verifyRead(key, rec)
+			err = d.Update(ctx, c.table, key, c.buildUpdate(s, key))
+		}
+		if c.reg != nil {
+			c.reg.Measure(string(OpRMW), time.Since(start), db.ReturnCode(err))
+		}
+		return op, err
+	default:
+		return op, fmt.Errorf("workload: unimplemented op %q", op)
+	}
+}
+
+// Validate implements Workload. Without dataintegrity this is the
+// paper's default no-op: valid, score 0. With it, the result reports
+// reads whose bytes did not match the canonical derived values.
+func (c *CoreWorkload) Validate(context.Context, db.DB) (*ValidationResult, error) {
+	if !c.dataIntegrity {
+		return &ValidationResult{Valid: true, Detail: "core workload has no consistency check"}, nil
+	}
+	failures := c.verifyFailures.Load()
+	n := c.ops.Load()
+	score := 0.0
+	if n > 0 {
+		score = float64(failures) / float64(n)
+	}
+	return &ValidationResult{
+		Valid:        failures == 0,
+		Counted:      failures,
+		Operations:   n,
+		AnomalyScore: score,
+		Detail: fmt.Sprintf("%d of %d verified reads returned corrupt data",
+			failures, c.verifiedReads.Load()),
+	}, nil
+}
+
+// fieldName returns "field<i>".
+func fieldName(i int) string { return "field" + strconv.Itoa(i) }
+
+// randomValue builds a printable random value of length n.
+func randomValue(r *rand.Rand, n int) []byte {
+	const alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = alphabet[r.Intn(len(alphabet))]
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+// Package workload defines the YCSB+T workload abstraction and its
+// two concrete workloads: CoreWorkload (the YCSB default, with the
+// standard A–F mixes) and ClosedEconomyWorkload (CEW, Section IV-C of
+// the paper).
+//
+// A workload decides which operation to perform against the DB
+// binding; the client (internal/client) owns threading, transaction
+// demarcation and measurement. YCSB+T adds the Validate hook — the
+// Tier 6 consistency stage — which runs after the load or transaction
+// phase, applies an application-defined check over the whole
+// database, and quantifies anomalies as a score (0 = consistent, as
+// from a serializable execution).
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"ycsbt/internal/db"
+	"ycsbt/internal/measurement"
+	"ycsbt/internal/properties"
+)
+
+// OpType names a workload operation; values double as measurement
+// series names.
+type OpType string
+
+// Operation types, named as the paper's client output (Listing 3)
+// reports them.
+const (
+	OpRead   OpType = "READ"
+	OpUpdate OpType = "UPDATE"
+	OpInsert OpType = "INSERT"
+	OpScan   OpType = "SCAN"
+	OpDelete OpType = "DELETE"
+	OpRMW    OpType = "READ-MODIFY-WRITE"
+)
+
+// TxSeries returns the Tier 5 whole-transaction series name for an
+// operation type: "TX-READMODIFYWRITE" for OpRMW, matching Listing 3.
+func TxSeries(op OpType) string {
+	out := make([]byte, 0, len(op)+3)
+	out = append(out, "TX-"...)
+	for i := 0; i < len(op); i++ {
+		if op[i] != '-' {
+			out = append(out, op[i])
+		}
+	}
+	return string(out)
+}
+
+// ThreadState carries one client thread's private generator state; it
+// is created by InitThread and passed back on every call, so workload
+// implementations need no locking on the hot path.
+type ThreadState interface{}
+
+// ValidationResult is the outcome of the Tier 6 validation stage.
+type ValidationResult struct {
+	// Valid reports whether the database passed the application check.
+	Valid bool
+	// AnomalyScore is the paper's γ = |S_initial − S_final| / n
+	// (0 for workloads with no invariant check).
+	AnomalyScore float64
+	// Expected and Counted are the invariant's expected and observed
+	// quantities (total cash for CEW).
+	Expected, Counted int64
+	// Operations is the number of operations the workload executed.
+	Operations int64
+	// Detail is a human-readable summary.
+	Detail string
+}
+
+// Workload generates the operations of a benchmark run.
+// Implementations must be safe for concurrent calls to Load and Do
+// from distinct threads, each holding its own ThreadState.
+type Workload interface {
+	// Init prepares the workload from the run properties; reg
+	// receives workload-level composite measurements (e.g. the
+	// READ-MODIFY-WRITE series) and may be nil.
+	Init(p *properties.Properties, reg *measurement.Registry) error
+	// InitThread creates the per-thread state for thread id of count.
+	InitThread(id, count int) (ThreadState, error)
+	// Load performs one insert of the load phase.
+	Load(ctx context.Context, d db.DB, ts ThreadState) error
+	// Do performs one operation of the transaction phase and reports
+	// which operation type it chose.
+	Do(ctx context.Context, d db.DB, ts ThreadState) (OpType, error)
+	// Validate runs the Tier 6 consistency check against the
+	// database after a phase completes. Workloads without a check
+	// return a valid result with score 0 (the paper's default no-op).
+	Validate(ctx context.Context, d db.DB) (*ValidationResult, error)
+}
+
+// AbortAware is implemented by workloads that maintain client-side
+// state (like CEW's escrow pot) that must be undone when the wrapping
+// transaction aborts: buffered database writes vanish on abort, so
+// client-side mirrors of them have to vanish too. The client calls
+// OnAbort with the thread's state after aborting the transaction that
+// wrapped the most recent Do/Load call on that state.
+type AbortAware interface {
+	OnAbort(ts ThreadState)
+}
+
+// Factory builds a workload instance.
+type Factory func() Workload
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+// Register makes a workload available by name (including its
+// YCSB-compatible Java class-name aliases).
+func Register(name string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("workload: duplicate registration of %q", name))
+	}
+	registry[name] = f
+}
+
+// New instantiates the workload registered under name.
+func New(name string) (Workload, error) {
+	regMu.RLock()
+	f, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown workload %q (have %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Names returns the registered workload names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// threadRand derives a deterministic per-thread RNG from the run seed
+// so benchmark runs are reproducible thread-for-thread.
+func threadRand(seed int64, threadID int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(threadID)*1_000_003))
+}

@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"testing"
+
+	"ycsbt/internal/db"
+	"ycsbt/internal/measurement"
+	"ycsbt/internal/properties"
+)
+
+func newWS(t *testing.T, over map[string]string) *WriteSkewWorkload {
+	t.Helper()
+	props := map[string]string{
+		"recordcount":         "50",
+		"ws.initial":          "100",
+		"ws.withdraw":         "150",
+		"readproportion":      "0.2",
+		"requestdistribution": "zipfian",
+	}
+	for k, v := range over {
+		props[k] = v
+	}
+	w := NewWriteSkew()
+	if err := w.Init(properties.FromMap(props), measurement.NewRegistry(0)); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestWriteSkewLoadAndValidateClean(t *testing.T) {
+	w := newWS(t, nil)
+	mem := db.NewMemory()
+	ts, err := w.InitThread(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 50; i++ {
+		if err := w.Load(ctx, mem, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mem.Len("usertable") != 100 {
+		t.Fatalf("loaded %d records, want 100 (50 pairs)", mem.Len("usertable"))
+	}
+	res, err := w.Validate(ctx, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Valid || res.AnomalyScore != 0 {
+		t.Errorf("fresh load invalid: %+v", res)
+	}
+}
+
+func TestWriteSkewSerialExecutionNeverViolates(t *testing.T) {
+	w := newWS(t, nil)
+	mem := db.NewMemory()
+	ts, _ := w.InitThread(0, 1)
+	ctx := context.Background()
+	for i := 0; i < 50; i++ {
+		if err := w.Load(ctx, mem, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		if _, err := w.Do(ctx, mem, ts); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	res, err := w.Validate(ctx, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Valid {
+		t.Errorf("serial write-skew run violated the constraint: %s", res.Detail)
+	}
+	if res.Operations != 2000 {
+		t.Errorf("ops = %d", res.Operations)
+	}
+}
+
+func TestWriteSkewConcurrentNonTransactional(t *testing.T) {
+	// Under raw concurrent access violations are possible; this test
+	// asserts coherent reporting, not a particular count.
+	w := newWS(t, map[string]string{"recordcount": "5", "readproportion": "0"})
+	mem := db.NewMemory()
+	ts0, _ := w.InitThread(0, 1)
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if err := w.Load(ctx, mem, ts0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		ts, _ := w.InitThread(i, 8)
+		wg.Add(1)
+		go func(ts ThreadState) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				w.Do(ctx, mem, ts)
+			}
+		}(ts)
+	}
+	wg.Wait()
+	res, err := w.Validate(ctx, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counted > 5 {
+		t.Errorf("more violations (%d) than pairs", res.Counted)
+	}
+	wantScore := float64(res.Counted) / float64(res.Operations)
+	if res.AnomalyScore != wantScore {
+		t.Errorf("score = %v, want %v", res.AnomalyScore, wantScore)
+	}
+	t.Logf("non-transactional write-skew: %d violations over %d ops", res.Counted, res.Operations)
+}
+
+func TestWriteSkewConstraintEnforcedWhenBroke(t *testing.T) {
+	// Once a pair cannot cover the amount, withdrawals decline.
+	w := newWS(t, map[string]string{"recordcount": "1", "readproportion": "0", "ws.depositproportion": "0", "requestdistribution": "uniform"})
+	mem := db.NewMemory()
+	ts, _ := w.InitThread(0, 1)
+	ctx := context.Background()
+	if err := w.Load(ctx, mem, ts); err != nil {
+		t.Fatal(err)
+	}
+	// Pair holds 200; exactly one 150-withdrawal fits.
+	for i := 0; i < 10; i++ {
+		if _, err := w.Do(ctx, mem, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ra, _ := mem.Read(ctx, "usertable", w.keyA(0), nil)
+	rb, _ := mem.Read(ctx, "usertable", w.keyB(0), nil)
+	a, _ := strconv.ParseInt(string(ra["field0"]), 10, 64)
+	b, _ := strconv.ParseInt(string(rb["field0"]), 10, 64)
+	if a+b != 50 {
+		t.Errorf("pair sum = %d, want 50 (one withdrawal)", a+b)
+	}
+}
+
+func TestWriteSkewInitValidation(t *testing.T) {
+	bad := []map[string]string{
+		{"recordcount": "0"},
+		{"ws.withdraw": "50"},  // fits one account: no skew possible
+		{"ws.withdraw": "500"}, // exceeds the pair: never succeeds
+		{"readproportion": "1.5"},
+		{"readproportion": "0.8", "ws.depositproportion": "0.8"},
+	}
+	for _, over := range bad {
+		props := map[string]string{"recordcount": "10"}
+		for k, v := range over {
+			props[k] = v
+		}
+		w := NewWriteSkew()
+		if err := w.Init(properties.FromMap(props), nil); err == nil {
+			t.Errorf("Init accepted %v", over)
+		}
+	}
+	w := newWS(t, map[string]string{"requestdistribution": "latest"})
+	if _, err := w.InitThread(0, 1); err == nil {
+		t.Error("unsupported distribution accepted")
+	}
+	if _, err := w.InitThread(0, 0); err == nil {
+		t.Error("zero thread count accepted")
+	}
+}
