@@ -1,0 +1,33 @@
+# Tier-1 verification entry point (see ROADMAP.md): `make check` is
+# what CI and contributors run before merging.
+
+GO ?= go
+
+.PHONY: check vet build test test-race bench clean
+
+# The full tier-1 gate: vet, build everything, then the race-enabled
+# short test run.
+check: vet build test-race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+# Plain test run (the ROADMAP tier-1 command).
+test:
+	$(GO) test ./...
+
+# Short mode keeps the race run quick; the race detector covers the
+# sharded measurement path and the per-thread middleware chains.
+test-race:
+	$(GO) test -race -short ./...
+
+# Reduced-cell figure benchmarks plus the measurement hot-path bench.
+bench:
+	$(GO) test -bench . -benchtime 1x ./...
+	$(GO) test -bench BenchmarkSeriesMeasureParallel -cpu 1,8,32 ./internal/measurement/
+
+clean:
+	$(GO) clean ./...

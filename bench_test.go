@@ -18,9 +18,11 @@ import (
 	"ycsbt/internal/bench"
 	"ycsbt/internal/client"
 	"ycsbt/internal/cloudsim"
+	"ycsbt/internal/db"
 	"ycsbt/internal/kvstore"
 	"ycsbt/internal/measurement"
 	"ycsbt/internal/properties"
+	"ycsbt/internal/trace"
 	"ycsbt/internal/txn"
 	"ycsbt/internal/workload"
 )
@@ -124,6 +126,48 @@ func BenchmarkTier5Overhead(b *testing.B) {
 		if r.Series == "READ-MODIFY-WRITE" && r.NonTxUS > 0 {
 			b.ReportMetric(r.NonTxUS, "nontx_rmw_us")
 		}
+	}
+}
+
+// BenchmarkMiddlewareChain measures the per-operation cost of the
+// middleware stack itself: a read against the in-memory binding under
+// progressively deeper chains. The deltas between sub-benchmarks are
+// the interception overhead each layer adds.
+func BenchmarkMiddlewareChain(b *testing.B) {
+	cases := []struct {
+		name  string
+		chain func(base db.DB, reg *measurement.Registry) db.DB
+	}{
+		{"Bare", func(base db.DB, _ *measurement.Registry) db.DB {
+			return base
+		}},
+		{"Metered", func(base db.DB, reg *measurement.Registry) db.DB {
+			return db.Chain(base, db.Metered(reg.Recorder()))
+		}},
+		{"TraceMeteredRetry", func(base db.DB, reg *measurement.Registry) db.DB {
+			log := trace.NewOpLog(1024)
+			return db.Chain(base,
+				db.Traced(log),
+				db.Metered(reg.Recorder()),
+				db.Retry(db.RetryOptions{}))
+		}},
+	}
+	ctx := context.Background()
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			base := db.NewMemory()
+			if err := base.Insert(ctx, "t", "k", db.Record{"f": []byte("v")}); err != nil {
+				b.Fatal(err)
+			}
+			d := c.chain(base, measurement.NewRegistry(0))
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Read(ctx, "t", "k", nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -12,6 +12,10 @@
 // Registered bindings: memory, kvstore (embedded engine, optional
 // WAL), rawhttp (HTTP client for cmd/kvserver), cloudsim (simulated
 // WAS/GCS container) and txnkv (client-coordinated transactions).
+//
+// Every client thread wraps the binding in the middleware stack named
+// by -middleware (outermost first; default "metered"): metered, trace,
+// retry, faultinject.
 package main
 
 import (
@@ -61,6 +65,7 @@ func run(args []string) error {
 		wlName    = fs.String("workload", "", "workload name (overrides the 'workload' property)")
 		threads   = fs.Int("threads", 0, "client threads (overrides 'threadcount')")
 		target    = fs.Float64("target", 0, "target total ops/sec (overrides 'target')")
+		mws       = fs.String("middleware", "", "comma-separated middleware stack, outermost first (overrides 'middleware'; default metered)")
 		doLoad    = fs.Bool("load", false, "execute the load phase")
 		doRun     = fs.Bool("t", false, "execute the transaction phase")
 		status    = fs.Bool("s", false, "print interim status to stderr")
@@ -74,8 +79,9 @@ func run(args []string) error {
 	}
 
 	if *listDBs {
-		fmt.Println("bindings: ", strings.Join(db.Bindings(), ", "))
-		fmt.Println("workloads:", strings.Join(workload.Names(), ", "))
+		fmt.Println("bindings:  ", strings.Join(db.Bindings(), ", "))
+		fmt.Println("workloads: ", strings.Join(workload.Names(), ", "))
+		fmt.Println("middleware:", strings.Join(db.MiddlewareNames(), ", "))
 		return nil
 	}
 
@@ -105,6 +111,9 @@ func run(args []string) error {
 	}
 	if *target > 0 {
 		props.Set("target", fmt.Sprint(*target))
+	}
+	if *mws != "" {
+		props.Set("middleware", *mws)
 	}
 	if !*doLoad && !*doRun {
 		return fmt.Errorf("nothing to do: pass -load, -t or both")

@@ -62,14 +62,27 @@ func TestRunOverrides(t *testing.T) {
 	}
 }
 
+func TestRunMiddlewareStack(t *testing.T) {
+	props := writeProps(t)
+	err := run([]string{
+		"-db", "memory", "-P", props,
+		"-middleware", "metered,trace,retry",
+		"-load", "-t",
+	})
+	if err != nil {
+		t.Fatalf("run with middleware stack = %v", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	props := writeProps(t)
 	cases := [][]string{
-		{"-db", "memory", "-P", props},                        // neither -load nor -t
-		{"-db", "nope", "-P", props, "-t"},                    // unknown binding
-		{"-db", "memory", "-P", "/no/such/file", "-t"},        // missing props file
-		{"-db", "memory", "-P", props, "-p", "badpair", "-t"}, // malformed override
-		{"-workload", "nope", "-P", props, "-t"},              // unknown workload
+		{"-db", "memory", "-P", props},                           // neither -load nor -t
+		{"-db", "nope", "-P", props, "-t"},                       // unknown binding
+		{"-db", "memory", "-P", "/no/such/file", "-t"},           // missing props file
+		{"-db", "memory", "-P", props, "-p", "badpair", "-t"},    // malformed override
+		{"-workload", "nope", "-P", props, "-t"},                 // unknown workload
+		{"-db", "memory", "-P", props, "-middleware", "x", "-t"}, // unknown middleware
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {

@@ -25,7 +25,10 @@ func main() {
 
 func run() error {
 	// Workload A over 10k records and 100k operations, 8 client
-	// threads, on the embedded B-tree engine.
+	// threads, on the embedded B-tree engine. The middleware property
+	// declares each thread's interception stack, outermost first:
+	// trace logs every operation, metered captures the Tier 5 series,
+	// retry absorbs transient throttling.
 	props := properties.FromMap(map[string]string{
 		"workload":            "core",
 		"db":                  "kvstore",
@@ -35,6 +38,7 @@ func run() error {
 		"readproportion":      "0.5",
 		"updateproportion":    "0.5",
 		"requestdistribution": "zipfian",
+		"middleware":          "trace,metered,retry",
 	})
 
 	c, _, err := client.NewFromProperties(props)
@@ -57,5 +61,17 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	return client.Report(os.Stdout, runRes)
+	if err := client.Report(os.Stdout, runRes); err != nil {
+		return err
+	}
+
+	// The trace middleware kept a bounded log of recent operations.
+	log := c.OpLog()
+	events := log.Events()
+	fmt.Printf("\ntraced %d operations; last %d retained, e.g.:\n",
+		log.Total(), len(events))
+	for _, ev := range events[:min(3, len(events))] {
+		fmt.Printf("  %-6s %s/%s %v code=%d\n", ev.Op, ev.Table, ev.Key, ev.Latency, ev.Code)
+	}
+	return nil
 }

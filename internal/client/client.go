@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,6 +24,7 @@ import (
 	"ycsbt/internal/db"
 	"ycsbt/internal/measurement"
 	"ycsbt/internal/properties"
+	"ycsbt/internal/trace"
 	"ycsbt/internal/workload"
 )
 
@@ -53,6 +55,14 @@ type Config struct {
 	// TimelineInterval enables per-interval throughput recording
 	// (YCSB's time-series measurement) when positive.
 	TimelineInterval time.Duration
+	// Middleware is the comma-separated middleware stack, outermost
+	// first, that every client thread wraps around the binding
+	// (property "middleware"; default "metered"). Empty means the
+	// default.
+	Middleware string
+	// Props carries the run properties that property-configured
+	// middlewares (retry, faultinject, …) read; nil means empty.
+	Props *properties.Properties
 }
 
 // BuildConfig reads the standard YCSB/YCSB+T properties: threadcount,
@@ -67,6 +77,8 @@ func BuildConfig(p *properties.Properties) Config {
 		TargetOpsPerSec:  p.GetFloat("target", 0),
 		HistogramBuckets: p.GetInt("histogram.buckets", 0),
 		TimelineInterval: time.Duration(p.GetInt64("measurement.timeline_ms", 0)) * time.Millisecond,
+		Middleware:       p.GetString("middleware", "metered"),
+		Props:            p,
 	}
 }
 
@@ -95,10 +107,12 @@ type Result struct {
 // phases share one measurement registry, so workload-level series
 // (READ-MODIFY-WRITE) and client-level series land together.
 type Client struct {
-	cfg Config
-	w   workload.Workload
-	d   db.DB // the raw binding
-	reg *measurement.Registry
+	cfg     Config
+	w       workload.Workload
+	d       db.DB // the raw binding
+	reg     *measurement.Registry
+	mwNames []string     // validated middleware stack, outermost first
+	opLog   *trace.OpLog // operation log, when the stack traces
 }
 
 // New builds a client over an already-initialized workload and
@@ -114,11 +128,31 @@ func New(cfg Config, w workload.Workload, d db.DB, reg *measurement.Registry) (*
 	if reg == nil {
 		reg = measurement.NewRegistry(cfg.HistogramBuckets)
 	}
-	return &Client{cfg: cfg, w: w, d: d, reg: reg}, nil
+	if cfg.Middleware == "" {
+		cfg.Middleware = "metered"
+	}
+	if cfg.Props == nil {
+		cfg.Props = properties.New()
+	}
+	mwNames, err := db.ParseMiddlewares(cfg.Middleware)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	c := &Client{cfg: cfg, w: w, d: d, reg: reg, mwNames: mwNames}
+	for _, name := range mwNames {
+		if name == "trace" {
+			c.opLog = trace.NewOpLog(cfg.Props.GetInt("trace.oplog_size", trace.DefaultOpLogSize))
+		}
+	}
+	return c, nil
 }
 
 // Registry returns the client's shared measurement registry.
 func (c *Client) Registry() *measurement.Registry { return c.reg }
+
+// OpLog returns the operation log captured by the "trace" middleware
+// (nil when the stack does not trace).
+func (c *Client) OpLog() *trace.OpLog { return c.opLog }
 
 // DB returns the raw (unmetered) binding.
 func (c *Client) DB() db.DB { return c.d }
@@ -169,7 +203,6 @@ func (c *Client) phase(ctx context.Context, name string, totalOps int64) (*Resul
 	if totalOps <= 0 {
 		return nil, fmt.Errorf("client: %s phase with %d operations", name, totalOps)
 	}
-	metered := db.NewMetered(c.d, c.reg)
 
 	if c.cfg.MaxExecutionTime > 0 {
 		var cancel context.CancelFunc
@@ -184,7 +217,7 @@ func (c *Client) phase(ctx context.Context, name string, totalOps int64) (*Resul
 	}
 	start := time.Now()
 
-	stopStatus := c.startStatusReporter(name, &completed, start)
+	stopStatus := c.startStatusReporter(name, start)
 
 	var wg sync.WaitGroup
 	errs := make([]error, c.cfg.Threads)
@@ -201,7 +234,7 @@ func (c *Client) phase(ctx context.Context, name string, totalOps int64) (*Resul
 		wg.Add(1)
 		go func(th int, ops int64) {
 			defer wg.Done()
-			errs[th] = c.threadLoop(ctx, name, th, ops, metered, timeline, &completed, &aborts)
+			errs[th] = c.threadLoop(ctx, name, th, ops, timeline, &completed, &aborts)
 		}(th, ops)
 	}
 	wg.Wait()
@@ -239,11 +272,35 @@ func (c *Client) phase(ctx context.Context, name string, totalOps int64) (*Resul
 }
 
 // threadLoop is one client thread: per-op transaction wrapping with
-// Tier 5 measurement and optional throttling.
-func (c *Client) threadLoop(ctx context.Context, phase string, th int, ops int64, metered *db.Metered, timeline *measurement.Timeline, completed, aborts *atomic.Int64) error {
+// Tier 5 measurement and optional throttling. Each thread builds its
+// own middleware chain over the shared binding, so the metered layer
+// writes to thread-private measurement shards — no cross-thread lock
+// or shared cache line is touched on the per-operation path.
+func (c *Client) threadLoop(ctx context.Context, phase string, th int, ops int64, timeline *measurement.Timeline, completed, aborts *atomic.Int64) error {
 	ts, err := c.w.InitThread(th, c.cfg.Threads)
 	if err != nil {
 		return err
+	}
+	rec := c.reg.Recorder()
+	env := db.MiddlewareEnv{Props: c.cfg.Props, Recorder: rec}
+	if c.opLog != nil {
+		env.Observer = c.opLog
+	}
+	mws, err := db.BuildMiddlewares(c.mwNames, env)
+	if err != nil {
+		return fmt.Errorf("client: thread %d middleware stack: %w", th, err)
+	}
+	chain := db.Transactional(db.Chain(c.d, mws...))
+	// Whole-transaction (TX-<TYPE>) series handles, resolved once per
+	// op type; the map is thread-private, so lookups stay lock-free.
+	txSeries := make(map[workload.OpType]*measurement.SeriesRecorder, 8)
+	measureTx := func(op workload.OpType, d time.Duration, code int) {
+		h := txSeries[op]
+		if h == nil {
+			h = rec.Series(workload.TxSeries(op))
+			txSeries[op] = h
+		}
+		h.Measure(d, code)
 	}
 	var interval time.Duration
 	if c.cfg.TargetOpsPerSec > 0 {
@@ -251,7 +308,6 @@ func (c *Client) threadLoop(ctx context.Context, phase string, th int, ops int64
 		interval = time.Duration(float64(time.Second) / perThread)
 	}
 	next := time.Now()
-	reg := metered
 	// The phase deadline stops the loop BETWEEN operations; each
 	// operation runs on a non-cancelling context so it completes its
 	// read-modify-write sequence. Cutting an operation in half would
@@ -275,13 +331,13 @@ func (c *Client) threadLoop(ctx context.Context, phase string, th int, ops int64
 		}
 
 		txTimer := time.Now()
-		tctx, err := reg.Start(opCtx)
+		tctx, err := chain.Start(opCtx)
 		if err != nil {
 			aborts.Add(1)
 			completed.Add(1)
 			continue
 		}
-		view := reg.WithTx(tctx)
+		view := db.TxView(chain, tctx)
 		var op workload.OpType
 		if phase == "load" {
 			op = workload.OpInsert
@@ -290,9 +346,9 @@ func (c *Client) threadLoop(ctx context.Context, phase string, th int, ops int64
 			op, err = c.w.Do(opCtx, view, ts)
 		}
 		if err == nil {
-			err = reg.Commit(opCtx, tctx)
+			err = chain.Commit(opCtx, tctx)
 		} else {
-			reg.Abort(opCtx, tctx)
+			chain.Abort(opCtx, tctx)
 			err = fmt.Errorf("%w: workload error: %v", db.ErrAborted, err)
 		}
 		if err != nil {
@@ -304,7 +360,7 @@ func (c *Client) threadLoop(ctx context.Context, phase string, th int, ops int64
 				aa.OnAbort(ts)
 			}
 		}
-		c.reg.Measure(workload.TxSeries(op), time.Since(txTimer), db.ReturnCode(err))
+		measureTx(op, time.Since(txTimer), db.ReturnCode(err))
 		if timeline != nil {
 			timeline.Record()
 		}
@@ -313,28 +369,44 @@ func (c *Client) threadLoop(ctx context.Context, phase string, th int, ops int64
 	return nil
 }
 
+// txOperations sums the whole-transaction (TX-*) series from merged
+// shard snapshots — the number of workload operations completed so
+// far, readable mid-run without touching any per-thread state.
+func (c *Client) txOperations() int64 {
+	var total int64
+	for _, n := range c.reg.Names() {
+		if strings.HasPrefix(n, "TX-") {
+			total += c.reg.Snapshot(n).Operations
+		}
+	}
+	return total
+}
+
 // startStatusReporter launches the interim-throughput printer and
 // returns a function that stops it and waits for it to finish (so the
-// Status writer is quiescent when the phase returns).
-func (c *Client) startStatusReporter(phase string, completed *atomic.Int64, start time.Time) func() {
+// Status writer is quiescent when the phase returns). The reporter
+// reads merged measurement snapshots — the write side is per-thread
+// shards, so observing progress never interferes with the hot path.
+func (c *Client) startStatusReporter(phase string, start time.Time) func() {
 	if c.cfg.StatusInterval <= 0 || c.cfg.Status == nil {
 		return nil
 	}
 	done := make(chan struct{})
 	finished := make(chan struct{})
+	base := c.txOperations() // registry may carry earlier phases
 	go func() {
 		defer close(finished)
 		tick := time.NewTicker(c.cfg.StatusInterval)
 		defer tick.Stop()
-		var prev int64
+		prev := base
 		for {
 			select {
 			case <-done:
 				return
 			case <-tick.C:
-				cur := completed.Load()
+				cur := c.txOperations()
 				fmt.Fprintf(c.cfg.Status, "[%s] %s: %d operations; %.1f current ops/sec\n",
-					phase, time.Since(start).Round(time.Second), cur,
+					phase, time.Since(start).Round(time.Second), cur-base,
 					float64(cur-prev)/c.cfg.StatusInterval.Seconds())
 				prev = cur
 			}

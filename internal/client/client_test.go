@@ -219,6 +219,98 @@ func TestStatusReporter(t *testing.T) {
 	}
 }
 
+func TestMiddlewareStackEndToEnd(t *testing.T) {
+	ctx := context.Background()
+	p := cewProps(map[string]string{
+		"operationcount": "400",
+		"threadcount":    "2",
+		"middleware":     "trace,metered,retry",
+	})
+	c, reg, err := NewFromProperties(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.OpLog() == nil {
+		t.Fatal("trace middleware configured but no op log")
+	}
+	if _, err := c.Load(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Operations != 400 {
+		t.Errorf("run operations = %d", res.Operations)
+	}
+	// The metered layer recorded every series despite the longer stack.
+	for _, s := range []string{"START", "COMMIT", "READ", "TX-READ"} {
+		if reg.Snapshot(s).Operations == 0 {
+			t.Errorf("series %s empty; have %v", s, reg.Names())
+		}
+	}
+	// The trace layer, stacked outside metered, saw the same commits.
+	log := c.OpLog()
+	if log.Total() == 0 {
+		t.Fatal("op log empty after traced run")
+	}
+	var traced int64
+	for _, ev := range log.Events() {
+		if ev.Op == "COMMIT" {
+			traced++
+		}
+	}
+	if want := reg.Snapshot(db.SeriesCommit).Operations; log.Total() < want {
+		t.Errorf("op log total %d < metered COMMIT count %d", log.Total(), want)
+	} else if traced == 0 {
+		t.Error("no COMMIT events traced")
+	}
+}
+
+func TestFaultInjectionDrivesAborts(t *testing.T) {
+	ctx := context.Background()
+	p := cewProps(map[string]string{
+		"operationcount":          "300",
+		"threadcount":             "2",
+		"middleware":              "metered,faultinject",
+		"faultinject.probability": "0.3",
+	})
+	c, _, err := NewFromProperties(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load without faults (the stack applies to both phases here, so
+	// tolerate load aborts; what matters is the run sees failures).
+	if _, err := c.Load(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborts == 0 {
+		t.Error("30% injected faults produced zero aborts")
+	}
+	if res.Operations != 300 {
+		t.Errorf("operations = %d; injected faults must not lose ops", res.Operations)
+	}
+}
+
+func TestUnknownMiddlewareRejected(t *testing.T) {
+	p := cewProps(map[string]string{"middleware": "metered,nosuch"})
+	if _, _, err := NewFromProperties(p); err == nil {
+		t.Error("unknown middleware accepted")
+	}
+	w, _ := workload.New("closedeconomy")
+	if err := w.Init(cewProps(nil), nil); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := db.Open("memory")
+	if _, err := New(Config{Threads: 1, Middleware: "bogus"}, w, d, nil); err == nil {
+		t.Error("New accepted a bogus middleware stack")
+	}
+}
+
 func TestConfigValidation(t *testing.T) {
 	if _, err := New(Config{Threads: 0}, nil, nil, nil); err == nil {
 		t.Error("zero threads accepted")

@@ -95,7 +95,7 @@ func (b *Binding) Read(ctx context.Context, table, key string, fields []string) 
 	if err != nil {
 		return nil, translate(err)
 	}
-	return projectFields(rec.Fields, fields), nil
+	return db.ProjectFields(rec.Fields, fields), nil
 }
 
 // Scan implements db.DB.
@@ -106,7 +106,7 @@ func (b *Binding) Scan(ctx context.Context, table, startKey string, count int, f
 	}
 	out := make([]db.KV, 0, len(kvs))
 	for _, kv := range kvs {
-		out = append(out, db.KV{Key: kv.Key, Record: projectFields(kv.Record.Fields, fields)})
+		out = append(out, db.KV{Key: kv.Key, Record: db.ProjectFields(kv.Record.Fields, fields)})
 	}
 	return out, nil
 }
@@ -143,17 +143,4 @@ func (b *Binding) Insert(ctx context.Context, table, key string, values db.Recor
 // Delete implements db.DB.
 func (b *Binding) Delete(ctx context.Context, table, key string) error {
 	return translate(b.store.Delete(ctx, table, key, kvstore.AnyVersion))
-}
-
-func projectFields(all map[string][]byte, fields []string) db.Record {
-	if fields == nil {
-		return all
-	}
-	out := make(db.Record, len(fields))
-	for _, f := range fields {
-		if v, ok := all[f]; ok {
-			out[f] = v
-		}
-	}
-	return out
 }

@@ -8,10 +8,14 @@
 // NoTransactions to get that behaviour), so any plain YCSB binding
 // runs unchanged under the YCSB+T client.
 //
-// The package also provides Metered, the decorator that implements
-// Tier 5 (transactional overhead) measurement: every raw operation is
-// timed into its own series, and the client additionally times the
-// whole wrapping transaction into a "TX-<TYPE>" series.
+// The package also provides the composable Middleware chain
+// (middleware.go): decorators such as Metered (the Tier 5
+// transactional-overhead capture point), Traced, Retry and
+// FaultInject are all expressed as func(DB) DB combinators stacked by
+// Chain, so every client builds its interception stack declaratively
+// — e.g. from the "middleware" workload property. The client
+// additionally times the whole wrapping transaction into a
+// "TX-<TYPE>" series.
 package db
 
 import (
@@ -44,24 +48,44 @@ var (
 	ErrNotSupported = errors.New("db: operation not supported")
 )
 
+// Return codes recorded by the measurement layer (0 = OK, like
+// YCSB's Status ordinals). The measurement shards index a fixed
+// atomic array by these values, so keep them small and dense.
+const (
+	CodeOK           = 0
+	CodeNotFound     = 1
+	CodeConflict     = 2
+	CodeAborted      = 3
+	CodeThrottled    = 4
+	CodeNotSupported = 5
+	// CodeCancelled marks operations cut short by context
+	// cancellation or deadline expiry (phase shutdown), so shutdown
+	// noise is distinguishable from real errors in Tier-5 output.
+	CodeCancelled = 6
+	// CodeUnknown is every error no sentinel matches.
+	CodeUnknown = -1
+)
+
 // ReturnCode maps an operation error to the integer return code the
 // measurement layer records (0 = OK, like YCSB's Status).
 func ReturnCode(err error) int {
 	switch {
 	case err == nil:
-		return 0
+		return CodeOK
 	case errors.Is(err, ErrNotFound):
-		return 1
+		return CodeNotFound
 	case errors.Is(err, ErrConflict):
-		return 2
+		return CodeConflict
 	case errors.Is(err, ErrAborted):
-		return 3
+		return CodeAborted
 	case errors.Is(err, ErrThrottled):
-		return 4
+		return CodeThrottled
 	case errors.Is(err, ErrNotSupported):
-		return 5
+		return CodeNotSupported
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return CodeCancelled
 	default:
-		return -1
+		return CodeUnknown
 	}
 }
 
@@ -93,6 +117,22 @@ type DB interface {
 type KV struct {
 	Key    string
 	Record Record
+}
+
+// ProjectFields filters a full record down to the requested fields
+// (nil fields = everything). Shared by the bindings, which all
+// project reads and scans the same way.
+func ProjectFields(all map[string][]byte, fields []string) Record {
+	if fields == nil {
+		return all
+	}
+	out := make(Record, len(fields))
+	for _, f := range fields {
+		if v, ok := all[f]; ok {
+			out[f] = v
+		}
+	}
+	return out
 }
 
 // TransactionContext carries per-thread transaction state between

@@ -23,6 +23,9 @@ func TestReturnCode(t *testing.T) {
 		{ErrAborted, 3},
 		{ErrThrottled, 4},
 		{ErrNotSupported, 5},
+		{context.Canceled, 6},
+		{context.DeadlineExceeded, 6},
+		{fmt.Errorf("op: %w", context.DeadlineExceeded), 6},
 		{errors.New("other"), -1},
 	}
 	for _, c := range cases {
@@ -170,7 +173,7 @@ func TestMemoryConcurrent(t *testing.T) {
 func TestMeteredRecordsSeries(t *testing.T) {
 	ctx := context.Background()
 	reg := measurement.NewRegistry(0)
-	md := NewMetered(NewMemory(), reg)
+	md := NewMetered(NewMemory(), reg).(TransactionalDB)
 	if err := md.Init(properties.New()); err != nil {
 		t.Fatal(err)
 	}
@@ -225,8 +228,8 @@ func TestMeteredRecordsSeries(t *testing.T) {
 	if got := reg.Snapshot(SeriesRead).Returns[0]; got != 1 {
 		t.Errorf("READ Return=0 count = %d", got)
 	}
-	if md.Inner() == nil {
-		t.Error("Inner() nil")
+	if inner := md.(interface{ Unwrap() DB }).Unwrap(); inner == nil {
+		t.Error("Unwrap() nil")
 	}
 	if err := md.Cleanup(); err != nil {
 		t.Fatal(err)
@@ -236,8 +239,8 @@ func TestMeteredRecordsSeries(t *testing.T) {
 func TestMeteredWithTxOnPlainBinding(t *testing.T) {
 	reg := measurement.NewRegistry(0)
 	md := NewMetered(NewMemory(), reg)
-	tctx, _ := md.Start(context.Background())
-	view := md.WithTx(tctx)
+	tctx, _ := md.(TransactionalDB).Start(context.Background())
+	view := md.(ContextualDB).WithTx(tctx)
 	if view != md {
 		t.Error("WithTx on a non-contextual binding should return the metered DB itself")
 	}

@@ -5,10 +5,9 @@ import (
 	"time"
 
 	"ycsbt/internal/measurement"
-	"ycsbt/internal/properties"
 )
 
-// Series names used by the metered decorator; the client layer adds
+// Series names used by the metered middleware; the client layer adds
 // the "TX-" prefixed whole-transaction series on top (Tier 5).
 const (
 	SeriesRead   = "READ"
@@ -21,125 +20,36 @@ const (
 	SeriesAbort  = "ABORT"
 )
 
-// Metered decorates a DB so every raw operation's latency and return
-// code land in a measurement registry. This is the Tier 5 capture
-// point for individual database operations: the same series names
-// appear whether the run is transactional or not, so the overhead of
-// transactional execution can be compared directly.
-type Metered struct {
-	inner DB
-	reg   *measurement.Registry
-}
-
-// NewMetered wraps inner so its operations are measured into reg.
-func NewMetered(inner DB, reg *measurement.Registry) *Metered {
-	return &Metered{inner: inner, reg: reg}
-}
-
-// Inner returns the wrapped binding.
-func (m *Metered) Inner() DB { return m.inner }
-
-// Init forwards to the wrapped binding.
-func (m *Metered) Init(p *properties.Properties) error { return m.inner.Init(p) }
-
-// Cleanup forwards to the wrapped binding.
-func (m *Metered) Cleanup() error { return m.inner.Cleanup() }
-
-func (m *Metered) measure(series string, start time.Time, err error) {
-	m.reg.Measure(series, time.Since(start), ReturnCode(err))
-}
-
-// Read times and forwards a read.
-func (m *Metered) Read(ctx context.Context, table, key string, fields []string) (Record, error) {
-	t := time.Now()
-	rec, err := m.inner.Read(ctx, table, key, fields)
-	m.measure(SeriesRead, t, err)
-	return rec, err
-}
-
-// Scan times and forwards a scan.
-func (m *Metered) Scan(ctx context.Context, table, startKey string, count int, fields []string) ([]KV, error) {
-	t := time.Now()
-	kvs, err := m.inner.Scan(ctx, table, startKey, count, fields)
-	m.measure(SeriesScan, t, err)
-	return kvs, err
-}
-
-// Update times and forwards an update.
-func (m *Metered) Update(ctx context.Context, table, key string, values Record) error {
-	t := time.Now()
-	err := m.inner.Update(ctx, table, key, values)
-	m.measure(SeriesUpdate, t, err)
-	return err
-}
-
-// Insert times and forwards an insert.
-func (m *Metered) Insert(ctx context.Context, table, key string, values Record) error {
-	t := time.Now()
-	err := m.inner.Insert(ctx, table, key, values)
-	m.measure(SeriesInsert, t, err)
-	return err
-}
-
-// Delete times and forwards a delete.
-func (m *Metered) Delete(ctx context.Context, table, key string) error {
-	t := time.Now()
-	err := m.inner.Delete(ctx, table, key)
-	m.measure(SeriesDelete, t, err)
-	return err
-}
-
-// Start times and forwards transaction start. When the wrapped
-// binding is not transactional the paper's no-op default applies and
-// the measured latency is the cost of doing nothing — exactly what
-// Listing 3 shows for the raw store ([START] avg 0.08 µs).
-func (m *Metered) Start(ctx context.Context) (*TransactionContext, error) {
-	t := time.Now()
-	tctx, err := m.startInner(ctx)
-	m.measure(SeriesStart, t, err)
-	return tctx, err
-}
-
-func (m *Metered) startInner(ctx context.Context) (*TransactionContext, error) {
-	if tdb, ok := m.inner.(TransactionalDB); ok {
-		return tdb.Start(ctx)
+// Metered returns the measurement middleware: every operation's
+// latency and return code land in rec's private series shards. This
+// is the Tier 5 capture point for individual database operations: the
+// same series names appear whether the run is transactional or not,
+// so the overhead of transactional execution can be compared
+// directly.
+//
+// The per-operation cost is one time.Now pair plus a handful of
+// uncontended atomics — the series handles are resolved once here, so
+// the hot path touches no map and takes no lock. Allocate one
+// recorder per client thread (Client.threadLoop does) and the shards
+// never contend either.
+func Metered(rec *measurement.Recorder) Middleware {
+	var handles [numOps]*measurement.SeriesRecorder
+	for op := Op(0); op < numOps; op++ {
+		handles[op] = rec.Series(op.Series())
 	}
-	return NoTransactions{}.Start(ctx)
+	return Intercept(func(ctx context.Context, info OpInfo, call func(context.Context) error) error {
+		t := time.Now()
+		err := call(ctx)
+		handles[info.Op].Measure(time.Since(t), ReturnCode(err))
+		return err
+	})
 }
 
-// Commit times and forwards transaction commit.
-func (m *Metered) Commit(ctx context.Context, tctx *TransactionContext) error {
-	t := time.Now()
-	var err error
-	if tdb, ok := m.inner.(TransactionalDB); ok {
-		err = tdb.Commit(ctx, tctx)
-	}
-	m.measure(SeriesCommit, t, err)
-	return err
+// NewMetered wraps inner so its operations are measured into reg —
+// the seed's decorator, now expressed as Chain(inner, Metered(…)).
+// The returned DB implements TransactionalDB and ContextualDB. All
+// callers share one recorder (and thus one set of shards), so prefer
+// per-thread Metered recorders on hot paths.
+func NewMetered(inner DB, reg *measurement.Registry) DB {
+	return Chain(inner, Metered(reg.Recorder()))
 }
-
-// Abort times and forwards transaction abort.
-func (m *Metered) Abort(ctx context.Context, tctx *TransactionContext) error {
-	t := time.Now()
-	var err error
-	if tdb, ok := m.inner.(TransactionalDB); ok {
-		err = tdb.Abort(ctx, tctx)
-	}
-	m.measure(SeriesAbort, t, err)
-	return err
-}
-
-// WithTx returns a metered view of the wrapped binding's
-// transactional view, so in-transaction operations are measured into
-// the same raw series.
-func (m *Metered) WithTx(tctx *TransactionContext) DB {
-	if cdb, ok := m.inner.(ContextualDB); ok {
-		return NewMetered(cdb.WithTx(tctx), m.reg)
-	}
-	return m
-}
-
-var (
-	_ TransactionalDB = (*Metered)(nil)
-	_ ContextualDB    = (*Metered)(nil)
-)

@@ -1,0 +1,487 @@
+package db
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ycsbt/internal/measurement"
+	"ycsbt/internal/properties"
+)
+
+// Middleware wraps a DB with extra behaviour — measurement, tracing,
+// retry, fault injection, caching, batching — without the binding or
+// the client knowing about it. Middlewares compose with Chain.
+type Middleware func(DB) DB
+
+// Chain stacks middlewares over base in declared order: the first
+// middleware is the outermost layer, so with Chain(base, a, b) an
+// operation flows a → b → base. The returned DB always implements
+// TransactionalDB and ContextualDB (with the paper's no-op defaults
+// when base is a plain YCSB binding), so callers can demarcate
+// transactions without type switching.
+func Chain(base DB, mws ...Middleware) DB {
+	d := base
+	for i := len(mws) - 1; i >= 0; i-- {
+		d = mws[i](d)
+	}
+	return d
+}
+
+// Op identifies one intercepted database operation.
+type Op uint8
+
+// Intercepted operations, raw CRUD first, then transaction
+// demarcation.
+const (
+	OpRead Op = iota
+	OpScan
+	OpUpdate
+	OpInsert
+	OpDelete
+	OpStart
+	OpCommit
+	OpAbort
+	numOps
+)
+
+var opSeries = [numOps]string{
+	SeriesRead, SeriesScan, SeriesUpdate, SeriesInsert, SeriesDelete,
+	SeriesStart, SeriesCommit, SeriesAbort,
+}
+
+// Series returns the measurement series name of the operation
+// ("READ", "COMMIT", …).
+func (o Op) Series() string {
+	if o < numOps {
+		return opSeries[o]
+	}
+	return fmt.Sprintf("OP(%d)", uint8(o))
+}
+
+// String returns the series name.
+func (o Op) String() string { return o.Series() }
+
+// Demarcation reports whether the op is Start, Commit or Abort.
+func (o Op) Demarcation() bool { return o >= OpStart }
+
+// OpInfo describes one operation flowing through an interceptor.
+type OpInfo struct {
+	// Op is the operation kind.
+	Op Op
+	// Table is the target table ("" for demarcation ops).
+	Table string
+	// Key is the target key (the start key for scans, "" for
+	// demarcation ops).
+	Key string
+}
+
+// Interceptor is the uniform around-advice every middleware reduces
+// to: it runs arbitrary code before/after the operation, may mutate
+// the context, may skip the call entirely (fault injection), and may
+// invoke call more than once (retry). call is re-invocable.
+type Interceptor func(ctx context.Context, info OpInfo, call func(context.Context) error) error
+
+// Intercept lifts an Interceptor into a Middleware: the returned
+// wrapper routes all nine DB operations — including Start, Commit and
+// Abort — through fn, so a middleware is written once and observes
+// raw ops and transaction demarcation alike.
+func Intercept(fn Interceptor) Middleware {
+	return func(inner DB) DB {
+		return &intercepted{inner: inner, fn: fn}
+	}
+}
+
+// intercepted is the generic middleware wrapper. It satisfies
+// TransactionalDB (falling back to the paper's no-op demarcation when
+// the inner binding is not transactional) and ContextualDB (the
+// in-transaction view is wrapped with the same interceptor, so
+// in-transaction operations are observed too).
+type intercepted struct {
+	inner DB
+	fn    Interceptor
+}
+
+// Unwrap returns the wrapped DB (for introspection and tests).
+func (w *intercepted) Unwrap() DB { return w.inner }
+
+// Init forwards to the wrapped binding uninstrumented.
+func (w *intercepted) Init(p *properties.Properties) error { return w.inner.Init(p) }
+
+// Cleanup forwards to the wrapped binding uninstrumented.
+func (w *intercepted) Cleanup() error { return w.inner.Cleanup() }
+
+// Read routes a read through the interceptor.
+func (w *intercepted) Read(ctx context.Context, table, key string, fields []string) (Record, error) {
+	var rec Record
+	err := w.fn(ctx, OpInfo{Op: OpRead, Table: table, Key: key}, func(ctx context.Context) error {
+		var err error
+		rec, err = w.inner.Read(ctx, table, key, fields)
+		return err
+	})
+	return rec, err
+}
+
+// Scan routes a scan through the interceptor.
+func (w *intercepted) Scan(ctx context.Context, table, startKey string, count int, fields []string) ([]KV, error) {
+	var kvs []KV
+	err := w.fn(ctx, OpInfo{Op: OpScan, Table: table, Key: startKey}, func(ctx context.Context) error {
+		var err error
+		kvs, err = w.inner.Scan(ctx, table, startKey, count, fields)
+		return err
+	})
+	return kvs, err
+}
+
+// Update routes an update through the interceptor.
+func (w *intercepted) Update(ctx context.Context, table, key string, values Record) error {
+	return w.fn(ctx, OpInfo{Op: OpUpdate, Table: table, Key: key}, func(ctx context.Context) error {
+		return w.inner.Update(ctx, table, key, values)
+	})
+}
+
+// Insert routes an insert through the interceptor.
+func (w *intercepted) Insert(ctx context.Context, table, key string, values Record) error {
+	return w.fn(ctx, OpInfo{Op: OpInsert, Table: table, Key: key}, func(ctx context.Context) error {
+		return w.inner.Insert(ctx, table, key, values)
+	})
+}
+
+// Delete routes a delete through the interceptor.
+func (w *intercepted) Delete(ctx context.Context, table, key string) error {
+	return w.fn(ctx, OpInfo{Op: OpDelete, Table: table, Key: key}, func(ctx context.Context) error {
+		return w.inner.Delete(ctx, table, key)
+	})
+}
+
+// Start routes transaction start through the interceptor. When the
+// wrapped binding is not transactional the paper's no-op default
+// applies and the measured latency is the cost of doing nothing —
+// exactly what Listing 3 shows for the raw store ([START] avg
+// 0.08 µs).
+func (w *intercepted) Start(ctx context.Context) (*TransactionContext, error) {
+	var tctx *TransactionContext
+	err := w.fn(ctx, OpInfo{Op: OpStart}, func(ctx context.Context) error {
+		var err error
+		tctx, err = Transactional(w.inner).Start(ctx)
+		return err
+	})
+	return tctx, err
+}
+
+// Commit routes transaction commit through the interceptor.
+func (w *intercepted) Commit(ctx context.Context, tctx *TransactionContext) error {
+	return w.fn(ctx, OpInfo{Op: OpCommit}, func(ctx context.Context) error {
+		return Transactional(w.inner).Commit(ctx, tctx)
+	})
+}
+
+// Abort routes transaction abort through the interceptor.
+func (w *intercepted) Abort(ctx context.Context, tctx *TransactionContext) error {
+	return w.fn(ctx, OpInfo{Op: OpAbort}, func(ctx context.Context) error {
+		return Transactional(w.inner).Abort(ctx, tctx)
+	})
+}
+
+// WithTx returns a view whose in-transaction operations flow through
+// the same interceptor, so they land in the same series / trace.
+func (w *intercepted) WithTx(tctx *TransactionContext) DB {
+	if cdb, ok := w.inner.(ContextualDB); ok {
+		return &intercepted{inner: cdb.WithTx(tctx), fn: w.fn}
+	}
+	return w
+}
+
+var (
+	_ TransactionalDB = (*intercepted)(nil)
+	_ ContextualDB    = (*intercepted)(nil)
+)
+
+// nonTx adapts a plain YCSB binding to TransactionalDB with the
+// paper's no-op demarcation.
+type nonTx struct {
+	DB
+	NoTransactions
+}
+
+// WithTx forwards to the wrapped binding's view when it has one.
+func (n nonTx) WithTx(tctx *TransactionContext) DB { return TxView(n.DB, tctx) }
+
+// Transactional returns d as a TransactionalDB, adapting plain
+// bindings with no-op Start/Commit/Abort ("backward compatible with
+// YCSB").
+func Transactional(d DB) TransactionalDB {
+	if tdb, ok := d.(TransactionalDB); ok {
+		return tdb
+	}
+	return nonTx{DB: d}
+}
+
+// TxView returns the view of d that executes inside tctx, or d itself
+// when the binding has no per-transaction views.
+func TxView(d DB, tctx *TransactionContext) DB {
+	if cdb, ok := d.(ContextualDB); ok {
+		return cdb.WithTx(tctx)
+	}
+	return d
+}
+
+// OpObserver receives one event per completed operation from the
+// Traced middleware. internal/trace.OpLog implements it; the
+// interface lives here so db does not depend on the trace package.
+type OpObserver interface {
+	// ObserveOp is called after the operation (and anything stacked
+	// inside the trace middleware) completes.
+	ObserveOp(info OpInfo, latency time.Duration, err error)
+}
+
+// Traced returns the operation-tracing middleware: every operation
+// that flows through it — raw ops and Start/Commit/Abort alike — is
+// reported to obs with its latency and outcome. Stack it outside
+// Metered and it observes exactly the operations the metered layer
+// timed.
+func Traced(obs OpObserver) Middleware {
+	return Intercept(func(ctx context.Context, info OpInfo, call func(context.Context) error) error {
+		t := time.Now()
+		err := call(ctx)
+		obs.ObserveOp(info, time.Since(t), err)
+		return err
+	})
+}
+
+// RetryOptions configures the Retry middleware.
+type RetryOptions struct {
+	// MaxAttempts bounds total tries per operation (≥1; default 3).
+	MaxAttempts int
+	// Backoff is the first retry's delay; it doubles per attempt
+	// (default 100µs).
+	Backoff time.Duration
+	// MaxBackoff caps the delay (default 100ms).
+	MaxBackoff time.Duration
+	// RetryConflicts additionally retries raw operations that fail
+	// with ErrConflict (version/ETag races on auto-commit paths).
+	// Commit conflicts are never retried: a conflicted commit means
+	// the transaction aborted, and re-driving it is the client's job.
+	RetryConflicts bool
+}
+
+func (o RetryOptions) withDefaults() RetryOptions {
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 100 * time.Microsecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 100 * time.Millisecond
+	}
+	return o
+}
+
+// Retry returns the retry/backoff middleware: operations failing with
+// ErrThrottled (cloud request-rate caps) — and, when enabled, raw
+// operations failing with ErrConflict — are retried with exponential
+// backoff. Stack it outside Metered to time each attempt
+// individually, or inside to time the whole retried operation once.
+func Retry(o RetryOptions) Middleware {
+	o = o.withDefaults()
+	retryable := func(info OpInfo, err error) bool {
+		if errors.Is(err, ErrThrottled) {
+			return true
+		}
+		return o.RetryConflicts && !info.Op.Demarcation() && errors.Is(err, ErrConflict)
+	}
+	return Intercept(func(ctx context.Context, info OpInfo, call func(context.Context) error) error {
+		var err error
+		delay := o.Backoff
+		for attempt := 0; attempt < o.MaxAttempts; attempt++ {
+			if err = call(ctx); err == nil || !retryable(info, err) {
+				return err
+			}
+			if attempt == o.MaxAttempts-1 {
+				break
+			}
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return err
+			}
+			if delay *= 2; delay > o.MaxBackoff {
+				delay = o.MaxBackoff
+			}
+		}
+		return err
+	})
+}
+
+// FaultOptions configures the FaultInject middleware.
+type FaultOptions struct {
+	// Probability is the per-operation failure rate in [0, 1].
+	Probability float64
+	// Err is the injected error (default ErrThrottled, so the Retry
+	// middleware can absorb injected faults when stacked outside).
+	Err error
+	// Demarcation also injects into Start/Commit/Abort (default raw
+	// ops only, so abort accounting stays workload-driven).
+	Demarcation bool
+}
+
+// FaultInject returns the fault-injection middleware: it fails the
+// configured fraction of operations before they reach the binding.
+// Injection is deterministic (a Weyl-sequence hash over a shared
+// operation counter, no locks, no global rand), so runs are
+// reproducible.
+func FaultInject(o FaultOptions) Middleware {
+	if o.Err == nil {
+		o.Err = ErrThrottled
+	}
+	threshold := uint64(o.Probability * (1 << 32))
+	var seq atomic.Uint64
+	return Intercept(func(ctx context.Context, info OpInfo, call func(context.Context) error) error {
+		if threshold > 0 && (o.Demarcation || !info.Op.Demarcation()) {
+			// Golden-ratio multiplicative hash of the op sequence
+			// number: equidistributed, deterministic, lock-free.
+			h := seq.Add(1) * 0x9E3779B97F4A7C15 >> 32
+			if h < threshold {
+				return fmt.Errorf("%w: injected fault", o.Err)
+			}
+		}
+		return call(ctx)
+	})
+}
+
+// MiddlewareEnv carries the dependencies property-built middlewares
+// need: the run properties, the calling thread's measurement recorder
+// (for "metered") and the operation observer (for "trace").
+type MiddlewareEnv struct {
+	Props    *properties.Properties
+	Recorder *measurement.Recorder
+	Observer OpObserver
+}
+
+// MiddlewareFactory builds one middleware from the environment.
+type MiddlewareFactory func(env MiddlewareEnv) (Middleware, error)
+
+var (
+	mwMu       sync.RWMutex
+	mwRegistry = make(map[string]MiddlewareFactory)
+)
+
+// RegisterMiddleware makes a middleware available by name to
+// property-driven stacks ("middleware=metered,trace,retry"). Like
+// Register, duplicate names panic at init time.
+func RegisterMiddleware(name string, f MiddlewareFactory) {
+	mwMu.Lock()
+	defer mwMu.Unlock()
+	if _, dup := mwRegistry[name]; dup {
+		panic(fmt.Sprintf("db: duplicate middleware registration of %q", name))
+	}
+	mwRegistry[name] = f
+}
+
+// MiddlewareNames returns the registered middleware names, sorted.
+func MiddlewareNames() []string {
+	mwMu.RLock()
+	defer mwMu.RUnlock()
+	names := make([]string, 0, len(mwRegistry))
+	for n := range mwRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseMiddlewares splits a comma-separated middleware spec
+// (outermost first) and validates every name against the registry.
+func ParseMiddlewares(spec string) ([]string, error) {
+	var names []string
+	for _, raw := range strings.Split(spec, ",") {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			continue
+		}
+		mwMu.RLock()
+		_, ok := mwRegistry[name]
+		mwMu.RUnlock()
+		if !ok {
+			return nil, fmt.Errorf("db: unknown middleware %q (have %v)", name, MiddlewareNames())
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+// BuildMiddlewares instantiates the named middlewares (outermost
+// first, ready for Chain) against the environment. It is called once
+// per client thread so the "metered" layer binds to that thread's
+// private recorder shards.
+func BuildMiddlewares(names []string, env MiddlewareEnv) ([]Middleware, error) {
+	if env.Props == nil {
+		env.Props = properties.New()
+	}
+	out := make([]Middleware, 0, len(names))
+	for _, name := range names {
+		mwMu.RLock()
+		f, ok := mwRegistry[name]
+		mwMu.RUnlock()
+		if !ok {
+			return nil, fmt.Errorf("db: unknown middleware %q (have %v)", name, MiddlewareNames())
+		}
+		mw, err := f(env)
+		if err != nil {
+			return nil, fmt.Errorf("db: building middleware %q: %w", name, err)
+		}
+		out = append(out, mw)
+	}
+	return out, nil
+}
+
+func init() {
+	RegisterMiddleware("metered", func(env MiddlewareEnv) (Middleware, error) {
+		if env.Recorder == nil {
+			return nil, errors.New("metered middleware needs a measurement recorder")
+		}
+		return Metered(env.Recorder), nil
+	})
+	RegisterMiddleware("trace", func(env MiddlewareEnv) (Middleware, error) {
+		if env.Observer == nil {
+			return nil, errors.New("trace middleware needs an operation observer")
+		}
+		return Traced(env.Observer), nil
+	})
+	RegisterMiddleware("retry", func(env MiddlewareEnv) (Middleware, error) {
+		return Retry(RetryOptions{
+			MaxAttempts:    env.Props.GetInt("retry.attempts", 3),
+			Backoff:        time.Duration(env.Props.GetInt64("retry.backoff_us", 100)) * time.Microsecond,
+			MaxBackoff:     time.Duration(env.Props.GetInt64("retry.maxbackoff_us", 100000)) * time.Microsecond,
+			RetryConflicts: env.Props.GetBool("retry.conflicts", false),
+		}), nil
+	})
+	RegisterMiddleware("faultinject", func(env MiddlewareEnv) (Middleware, error) {
+		prob := env.Props.GetFloat("faultinject.probability", 0)
+		if prob < 0 || prob > 1 {
+			return nil, fmt.Errorf("faultinject.probability %v outside [0,1]", prob)
+		}
+		var injected error
+		switch e := env.Props.GetString("faultinject.error", "throttled"); e {
+		case "throttled":
+			injected = ErrThrottled
+		case "conflict":
+			injected = ErrConflict
+		case "notfound":
+			injected = ErrNotFound
+		default:
+			return nil, fmt.Errorf("unknown faultinject.error %q", e)
+		}
+		return FaultInject(FaultOptions{
+			Probability: prob,
+			Err:         injected,
+			Demarcation: env.Props.GetBool("faultinject.demarcation", false),
+		}), nil
+	})
+}

@@ -102,7 +102,7 @@ func (c *Client) Read(ctx context.Context, table, key string, fields []string) (
 	if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
 		return nil, fmt.Errorf("httpkv: decoding record: %w", err)
 	}
-	return projectFields(wr.Fields, fields), nil
+	return db.ProjectFields(wr.Fields, fields), nil
 }
 
 // ReadVersioned fetches a record together with its version (ETag);
@@ -142,7 +142,7 @@ func (c *Client) Scan(ctx context.Context, table, startKey string, count int, fi
 	}
 	out := make([]db.KV, 0, len(wrs))
 	for _, wr := range wrs {
-		out = append(out, db.KV{Key: wr.Key, Record: projectFields(wr.Fields, fields)})
+		out = append(out, db.KV{Key: wr.Key, Record: db.ProjectFields(wr.Fields, fields)})
 	}
 	return out, nil
 }
@@ -281,17 +281,4 @@ func (c *Client) Delete(ctx context.Context, table, key string) error {
 	}
 	resp.Body.Close()
 	return nil
-}
-
-func projectFields(all map[string][]byte, fields []string) db.Record {
-	if fields == nil {
-		return all
-	}
-	out := make(db.Record, len(fields))
-	for _, f := range fields {
-		if v, ok := all[f]; ok {
-			out[f] = v
-		}
-	}
-	return out
 }

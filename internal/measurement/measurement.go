@@ -14,8 +14,17 @@
 //	[UPDATE], MaxLatency(us), 80946
 //	[UPDATE], Return=0, 200206
 //
-// Series are safe for concurrent use by many client threads; the hot
-// path (Measure) is a handful of atomic operations.
+// # Sharded recording
+//
+// The hot path is lock-free: a Series is a set of shards, each a block
+// of plain atomics (count, sum, min/max, 1-ms histogram, and a fixed
+// return-code array — no map, no mutex). Client threads obtain a
+// per-thread Recorder from the Registry; each Recorder writes to its
+// own private shard per series, so concurrent threads never touch the
+// same cache lines on the per-operation path. Readers
+// (Snapshot/Export*) merge all shards at read time, which is the cold
+// path. Series.Measure without a Recorder is still supported and
+// lock-free; it writes to a shared multi-writer shard.
 package measurement
 
 import (
@@ -33,33 +42,101 @@ import (
 // maintained for percentile estimation, matching YCSB's default.
 const defaultHistogramBuckets = 1000
 
-// Series accumulates latency measurements for one operation type.
-type Series struct {
-	name string
+// maxReturnSlots sizes the fixed per-shard return-code array. Codes
+// 0..maxReturnSlots-2 index their own slot; every other code
+// (negative, e.g. the -1 "unknown error" code, or overflow) shares
+// the final slot and is reported back as code -1.
+const maxReturnSlots = 16
 
-	count atomic.Int64
-	sumUS atomic.Int64
-	minUS atomic.Int64 // math.MaxInt64 until first measurement
-	maxUS atomic.Int64
+// returnSlot maps a return code onto its array slot.
+func returnSlot(code int) int {
+	if code >= 0 && code < maxReturnSlots-1 {
+		return code
+	}
+	return maxReturnSlots - 1
+}
 
+// shard is one writer's view of a series: a block of atomics with no
+// interior locking. A shard handed to a Recorder has a single writing
+// goroutine in the common case, but every update is a full atomic
+// RMW, so sharing one (Series.Measure's shared shard) stays correct —
+// merely contended. There is deliberately no operation counter: the
+// count is the sum of the return-code array, recovered at snapshot
+// time, which keeps one atomic off the per-operation path.
+type shard struct {
+	sumUS   atomic.Int64
+	minUS   atomic.Int64 // math.MaxInt64 until first measurement
+	maxUS   atomic.Int64
+	returns [maxReturnSlots]atomic.Int64
 	// histogram of latencies in 1-ms buckets; the final slot counts
 	// overflow (latency ≥ len-1 ms).
 	buckets []atomic.Int64
+}
 
-	mu      sync.Mutex
-	returns map[int]int64 // return code → count
+// count recovers the shard's operation count (snapshot-time only).
+func (sh *shard) countOps() int64 {
+	var n int64
+	for i := range sh.returns {
+		n += sh.returns[i].Load()
+	}
+	return n
+}
+
+func newShard(nbuckets int) *shard {
+	sh := &shard{buckets: make([]atomic.Int64, nbuckets+1)}
+	sh.minUS.Store(math.MaxInt64)
+	return sh
+}
+
+func (sh *shard) measure(latency time.Duration, returnCode int) {
+	us := latency.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	sh.sumUS.Add(us)
+	for {
+		cur := sh.minUS.Load()
+		if us >= cur || sh.minUS.CompareAndSwap(cur, us) {
+			break
+		}
+	}
+	for {
+		cur := sh.maxUS.Load()
+		if us <= cur || sh.maxUS.CompareAndSwap(cur, us) {
+			break
+		}
+	}
+	ms := us / 1000
+	if ms >= int64(len(sh.buckets)-1) {
+		ms = int64(len(sh.buckets) - 1)
+	}
+	sh.buckets[ms].Add(1)
+	sh.returns[returnSlot(returnCode)].Add(1)
+}
+
+// Series accumulates latency measurements for one operation type.
+type Series struct {
+	name     string
+	nbuckets int
+
+	// shared is the multi-writer shard behind Series.Measure, for
+	// callers that never allocated a Recorder.
+	shared shard
+
+	// extra holds the Recorder-owned shards. The slice is replaced
+	// copy-on-write (guarded by grow) so readers can load it without
+	// locking; Measure never touches grow.
+	grow  sync.Mutex
+	extra atomic.Pointer[[]*shard]
 }
 
 func newSeries(name string, nbuckets int) *Series {
 	if nbuckets <= 0 {
 		nbuckets = defaultHistogramBuckets
 	}
-	s := &Series{
-		name:    name,
-		buckets: make([]atomic.Int64, nbuckets+1),
-		returns: make(map[int]int64),
-	}
-	s.minUS.Store(math.MaxInt64)
+	s := &Series{name: name, nbuckets: nbuckets}
+	s.shared.buckets = make([]atomic.Int64, nbuckets+1)
+	s.shared.minUS.Store(math.MaxInt64)
 	return s
 }
 
@@ -67,35 +144,36 @@ func newSeries(name string, nbuckets int) *Series {
 func (s *Series) Name() string { return s.name }
 
 // Measure records one operation with the given latency and return
-// code (0 = success, like YCSB's Status ordinals).
+// code (0 = success, like YCSB's Status ordinals) into the shared
+// shard. Lock-free; prefer a Recorder handle on hot paths so threads
+// write disjoint shards.
 func (s *Series) Measure(latency time.Duration, returnCode int) {
-	us := latency.Microseconds()
-	if us < 0 {
-		us = 0
-	}
-	s.count.Add(1)
-	s.sumUS.Add(us)
-	for {
-		cur := s.minUS.Load()
-		if us >= cur || s.minUS.CompareAndSwap(cur, us) {
-			break
-		}
-	}
-	for {
-		cur := s.maxUS.Load()
-		if us <= cur || s.maxUS.CompareAndSwap(cur, us) {
-			break
-		}
-	}
-	ms := us / 1000
-	if ms >= int64(len(s.buckets)-1) {
-		ms = int64(len(s.buckets) - 1)
-	}
-	s.buckets[ms].Add(1)
+	s.shared.measure(latency, returnCode)
+}
 
-	s.mu.Lock()
-	s.returns[returnCode]++
-	s.mu.Unlock()
+// newShard allocates a fresh single-writer shard and links it into
+// the series. Called once per (Recorder, series); not a hot path.
+func (s *Series) newShard() *shard {
+	sh := newShard(s.nbuckets)
+	s.grow.Lock()
+	old := s.extra.Load()
+	var next []*shard
+	if old != nil {
+		next = append(next, *old...)
+	}
+	next = append(next, sh)
+	s.extra.Store(&next)
+	s.grow.Unlock()
+	return sh
+}
+
+// allShards returns the shared shard plus every recorder shard.
+func (s *Series) allShards() []*shard {
+	out := []*shard{&s.shared}
+	if extra := s.extra.Load(); extra != nil {
+		out = append(out, *extra...)
+	}
+	return out
 }
 
 // Summary is a point-in-time snapshot of a series.
@@ -110,71 +188,106 @@ type Summary struct {
 	Returns    map[int]int64 `json:"returns"`
 }
 
-// Snapshot returns a consistent-enough summary of the series. Called
-// after the run completes, so no tearing matters in practice.
+// Snapshot merges every shard into a consistent-enough summary.
+// Usually called after the run completes; mid-run calls (the status
+// reporter) may observe operations mid-flight, which is fine for
+// progress reporting.
 func (s *Series) Snapshot() Summary {
-	n := s.count.Load()
-	sum := s.sumUS.Load()
-	min := s.minUS.Load()
+	var (
+		n, sum  int64
+		minUS   int64 = math.MaxInt64
+		maxUS   int64
+		returns [maxReturnSlots]int64
+	)
+	buckets := make([]int64, s.nbuckets+1)
+	for _, sh := range s.allShards() {
+		c := sh.countOps()
+		if c == 0 {
+			continue
+		}
+		n += c
+		sum += sh.sumUS.Load()
+		if m := sh.minUS.Load(); m < minUS {
+			minUS = m
+		}
+		if m := sh.maxUS.Load(); m > maxUS {
+			maxUS = m
+		}
+		for i := range sh.buckets {
+			buckets[i] += sh.buckets[i].Load()
+		}
+		for i := range sh.returns {
+			returns[i] += sh.returns[i].Load()
+		}
+	}
 	if n == 0 {
-		min = 0
+		minUS = 0
 	}
 	out := Summary{
 		Name:       s.name,
 		Operations: n,
-		MinUS:      min,
-		MaxUS:      s.maxUS.Load(),
+		MinUS:      minUS,
+		MaxUS:      maxUS,
 		Returns:    make(map[int]int64),
 	}
 	if n > 0 {
 		out.AvgUS = float64(sum) / float64(n)
 	}
-	out.P95MS = s.percentileMS(n, 0.95)
-	out.P99MS = s.percentileMS(n, 0.99)
-	s.mu.Lock()
-	for k, v := range s.returns {
-		out.Returns[k] = v
+	out.P95MS = percentileMS(buckets, n, 0.95)
+	out.P99MS = percentileMS(buckets, n, 0.99)
+	for slot, c := range returns {
+		if c == 0 {
+			continue
+		}
+		code := slot
+		if slot == maxReturnSlots-1 {
+			code = -1
+		}
+		out.Returns[code] = c
 	}
-	s.mu.Unlock()
 	return out
 }
 
 // percentileMS estimates the p-th percentile latency in milliseconds
-// from the bucket histogram.
-func (s *Series) percentileMS(n int64, p float64) int64 {
+// from a merged bucket histogram.
+func percentileMS(buckets []int64, n int64, p float64) int64 {
 	if n == 0 {
 		return 0
 	}
 	target := int64(math.Ceil(float64(n) * p))
 	var cum int64
-	for i := range s.buckets {
-		cum += s.buckets[i].Load()
+	for i, c := range buckets {
+		cum += c
 		if cum >= target {
 			return int64(i)
 		}
 	}
-	return int64(len(s.buckets) - 1)
+	return int64(len(buckets) - 1)
 }
 
 // HistogramBucket returns the count of measurements that fell in the
-// i-th 1-ms bucket (the final index is the overflow bucket).
+// i-th 1-ms bucket (the final index is the overflow bucket), merged
+// across shards.
 func (s *Series) HistogramBucket(i int) int64 {
-	if i < 0 || i >= len(s.buckets) {
+	if i < 0 || i > s.nbuckets {
 		return 0
 	}
-	return s.buckets[i].Load()
+	var total int64
+	for _, sh := range s.allShards() {
+		total += sh.buckets[i].Load()
+	}
+	return total
 }
 
 // NumBuckets returns the number of histogram buckets including the
 // overflow slot.
-func (s *Series) NumBuckets() int { return len(s.buckets) }
+func (s *Series) NumBuckets() int { return s.nbuckets + 1 }
 
 // Registry holds all measurement series of one benchmark run.
 type Registry struct {
 	mu             sync.RWMutex
 	series         map[string]*Series
-	order          []string // insertion order, for stable reporting
-	histogramCount int      // buckets to *print*; 0 disables bucket lines
+	histogramCount int // buckets to *print*; 0 disables bucket lines
 }
 
 // NewRegistry returns an empty registry. printBuckets controls how
@@ -203,25 +316,78 @@ func (r *Registry) Series(name string) *Series {
 	}
 	s = newSeries(name, defaultHistogramBuckets)
 	r.series[name] = s
-	r.order = append(r.order, name)
 	return s
 }
 
-// Measure records one measurement in the named series.
+// Measure records one measurement in the named series' shared shard.
+// Convenience slow-ish path (map lookup under RLock); hot loops should
+// hold a Recorder handle instead.
 func (r *Registry) Measure(name string, latency time.Duration, returnCode int) {
 	r.Series(name).Measure(latency, returnCode)
 }
 
-// Names returns the series names in first-use order.
+// Recorder is a per-thread front end to the registry: each series
+// handle it resolves is backed by a private shard, so measurements
+// from distinct Recorders never contend. Handle resolution takes a
+// small lock; do it once (Series) and measure through the returned
+// handle on the hot path. A Recorder is safe for concurrent use, but
+// sharing one across threads shares its shards and reintroduces
+// contention.
+type Recorder struct {
+	reg     *Registry
+	mu      sync.Mutex
+	handles map[string]*SeriesRecorder
+}
+
+// Recorder allocates a new per-thread recorder over the registry.
+func (r *Registry) Recorder() *Recorder {
+	return &Recorder{reg: r, handles: make(map[string]*SeriesRecorder)}
+}
+
+// Series resolves (once) the recorder's private handle for a series.
+func (rec *Recorder) Series(name string) *SeriesRecorder {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if h, ok := rec.handles[name]; ok {
+		return h
+	}
+	h := &SeriesRecorder{sh: rec.reg.Series(name).newShard()}
+	rec.handles[name] = h
+	return h
+}
+
+// Measure records into the named series via the recorder's private
+// shard (resolving the handle on first use).
+func (rec *Recorder) Measure(name string, latency time.Duration, returnCode int) {
+	rec.Series(name).Measure(latency, returnCode)
+}
+
+// SeriesRecorder is one recorder's handle to one series. Measure is
+// the per-operation hot path: a handful of uncontended atomics, no
+// map, no mutex.
+type SeriesRecorder struct {
+	sh *shard
+}
+
+// Measure records one operation into the handle's private shard.
+func (h *SeriesRecorder) Measure(latency time.Duration, returnCode int) {
+	h.sh.measure(latency, returnCode)
+}
+
+// Names returns the series names sorted alphabetically, so reports
+// and exports are deterministic across runs.
 func (r *Registry) Names() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make([]string, len(r.order))
-	copy(out, r.order)
-	return out
+	names := make([]string, 0, len(r.series))
+	for n := range r.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
-// Snapshots returns summaries for every series in first-use order.
+// Snapshots returns summaries for every series, sorted by name.
 func (r *Registry) Snapshots() []Summary {
 	names := r.Names()
 	out := make([]Summary, 0, len(names))
@@ -257,7 +423,8 @@ func (r *Registry) TotalOperations(names ...string) int64 {
 	return total
 }
 
-// ExportText writes every series in the paper's Listing 3 format.
+// ExportText writes every series in the paper's Listing 3 format,
+// sorted by series name.
 func (r *Registry) ExportText(w io.Writer) error {
 	for _, s := range r.Snapshots() {
 		if err := exportSeriesText(w, s, r); err != nil {
@@ -322,7 +489,8 @@ func exportSeriesText(w io.Writer, s Summary, r *Registry) error {
 	return nil
 }
 
-// ExportJSON writes every series summary as a JSON array.
+// ExportJSON writes every series summary as a JSON array, sorted by
+// series name so exports diff cleanly across runs.
 func (r *Registry) ExportJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

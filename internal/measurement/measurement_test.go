@@ -158,9 +158,127 @@ func TestExportTextFormat(t *testing.T) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
 	}
-	// First-use order preserved: UPDATE before COMMIT.
-	if strings.Index(out, "[UPDATE]") > strings.Index(out, "[COMMIT]") {
-		t.Error("series not in first-use order")
+	// Series are exported sorted by name: COMMIT before UPDATE,
+	// whatever order they were first measured in.
+	if strings.Index(out, "[COMMIT]") > strings.Index(out, "[UPDATE]") {
+		t.Error("series not in sorted-name order")
+	}
+}
+
+func TestSnapshotsSortedDeterministic(t *testing.T) {
+	r := NewRegistry(0)
+	// Touch series in an order far from sorted.
+	for _, n := range []string{"UPDATE", "ABORT", "READ", "COMMIT", "INSERT"} {
+		r.Measure(n, time.Microsecond, 0)
+	}
+	want := []string{"ABORT", "COMMIT", "INSERT", "READ", "UPDATE"}
+	for trial := 0; trial < 3; trial++ {
+		snaps := r.Snapshots()
+		if len(snaps) != len(want) {
+			t.Fatalf("Snapshots len = %d", len(snaps))
+		}
+		for i, s := range snaps {
+			if s.Name != want[i] {
+				t.Fatalf("Snapshots order = %v at %d, want %v", s.Name, i, want)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.ExportJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got []Summary
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range got {
+		if s.Name != want[i] {
+			t.Fatalf("ExportJSON order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRecorderShardsMerge(t *testing.T) {
+	r := NewRegistry(0)
+	// Three writers: two private recorders plus the shared series path.
+	rec1 := r.Recorder()
+	rec2 := r.Recorder()
+	h1 := rec1.Series("READ")
+	h2 := rec2.Series("READ")
+	h1.Measure(100*time.Microsecond, 0)
+	h1.Measure(300*time.Microsecond, 1)
+	h2.Measure(50*time.Microsecond, 0)
+	r.Measure("READ", 450*time.Microsecond, 2)
+
+	s := r.Snapshot("READ")
+	if s.Operations != 4 {
+		t.Errorf("merged Operations = %d, want 4", s.Operations)
+	}
+	if s.MinUS != 50 || s.MaxUS != 450 {
+		t.Errorf("merged Min/Max = %d/%d, want 50/450", s.MinUS, s.MaxUS)
+	}
+	if s.AvgUS != 225 {
+		t.Errorf("merged AvgUS = %v, want 225", s.AvgUS)
+	}
+	if s.Returns[0] != 2 || s.Returns[1] != 1 || s.Returns[2] != 1 {
+		t.Errorf("merged Returns = %v", s.Returns)
+	}
+	// Resolving the same series twice on one recorder reuses the handle
+	// (and therefore the shard).
+	if rec1.Series("READ") != h1 {
+		t.Error("recorder handed out two handles for one series")
+	}
+}
+
+func TestRecorderReturnCodeSlots(t *testing.T) {
+	r := NewRegistry(0)
+	h := r.Recorder().Series("OP")
+	h.Measure(time.Microsecond, 0)
+	h.Measure(time.Microsecond, -1)  // unknown error
+	h.Measure(time.Microsecond, 99)  // out of range → "other"
+	h.Measure(time.Microsecond, -42) // out of range → "other"
+	s := r.Snapshot("OP")
+	if s.Returns[0] != 1 {
+		t.Errorf("Returns[0] = %d", s.Returns[0])
+	}
+	// Everything unrepresentable lands on code -1.
+	if s.Returns[-1] != 3 {
+		t.Errorf("Returns[-1] = %d, want 3 (got %v)", s.Returns[-1], s.Returns)
+	}
+}
+
+func TestRecorderConcurrentWithSnapshots(t *testing.T) {
+	r := NewRegistry(0)
+	const workers, per = 8, 3000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := r.Recorder().Series("READ")
+			for i := 0; i < per; i++ {
+				h.Measure(time.Duration(i%50)*time.Microsecond, i%3)
+			}
+		}(w)
+	}
+	// Snapshot while writers run: must not race and never tear counts.
+	for i := 0; i < 200; i++ {
+		var retSum int64
+		s := r.Snapshot("READ")
+		for _, c := range s.Returns {
+			retSum += c
+		}
+		if retSum > s.Operations {
+			t.Fatalf("return counts %d exceed operations %d", retSum, s.Operations)
+		}
+	}
+	wg.Wait()
+	s := r.Snapshot("READ")
+	if s.Operations != workers*per {
+		t.Errorf("Operations = %d, want %d", s.Operations, workers*per)
+	}
+	if s.MinUS != 0 || s.MaxUS != 49 {
+		t.Errorf("Min/Max = %d/%d", s.MinUS, s.MaxUS)
 	}
 }
 
@@ -254,6 +372,21 @@ func BenchmarkMeasure(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			s.Measure(123*time.Microsecond, 0)
+		}
+	})
+}
+
+// BenchmarkSeriesMeasureParallel is the sharded-recorder hot path as
+// the client runs it: one Recorder per goroutine, handle resolved
+// once, every Measure hitting thread-private shards. Compare with
+// BenchmarkMeasure (all writers sharing one shard) at -cpu=1,8,32.
+func BenchmarkSeriesMeasureParallel(b *testing.B) {
+	r := NewRegistry(0)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		h := r.Recorder().Series("READ")
+		for pb.Next() {
+			h.Measure(123*time.Microsecond, 0)
 		}
 	})
 }

@@ -153,7 +153,7 @@ func (b *Binding) Read(ctx context.Context, table, key string, fields []string) 
 		if err != nil {
 			return err
 		}
-		out = projectFields(f, fields)
+		out = db.ProjectFields(f, fields)
 		return nil
 	})
 	return out, err
@@ -169,7 +169,7 @@ func (b *Binding) Scan(ctx context.Context, table, startKey string, count int, f
 		}
 		out = out[:0]
 		for _, kv := range kvs {
-			out = append(out, db.KV{Key: kv.Key, Record: projectFields(kv.Fields, fields)})
+			out = append(out, db.KV{Key: kv.Key, Record: db.ProjectFields(kv.Fields, fields)})
 		}
 		sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 		return nil
@@ -216,7 +216,7 @@ func (v *txView) Read(ctx context.Context, table, key string, fields []string) (
 	if err != nil {
 		return nil, translateErr(err)
 	}
-	return projectFields(f, fields), nil
+	return db.ProjectFields(f, fields), nil
 }
 
 // Scan implements db.DB inside the transaction.
@@ -227,7 +227,7 @@ func (v *txView) Scan(ctx context.Context, table, startKey string, count int, fi
 	}
 	out := make([]db.KV, 0, len(kvs))
 	for _, kv := range kvs {
-		out = append(out, db.KV{Key: kv.Key, Record: projectFields(kv.Fields, fields)})
+		out = append(out, db.KV{Key: kv.Key, Record: db.ProjectFields(kv.Fields, fields)})
 	}
 	return out, nil
 }
@@ -261,19 +261,6 @@ func txUpdate(ctx context.Context, t *Txn, table, key string, values db.Record) 
 		merged[f] = append([]byte(nil), val...)
 	}
 	return t.Put(table, key, merged)
-}
-
-func projectFields(all map[string][]byte, fields []string) db.Record {
-	if fields == nil {
-		return all
-	}
-	out := make(db.Record, len(fields))
-	for _, f := range fields {
-		if v, ok := all[f]; ok {
-			out[f] = v
-		}
-	}
-	return out
 }
 
 var (

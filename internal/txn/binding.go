@@ -198,7 +198,7 @@ func (b *Binding) Read(ctx context.Context, table, key string, fields []string) 
 		if err != nil {
 			return err
 		}
-		out = projectFields(f, fields)
+		out = db.ProjectFields(f, fields)
 		return nil
 	})
 	return out, err
@@ -217,7 +217,7 @@ func (b *Binding) Scan(ctx context.Context, table, startKey string, count int, f
 				return err
 			}
 			for _, kv := range kvs {
-				out = append(out, db.KV{Key: kv.Key, Record: projectFields(kv.Fields, fields)})
+				out = append(out, db.KV{Key: kv.Key, Record: db.ProjectFields(kv.Fields, fields)})
 			}
 		}
 		sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
@@ -268,7 +268,7 @@ func (v *txView) Read(ctx context.Context, table, key string, fields []string) (
 	if err != nil {
 		return nil, translateErr(err)
 	}
-	return projectFields(f, fields), nil
+	return db.ProjectFields(f, fields), nil
 }
 
 // Scan implements db.DB inside the transaction.
@@ -280,7 +280,7 @@ func (v *txView) Scan(ctx context.Context, table, startKey string, count int, fi
 			return nil, translateErr(err)
 		}
 		for _, kv := range kvs {
-			out = append(out, db.KV{Key: kv.Key, Record: projectFields(kv.Fields, fields)})
+			out = append(out, db.KV{Key: kv.Key, Record: db.ProjectFields(kv.Fields, fields)})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
@@ -321,17 +321,4 @@ func txUpdate(ctx context.Context, t *Txn, store, table, key string, values db.R
 		merged[f] = append([]byte(nil), val...)
 	}
 	return t.Write(store, table, key, merged)
-}
-
-func projectFields(all map[string][]byte, fields []string) db.Record {
-	if fields == nil {
-		return all
-	}
-	out := make(db.Record, len(fields))
-	for _, f := range fields {
-		if v, ok := all[f]; ok {
-			out[f] = v
-		}
-	}
-	return out
 }

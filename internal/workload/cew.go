@@ -86,6 +86,7 @@ type cewThreadState struct {
 	scanLen   generator.Integer
 	opChoose  *generator.Discrete
 	loadSeq   *generator.Counter // shared; see Init
+	rmw       *measurement.SeriesRecorder
 
 	// potDelta is the net escrow-pot change made by the operation
 	// currently wrapped in a transaction; OnAbort reverses it when
@@ -155,6 +156,11 @@ func (c *ClosedEconomyWorkload) InitThread(id, count int) (ThreadState, error) {
 		return nil, fmt.Errorf("workload: unknown requestdistribution %q", c.distName)
 	}
 	ts.scanLen = generator.NewUniform(1, 100)
+	if c.reg != nil {
+		// Thread-private series handle: the RMW hot path writes to its
+		// own shard instead of funnelling through the shared one.
+		ts.rmw = c.reg.Recorder().Series(string(OpRMW))
+	}
 	return ts, nil
 }
 
@@ -305,8 +311,8 @@ func (c *ClosedEconomyWorkload) doInsert(ctx context.Context, d db.DB, s *cewThr
 func (c *ClosedEconomyWorkload) doReadModifyWrite(ctx context.Context, d db.DB, s *cewThreadState) error {
 	start := time.Now()
 	err := c.rmwOnce(ctx, d, s)
-	if c.reg != nil {
-		c.reg.Measure(string(OpRMW), time.Since(start), db.ReturnCode(err))
+	if s.rmw != nil {
+		s.rmw.Measure(time.Since(start), db.ReturnCode(err))
 	}
 	return err
 }

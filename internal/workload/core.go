@@ -90,6 +90,7 @@ type coreThreadState struct {
 	opChoose  *generator.Discrete
 	fieldGen  *generator.Uniform
 	fieldLen  generator.Integer
+	rmw       *measurement.SeriesRecorder
 }
 
 // Init implements Workload.
@@ -182,6 +183,11 @@ func (c *CoreWorkload) InitThread(id, count int) (ThreadState, error) {
 		ts.fieldLen = generator.NewZipfian(1, int64(c.fieldLength))
 	default:
 		ts.fieldLen = generator.NewConstant(int64(c.fieldLength))
+	}
+	if c.reg != nil {
+		// Thread-private series handle: the RMW hot path writes to its
+		// own shard instead of funnelling through the shared one.
+		ts.rmw = c.reg.Recorder().Series(string(OpRMW))
 	}
 	return ts, nil
 }
@@ -353,8 +359,8 @@ func (c *CoreWorkload) Do(ctx context.Context, d db.DB, ts ThreadState) (OpType,
 			c.verifyRead(key, rec)
 			err = d.Update(ctx, c.table, key, c.buildUpdate(s, key))
 		}
-		if c.reg != nil {
-			c.reg.Measure(string(OpRMW), time.Since(start), db.ReturnCode(err))
+		if s.rmw != nil {
+			s.rmw.Measure(time.Since(start), db.ReturnCode(err))
 		}
 		return op, err
 	default:
