@@ -12,6 +12,7 @@ package ycsbt_test
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -290,6 +291,89 @@ func BenchmarkAblationWAL(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := s.Put("t", fmt.Sprintf("key%07d", i%100000), val); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreParallel measures the embedded engine's point-op path
+// under parallel load with one partition (the pre-sharding single
+// lock) versus the default eight. Run with -cpu=1,8,32 to see the
+// shard win grow with parallelism.
+func BenchmarkStoreParallel(b *testing.B) {
+	const keys = 100000
+	val := map[string][]byte{"field0": make([]byte, 100)}
+	keyset := make([]string, keys)
+	for i := range keyset {
+		keyset[i] = fmt.Sprintf("key%07d", i)
+	}
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("Shards%d", shards), func(b *testing.B) {
+			s, err := kvstore.Open(kvstore.Options{Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			for i := 0; i < keys; i++ {
+				if _, err := s.Put("t", keyset[i], val); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var goroutine atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				// Decorrelate goroutines: each starts at its own offset
+				// and walks a coprime stride, so concurrent accesses
+				// spread across the key space (and hence the shards)
+				// instead of marching through it in lockstep.
+				g := goroutine.Add(1)
+				i := int(g * 31337 % keys)
+				for pb.Next() {
+					k := keyset[i]
+					if i%5 == 0 { // 20% writes, 80% reads
+						if _, err := s.Put("t", k, val); err != nil {
+							b.Fatal(err)
+						}
+					} else {
+						if _, err := s.Get("t", k); err != nil {
+							b.Fatal(err)
+						}
+					}
+					i = (i + 7919) % keys
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkStoreScanMerge measures the ordered cross-partition scan:
+// with one partition it is a plain tree walk, with eight it k-way
+// merges the per-shard trees through the cursor heap.
+func BenchmarkStoreScanMerge(b *testing.B) {
+	const keys = 100000
+	val := map[string][]byte{"field0": make([]byte, 100)}
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("Shards%d", shards), func(b *testing.B) {
+			s, err := kvstore.Open(kvstore.Options{Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			for i := 0; i < keys; i++ {
+				if _, err := s.Put("t", fmt.Sprintf("key%07d", i), val); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				start := fmt.Sprintf("key%07d", (i*997)%keys)
+				kvs, err := s.Scan("t", start, 100)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(kvs) == 0 {
+					b.Fatal("empty scan")
 				}
 			}
 		})

@@ -31,12 +31,19 @@ func main() {
 
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:8077", "listen address")
-	wal := flag.String("wal", "", "write-ahead-log path (empty = volatile)")
+	wal := flag.String("wal", "", "write-ahead-log path: a file for one shard, a directory of wal-<shard>.log segments otherwise (empty = volatile)")
 	syncWrites := flag.Bool("sync", false, "fsync the WAL on every write")
+	shards := flag.Int("shards", kvstore.DefaultShards, "hash partitions of the store (an existing WAL layout wins)")
+	groupCommit := flag.Duration("group-commit", 0, "WAL group-commit window, e.g. 2ms (0 = sync inline)")
 	delay := flag.Duration("delay", 0, "artificial per-request service latency")
 	flag.Parse()
 
-	store, err := kvstore.Open(kvstore.Options{Path: *wal, SyncWrites: *syncWrites})
+	store, err := kvstore.Open(kvstore.Options{
+		Path:        *wal,
+		SyncWrites:  *syncWrites,
+		Shards:      *shards,
+		GroupCommit: *groupCommit,
+	})
 	if err != nil {
 		return err
 	}
@@ -77,7 +84,7 @@ func run() error {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("kvserver listening on http://%s (wal=%q sync=%v)\n", *addr, *wal, *syncWrites)
+	fmt.Printf("kvserver listening on http://%s (wal=%q sync=%v shards=%d)\n", *addr, *wal, *syncWrites, store.Shards())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

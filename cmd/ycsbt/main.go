@@ -68,7 +68,8 @@ func run(args []string) error {
 		mws       = fs.String("middleware", "", "comma-separated middleware stack, outermost first (overrides 'middleware'; default metered)")
 		doLoad    = fs.Bool("load", false, "execute the load phase")
 		doRun     = fs.Bool("t", false, "execute the transaction phase")
-		status    = fs.Bool("s", false, "print interim status to stderr")
+		status    = fs.Bool("s", false, "print interim status to stderr (interval via 'status.interval_ms', default 10000)")
+		maxExec   = fs.Int64("maxexecutiontime", 0, "cap the transaction phase at this many seconds (overrides 'maxexecutiontime')")
 		timeline  = fs.Bool("timeline", false, "record and report 1-second throughput time series")
 		listDBs   = fs.Bool("list", false, "list registered bindings and workloads, then exit")
 	)
@@ -115,6 +116,9 @@ func run(args []string) error {
 	if *mws != "" {
 		props.Set("middleware", *mws)
 	}
+	if *maxExec > 0 {
+		props.Set("maxexecutiontime", fmt.Sprint(*maxExec))
+	}
 	if !*doLoad && !*doRun {
 		return fmt.Errorf("nothing to do: pass -load, -t or both")
 	}
@@ -131,7 +135,7 @@ func run(args []string) error {
 		// to redo.
 		cfg := client.BuildConfig(props)
 		if *status {
-			cfg.StatusInterval = 10 * time.Second
+			cfg.StatusInterval = time.Duration(props.GetInt64("status.interval_ms", 10000)) * time.Millisecond
 			cfg.Status = os.Stderr
 		}
 		if *timeline {

@@ -64,6 +64,9 @@ type SweepOptions struct {
 	CellTime time.Duration
 	// Threads overrides the thread counts swept.
 	Threads []int
+	// Shards is the partition count of every embedded engine a cell
+	// constructs; 0 means kvstore.DefaultShards.
+	Shards int
 	// Log receives progress lines (nil = silent).
 	Log io.Writer
 }
@@ -89,7 +92,20 @@ func (o SweepOptions) withDefaults(fullThreads []int) SweepOptions {
 			o.Threads = fullThreads[:4]
 		}
 	}
+	if o.Shards == 0 {
+		o.Shards = kvstore.DefaultShards
+	}
 	return o
+}
+
+// newInner builds the embedded partitioned engine one cell runs
+// against.
+func (o SweepOptions) newInner() *kvstore.Store {
+	s, err := kvstore.Open(kvstore.Options{Shards: o.Shards})
+	if err != nil {
+		panic(err) // unreachable: in-memory opens perform no I/O
+	}
+	return s
 }
 
 func (o SweepOptions) logf(format string, args ...any) {
@@ -181,7 +197,7 @@ func Figure2(ctx context.Context, o SweepOptions) ([]Series, error) {
 	for _, mix := range mixes {
 		s := Series{Label: "read:write " + mix.label}
 		for _, th := range o.Threads {
-			inner := kvstore.OpenMemory()
+			inner := o.newInner()
 			cloud := cloudsim.NewOver(cloudsim.WASPreset(), inner)
 			loadM, err := txn.NewManager(txn.Options{}, txn.NewLocalStore("was", inner))
 			if err != nil {
@@ -221,7 +237,7 @@ func Figure3(ctx context.Context, o SweepOptions) ([]Series, error) {
 	for _, th := range o.Threads {
 		// Non-transactional: the cloudsim binding directly.
 		{
-			inner := kvstore.OpenMemory()
+			inner := o.newInner()
 			cloud := cloudsim.NewOver(cloudsim.WASPreset(), inner)
 			raw := cloudsim.NewBinding(cloud)
 			// CEW writes full records, so the raw client's update is a
@@ -241,7 +257,7 @@ func Figure3(ctx context.Context, o SweepOptions) ([]Series, error) {
 		}
 		// Transactional: the txn library over the same kind of store.
 		{
-			inner := kvstore.OpenMemory()
+			inner := o.newInner()
 			cloud := cloudsim.NewOver(cloudsim.WASPreset(), inner)
 			loadM, err := txn.NewManager(txn.Options{}, txn.NewLocalStore("was", inner))
 			if err != nil {
@@ -301,7 +317,7 @@ func Figure45WithDistribution(ctx context.Context, o SweepOptions, dist string) 
 }
 
 func figure45Cell(ctx context.Context, o SweepOptions, threads int, dist string) (Point, error) {
-	inner := kvstore.OpenMemory()
+	inner := o.newInner()
 	defer inner.Close()
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -370,7 +386,7 @@ func Tier5Overhead(ctx context.Context, o SweepOptions) ([]OverheadRow, error) {
 		return res.Registry, nil
 	}
 
-	innerA := kvstore.OpenMemory()
+	innerA := o.newInner()
 	defer innerA.Close()
 	cloudA := cloudsim.NewOver(cloudsim.WASPreset(), innerA)
 	nontxReg, err := collect(kvstore.NewBinding(innerA), cloudsim.NewBinding(cloudA))
@@ -378,7 +394,7 @@ func Tier5Overhead(ctx context.Context, o SweepOptions) ([]OverheadRow, error) {
 		return nil, err
 	}
 
-	innerB := kvstore.OpenMemory()
+	innerB := o.newInner()
 	defer innerB.Close()
 	cloudB := cloudsim.NewOver(cloudsim.WASPreset(), innerB)
 	loadM, err := txn.NewManager(txn.Options{}, txn.NewLocalStore("was", innerB))

@@ -9,7 +9,6 @@ import (
 
 	"ycsbt/internal/client"
 	"ycsbt/internal/cloudsim"
-	"ycsbt/internal/kvstore"
 	"ycsbt/internal/measurement"
 	"ycsbt/internal/multi"
 	"ycsbt/internal/txn"
@@ -51,7 +50,7 @@ func MultiHost(ctx context.Context, o SweepOptions) ([]MultiHostPoint, error) {
 }
 
 func multiHostCell(ctx context.Context, o SweepOptions, instances, threadsEach int) (MultiHostPoint, error) {
-	inner := kvstore.OpenMemory()
+	inner := o.newInner()
 	defer inner.Close()
 
 	// Pre-load the shared store through the zero-latency path.

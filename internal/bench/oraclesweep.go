@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"ycsbt/internal/cloudsim"
-	"ycsbt/internal/kvstore"
 	"ycsbt/internal/oracle"
 	"ycsbt/internal/percolator"
 	"ycsbt/internal/txn"
@@ -48,7 +47,7 @@ func OracleSweep(ctx context.Context, o SweepOptions) ([]Series, error) {
 	for _, rtt := range rtts {
 		// Percolator-style with a Delayed oracle.
 		{
-			inner := kvstore.OpenMemory()
+			inner := o.newInner()
 			cloud := cloudsim.NewOver(storeCfg, inner)
 			to := oracle.NewDelayed(oracle.NewLocal(), rtt)
 			loadM, err := percolator.NewManager(percolator.Options{},
@@ -77,7 +76,7 @@ func OracleSweep(ctx context.Context, o SweepOptions) ([]Series, error) {
 		}
 		// Client-coordinated over the same store profile (no oracle).
 		{
-			inner := kvstore.OpenMemory()
+			inner := o.newInner()
 			cloud := cloudsim.NewOver(storeCfg, inner)
 			loadM, err := txn.NewManager(txn.Options{}, txn.NewLocalStore("was", inner))
 			if err != nil {

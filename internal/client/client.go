@@ -333,6 +333,17 @@ func (c *Client) threadLoop(ctx context.Context, phase string, th int, ops int64
 		txTimer := time.Now()
 		tctx, err := chain.Start(opCtx)
 		if err != nil {
+			// A failed Start is still a transaction attempt the run
+			// made: record it under the TX series with the error's
+			// return code instead of dropping the sample.
+			op := workload.OpUnstarted
+			if phase == "load" {
+				op = workload.OpInsert
+			}
+			measureTx(op, time.Since(txTimer), db.ReturnCode(err))
+			if timeline != nil {
+				timeline.Record()
+			}
 			aborts.Add(1)
 			completed.Add(1)
 			continue

@@ -66,6 +66,12 @@ type Config struct {
 	// Seed seeds the jitter source; 0 uses a fixed default so runs
 	// are reproducible.
 	Seed int64
+	// Shards is the hash-partition count of the backing engine; 0
+	// means kvstore.DefaultShards. The simulated latencies dominate a
+	// single request, but at high thread counts the substrate must
+	// not serialize behind one lock or it, not the simulated
+	// container, becomes the bottleneck.
+	Shards int
 }
 
 // WASPreset returns a configuration shaped like the paper's single
@@ -142,9 +148,14 @@ func New(cfg Config) *Store {
 	if seed == 0 {
 		seed = 1
 	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = kvstore.DefaultShards
+	}
+	inner, _ := kvstore.Open(kvstore.Options{Shards: shards}) // in-memory open cannot fail
 	s := &Store{
 		cfg:   cfg,
-		inner: kvstore.OpenMemory(),
+		inner: inner,
 		rng:   rand.New(rand.NewSource(seed)),
 	}
 	if cfg.RateLimit > 0 {

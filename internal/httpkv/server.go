@@ -41,14 +41,16 @@ type wireRecord struct {
 	Fields  map[string][]byte `json:"fields"`
 }
 
-// Server is an http.Handler serving a kvstore.Store.
+// Server is an http.Handler serving a kvstore.Engine — any engine
+// implementation (the embedded partitioned store today, future
+// engines tomorrow) gets the HTTP surface for free.
 type Server struct {
-	store *kvstore.Store
+	store kvstore.Engine
 	mux   *http.ServeMux
 }
 
 // NewServer returns a handler serving store.
-func NewServer(store *kvstore.Store) *Server {
+func NewServer(store kvstore.Engine) *Server {
 	s := &Server{store: store, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/v1/", s.handleRecord)

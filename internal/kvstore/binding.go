@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"ycsbt/internal/db"
 	"ycsbt/internal/properties"
@@ -27,15 +28,18 @@ func init() {
 	db.Register("kvstore", func() (db.DB, error) { return &Binding{}, nil })
 }
 
-// Init opens the store per the "kvstore.path" and "kvstore.sync"
-// properties unless NewBinding supplied one.
+// Init opens the store per the "kvstore.path", "kvstore.sync",
+// "kvstore.shards" and "kvstore.wal.group_commit_ms" properties
+// unless NewBinding supplied one.
 func (b *Binding) Init(p *properties.Properties) error {
 	if b.store != nil {
 		return nil
 	}
 	s, err := Open(Options{
-		Path:       p.GetString("kvstore.path", ""),
-		SyncWrites: p.GetBool("kvstore.sync", false),
+		Path:        p.GetString("kvstore.path", ""),
+		SyncWrites:  p.GetBool("kvstore.sync", false),
+		Shards:      p.GetInt("kvstore.shards", DefaultShards),
+		GroupCommit: time.Duration(p.GetInt64("kvstore.wal.group_commit_ms", 0)) * time.Millisecond,
 	})
 	if err != nil {
 		return err

@@ -8,6 +8,24 @@ import (
 	"testing/quick"
 )
 
+// checkTrees runs the B-tree invariant checker on table's tree in
+// every partition, returning the first violation ("" = all valid).
+func checkTrees(s *Store, table string) string {
+	for i, p := range s.parts {
+		p.mu.RLock()
+		t := p.tables[table]
+		var msg string
+		if t != nil {
+			msg = t.check()
+		}
+		p.mu.RUnlock()
+		if msg != "" {
+			return fmt.Sprintf("partition %d: %s", i, msg)
+		}
+	}
+	return ""
+}
+
 func bulkKVs(n int) []BulkKV {
 	out := make([]BulkKV, n)
 	for i := range out {
@@ -49,11 +67,8 @@ func TestBulkLoadBasic(t *testing.T) {
 			t.Fatal("scan out of order after bulk load")
 		}
 	}
-	// Tree invariants hold.
-	s.mu.RLock()
-	msg := s.tables["t"].check()
-	s.mu.RUnlock()
-	if msg != "" {
+	// Tree invariants hold in every partition.
+	if msg := checkTrees(s, "t"); msg != "" {
 		t.Errorf("B-tree invariant violated after bulk load: %s", msg)
 	}
 	// Subsequent mutations behave normally.
@@ -77,15 +92,8 @@ func TestBulkLoadSizesQuick(t *testing.T) {
 		if s.Len("t") != n {
 			return fmt.Errorf("n=%d: Len = %d", n, s.Len("t"))
 		}
-		s.mu.RLock()
-		msg := s.tables["t"].check()
-		size := s.tables["t"].size
-		s.mu.RUnlock()
-		if msg != "" {
+		if msg := checkTrees(s, "t"); msg != "" {
 			return fmt.Errorf("n=%d: invariant: %s", n, msg)
-		}
-		if size != n {
-			return fmt.Errorf("n=%d: tree size %d", n, size)
 		}
 		count := 0
 		s.ForEach("t", func(key string, _ *VersionedRecord) bool {

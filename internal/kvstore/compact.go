@@ -6,24 +6,48 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"sync"
 )
 
-// Compact rewrites the write-ahead log as a snapshot of the store's
+// Compact rewrites every WAL segment as a snapshot of its partition's
 // current state, reclaiming the space of overwritten and deleted
-// records. The snapshot is written to a temporary file, fsynced, and
-// atomically renamed over the log, so a crash at any point leaves
-// either the old log or the complete new one. No-op for in-memory
-// stores.
+// records. Partitions compact concurrently and independently: each
+// snapshot is written to a temporary file, fsynced, and atomically
+// renamed over the segment, so a crash at any point leaves either the
+// old segment or the complete new one. No-op for in-memory stores.
 func (s *Store) Compact() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if len(s.parts) == 1 {
+		return s.parts[0].compact()
+	}
+	errs := make([]error, len(s.parts))
+	var wg sync.WaitGroup
+	for i, p := range s.parts {
+		wg.Add(1)
+		go func(i int, p *partition) {
+			defer wg.Done()
+			errs[i] = p.compact()
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compact rewrites this partition's segment under its write lock.
+func (p *partition) compact() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
 		return ErrClosed
 	}
-	if s.wal == nil {
+	if p.wal == nil {
 		return nil
 	}
-	path := s.wal.f.Name()
+	path := p.wal.f.Name()
 	tmp := path + ".compact"
 
 	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
@@ -42,7 +66,7 @@ func (s *Store) Compact() error {
 		_, err := w.Write(payload)
 		return err
 	}
-	for table, tree := range s.tables {
+	for table, tree := range p.tables {
 		var werr error
 		tree.ascend("", func(key string, val *VersionedRecord) bool {
 			werr = writeFrame(walRecord{
@@ -71,10 +95,11 @@ func (s *Store) Compact() error {
 		return fmt.Errorf("kvstore: compacting: %w", err)
 	}
 
-	// Swap the new log in: close the old handle, rename, reopen for
-	// appending at the end.
-	oldSync := s.wal.syncOn
-	if err := s.wal.close(); err != nil {
+	// Swap the new segment in: close the old handle, rename, reopen
+	// for appending at the end (restarting the group-commit syncer
+	// when one is configured).
+	oldSync, oldGC := p.wal.syncOn, p.wal.gcInterval
+	if err := p.wal.close(); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return fmt.Errorf("kvstore: compacting: closing old WAL: %w", err)
@@ -86,7 +111,7 @@ func (s *Store) Compact() error {
 	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("kvstore: compacting: %w", err)
 	}
-	nw, err := openWAL(path, oldSync)
+	nw, err := openWAL(path, oldSync, oldGC)
 	if err != nil {
 		return err
 	}
@@ -95,38 +120,21 @@ func (s *Store) Compact() error {
 		nw.close()
 		return err
 	}
-	s.wal = nw
+	p.wal = nw
 	return nil
 }
 
-// WALSize reports the current log size in bytes (0 for in-memory
-// stores); useful for deciding when to compact.
+// WALSize reports the current total log size in bytes across all
+// segments (0 for in-memory stores); useful for deciding when to
+// compact.
 func (s *Store) WALSize() (int64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
-		return 0, ErrClosed
+	var total int64
+	for _, p := range s.parts {
+		n, err := p.walSize()
+		if err != nil {
+			return 0, err
+		}
+		total += n
 	}
-	if s.wal == nil {
-		return 0, nil
-	}
-	if err := s.wal.w.Flush(); err != nil {
-		return 0, err
-	}
-	st, err := s.wal.f.Stat()
-	if err != nil {
-		return 0, err
-	}
-	return st.Size(), nil
-}
-
-// seekEnd positions the WAL for appending at its current end.
-func (w *wal) seekEnd() error {
-	off, err := w.f.Seek(0, 2 /* io.SeekEnd */)
-	if err != nil {
-		return err
-	}
-	w.replayN = off
-	w.w = bufio.NewWriter(w.f)
-	return nil
+	return total, nil
 }

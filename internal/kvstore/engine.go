@@ -1,0 +1,40 @@
+package kvstore
+
+// Engine is the versioned ordered-KV contract the rest of the system
+// programs against: point gets, conditional puts/deletes on record
+// versions (the ETag idiom), ordered scans, full iteration, and
+// maintenance hooks. The hash-partitioned Store is the embedded
+// implementation; the interface is the seam future engines (an LSM
+// variant, a remote store proxy) plug into without touching the
+// layers above.
+//
+// All implementations must make single-key operations linearizable
+// and Scan/ForEach results key-ordered.
+type Engine interface {
+	// Point operations.
+	Get(table, key string) (*VersionedRecord, error)
+	Put(table, key string, fields map[string][]byte) (uint64, error)
+	Insert(table, key string, fields map[string][]byte) (uint64, error)
+	PutIfVersion(table, key string, fields map[string][]byte, expect uint64) (uint64, error)
+	Update(table, key string, fields map[string][]byte) (uint64, error)
+	Delete(table, key string) error
+	DeleteIfVersion(table, key string, expect uint64) error
+
+	// Ordered access.
+	Scan(table, startKey string, count int) ([]VersionedKV, error)
+	ForEach(table string, fn func(key string, rec *VersionedRecord) bool) error
+
+	// Introspection.
+	Len(table string) int
+	Tables() []string
+
+	// Maintenance and lifecycle.
+	BulkLoad(table string, kvs []BulkKV) error
+	Compact() error
+	WALSize() (int64, error)
+	Sync() error
+	Close() error
+}
+
+// The partitioned store is the reference Engine.
+var _ Engine = (*Store)(nil)

@@ -1,0 +1,321 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+)
+
+// partition is one shard of the store: a private set of B-trees (one
+// per table) behind its own RWMutex, plus an optional WAL segment.
+// The Store front routes every point operation to exactly one
+// partition by key hash, so partitions never touch a shared lock or
+// cache line on the hot path. A partition is exactly the old
+// single-lock engine; a one-shard store behaves byte-identically to
+// the pre-sharding code.
+type partition struct {
+	mu     sync.RWMutex
+	tables map[string]*btree
+	wal    *wal
+	closed bool
+}
+
+func newPartition(w *wal) *partition {
+	return &partition{tables: make(map[string]*btree), wal: w}
+}
+
+// table returns the tree for name, creating it when absent. Caller
+// must hold the write lock (or be in single-threaded open).
+func (p *partition) table(name string) *btree {
+	t, ok := p.tables[name]
+	if !ok {
+		t = newBTree()
+		p.tables[name] = t
+	}
+	return t
+}
+
+// applyReplay applies one WAL record during recovery, bypassing
+// version checks (the log records outcomes, not intents). Runs
+// single-threaded during open, before the partition is published.
+func (p *partition) applyReplay(rec walRecord) error {
+	tree := p.table(rec.Table)
+	switch rec.Op {
+	case walPut:
+		tree.put(rec.Key, &VersionedRecord{Version: rec.Version, Fields: rec.Fields})
+	case walDelete:
+		tree.delete(rec.Key)
+	default:
+		return fmt.Errorf("unknown WAL op %d", rec.Op)
+	}
+	return nil
+}
+
+func (p *partition) isClosed() bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.closed
+}
+
+func (p *partition) get(table, key string) (*VersionedRecord, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	t := p.tables[table]
+	if t == nil {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, table, key)
+	}
+	v := t.get(key)
+	if v == nil {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, table, key)
+	}
+	return v.clone(), nil
+}
+
+// putIfVersion is the conditional-put core. When the WAL is in
+// group-commit + sync mode the durability wait happens after the
+// partition lock is released, so other writers proceed during the
+// window — that interleaving is the whole point of group commit.
+func (p *partition) putIfVersion(table, key string, fields map[string][]byte, expect uint64) (uint64, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return 0, ErrClosed
+	}
+	t := p.table(table)
+	cur := t.get(key)
+	switch expect {
+	case AnyVersion:
+	case MustNotExist:
+		if cur != nil {
+			p.mu.Unlock()
+			return 0, fmt.Errorf("%w: %s/%s", ErrExists, table, key)
+		}
+	default:
+		if cur == nil {
+			p.mu.Unlock()
+			return 0, fmt.Errorf("%w: %s/%s not found, expected version %d", ErrVersionMismatch, table, key, expect)
+		}
+		if cur.Version != expect {
+			p.mu.Unlock()
+			return 0, fmt.Errorf("%w: %s/%s at version %d, expected %d", ErrVersionMismatch, table, key, cur.Version, expect)
+		}
+	}
+	var next uint64 = 1
+	if cur != nil {
+		next = cur.Version + 1
+	}
+	stored := &VersionedRecord{Version: next, Fields: make(map[string][]byte, len(fields))}
+	for f, b := range fields {
+		stored.Fields[f] = append([]byte(nil), b...)
+	}
+	var seq uint64
+	if p.wal != nil {
+		var err error
+		if seq, err = p.wal.append(walRecord{Op: walPut, Table: table, Key: key, Version: next, Fields: stored.Fields}); err != nil {
+			p.mu.Unlock()
+			return 0, err
+		}
+	}
+	t.put(key, stored)
+	p.mu.Unlock()
+	if seq != 0 {
+		if err := p.wal.waitDurable(seq); err != nil {
+			return 0, err
+		}
+	}
+	return next, nil
+}
+
+func (p *partition) update(table, key string, fields map[string][]byte) (uint64, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return 0, ErrClosed
+	}
+	t := p.table(table)
+	cur := t.get(key)
+	if cur == nil {
+		p.mu.Unlock()
+		return 0, fmt.Errorf("%w: %s/%s", ErrNotFound, table, key)
+	}
+	merged := cur.clone()
+	merged.Version = cur.Version + 1
+	for f, b := range fields {
+		merged.Fields[f] = append([]byte(nil), b...)
+	}
+	var seq uint64
+	if p.wal != nil {
+		var err error
+		if seq, err = p.wal.append(walRecord{Op: walPut, Table: table, Key: key, Version: merged.Version, Fields: merged.Fields}); err != nil {
+			p.mu.Unlock()
+			return 0, err
+		}
+	}
+	t.put(key, merged)
+	p.mu.Unlock()
+	if seq != 0 {
+		if err := p.wal.waitDurable(seq); err != nil {
+			return 0, err
+		}
+	}
+	return merged.Version, nil
+}
+
+func (p *partition) deleteIfVersion(table, key string, expect uint64) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	t := p.table(table)
+	cur := t.get(key)
+	if cur == nil {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, table, key)
+	}
+	if expect != AnyVersion && cur.Version != expect {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: %s/%s at version %d, expected %d", ErrVersionMismatch, table, key, cur.Version, expect)
+	}
+	var seq uint64
+	if p.wal != nil {
+		var err error
+		if seq, err = p.wal.append(walRecord{Op: walDelete, Table: table, Key: key}); err != nil {
+			p.mu.Unlock()
+			return err
+		}
+	}
+	t.delete(key)
+	p.mu.Unlock()
+	if seq != 0 {
+		if err := p.wal.waitDurable(seq); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scan returns up to count records with key ≥ startKey from this
+// partition, in key order. A count < 0 means no limit.
+func (p *partition) scan(table, startKey string, count int) ([]VersionedKV, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	t := p.tables[table]
+	if t == nil {
+		return nil, nil
+	}
+	var out []VersionedKV
+	t.ascend(startKey, func(key string, val *VersionedRecord) bool {
+		if count >= 0 && len(out) >= count {
+			return false
+		}
+		out = append(out, VersionedKV{Key: key, Record: val.clone()})
+		return true
+	})
+	return out, nil
+}
+
+// scanRefs is scan without the clones: it returns engine-owned record
+// pointers, relying on the engine's copy-on-write discipline (every
+// mutation publishes a fresh *VersionedRecord, never updating one in
+// place), so the refs stay immutable snapshots after the lock drops.
+// The cross-partition merge uses it to defer cloning until it knows
+// which count records it will actually emit.
+func (p *partition) scanRefs(table, startKey string, count int) ([]VersionedKV, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	t := p.tables[table]
+	if t == nil {
+		return nil, nil
+	}
+	var out []VersionedKV
+	t.ascend(startKey, func(key string, val *VersionedRecord) bool {
+		if count >= 0 && len(out) >= count {
+			return false
+		}
+		out = append(out, VersionedKV{Key: key, Record: val})
+		return true
+	})
+	return out, nil
+}
+
+// forEach visits this partition's records of table in key order under
+// the partition read lock (single-shard fast path of Store.ForEach).
+func (p *partition) forEach(table string, fn func(key string, rec *VersionedRecord) bool) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrClosed
+	}
+	t := p.tables[table]
+	if t == nil {
+		return nil
+	}
+	t.ascend("", fn)
+	return nil
+}
+
+func (p *partition) len(table string) int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	t := p.tables[table]
+	if t == nil {
+		return 0
+	}
+	return t.size
+}
+
+func (p *partition) tableNames() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	names := make([]string, 0, len(p.tables))
+	for n := range p.tables {
+		names = append(names, n)
+	}
+	return names
+}
+
+func (p *partition) sync() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	if p.wal == nil {
+		return nil
+	}
+	return p.wal.sync()
+}
+
+func (p *partition) walSize() (int64, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return 0, ErrClosed
+	}
+	if p.wal == nil {
+		return 0, nil
+	}
+	return p.wal.size()
+}
+
+func (p *partition) close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	if p.wal != nil {
+		return p.wal.close()
+	}
+	return nil
+}

@@ -1,9 +1,15 @@
 package kvstore
 
 import (
+	"container/heap"
 	"errors"
 	"fmt"
-	"sync"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
 )
 
 // Common storage errors. They are distinct from the db-layer
@@ -50,113 +56,203 @@ const AnyVersion = ^uint64(0)
 // MustNotExist is the expected version for create-only puts.
 const MustNotExist = uint64(0)
 
+// DefaultShards is the partition count bindings use when the
+// "kvstore.shards" property is absent.
+const DefaultShards = 8
+
+// manifestName is the file recording a sharded directory's layout.
+const manifestName = "MANIFEST"
+
 // Options configures a Store.
 type Options struct {
-	// Path is the WAL file path; empty means a volatile in-memory
-	// store with no durability.
+	// Path is the WAL location; empty means a volatile in-memory
+	// store with no durability. With a single shard it names the WAL
+	// file itself (the original single-segment layout); with multiple
+	// shards it names a directory holding one segment per shard
+	// (wal-<shard>.log) plus a MANIFEST pinning the shard count.
 	Path string
-	// SyncWrites forces an fsync after every logged mutation. Off by
-	// default, trading durability for latency exactly as the paper's
-	// "latency versus durability" discussion describes.
+	// SyncWrites forces an fsync after every logged mutation (or, with
+	// GroupCommit, makes every mutation wait for the window's shared
+	// fsync). Off by default, trading durability for latency exactly
+	// as the paper's "latency versus durability" discussion describes.
 	SyncWrites bool
+	// Shards is the number of hash partitions; values <= 1 mean a
+	// single partition, which behaves exactly like the pre-sharding
+	// engine. An existing on-disk layout always wins over this value:
+	// a WAL file opens as one shard and a directory opens with its
+	// MANIFEST's count, so reopening never re-routes keys away from
+	// the segment that holds their history.
+	Shards int
+	// GroupCommit is the WAL group-commit window; zero disables it.
+	// When positive, a per-shard background syncer fsyncs once per
+	// window instead of once per mutation.
+	GroupCommit time.Duration
 }
 
 // Store is a concurrent, versioned, ordered key-value store with
-// multiple named tables. Single-key operations are linearizable.
+// multiple named tables, hash-partitioned across independent shards.
+// Single-key operations are linearizable (each key lives in exactly
+// one partition); Scan merges the per-partition trees into one
+// key-ordered result.
 type Store struct {
-	mu     sync.RWMutex
-	tables map[string]*btree
-	wal    *wal
-	closed bool
+	parts []*partition
 }
 
 // Open creates or reopens a store. When opts.Path names an existing
-// WAL the store replays it to rebuild its state.
+// WAL layout the store replays every segment to rebuild its state,
+// routing each record to its partition by key hash.
 func Open(opts Options) (*Store, error) {
-	s := &Store{tables: make(map[string]*btree)}
-	if opts.Path != "" {
-		w, err := openWAL(opts.Path, opts.SyncWrites)
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	if opts.Path == "" {
+		s := &Store{parts: make([]*partition, shards)}
+		for i := range s.parts {
+			s.parts[i] = newPartition(nil)
+		}
+		return s, nil
+	}
+
+	// Resolve the on-disk layout. An existing layout wins over
+	// opts.Shards so reopening a store never re-hashes keys into a
+	// segment that does not hold their history.
+	dirMode := shards > 1
+	if fi, err := os.Stat(opts.Path); err == nil {
+		dirMode = fi.IsDir()
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("kvstore: %w", err)
+	}
+
+	var segments []string
+	if dirMode {
+		if err := os.MkdirAll(opts.Path, 0o755); err != nil {
+			return nil, fmt.Errorf("kvstore: %w", err)
+		}
+		n, err := loadOrInitManifest(filepath.Join(opts.Path, manifestName), shards)
 		if err != nil {
 			return nil, err
 		}
+		shards = n
+		for i := 0; i < shards; i++ {
+			segments = append(segments, filepath.Join(opts.Path, fmt.Sprintf("wal-%d.log", i)))
+		}
+	} else {
+		shards = 1
+		segments = []string{opts.Path}
+	}
+
+	s := &Store{parts: make([]*partition, shards)}
+	for i := range s.parts {
+		s.parts[i] = newPartition(nil)
+	}
+	// Recovery order: segments replay in ascending shard index. Each
+	// record routes by key hash, so with a stable shard count segment
+	// i rebuilds partition i; per-key history lives in one segment,
+	// keeping blind replay order-correct.
+	for i, path := range segments {
+		w, err := openWAL(path, opts.SyncWrites, opts.GroupCommit)
+		if err != nil {
+			s.closePartial()
+			return nil, err
+		}
 		if err := w.replay(func(rec walRecord) error {
-			return s.applyReplay(rec)
+			return s.part(rec.Key).applyReplay(rec)
 		}); err != nil {
 			w.close()
-			return nil, fmt.Errorf("kvstore: replaying %s: %w", opts.Path, err)
+			s.closePartial()
+			return nil, fmt.Errorf("kvstore: replaying %s: %w", path, err)
 		}
-		s.wal = w
+		s.parts[i].wal = w
 	}
 	return s, nil
 }
 
-// OpenMemory returns a volatile in-memory store.
+// closePartial releases WAL handles opened before an Open failure.
+func (s *Store) closePartial() {
+	for _, p := range s.parts {
+		if p.wal != nil {
+			p.wal.close()
+		}
+	}
+}
+
+// loadOrInitManifest reads the shard count pinned in a sharded
+// directory, writing one with the requested count on first open.
+func loadOrInitManifest(path string, shards int) (int, error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err != nil {
+			return 0, fmt.Errorf("kvstore: writing manifest: %w", err)
+		}
+		if _, err := fmt.Fprintf(f, "shards=%d\n", shards); err != nil {
+			f.Close()
+			return 0, fmt.Errorf("kvstore: writing manifest: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return 0, fmt.Errorf("kvstore: writing manifest: %w", err)
+		}
+		return shards, f.Close()
+	}
+	if err != nil {
+		return 0, fmt.Errorf("kvstore: reading manifest: %w", err)
+	}
+	val, ok := strings.CutPrefix(strings.TrimSpace(string(b)), "shards=")
+	if !ok {
+		return 0, fmt.Errorf("kvstore: malformed manifest %s: %q", path, b)
+	}
+	n, err := strconv.Atoi(val)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("kvstore: malformed manifest %s: %q", path, b)
+	}
+	return n, nil
+}
+
+// OpenMemory returns a volatile in-memory store with the default
+// shard count.
 func OpenMemory() *Store {
-	s, _ := Open(Options{})
+	s, _ := Open(Options{Shards: DefaultShards}) // in-memory open cannot fail
 	return s
 }
 
-// applyReplay applies one WAL record during recovery, bypassing
-// version checks (the log records outcomes, not intents).
-func (s *Store) applyReplay(rec walRecord) error {
-	tree := s.table(rec.Table)
-	switch rec.Op {
-	case walPut:
-		tree.put(rec.Key, &VersionedRecord{Version: rec.Version, Fields: rec.Fields})
-	case walDelete:
-		tree.delete(rec.Key)
-	default:
-		return fmt.Errorf("unknown WAL op %d", rec.Op)
+// Shards returns the number of hash partitions.
+func (s *Store) Shards() int { return len(s.parts) }
+
+// shardOf hashes key with FNV-1a and reduces it to a partition index.
+func shardOf(key string, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
 	}
-	return nil
+	return int(h % uint32(n))
 }
 
-// table returns the tree for name, creating it when absent. Caller
-// must hold at least the read lock for lookups of existing tables;
-// creation upgrades internally via the write path, so table is only
-// called with the write lock held (or during single-threaded open).
-func (s *Store) table(name string) *btree {
-	t, ok := s.tables[name]
-	if !ok {
-		t = newBTree()
-		s.tables[name] = t
+// part routes a key to its partition.
+func (s *Store) part(key string) *partition {
+	if len(s.parts) == 1 {
+		return s.parts[0]
 	}
-	return t
-}
-
-// readTable returns the tree for name or nil, for read paths.
-func (s *Store) readTable(name string) *btree {
-	return s.tables[name]
+	return s.parts[shardOf(key, len(s.parts))]
 }
 
 // Get returns a copy of the record under table/key.
 func (s *Store) Get(table, key string) (*VersionedRecord, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
-		return nil, ErrClosed
-	}
-	t := s.readTable(table)
-	if t == nil {
-		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, table, key)
-	}
-	v := t.get(key)
-	if v == nil {
-		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, table, key)
-	}
-	return v.clone(), nil
+	return s.part(key).get(table, key)
 }
 
 // Put unconditionally stores fields under table/key (insert or full
 // replace) and returns the new version.
 func (s *Store) Put(table, key string, fields map[string][]byte) (uint64, error) {
-	return s.PutIfVersion(table, key, fields, AnyVersion)
+	return s.part(key).putIfVersion(table, key, fields, AnyVersion)
 }
 
 // Insert stores fields under table/key only when the key does not
 // already exist.
 func (s *Store) Insert(table, key string, fields map[string][]byte) (uint64, error) {
-	return s.PutIfVersion(table, key, fields, MustNotExist)
+	return s.part(key).putIfVersion(table, key, fields, MustNotExist)
 }
 
 // PutIfVersion stores fields under table/key when the current version
@@ -164,187 +260,197 @@ func (s *Store) Insert(table, key string, fields map[string][]byte) (uint64, err
 // only a missing key, any other value must equal the stored version.
 // It returns the new version, or ErrVersionMismatch / ErrExists.
 func (s *Store) PutIfVersion(table, key string, fields map[string][]byte, expect uint64) (uint64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return 0, ErrClosed
-	}
-	t := s.table(table)
-	cur := t.get(key)
-	switch expect {
-	case AnyVersion:
-	case MustNotExist:
-		if cur != nil {
-			return 0, fmt.Errorf("%w: %s/%s", ErrExists, table, key)
-		}
-	default:
-		if cur == nil {
-			return 0, fmt.Errorf("%w: %s/%s not found, expected version %d", ErrVersionMismatch, table, key, expect)
-		}
-		if cur.Version != expect {
-			return 0, fmt.Errorf("%w: %s/%s at version %d, expected %d", ErrVersionMismatch, table, key, cur.Version, expect)
-		}
-	}
-	var next uint64 = 1
-	if cur != nil {
-		next = cur.Version + 1
-	}
-	stored := &VersionedRecord{Version: next, Fields: make(map[string][]byte, len(fields))}
-	for f, b := range fields {
-		stored.Fields[f] = append([]byte(nil), b...)
-	}
-	if s.wal != nil {
-		if err := s.wal.append(walRecord{Op: walPut, Table: table, Key: key, Version: next, Fields: stored.Fields}); err != nil {
-			return 0, err
-		}
-	}
-	t.put(key, stored)
-	return next, nil
+	return s.part(key).putIfVersion(table, key, fields, expect)
 }
 
 // Update merges fields into the existing record under table/key and
 // returns the new version; the key must exist.
 func (s *Store) Update(table, key string, fields map[string][]byte) (uint64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return 0, ErrClosed
-	}
-	t := s.table(table)
-	cur := t.get(key)
-	if cur == nil {
-		return 0, fmt.Errorf("%w: %s/%s", ErrNotFound, table, key)
-	}
-	merged := cur.clone()
-	merged.Version = cur.Version + 1
-	for f, b := range fields {
-		merged.Fields[f] = append([]byte(nil), b...)
-	}
-	if s.wal != nil {
-		if err := s.wal.append(walRecord{Op: walPut, Table: table, Key: key, Version: merged.Version, Fields: merged.Fields}); err != nil {
-			return 0, err
-		}
-	}
-	t.put(key, merged)
-	return merged.Version, nil
+	return s.part(key).update(table, key, fields)
 }
 
 // Delete removes table/key; it returns ErrNotFound when absent.
 func (s *Store) Delete(table, key string) error {
-	return s.DeleteIfVersion(table, key, AnyVersion)
+	return s.part(key).deleteIfVersion(table, key, AnyVersion)
 }
 
 // DeleteIfVersion removes table/key when its version matches expect
 // (AnyVersion always matches).
 func (s *Store) DeleteIfVersion(table, key string, expect uint64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
-	}
-	t := s.table(table)
-	cur := t.get(key)
-	if cur == nil {
-		return fmt.Errorf("%w: %s/%s", ErrNotFound, table, key)
-	}
-	if expect != AnyVersion && cur.Version != expect {
-		return fmt.Errorf("%w: %s/%s at version %d, expected %d", ErrVersionMismatch, table, key, cur.Version, expect)
-	}
-	if s.wal != nil {
-		if err := s.wal.append(walRecord{Op: walDelete, Table: table, Key: key}); err != nil {
-			return err
-		}
-	}
-	t.delete(key)
-	return nil
+	return s.part(key).deleteIfVersion(table, key, expect)
 }
 
-// Scan returns up to count records with key ≥ startKey in key order.
-// A count < 0 means no limit.
+// Scan returns up to count records with key ≥ startKey in key order,
+// k-way merging the per-partition trees. A count < 0 means no limit.
+// Each partition is snapshotted under its own read lock; a scan
+// concurrent with writes sees each key at some committed version but
+// the snapshot is not atomic across partitions (the single-shard
+// store keeps the old fully-atomic behavior).
 func (s *Store) Scan(table, startKey string, count int) ([]VersionedKV, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
-		return nil, ErrClosed
+	if len(s.parts) == 1 {
+		return s.parts[0].scan(table, startKey, count)
 	}
-	t := s.readTable(table)
-	if t == nil {
-		return nil, nil
-	}
-	var out []VersionedKV
-	t.ascend(startKey, func(key string, val *VersionedRecord) bool {
-		if count >= 0 && len(out) >= count {
-			return false
+	lists := make([][]VersionedKV, 0, len(s.parts))
+	for _, p := range s.parts {
+		// Each partition contributes at most count records, so the
+		// global first count live inside the union of the lists. The
+		// refs are engine-owned immutable snapshots; only the records
+		// the merge emits get cloned.
+		kvs, err := p.scanRefs(table, startKey, count)
+		if err != nil {
+			return nil, err
 		}
-		out = append(out, VersionedKV{Key: key, Record: val.clone()})
-		return true
-	})
+		if len(kvs) > 0 {
+			lists = append(lists, kvs)
+		}
+	}
+	out := mergeScan(lists, count)
+	for i := range out {
+		out[i].Record = out[i].Record.clone()
+	}
 	return out, nil
+}
+
+// scanCursor walks one partition's already-ordered scan result.
+type scanCursor struct {
+	kvs []VersionedKV
+	i   int
+}
+
+type scanHeap []*scanCursor
+
+func (h scanHeap) Len() int { return len(h) }
+func (h scanHeap) Less(i, j int) bool {
+	return h[i].kvs[h[i].i].Key < h[j].kvs[h[j].i].Key
+}
+func (h scanHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *scanHeap) Push(x any)        { *h = append(*h, x.(*scanCursor)) }
+func (h *scanHeap) Pop() any          { old := *h; x := old[len(old)-1]; *h = old[:len(old)-1]; return x }
+
+// mergeScan k-way merges per-partition ordered lists into one ordered
+// list of at most count records (count < 0 = no limit). Partitions
+// hold disjoint key sets, so no dedup is needed.
+func mergeScan(lists [][]VersionedKV, count int) []VersionedKV {
+	if len(lists) == 0 {
+		return nil
+	}
+	if len(lists) == 1 {
+		out := lists[0]
+		if count >= 0 && len(out) > count {
+			out = out[:count]
+		}
+		return out
+	}
+	h := make(scanHeap, 0, len(lists))
+	total := 0
+	for _, l := range lists {
+		h = append(h, &scanCursor{kvs: l})
+		total += len(l)
+	}
+	heap.Init(&h)
+	if count >= 0 && total > count {
+		total = count
+	}
+	out := make([]VersionedKV, 0, total)
+	for h.Len() > 0 {
+		if count >= 0 && len(out) >= count {
+			break
+		}
+		c := h[0]
+		out = append(out, c.kvs[c.i])
+		c.i++
+		if c.i == len(c.kvs) {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+	}
+	return out
 }
 
 // ForEach visits every record of table in key order. The callback
 // receives engine-owned data and must not retain or mutate it; it
-// runs under the store's read lock.
+// runs with every partition's read lock held, so the visit is one
+// consistent snapshot of the whole table.
 func (s *Store) ForEach(table string, fn func(key string, rec *VersionedRecord) bool) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
-		return ErrClosed
+	if len(s.parts) == 1 {
+		return s.parts[0].forEach(table, fn)
 	}
-	t := s.readTable(table)
-	if t == nil {
-		return nil
+	for _, p := range s.parts {
+		p.mu.RLock()
 	}
-	t.ascend("", fn)
+	defer func() {
+		for _, p := range s.parts {
+			p.mu.RUnlock()
+		}
+	}()
+	lists := make([][]VersionedKV, 0, len(s.parts))
+	for _, p := range s.parts {
+		if p.closed {
+			return ErrClosed
+		}
+		t := p.tables[table]
+		if t == nil || t.size == 0 {
+			continue
+		}
+		l := make([]VersionedKV, 0, t.size)
+		t.ascend("", func(key string, val *VersionedRecord) bool {
+			l = append(l, VersionedKV{Key: key, Record: val})
+			return true
+		})
+		lists = append(lists, l)
+	}
+	for _, kv := range mergeScan(lists, -1) {
+		if !fn(kv.Key, kv.Record) {
+			break
+		}
+	}
 	return nil
 }
 
 // Len returns the number of records in table.
 func (s *Store) Len(table string) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	t := s.readTable(table)
-	if t == nil {
-		return 0
+	total := 0
+	for _, p := range s.parts {
+		total += p.len(table)
 	}
-	return t.size
+	return total
 }
 
 // Tables returns the names of all tables that have ever been written.
 func (s *Store) Tables() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	names := make([]string, 0, len(s.tables))
-	for n := range s.tables {
-		names = append(names, n)
+	seen := map[string]bool{}
+	var names []string
+	for _, p := range s.parts {
+		for _, n := range p.tableNames() {
+			if !seen[n] {
+				seen[n] = true
+				names = append(names, n)
+			}
+		}
 	}
+	sort.Strings(names)
 	return names
 }
 
-// Sync flushes the WAL to stable storage.
+// Sync flushes every WAL segment to stable storage.
 func (s *Store) Sync() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
-	}
-	if s.wal == nil {
-		return nil
-	}
-	return s.wal.sync()
-}
-
-// Close flushes and closes the store. Further operations return
-// ErrClosed.
-func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil
-	}
-	s.closed = true
-	if s.wal != nil {
-		return s.wal.close()
+	for _, p := range s.parts {
+		if err := p.sync(); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// Close flushes and closes every partition. Further operations return
+// ErrClosed.
+func (s *Store) Close() error {
+	var first error
+	for _, p := range s.parts {
+		if err := p.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }

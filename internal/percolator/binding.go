@@ -42,7 +42,12 @@ func (b *Binding) Init(p *properties.Properties) error {
 	var closer func() error
 	switch backend := p.GetString("percolator.backend", "memory"); backend {
 	case "memory":
-		inner := kvstore.OpenMemory()
+		inner, err := kvstore.Open(kvstore.Options{
+			Shards: p.GetInt("kvstore.shards", kvstore.DefaultShards),
+		})
+		if err != nil {
+			return err
+		}
 		store, closer = txn.NewLocalStore("local", inner), inner.Close
 	case "was":
 		s := cloudsim.New(cloudsim.WASPreset())

@@ -79,6 +79,9 @@ type Config struct {
 	// ReplicaLag delays each async apply, modelling the network hop
 	// to a remote backup.
 	ReplicaLag time.Duration
+	// Shards is the hash-partition count of each replica's engine; 0
+	// means kvstore.DefaultShards.
+	Shards int
 }
 
 // repOp is one replicated operation (the committed post-image).
@@ -110,6 +113,12 @@ type Store struct {
 	closed atomic.Bool
 }
 
+// newEngine builds one replica's in-memory partitioned engine.
+func newEngine(shards int) *kvstore.Store {
+	s, _ := kvstore.Open(kvstore.Options{Shards: shards}) // in-memory open cannot fail
+	return s
+}
+
 // New builds a replicated store with fresh in-memory replicas.
 func New(cfg Config) (*Store, error) {
 	if cfg.Backups < 1 {
@@ -118,13 +127,16 @@ func New(cfg Config) (*Store, error) {
 	if cfg.QueueSize <= 0 {
 		cfg.QueueSize = 4096
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = kvstore.DefaultShards
+	}
 	s := &Store{
 		cfg:     cfg,
-		primary: kvstore.OpenMemory(),
+		primary: newEngine(cfg.Shards),
 		drained: make(chan struct{}),
 	}
 	for i := 0; i < cfg.Backups; i++ {
-		s.backups = append(s.backups, kvstore.OpenMemory())
+		s.backups = append(s.backups, newEngine(cfg.Shards))
 	}
 	if cfg.Mode == Async {
 		s.queue = make(chan repOp, cfg.QueueSize)
@@ -312,7 +324,7 @@ func (s *Store) Promote() (lost int64) {
 	s.backups = append([]*kvstore.Store(nil), s.backups[1:]...)
 	if len(s.backups) == 0 {
 		// Keep at least one backup so the store stays replicated.
-		s.backups = append(s.backups, kvstore.OpenMemory())
+		s.backups = append(s.backups, newEngine(s.cfg.Shards))
 	}
 	s.topo.Unlock()
 	old.Close()

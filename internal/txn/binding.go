@@ -63,7 +63,12 @@ func (b *Binding) Init(p *properties.Properties) error {
 	}
 	switch backend := p.GetString("txnkv.backend", "memory"); backend {
 	case "memory":
-		inner := kvstore.OpenMemory()
+		inner, err := kvstore.Open(kvstore.Options{
+			Shards: p.GetInt("kvstore.shards", kvstore.DefaultShards),
+		})
+		if err != nil {
+			return err
+		}
 		add(NewLocalStore("local", inner), inner.Close)
 	case "was":
 		s := cloudsim.New(cloudsim.WASPreset())

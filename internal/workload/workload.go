@@ -37,6 +37,10 @@ const (
 	OpScan   OpType = "SCAN"
 	OpDelete OpType = "DELETE"
 	OpRMW    OpType = "READ-MODIFY-WRITE"
+	// OpUnstarted labels transactions whose Start failed before the
+	// workload chose an operation; their latency and return code are
+	// still part of the run and land in the TX-UNSTARTED series.
+	OpUnstarted OpType = "UNSTARTED"
 )
 
 // TxSeries returns the Tier 5 whole-transaction series name for an
