@@ -23,7 +23,11 @@ type BulkKV struct {
 // concurrently.
 //
 // Keys must be strictly increasing and the table empty; records are
-// stored at version 1.
+// stored at version 1. The emptiness precondition is checked without
+// a store-wide lock and re-verified per partition, so two concurrent
+// BulkLoads into the same table race: one fails with an error rather
+// than clobbering the other, but the table may be left partially
+// loaded. Run at most one load per table at a time.
 func (s *Store) BulkLoad(table string, kvs []BulkKV) error {
 	if s.parts[0].isClosed() {
 		return ErrClosed
@@ -69,23 +73,30 @@ func (s *Store) BulkLoad(table string, kvs []BulkKV) error {
 }
 
 // bulkLoad builds this partition's tree bottom-up from its (sorted)
-// share of the batch.
+// share of the batch. The store-level emptiness check is re-verified
+// here under p.mu so a racing load or insert cannot be silently
+// clobbered by the unconditional tree swap below.
 func (p *partition) bulkLoad(table string, kvs []BulkKV) error {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		return ErrClosed
 	}
+	if t := p.tables[table]; t != nil && t.size > 0 {
+		p.mu.Unlock()
+		return fmt.Errorf("kvstore: bulk load raced a concurrent write to table %q (%d records)", table, t.size)
+	}
 	items := make([]item, len(kvs))
 	var seq uint64
+	w := p.wal // captured under p.mu: compact may swap p.wal after unlock
 	for i, kv := range kvs {
 		rec := &VersionedRecord{Version: 1, Fields: make(map[string][]byte, len(kv.Fields))}
 		for f, v := range kv.Fields {
 			rec.Fields[f] = append([]byte(nil), v...)
 		}
 		items[i] = item{key: kv.Key, val: rec}
-		if p.wal != nil {
-			n, err := p.wal.append(walRecord{Op: walPut, Table: table, Key: kv.Key, Version: 1, Fields: rec.Fields})
+		if w != nil {
+			n, err := w.append(walRecord{Op: walPut, Table: table, Key: kv.Key, Version: 1, Fields: rec.Fields})
 			if err != nil {
 				p.mu.Unlock()
 				return err
@@ -97,7 +108,7 @@ func (p *partition) bulkLoad(table string, kvs []BulkKV) error {
 	p.mu.Unlock()
 	if seq != 0 {
 		// Group-commit + sync mode: one wait covers the whole batch.
-		if err := p.wal.waitDurable(seq); err != nil {
+		if err := w.waitDurable(seq); err != nil {
 			return err
 		}
 	}

@@ -14,7 +14,10 @@ import (
 // records. Partitions compact concurrently and independently: each
 // snapshot is written to a temporary file, fsynced, and atomically
 // renamed over the segment, so a crash at any point leaves either the
-// old segment or the complete new one. No-op for in-memory stores.
+// old segment or the complete new one. If swapping the new segment in
+// fails after the old WAL is closed, that partition is marked closed
+// (operations on its keys return ErrClosed) — reopen the store to
+// recover from the on-disk state. No-op for in-memory stores.
 func (s *Store) Compact() error {
 	if len(s.parts) == 1 {
 		return s.parts[0].compact()
@@ -97,7 +100,11 @@ func (p *partition) compact() error {
 
 	// Swap the new segment in: close the old handle, rename, reopen
 	// for appending at the end (restarting the group-commit syncer
-	// when one is configured).
+	// when one is configured). Once the old WAL is closed the
+	// partition has no live log: any failure before the new one is
+	// installed marks the partition closed, so later mutations fail
+	// fast instead of buffering into a closed file (or, in
+	// group-commit mode, blocking forever on a syncer that exited).
 	oldSync, oldGC := p.wal.syncOn, p.wal.gcInterval
 	if err := p.wal.close(); err != nil {
 		f.Close()
@@ -105,18 +112,22 @@ func (p *partition) compact() error {
 		return fmt.Errorf("kvstore: compacting: closing old WAL: %w", err)
 	}
 	if err := f.Close(); err != nil {
+		p.closed = true
 		os.Remove(tmp)
 		return fmt.Errorf("kvstore: compacting: %w", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
+		p.closed = true
 		return fmt.Errorf("kvstore: compacting: %w", err)
 	}
 	nw, err := openWAL(path, oldSync, oldGC)
 	if err != nil {
+		p.closed = true
 		return err
 	}
 	// Position for appending without replaying into the live store.
 	if err := nw.seekEnd(); err != nil {
+		p.closed = true
 		nw.close()
 		return err
 	}

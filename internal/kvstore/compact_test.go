@@ -3,7 +3,9 @@ package kvstore
 import (
 	"fmt"
 	"path/filepath"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestCompactShrinksLogAndPreservesState(t *testing.T) {
@@ -75,6 +77,61 @@ func TestCompactShrinksLogAndPreservesState(t *testing.T) {
 	}
 	if _, err := r.Get("t", "post"); err != nil {
 		t.Errorf("post-compaction write lost: %v", err)
+	}
+}
+
+// TestCompactConcurrentWithGroupCommitWrites races Compact against
+// writers in group-commit + sync mode. Compact swaps each partition's
+// WAL under the partition lock, so a writer must wait for durability
+// on the WAL it appended to (captured under the lock), never on the
+// fresh WAL whose sequence numbers restarted at zero — the old code
+// read p.wal after unlock, an unsynchronized access -race catches and
+// a potential indefinite hang on an idle store.
+func TestCompactConcurrentWithGroupCommitWrites(t *testing.T) {
+	s, err := Open(Options{
+		Path:        t.TempDir(),
+		Shards:      4,
+		SyncWrites:  true,
+		GroupCommit: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const writers = 4
+	const rounds = 50
+	errCh := make(chan error, writers)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if _, err := s.Put("t", fmt.Sprintf("w%d-k%03d", g, i), fields("v")); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Compact(); err != nil {
+			t.Fatalf("concurrent compact: %v", err)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("writer during compact: %v", err)
+	}
+	// A write on the now-idle store must not hang waiting on the
+	// post-compaction WAL's restarted sequence numbers.
+	if _, err := s.Put("t", "final", fields("v")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Len("t"); got != writers*rounds+1 {
+		t.Errorf("Len = %d, want %d", got, writers*rounds+1)
 	}
 }
 

@@ -10,6 +10,12 @@ package kvstore
 //
 // All implementations must make single-key operations linearizable
 // and Scan/ForEach results key-ordered.
+//
+// Durability caveat: when a mutation returns an error after its WAL
+// append (e.g. a failed group-commit fsync), the write's durability
+// is unknown — it may already be visible to readers and recorded in
+// the log, so it can survive a restart. An error from a mutation
+// means "not known durable", not "rolled back".
 type Engine interface {
 	// Point operations.
 	Get(table, key string) (*VersionedRecord, error)

@@ -76,7 +76,11 @@ func (p *partition) get(table, key string) (*VersionedRecord, error) {
 // putIfVersion is the conditional-put core. When the WAL is in
 // group-commit + sync mode the durability wait happens after the
 // partition lock is released, so other writers proceed during the
-// window — that interleaving is the whole point of group commit.
+// window — that interleaving is the whole point of group commit. The
+// WAL pointer is captured under the lock because compact swaps p.wal
+// while holding it; waiting on the captured object stays correct
+// since the old WAL's close performs a final group sync that wakes
+// its waiters.
 func (p *partition) putIfVersion(table, key string, fields map[string][]byte, expect uint64) (uint64, error) {
 	p.mu.Lock()
 	if p.closed {
@@ -111,9 +115,10 @@ func (p *partition) putIfVersion(table, key string, fields map[string][]byte, ex
 		stored.Fields[f] = append([]byte(nil), b...)
 	}
 	var seq uint64
-	if p.wal != nil {
+	w := p.wal
+	if w != nil {
 		var err error
-		if seq, err = p.wal.append(walRecord{Op: walPut, Table: table, Key: key, Version: next, Fields: stored.Fields}); err != nil {
+		if seq, err = w.append(walRecord{Op: walPut, Table: table, Key: key, Version: next, Fields: stored.Fields}); err != nil {
 			p.mu.Unlock()
 			return 0, err
 		}
@@ -121,7 +126,7 @@ func (p *partition) putIfVersion(table, key string, fields map[string][]byte, ex
 	t.put(key, stored)
 	p.mu.Unlock()
 	if seq != 0 {
-		if err := p.wal.waitDurable(seq); err != nil {
+		if err := w.waitDurable(seq); err != nil {
 			return 0, err
 		}
 	}
@@ -146,9 +151,10 @@ func (p *partition) update(table, key string, fields map[string][]byte) (uint64,
 		merged.Fields[f] = append([]byte(nil), b...)
 	}
 	var seq uint64
-	if p.wal != nil {
+	w := p.wal // captured under p.mu: compact may swap p.wal after unlock
+	if w != nil {
 		var err error
-		if seq, err = p.wal.append(walRecord{Op: walPut, Table: table, Key: key, Version: merged.Version, Fields: merged.Fields}); err != nil {
+		if seq, err = w.append(walRecord{Op: walPut, Table: table, Key: key, Version: merged.Version, Fields: merged.Fields}); err != nil {
 			p.mu.Unlock()
 			return 0, err
 		}
@@ -156,7 +162,7 @@ func (p *partition) update(table, key string, fields map[string][]byte) (uint64,
 	t.put(key, merged)
 	p.mu.Unlock()
 	if seq != 0 {
-		if err := p.wal.waitDurable(seq); err != nil {
+		if err := w.waitDurable(seq); err != nil {
 			return 0, err
 		}
 	}
@@ -180,9 +186,10 @@ func (p *partition) deleteIfVersion(table, key string, expect uint64) error {
 		return fmt.Errorf("%w: %s/%s at version %d, expected %d", ErrVersionMismatch, table, key, cur.Version, expect)
 	}
 	var seq uint64
-	if p.wal != nil {
+	w := p.wal // captured under p.mu: compact may swap p.wal after unlock
+	if w != nil {
 		var err error
-		if seq, err = p.wal.append(walRecord{Op: walDelete, Table: table, Key: key}); err != nil {
+		if seq, err = w.append(walRecord{Op: walDelete, Table: table, Key: key}); err != nil {
 			p.mu.Unlock()
 			return err
 		}
@@ -190,7 +197,7 @@ func (p *partition) deleteIfVersion(table, key string, expect uint64) error {
 	t.delete(key)
 	p.mu.Unlock()
 	if seq != 0 {
-		if err := p.wal.waitDurable(seq); err != nil {
+		if err := w.waitDurable(seq); err != nil {
 			return err
 		}
 	}

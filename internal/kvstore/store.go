@@ -210,10 +210,20 @@ func loadOrInitManifest(path string, shards int) (int, error) {
 	return n, nil
 }
 
-// OpenMemory returns a volatile in-memory store with the default
-// shard count.
+// OpenMemory returns a volatile single-shard in-memory store. One
+// partition preserves the pre-sharding semantics this constructor has
+// always had — Scan and ForEach are atomic snapshots of the whole
+// table. Use OpenMemoryShards (or Open) to opt into sharding.
 func OpenMemory() *Store {
-	s, _ := Open(Options{Shards: DefaultShards}) // in-memory open cannot fail
+	return OpenMemoryShards(1)
+}
+
+// OpenMemoryShards returns a volatile in-memory store with n hash
+// partitions (n <= 1 means one). With multiple shards, Scan snapshots
+// are consistent per partition but not atomic across partitions; see
+// Store.Scan.
+func OpenMemoryShards(n int) *Store {
+	s, _ := Open(Options{Shards: n}) // in-memory open cannot fail
 	return s
 }
 
