@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test test-race bench clean
+.PHONY: check vet build test test-race bench bench-quick clean
 
 # The full tier-1 gate: vet, build everything, then the race-enabled
 # short test run.
@@ -28,6 +28,11 @@ test-race:
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
 	$(GO) test -bench BenchmarkSeriesMeasureParallel -cpu 1,8,32 ./internal/measurement/
+
+# The batch-path acceptance benchmark, machine-readable: CI uploads
+# BENCH_batch.json so the batched-vs-single ratio is tracked per run.
+bench-quick:
+	$(GO) test -run xx -bench BenchmarkBatchVsSingle -benchtime 3x -json . | tee BENCH_batch.json
 
 clean:
 	$(GO) clean ./...

@@ -36,6 +36,8 @@ func run() error {
 	shards := flag.Int("shards", kvstore.DefaultShards, "hash partitions of the store (an existing WAL layout wins)")
 	groupCommit := flag.Duration("group-commit", 0, "WAL group-commit window, e.g. 2ms (0 = sync inline)")
 	delay := flag.Duration("delay", 0, "artificial per-request service latency")
+	maxInflight := flag.Int("max-inflight", 0, "concurrent /v1/batch requests admitted before 429 (0 = unlimited)")
+	maxBodyBytes := flag.Int64("max-body-bytes", 0, "request body cap in bytes, larger bodies get 413 (0 = default 1MiB)")
 	flag.Parse()
 
 	store, err := kvstore.Open(kvstore.Options{
@@ -49,7 +51,10 @@ func run() error {
 	}
 	defer store.Close()
 
-	var handler http.Handler = httpkv.NewServer(store)
+	var handler http.Handler = httpkv.NewServerWithOptions(store, httpkv.ServerOptions{
+		MaxInflightBatches: *maxInflight,
+		MaxBodyBytes:       *maxBodyBytes,
+	})
 	if *delay > 0 {
 		inner := handler
 		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

@@ -113,6 +113,7 @@ type Client struct {
 	reg     *measurement.Registry
 	mwNames []string     // validated middleware stack, outermost first
 	opLog   *trace.OpLog // operation log, when the stack traces
+	shared  *db.MiddlewareState
 }
 
 // New builds a client over an already-initialized workload and
@@ -138,7 +139,8 @@ func New(cfg Config, w workload.Workload, d db.DB, reg *measurement.Registry) (*
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
-	c := &Client{cfg: cfg, w: w, d: d, reg: reg, mwNames: mwNames}
+	c := &Client{cfg: cfg, w: w, d: d, reg: reg, mwNames: mwNames,
+		shared: db.NewMiddlewareState()}
 	for _, name := range mwNames {
 		if name == "trace" {
 			c.opLog = trace.NewOpLog(cfg.Props.GetInt("trace.oplog_size", trace.DefaultOpLogSize))
@@ -282,7 +284,10 @@ func (c *Client) threadLoop(ctx context.Context, phase string, th int, ops int64
 		return err
 	}
 	rec := c.reg.Recorder()
-	env := db.MiddlewareEnv{Props: c.cfg.Props, Recorder: rec}
+	// Shared carries cross-thread singletons (the batching coalescer):
+	// thread ops are sequential, so per-thread batching would always
+	// pay the full linger — coalescing only works across threads.
+	env := db.MiddlewareEnv{Props: c.cfg.Props, Recorder: rec, Shared: c.shared}
 	if c.opLog != nil {
 		env.Observer = c.opLog
 	}

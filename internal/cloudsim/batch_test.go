@@ -1,0 +1,125 @@
+package cloudsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"ycsbt/internal/db"
+)
+
+// zeroLatency returns a store with no simulated latency so tests only
+// observe the request accounting.
+func zeroLatency() *Store {
+	return New(Config{Name: "test"})
+}
+
+// TestBatchChargedAsOneRequest checks the batch economics: a read run
+// costs one read request and a write run one write request, no matter
+// how many keys move.
+func TestBatchChargedAsOneRequest(t *testing.T) {
+	ctx := context.Background()
+	b := NewBinding(zeroLatency())
+	defer b.store.Close()
+
+	var ops []db.BatchOp
+	for i := 0; i < 8; i++ {
+		ops = append(ops, db.BatchOp{Op: db.OpInsert, Table: "t", Key: fmt.Sprintf("k%d", i), Values: db.Record{"f": []byte("v")}})
+	}
+	for _, r := range b.ExecBatch(ctx, ops) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	reads, writes, _ := b.store.Stats()
+	if reads != 0 || writes != 1 {
+		t.Fatalf("after 8-insert batch: reads=%d writes=%d, want 0/1", reads, writes)
+	}
+
+	ops = ops[:0]
+	for i := 0; i < 8; i++ {
+		ops = append(ops, db.BatchOp{Op: db.OpRead, Table: "t", Key: fmt.Sprintf("k%d", i)})
+	}
+	for i, r := range b.ExecBatch(ctx, ops) {
+		if r.Err != nil || string(r.Record["f"]) != "v" {
+			t.Fatalf("read %d: %+v", i, r)
+		}
+	}
+	reads, writes, _ = b.store.Stats()
+	if reads != 1 || writes != 1 {
+		t.Fatalf("after 8-read batch: reads=%d writes=%d, want 1/1", reads, writes)
+	}
+}
+
+// TestBatchUpdateChargesPreRead checks a non-blind update run pays
+// exactly two requests (batched pre-read + batched put), and a blind
+// run pays one.
+func TestBatchUpdateChargesPreRead(t *testing.T) {
+	ctx := context.Background()
+	b := NewBinding(zeroLatency())
+	defer b.store.Close()
+	for i := 0; i < 4; i++ {
+		if err := b.Insert(ctx, "t", fmt.Sprintf("k%d", i), db.Record{"f": []byte("v"), "keep": []byte("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r0, w0, _ := b.store.Stats()
+
+	var ops []db.BatchOp
+	for i := 0; i < 4; i++ {
+		ops = append(ops, db.BatchOp{Op: db.OpUpdate, Table: "t", Key: fmt.Sprintf("k%d", i), Values: db.Record{"f": []byte("v2")}})
+	}
+	for i, r := range b.ExecBatch(ctx, ops) {
+		if r.Err != nil {
+			t.Fatalf("update %d: %v", i, r.Err)
+		}
+	}
+	r1, w1, _ := b.store.Stats()
+	if r1-r0 != 1 || w1-w0 != 1 {
+		t.Fatalf("merge-update batch: +%d reads +%d writes, want 1/1", r1-r0, w1-w0)
+	}
+	// The merge preserved untouched fields.
+	rec, err := b.Read(ctx, "t", "k0", nil)
+	if err != nil || string(rec["f"]) != "v2" || string(rec["keep"]) != "x" {
+		t.Fatalf("merged record: %v %v", rec, err)
+	}
+
+	b.BlindUpdates = true
+	r1, w1, _ = b.store.Stats()
+	for i, r := range b.ExecBatch(ctx, ops) {
+		if r.Err != nil {
+			t.Fatalf("blind update %d: %v", i, r.Err)
+		}
+	}
+	r2, w2, _ := b.store.Stats()
+	if r2-r1 != 0 || w2-w1 != 1 {
+		t.Fatalf("blind-update batch: +%d reads +%d writes, want 0/1", r2-r1, w2-w1)
+	}
+}
+
+// TestBatchPerItemErrors checks misses surface per item, not as
+// whole-batch failures.
+func TestBatchPerItemErrors(t *testing.T) {
+	ctx := context.Background()
+	b := NewBinding(zeroLatency())
+	defer b.store.Close()
+	if err := b.Insert(ctx, "t", "a", db.Record{"f": []byte("v")}); err != nil {
+		t.Fatal(err)
+	}
+	res := b.ExecBatch(ctx, []db.BatchOp{
+		{Op: db.OpRead, Table: "t", Key: "a"},
+		{Op: db.OpRead, Table: "t", Key: "missing"},
+		{Op: db.OpUpdate, Table: "t", Key: "missing", Values: db.Record{"f": []byte("x")}},
+		{Op: db.OpInsert, Table: "t", Key: "b", Values: db.Record{"f": []byte("v")}},
+	})
+	if res[0].Err != nil {
+		t.Fatalf("item 0: %v", res[0].Err)
+	}
+	if !errors.Is(res[1].Err, db.ErrNotFound) || !errors.Is(res[2].Err, db.ErrNotFound) {
+		t.Fatalf("items 1/2: %v %v", res[1].Err, res[2].Err)
+	}
+	if res[3].Err != nil {
+		t.Fatalf("item 3: %v", res[3].Err)
+	}
+}

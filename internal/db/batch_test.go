@@ -1,0 +1,282 @@
+package db
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ycsbt/internal/measurement"
+	"ycsbt/internal/properties"
+)
+
+// batchSpy records every native batch handed to it while answering
+// through the plain Memory binding.
+type batchSpy struct {
+	*Memory
+	mu      sync.Mutex
+	batches [][]BatchOp
+}
+
+func (s *batchSpy) ExecBatch(ctx context.Context, ops []BatchOp) []BatchResult {
+	s.mu.Lock()
+	s.batches = append(s.batches, append([]BatchOp(nil), ops...))
+	s.mu.Unlock()
+	out := make([]BatchResult, len(ops))
+	for i := range ops {
+		out[i] = execOne(ctx, s.Memory, ops[i])
+	}
+	return out
+}
+
+func (s *batchSpy) batchSizes() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []int
+	for _, b := range s.batches {
+		out = append(out, len(b))
+	}
+	return out
+}
+
+// TestExecBatchFallback checks the sequential fallback for plain
+// bindings: positional, per-item results.
+func TestExecBatchFallback(t *testing.T) {
+	ctx := context.Background()
+	m := NewMemory()
+	if err := m.Insert(ctx, "t", "a", Record{"f": []byte("v1")}); err != nil {
+		t.Fatal(err)
+	}
+	res := ExecBatch(ctx, m, []BatchOp{
+		{Op: OpRead, Table: "t", Key: "a"},
+		{Op: OpRead, Table: "t", Key: "missing"},
+		{Op: OpInsert, Table: "t", Key: "b", Values: Record{"f": []byte("v2")}},
+		{Op: OpScan, Table: "t", Key: "a"}, // not batchable
+	})
+	if res[0].Err != nil || string(res[0].Record["f"]) != "v1" {
+		t.Fatalf("item 0: %+v", res[0])
+	}
+	if !errors.Is(res[1].Err, ErrNotFound) {
+		t.Fatalf("item 1: got %v, want ErrNotFound", res[1].Err)
+	}
+	if res[2].Err != nil {
+		t.Fatalf("item 2: %v", res[2].Err)
+	}
+	if !errors.Is(res[3].Err, ErrNotSupported) {
+		t.Fatalf("item 3: got %v, want ErrNotSupported", res[3].Err)
+	}
+}
+
+// buildBatching constructs the "batching" middleware exactly as the
+// client does: per-thread BuildMiddlewares calls sharing one
+// MiddlewareState.
+func buildBatching(t *testing.T, props map[string]string, shared *MiddlewareState, rec *measurement.Recorder) Middleware {
+	t.Helper()
+	p := properties.New()
+	for k, v := range props {
+		p.Set(k, v)
+	}
+	mws, err := BuildMiddlewares([]string{"batching"}, MiddlewareEnv{
+		Props:    p,
+		Recorder: rec,
+		Shared:   shared,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mws[0]
+}
+
+// TestBatchingCoalescesAcrossThreads drives size concurrent threads
+// through the coalescer and checks the binding saw one native batch,
+// with every thread getting its own positional answer back.
+func TestBatchingCoalescesAcrossThreads(t *testing.T) {
+	ctx := context.Background()
+	spy := &batchSpy{Memory: NewMemory()}
+	for i := 0; i < 4; i++ {
+		if err := spy.Insert(ctx, "t", fmt.Sprintf("k%d", i), Record{"f": []byte(fmt.Sprint(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shared := NewMiddlewareState()
+	props := map[string]string{"batch.size": "4", "batch.linger_ms": "1000"}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		mw := buildBatching(t, props, shared, nil) // per-thread build, shared state
+		d := Chain(DB(spy), mw)
+		wg.Add(1)
+		go func(i int, d DB) {
+			defer wg.Done()
+			rec, err := d.Read(ctx, "t", fmt.Sprintf("k%d", i), nil)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if got := string(rec["f"]); got != fmt.Sprint(i) {
+				errs[i] = fmt.Errorf("thread %d read %q", i, got)
+			}
+		}(i, d)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("thread %d: %v", i, err)
+		}
+	}
+	// With linger at 1s and exactly size threads, the only way these
+	// reads completed promptly is one full native batch.
+	if sizes := spy.batchSizes(); len(sizes) != 1 || sizes[0] != 4 {
+		t.Fatalf("native batches %v, want [4]", sizes)
+	}
+}
+
+// TestBatchingLingerFlushesPartialBatch checks a lone operation is
+// released by the linger timer rather than waiting for a full batch.
+func TestBatchingLingerFlushesPartialBatch(t *testing.T) {
+	ctx := context.Background()
+	spy := &batchSpy{Memory: NewMemory()}
+	shared := NewMiddlewareState()
+	mw := buildBatching(t, map[string]string{"batch.size": "64", "batch.linger_ms": "5"}, shared, nil)
+	d := Chain(DB(spy), mw)
+
+	start := time.Now()
+	if err := d.Insert(ctx, "t", "solo", Record{"f": []byte("v")}); err != nil {
+		t.Fatal(err)
+	}
+	if e := time.Since(start); e > 2*time.Second {
+		t.Fatalf("lone insert took %v, linger timer did not fire", e)
+	}
+	if sizes := spy.batchSizes(); len(sizes) != 1 || sizes[0] != 1 {
+		t.Fatalf("native batches %v, want [1]", sizes)
+	}
+	if rec, err := spy.Read(ctx, "t", "solo", nil); err != nil || string(rec["f"]) != "v" {
+		t.Fatalf("after flush: %v %v", rec, err)
+	}
+}
+
+// TestBatchingCancelledWaiter checks a waiter whose context dies gets
+// ctx.Err() back while the batch itself still executes.
+func TestBatchingCancelledWaiter(t *testing.T) {
+	spy := &batchSpy{Memory: NewMemory()}
+	shared := NewMiddlewareState()
+	mw := buildBatching(t, map[string]string{"batch.size": "64", "batch.linger_ms": "50"}, shared, nil)
+	d := Chain(DB(spy), mw)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(time.Millisecond); cancel() }()
+	if err := d.Insert(ctx, "t", "k", Record{"f": []byte("v")}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	// The abandoned item still lands once the linger timer flushes.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if rec, err := spy.Read(context.Background(), "t", "k", nil); err == nil && string(rec["f"]) == "v" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned item never executed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestBatchingDisabledIsIdentity checks batch.size<=1 (and a nil
+// shared state) yield a passthrough middleware.
+func TestBatchingDisabledIsIdentity(t *testing.T) {
+	inner := NewMemory()
+	for _, tc := range []struct {
+		name   string
+		props  map[string]string
+		shared *MiddlewareState
+	}{
+		{"size1", map[string]string{"batch.size": "1"}, NewMiddlewareState()},
+		{"linger0", map[string]string{"batch.size": "8", "batch.linger_ms": "0"}, NewMiddlewareState()},
+		{"nilShared", map[string]string{"batch.size": "8"}, nil},
+	} {
+		mw := buildBatching(t, tc.props, tc.shared, nil)
+		if got := mw(inner); got != DB(inner) {
+			t.Errorf("%s: middleware wrapped the DB, want identity", tc.name)
+		}
+	}
+}
+
+// TestBatchingMeasuresBatchSeries checks flushes land in BATCH-READ /
+// BATCH-UPDATE with per-item operation counts (MeasureN semantics).
+func TestBatchingMeasuresBatchSeries(t *testing.T) {
+	ctx := context.Background()
+	spy := &batchSpy{Memory: NewMemory()}
+	reg := measurement.NewRegistry(0)
+	shared := NewMiddlewareState()
+	var events atomic.Int64
+	obs := observerFunc(func(info OpInfo, _ time.Duration, _ error) {
+		if info.Op == OpBatchRead || info.Op == OpBatchWrite {
+			events.Add(int64(info.Items))
+		}
+	})
+	p := properties.New()
+	p.Set("batch.size", "3")
+	p.Set("batch.linger_ms", "1000")
+	mws, err := BuildMiddlewares([]string{"batching"}, MiddlewareEnv{
+		Props: p, Recorder: reg.Recorder(), Observer: obs, Shared: shared,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Chain(DB(spy), mws[0])
+
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			switch i {
+			case 0:
+				d.Read(ctx, "t", "missing", nil)
+			default:
+				d.Insert(ctx, "t", fmt.Sprintf("k%d", i), Record{"f": []byte("v")})
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got := reg.Snapshot(SeriesBatchRead).Operations; got != 1 {
+		t.Errorf("BATCH-READ operations = %d, want 1", got)
+	}
+	if got := reg.Snapshot(SeriesBatchUpdate).Operations; got != 2 {
+		t.Errorf("BATCH-UPDATE operations = %d, want 2", got)
+	}
+	if got := reg.Snapshot(SeriesBatchRead).Returns[CodeNotFound]; got != 1 {
+		t.Errorf("BATCH-READ not-found returns = %d, want 1", got)
+	}
+	if got := events.Load(); got != 3 {
+		t.Errorf("observed batch items = %d, want 3", got)
+	}
+}
+
+// TestBindingBatchThroughMiddleware checks a full chain — batching
+// over a BatchDB binding — preserves single-op error semantics.
+func TestBatchingPreservesErrorSemantics(t *testing.T) {
+	ctx := context.Background()
+	spy := &batchSpy{Memory: NewMemory()}
+	shared := NewMiddlewareState()
+	mw := buildBatching(t, map[string]string{"batch.size": "2", "batch.linger_ms": "1000"}, shared, nil)
+	d := Chain(DB(spy), mw)
+
+	var wg sync.WaitGroup
+	var readErr, insErr error
+	wg.Add(2)
+	go func() { defer wg.Done(); _, readErr = d.Read(ctx, "t", "nope", nil) }()
+	go func() { defer wg.Done(); insErr = d.Insert(ctx, "t", "k", Record{"f": []byte("v")}) }()
+	wg.Wait()
+	if !errors.Is(readErr, ErrNotFound) {
+		t.Errorf("read: got %v, want ErrNotFound", readErr)
+	}
+	if insErr != nil {
+		t.Errorf("insert: %v", insErr)
+	}
+}

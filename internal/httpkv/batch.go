@@ -1,0 +1,397 @@
+package httpkv
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"ycsbt/internal/db"
+	"ycsbt/internal/kvstore"
+)
+
+// The /v1/batch protocol: the request body is NDJSON, one operation
+// per line, answered positionally with NDJSON result lines carrying a
+// per-item HTTP status and ETag. One POST moves a whole multi-key
+// batch, so the per-request costs the single-op protocol pays N times
+// — connection scheduling, header parsing, handler dispatch, response
+// flush — are paid once:
+//
+//	POST /v1/batch                   Content-Type: application/x-ndjson
+//	{"op":"get","table":"t","key":"a"}
+//	{"op":"put","table":"t","key":"b","fields":{...},"if_none_match":"*"}
+//	{"op":"patch","table":"t","key":"c","fields":{...}}
+//	{"op":"delete","table":"t","key":"d","if_match":"7"}
+//	→ 200                            Content-Type: application/x-ndjson
+//	{"status":200,"etag":"3","fields":{...}}
+//	{"status":412,"error":"..."}
+//	...
+//
+// Per-item failures never fail the POST; whole-request failures are
+// 400 (malformed NDJSON), 413 (body over the server's cap), 429 +
+// Retry-After (admission control) and 504 (X-Deadline-Ms expired
+// before any work ran). The table name "batch" is reserved by this
+// route.
+
+// NDJSONContentType is the MIME type of batch bodies and streamed
+// scans.
+const NDJSONContentType = "application/x-ndjson"
+
+// DeadlineHeader carries the client's remaining per-request budget in
+// milliseconds; the server abandons work it cannot start in time.
+const DeadlineHeader = "X-Deadline-Ms"
+
+// maxBatchItems bounds one batch request independently of body bytes.
+const maxBatchItems = 4096
+
+// wireBatchOp is one NDJSON request line.
+type wireBatchOp struct {
+	Op          string            `json:"op"`
+	Table       string            `json:"table"`
+	Key         string            `json:"key"`
+	Fields      map[string][]byte `json:"fields,omitempty"`
+	IfMatch     string            `json:"if_match,omitempty"`
+	IfNoneMatch string            `json:"if_none_match,omitempty"`
+}
+
+// wireBatchResult is one NDJSON response line.
+type wireBatchResult struct {
+	Status int               `json:"status"`
+	ETag   string            `json:"etag,omitempty"`
+	Fields map[string][]byte `json:"fields,omitempty"`
+	Error  string            `json:"error,omitempty"`
+}
+
+// expect resolves the line's conditional-write headers (same defaults
+// as the single-op protocol).
+func (op wireBatchOp) expect() (uint64, error) {
+	if op.IfNoneMatch == "*" {
+		return kvstore.MustNotExist, nil
+	}
+	if op.IfMatch == "" {
+		return kvstore.AnyVersion, nil
+	}
+	v, err := strconv.ParseUint(op.IfMatch, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad if_match %q", op.IfMatch)
+	}
+	return v, nil
+}
+
+// handleBatch serves POST /v1/batch.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.inflight != nil {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			w.Header().Set("Retry-After", retryAfterSeconds(s.opts.RetryAfter))
+			http.Error(w, "too many in-flight batches", http.StatusTooManyRequests)
+			return
+		}
+	}
+	ops, err := decodeBatchOps(r)
+	if err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	if err := r.Context().Err(); err != nil {
+		http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
+		return
+	}
+	results := s.execBatch(r.Context(), ops)
+	w.Header().Set("Content-Type", NDJSONContentType)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, res := range results {
+		enc.Encode(res)
+	}
+	bw.Flush()
+}
+
+// decodeBatchOps reads the NDJSON request lines.
+func decodeBatchOps(r *http.Request) ([]wireBatchOp, error) {
+	var ops []wireBatchOp
+	dec := json.NewDecoder(r.Body)
+	for dec.More() {
+		var op wireBatchOp
+		if err := dec.Decode(&op); err != nil {
+			return nil, fmt.Errorf("line %d: %w", len(ops)+1, err)
+		}
+		if len(ops) >= maxBatchItems {
+			return nil, fmt.Errorf("batch exceeds %d items", maxBatchItems)
+		}
+		ops = append(ops, op)
+	}
+	if len(ops) == 0 {
+		return nil, errors.New("empty batch")
+	}
+	return ops, nil
+}
+
+// execBatch answers the decoded ops through the engine's multi-key
+// path, splitting the batch into maximal same-kind runs — consecutive
+// gets share one BatchGet, consecutive mutations one BatchApply — so
+// order within the batch is preserved while each run pays one lock
+// round per touched partition. If the request deadline expires
+// between runs, the remaining items report 504 instead of running.
+func (s *Server) execBatch(ctx context.Context, ops []wireBatchOp) []wireBatchResult {
+	out := make([]wireBatchResult, len(ops))
+	for lo := 0; lo < len(ops); {
+		hi := lo + 1
+		for hi < len(ops) && (ops[hi].Op == "get") == (ops[lo].Op == "get") {
+			hi++
+		}
+		if ctx.Err() != nil {
+			for i := lo; i < len(ops); i++ {
+				out[i] = wireBatchResult{Status: http.StatusGatewayTimeout, Error: "deadline exceeded"}
+			}
+			return out
+		}
+		if ops[lo].Op == "get" {
+			s.execGetRun(ops[lo:hi], out[lo:hi])
+		} else {
+			s.execMutRun(ops[lo:hi], out[lo:hi])
+		}
+		lo = hi
+	}
+	return out
+}
+
+func (s *Server) execGetRun(ops []wireBatchOp, out []wireBatchResult) {
+	reqs := make([]kvstore.GetReq, len(ops))
+	for i, op := range ops {
+		reqs[i] = kvstore.GetReq{Table: op.Table, Key: op.Key}
+	}
+	for i, r := range s.store.BatchGet(reqs) {
+		if r.Err != nil {
+			out[i] = batchErrResult(r.Err)
+			continue
+		}
+		out[i] = wireBatchResult{
+			Status: http.StatusOK,
+			ETag:   strconv.FormatUint(r.Record.Version, 10),
+			Fields: r.Record.Fields,
+		}
+	}
+}
+
+func (s *Server) execMutRun(ops []wireBatchOp, out []wireBatchResult) {
+	muts := make([]kvstore.Mutation, 0, len(ops))
+	idx := make([]int, 0, len(ops))
+	for i, op := range ops {
+		expect, err := op.expect()
+		if err != nil {
+			out[i] = wireBatchResult{Status: http.StatusBadRequest, Error: err.Error()}
+			continue
+		}
+		var m kvstore.Mutation
+		switch op.Op {
+		case "put":
+			m = kvstore.Mutation{Op: kvstore.MutPut, Table: op.Table, Key: op.Key, Fields: op.Fields, Expect: expect}
+		case "patch":
+			m = kvstore.Mutation{Op: kvstore.MutUpdate, Table: op.Table, Key: op.Key, Fields: op.Fields}
+		case "delete":
+			m = kvstore.Mutation{Op: kvstore.MutDelete, Table: op.Table, Key: op.Key, Expect: expect}
+		default:
+			out[i] = wireBatchResult{Status: http.StatusBadRequest, Error: fmt.Sprintf("unknown op %q", op.Op)}
+			continue
+		}
+		if (op.Op == "put" || op.Op == "patch") && op.Fields == nil {
+			out[i] = wireBatchResult{Status: http.StatusBadRequest, Error: "missing fields"}
+			continue
+		}
+		muts = append(muts, m)
+		idx = append(idx, i)
+	}
+	for j, r := range s.store.BatchApply(muts) {
+		i := idx[j]
+		if r.Err != nil {
+			out[i] = batchErrResult(r.Err)
+			continue
+		}
+		status := http.StatusOK
+		if ops[i].Op == "delete" {
+			status = http.StatusNoContent
+		}
+		out[i] = wireBatchResult{Status: status, ETag: strconv.FormatUint(r.Version, 10)}
+	}
+}
+
+// batchErrResult maps a store error to a per-item result, mirroring
+// writeStoreError's single-op status mapping.
+func batchErrResult(err error) wireBatchResult {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, kvstore.ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, kvstore.ErrVersionMismatch), errors.Is(err, kvstore.ErrExists):
+		status = http.StatusPreconditionFailed
+	case errors.Is(err, kvstore.ErrClosed):
+		status = http.StatusServiceUnavailable
+	}
+	return wireBatchResult{Status: status, Error: err.Error()}
+}
+
+// retryAfterSeconds renders a Retry-After header value (whole
+// seconds, minimum 1, per RFC 9110).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// ---------------------------------------------------------------------
+// Client side.
+
+// ExecBatch implements db.BatchDB over one POST /v1/batch round trip.
+// Against a server that predates the batch route (404/405 on the
+// first attempt) it falls back — permanently, per client — to
+// sequential single operations, keeping old-server interop.
+func (c *Client) ExecBatch(ctx context.Context, ops []db.BatchOp) []db.BatchResult {
+	out := make([]db.BatchResult, len(ops))
+	wire := make([]wireBatchOp, 0, len(ops))
+	idx := make([]int, 0, len(ops))
+	for i, op := range ops {
+		var w wireBatchOp
+		switch op.Op {
+		case db.OpRead:
+			w = wireBatchOp{Op: "get", Table: op.Table, Key: op.Key}
+		case db.OpInsert:
+			w = wireBatchOp{Op: "put", Table: op.Table, Key: op.Key, Fields: op.Values}
+		case db.OpUpdate:
+			w = wireBatchOp{Op: "patch", Table: op.Table, Key: op.Key, Fields: op.Values}
+		case db.OpDelete:
+			w = wireBatchOp{Op: "delete", Table: op.Table, Key: op.Key}
+		default:
+			out[i] = db.BatchResult{Err: fmt.Errorf("%w: cannot batch %v", db.ErrNotSupported, op.Op)}
+			continue
+		}
+		wire = append(wire, w)
+		idx = append(idx, i)
+	}
+	if len(wire) == 0 {
+		return out
+	}
+	if c.batchUnsupported.Load() {
+		c.execBatchFallback(ctx, ops, idx, out)
+		return out
+	}
+	results, err := c.postBatch(ctx, wire)
+	if err != nil {
+		if errors.Is(err, errNoBatchRoute) {
+			c.batchUnsupported.Store(true)
+			c.execBatchFallback(ctx, ops, idx, out)
+			return out
+		}
+		for _, i := range idx {
+			out[i] = db.BatchResult{Err: err}
+		}
+		return out
+	}
+	for j, i := range idx {
+		out[i] = results[j].toBatchResult(ops[i].Fields)
+	}
+	return out
+}
+
+// errNoBatchRoute marks a server without the /v1/batch route.
+var errNoBatchRoute = errors.New("httpkv: server has no batch route")
+
+// postBatch ships the wire ops and parses the positional NDJSON
+// response.
+func (c *Client) postBatch(ctx context.Context, wire []wireBatchOp) ([]wireBatchResult, error) {
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	for _, op := range wire {
+		if err := enc.Encode(op); err != nil {
+			return nil, err
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/batch", &body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", NDJSONContentType)
+	req.Header.Set("Accept", NDJSONContentType)
+	resp, err := c.send(req)
+	if err != nil {
+		return nil, fmt.Errorf("httpkv: %w", err)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNotFound, resp.StatusCode == http.StatusMethodNotAllowed:
+		// An old server answers the unknown route from its generic
+		// handlers; fall back to the single-op protocol.
+		return nil, errNoBatchRoute
+	case resp.StatusCode >= 400:
+		return nil, statusError(resp)
+	}
+	results := make([]wireBatchResult, 0, len(wire))
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var r wireBatchResult
+		if err := dec.Decode(&r); err != nil {
+			return nil, fmt.Errorf("httpkv: decoding batch response: %w", err)
+		}
+		results = append(results, r)
+	}
+	if len(results) != len(wire) {
+		return nil, fmt.Errorf("httpkv: batch answered %d of %d items", len(results), len(wire))
+	}
+	return results, nil
+}
+
+// execBatchFallback answers the batchable items with sequential
+// single operations (old-server interop path).
+func (c *Client) execBatchFallback(ctx context.Context, ops []db.BatchOp, idx []int, out []db.BatchResult) {
+	for _, i := range idx {
+		op := ops[i]
+		switch op.Op {
+		case db.OpRead:
+			rec, err := c.Read(ctx, op.Table, op.Key, op.Fields)
+			out[i] = db.BatchResult{Record: rec, Err: err}
+		case db.OpInsert:
+			out[i] = db.BatchResult{Err: c.Insert(ctx, op.Table, op.Key, op.Values)}
+		case db.OpUpdate:
+			out[i] = db.BatchResult{Err: c.Update(ctx, op.Table, op.Key, op.Values)}
+		case db.OpDelete:
+			out[i] = db.BatchResult{Err: c.Delete(ctx, op.Table, op.Key)}
+		}
+	}
+}
+
+// toBatchResult maps one wire result to the db layer, projecting read
+// fields like the single-op client does.
+func (r wireBatchResult) toBatchResult(fields []string) db.BatchResult {
+	switch r.Status {
+	case http.StatusOK, http.StatusNoContent:
+		if r.Fields != nil {
+			return db.BatchResult{Record: db.ProjectFields(r.Fields, fields)}
+		}
+		return db.BatchResult{}
+	case http.StatusNotFound:
+		return db.BatchResult{Err: fmt.Errorf("%w: %s", db.ErrNotFound, r.Error)}
+	case http.StatusPreconditionFailed:
+		return db.BatchResult{Err: fmt.Errorf("%w: %s", db.ErrConflict, r.Error)}
+	case http.StatusTooManyRequests:
+		return db.BatchResult{Err: fmt.Errorf("%w: %s", db.ErrThrottled, r.Error)}
+	case http.StatusGatewayTimeout:
+		return db.BatchResult{Err: fmt.Errorf("%w: %s", context.DeadlineExceeded, r.Error)}
+	default:
+		return db.BatchResult{Err: fmt.Errorf("httpkv: batch item status %d: %s", r.Status, r.Error)}
+	}
+}
+
+var _ db.BatchDB = (*Client)(nil)

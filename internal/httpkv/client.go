@@ -9,27 +9,73 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
 
 	"ycsbt/internal/db"
 	"ycsbt/internal/kvstore"
 	"ycsbt/internal/properties"
 )
 
+// Transport defaults; overridable via the rawhttp.* properties.
+const (
+	// DefaultPoolSize is the idle-connection pool per host. The
+	// benchmark hammers one host from many threads, so the per-host
+	// pool — not net/http's global default of 2 — decides whether
+	// connections are reused or churned through TIME_WAIT.
+	DefaultPoolSize = 64
+	// DefaultTimeout bounds one HTTP exchange end to end.
+	DefaultTimeout = 30 * time.Second
+)
+
+// newPooledHTTPClient builds the binding's dedicated HTTP client:
+// never http.DefaultClient (whose zero timeout hangs forever on a
+// dead server and whose shared transport lets one binding's settings
+// leak into every other user of the process).
+func newPooledHTTPClient(poolSize int, timeout time.Duration) *http.Client {
+	if poolSize <= 0 {
+		poolSize = DefaultPoolSize
+	}
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	return &http.Client{
+		Timeout: timeout,
+		Transport: &http.Transport{
+			Proxy:               http.ProxyFromEnvironment,
+			MaxIdleConns:        poolSize * 2,
+			MaxIdleConnsPerHost: poolSize,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+}
+
 // Client is the "rawhttp" DB binding: it speaks the httpkv protocol
 // to a remote (or in-process httptest) server. Like the paper's
 // RawHttpDB it has no transaction support — Start/Commit/Abort fall
-// back to the DB class's no-op defaults.
+// back to the DB class's no-op defaults. It does implement db.BatchDB
+// (batch.go), so stacked under the batching middleware one POST moves
+// a whole multi-key batch.
 type Client struct {
 	db.NoTransactions
 	base string
 	hc   *http.Client
+	// sem bounds in-flight requests client-side (nil = unbounded):
+	// bounded pipelining keeps a saturated benchmark from opening
+	// unlimited sockets when the server slows down.
+	sem chan struct{}
+	// batchUnsupported latches after a server answers /v1/batch with
+	// 404/405; later batches use the single-op fallback.
+	batchUnsupported atomic.Bool
 }
 
 // NewClient returns a binding that talks to the server at baseURL
-// (e.g. "http://127.0.0.1:8077"). A nil hc uses http.DefaultClient.
+// (e.g. "http://127.0.0.1:8077"). A nil hc gets a dedicated pooled
+// client with default sizing.
 func NewClient(baseURL string, hc *http.Client) *Client {
 	if hc == nil {
-		hc = http.DefaultClient
+		hc = newPooledHTTPClient(DefaultPoolSize, DefaultTimeout)
 	}
 	return &Client{base: baseURL, hc: hc}
 }
@@ -38,14 +84,23 @@ func init() {
 	db.Register("rawhttp", func() (db.DB, error) { return &Client{}, nil })
 }
 
-// Init reads the "rawhttp.url" property when the binding was opened
-// by name through the registry.
+// Init reads the "rawhttp.url", "rawhttp.pool_size",
+// "rawhttp.timeout_ms" and "rawhttp.max_inflight" properties when the
+// binding was opened by name through the registry.
 func (c *Client) Init(p *properties.Properties) error {
 	if c.base == "" {
 		c.base = p.GetString("rawhttp.url", "http://127.0.0.1:8077")
 	}
 	if c.hc == nil {
-		c.hc = http.DefaultClient
+		c.hc = newPooledHTTPClient(
+			p.GetInt("rawhttp.pool_size", DefaultPoolSize),
+			time.Duration(p.GetInt64("rawhttp.timeout_ms", int64(DefaultTimeout/time.Millisecond)))*time.Millisecond,
+		)
+	}
+	if c.sem == nil {
+		if n := p.GetInt("rawhttp.max_inflight", 0); n > 0 {
+			c.sem = make(chan struct{}, n)
+		}
 	}
 	return nil
 }
@@ -75,8 +130,29 @@ func statusError(resp *http.Response) error {
 	}
 }
 
+// send runs one HTTP exchange under the client-side in-flight bound,
+// propagating the caller's context deadline to the server as
+// X-Deadline-Ms so the server can shed work the client will no longer
+// wait for.
+func (c *Client) send(req *http.Request) (*http.Response, error) {
+	if d, ok := req.Context().Deadline(); ok {
+		if ms := time.Until(d).Milliseconds(); ms > 0 {
+			req.Header.Set(DeadlineHeader, strconv.FormatInt(ms, 10))
+		}
+	}
+	if c.sem != nil {
+		select {
+		case c.sem <- struct{}{}:
+			defer func() { <-c.sem }()
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	return c.hc.Do(req)
+}
+
 func (c *Client) do(req *http.Request) (*http.Response, error) {
-	resp, err := c.hc.Do(req)
+	resp, err := c.send(req)
 	if err != nil {
 		return nil, fmt.Errorf("httpkv: %w", err)
 	}
@@ -124,21 +200,45 @@ func (c *Client) ReadVersioned(ctx context.Context, table, key string) (*kvstore
 	return &kvstore.VersionedRecord{Version: wr.Version, Fields: wr.Fields}, nil
 }
 
-// Scan implements db.DB.
-func (c *Client) Scan(ctx context.Context, table, startKey string, count int, fields []string) ([]db.KV, error) {
+// scanWire fetches one scan page, asking for NDJSON and decoding
+// whichever representation the server speaks (old servers answer a
+// JSON array; the Content-Type decides).
+func (c *Client) scanWire(ctx context.Context, table, startKey string, count int) ([]wireRecord, error) {
 	u := c.base + "/v1/" + url.PathEscape(table) + "?start=" + url.QueryEscape(startKey) + "&count=" + strconv.Itoa(count)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return nil, err
 	}
+	req.Header.Set("Accept", NDJSONContentType)
 	resp, err := c.do(req)
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
+	if strings.Contains(resp.Header.Get("Content-Type"), NDJSONContentType) {
+		var wrs []wireRecord
+		dec := json.NewDecoder(resp.Body)
+		for dec.More() {
+			var wr wireRecord
+			if err := dec.Decode(&wr); err != nil {
+				return nil, fmt.Errorf("httpkv: decoding scan line %d: %w", len(wrs)+1, err)
+			}
+			wrs = append(wrs, wr)
+		}
+		return wrs, nil
+	}
 	var wrs []wireRecord
 	if err := json.NewDecoder(resp.Body).Decode(&wrs); err != nil {
 		return nil, fmt.Errorf("httpkv: decoding scan: %w", err)
+	}
+	return wrs, nil
+}
+
+// Scan implements db.DB.
+func (c *Client) Scan(ctx context.Context, table, startKey string, count int, fields []string) ([]db.KV, error) {
+	wrs, err := c.scanWire(ctx, table, startKey, count)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]db.KV, 0, len(wrs))
 	for _, wr := range wrs {
@@ -245,19 +345,9 @@ func (c *Client) deleteVersioned(ctx context.Context, table, key string, expect 
 
 // scanVersioned fetches a scan page with record versions.
 func (c *Client) scanVersioned(ctx context.Context, table, startKey string, count int) ([]kvstore.VersionedKV, error) {
-	u := c.base + "/v1/" + url.PathEscape(table) + "?start=" + url.QueryEscape(startKey) + "&count=" + strconv.Itoa(count)
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	wrs, err := c.scanWire(ctx, table, startKey, count)
 	if err != nil {
 		return nil, err
-	}
-	resp, err := c.do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	var wrs []wireRecord
-	if err := json.NewDecoder(resp.Body).Decode(&wrs); err != nil {
-		return nil, fmt.Errorf("httpkv: decoding scan: %w", err)
 	}
 	out := make([]kvstore.VersionedKV, 0, len(wrs))
 	for _, wr := range wrs {

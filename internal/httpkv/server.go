@@ -4,10 +4,12 @@
 // This is the reproduction's analog of the paper's Tier 6 testbed: "a
 // WiredTiger key-value store augmented with an HTTP interface that we
 // implemented using the Boost ASIO library", accessed through the
-// RawHttpDB client class. The interface is deliberately plain REST
-// with no multi-key operations, so concurrent read-modify-write
-// sequences race and the Closed Economy Workload's validation stage
-// detects the resulting lost updates.
+// RawHttpDB client class. The single-key interface is deliberately
+// plain REST, so concurrent read-modify-write sequences race and the
+// Closed Economy Workload's validation stage detects the resulting
+// lost updates; /v1/batch moves many such operations per round trip
+// without changing those semantics (per-item results, no atomicity
+// across items).
 //
 // Protocol (JSON bodies, record values base64-encoded by
 // encoding/json's []byte rules):
@@ -17,19 +19,29 @@
 //	PATCH  /v1/{table}/{key}          → 200 merge-update | 404
 //	DELETE /v1/{table}/{key}          → 204; If-Match honored; 404/412
 //	GET    /v1/{table}?start=k&count=n → 200 [{"key":k,"version":v,"fields":{...}},...]
+//	                                     (Accept: application/x-ndjson streams one record per line)
+//	POST   /v1/batch                  → 200 NDJSON per-item results (see batch.go)
 //	GET    /healthz                   → 200 "ok"
 //
 // Every successful record response carries the version in the "ETag"
 // header, the idiom the simulated cloud stores share.
+//
+// Admission control (ServerOptions): request bodies are capped (413
+// past the cap), an X-Deadline-Ms header bounds how long the server
+// may sit on the request (504 once expired), and concurrent /v1/batch
+// executions beyond MaxInflightBatches shed immediately with 429 +
+// Retry-After.
 package httpkv
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"ycsbt/internal/kvstore"
 )
@@ -41,24 +53,76 @@ type wireRecord struct {
 	Fields  map[string][]byte `json:"fields"`
 }
 
+// ServerOptions tunes the server's admission control.
+type ServerOptions struct {
+	// MaxInflightBatches caps concurrently executing /v1/batch
+	// requests; excess requests are rejected immediately with 429 +
+	// Retry-After instead of queueing (load shedding, not buffering).
+	// <= 0 means unlimited.
+	MaxInflightBatches int
+	// MaxBodyBytes caps any request body (default 1 MiB); larger
+	// bodies fail with 413.
+	MaxBodyBytes int64
+	// RetryAfter is the backoff hint sent with 429 responses
+	// (default 1s; rendered in whole seconds per RFC 9110).
+	RetryAfter time.Duration
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	return o
+}
+
 // Server is an http.Handler serving a kvstore.Engine — any engine
 // implementation (the embedded partitioned store today, future
 // engines tomorrow) gets the HTTP surface for free.
 type Server struct {
-	store kvstore.Engine
-	mux   *http.ServeMux
+	store    kvstore.Engine
+	mux      *http.ServeMux
+	opts     ServerOptions
+	inflight chan struct{} // batch admission semaphore (nil = unlimited)
 }
 
-// NewServer returns a handler serving store.
+// NewServer returns a handler serving store with default admission
+// control.
 func NewServer(store kvstore.Engine) *Server {
-	s := &Server{store: store, mux: http.NewServeMux()}
+	return NewServerWithOptions(store, ServerOptions{})
+}
+
+// NewServerWithOptions returns a handler serving store with the given
+// admission control.
+func NewServerWithOptions(store kvstore.Engine, opts ServerOptions) *Server {
+	s := &Server{store: store, mux: http.NewServeMux(), opts: opts.withDefaults()}
+	if opts.MaxInflightBatches > 0 {
+		s.inflight = make(chan struct{}, opts.MaxInflightBatches)
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/batch", s.handleBatch)
 	s.mux.HandleFunc("/v1/", s.handleRecord)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler: body caps and the per-request
+// deadline apply here, before any route runs.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Body != nil && r.ContentLength != 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	}
+	if h := r.Header.Get(DeadlineHeader); h != "" {
+		ms, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || ms <= 0 {
+			http.Error(w, "bad "+DeadlineHeader, http.StatusBadRequest)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), time.Duration(ms)*time.Millisecond)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -89,6 +153,10 @@ func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request) {
 	table, key, hasKey, ok := splitPath(r.URL.Path)
 	if !ok {
 		http.Error(w, "bad path", http.StatusBadRequest)
+		return
+	}
+	if r.Context().Err() != nil {
+		http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
 		return
 	}
 	if !hasKey {
@@ -139,6 +207,17 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request, table string
 		writeStoreError(w, err)
 		return
 	}
+	// NDJSON-aware clients get one record per line (written as
+	// produced, no array buffering); everyone else keeps the original
+	// JSON array.
+	if strings.Contains(r.Header.Get("Accept"), NDJSONContentType) {
+		w.Header().Set("Content-Type", NDJSONContentType)
+		enc := json.NewEncoder(w)
+		for _, kv := range kvs {
+			enc.Encode(wireRecord{Key: kv.Key, Version: kv.Record.Version, Fields: kv.Record.Fields})
+		}
+		return
+	}
 	out := make([]wireRecord, 0, len(kvs))
 	for _, kv := range kvs {
 		out = append(out, wireRecord{Key: kv.Key, Version: kv.Record.Version, Fields: kv.Record.Fields})
@@ -176,6 +255,18 @@ func decodeFields(r *http.Request) (map[string][]byte, error) {
 	return body.Fields, nil
 }
 
+// writeDecodeError answers a request-body failure: bodies over the
+// admission cap are 413, everything else (malformed JSON, missing
+// fields) is 400.
+func writeDecodeError(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusBadRequest)
+}
+
 func (s *Server) handlePut(w http.ResponseWriter, r *http.Request, table, key string) {
 	expect, err := condition(r)
 	if err != nil {
@@ -184,7 +275,7 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request, table, key st
 	}
 	fields, err := decodeFields(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeDecodeError(w, err)
 		return
 	}
 	ver, err := s.store.PutIfVersion(table, key, fields, expect)
@@ -199,7 +290,7 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request, table, key st
 func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request, table, key string) {
 	fields, err := decodeFields(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeDecodeError(w, err)
 		return
 	}
 	ver, err := s.store.Update(table, key, fields)

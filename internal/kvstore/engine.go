@@ -26,6 +26,15 @@ type Engine interface {
 	Delete(table, key string) error
 	DeleteIfVersion(table, key string, expect uint64) error
 
+	// Multi-key operations. Results are positional (out[i] answers
+	// in[i]); per-item failures never abort the rest of the batch.
+	// Implementations should amortize per-call costs across the batch
+	// — the partitioned store takes one lock acquisition and one
+	// group-commit wait per touched partition, concurrent across
+	// partitions.
+	BatchGet(reqs []GetReq) []GetResult
+	BatchApply(muts []Mutation) []MutResult
+
 	// Ordered access.
 	Scan(table, startKey string, count int) ([]VersionedKV, error)
 	ForEach(table string, fn func(key string, rec *VersionedRecord) bool) error

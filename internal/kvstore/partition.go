@@ -62,6 +62,11 @@ func (p *partition) get(table, key string) (*VersionedRecord, error) {
 	if p.closed {
 		return nil, ErrClosed
 	}
+	return p.getLocked(table, key)
+}
+
+// getLocked is the read core, requiring at least p.mu.RLock.
+func (p *partition) getLocked(table, key string) (*VersionedRecord, error) {
 	t := p.tables[table]
 	if t == nil {
 		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, table, key)
@@ -71,6 +76,24 @@ func (p *partition) get(table, key string) (*VersionedRecord, error) {
 		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, table, key)
 	}
 	return v.clone(), nil
+}
+
+// each calls fn for every index of idx, or for 0..n-1 when idx is nil
+// (the single-partition fast path, which skips building index lists).
+func each(n int, idx []int, fn func(i int)) {
+	if idx == nil {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	for _, i := range idx {
+		fn(i)
+	}
+}
+
+func errBadMutOp(op MutOp) error {
+	return fmt.Errorf("kvstore: unknown mutation op %d", op)
 }
 
 // putIfVersion is the conditional-put core. When the WAL is in
@@ -87,50 +110,18 @@ func (p *partition) putIfVersion(table, key string, fields map[string][]byte, ex
 		p.mu.Unlock()
 		return 0, ErrClosed
 	}
-	t := p.table(table)
-	cur := t.get(key)
-	switch expect {
-	case AnyVersion:
-	case MustNotExist:
-		if cur != nil {
-			p.mu.Unlock()
-			return 0, fmt.Errorf("%w: %s/%s", ErrExists, table, key)
-		}
-	default:
-		if cur == nil {
-			p.mu.Unlock()
-			return 0, fmt.Errorf("%w: %s/%s not found, expected version %d", ErrVersionMismatch, table, key, expect)
-		}
-		if cur.Version != expect {
-			p.mu.Unlock()
-			return 0, fmt.Errorf("%w: %s/%s at version %d, expected %d", ErrVersionMismatch, table, key, cur.Version, expect)
-		}
-	}
-	var next uint64 = 1
-	if cur != nil {
-		next = cur.Version + 1
-	}
-	stored := &VersionedRecord{Version: next, Fields: make(map[string][]byte, len(fields))}
-	for f, b := range fields {
-		stored.Fields[f] = append([]byte(nil), b...)
-	}
-	var seq uint64
 	w := p.wal
-	if w != nil {
-		var err error
-		if seq, err = w.append(walRecord{Op: walPut, Table: table, Key: key, Version: next, Fields: stored.Fields}); err != nil {
-			p.mu.Unlock()
-			return 0, err
-		}
-	}
-	t.put(key, stored)
+	ver, seq, err := p.putLocked(w, table, key, fields, expect, false)
 	p.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
 	if seq != 0 {
 		if err := w.waitDurable(seq); err != nil {
 			return 0, err
 		}
 	}
-	return next, nil
+	return ver, nil
 }
 
 func (p *partition) update(table, key string, fields map[string][]byte) (uint64, error) {
@@ -139,34 +130,72 @@ func (p *partition) update(table, key string, fields map[string][]byte) (uint64,
 		p.mu.Unlock()
 		return 0, ErrClosed
 	}
-	t := p.table(table)
-	cur := t.get(key)
-	if cur == nil {
-		p.mu.Unlock()
-		return 0, fmt.Errorf("%w: %s/%s", ErrNotFound, table, key)
-	}
-	merged := cur.clone()
-	merged.Version = cur.Version + 1
-	for f, b := range fields {
-		merged.Fields[f] = append([]byte(nil), b...)
-	}
-	var seq uint64
 	w := p.wal // captured under p.mu: compact may swap p.wal after unlock
-	if w != nil {
-		var err error
-		if seq, err = w.append(walRecord{Op: walPut, Table: table, Key: key, Version: merged.Version, Fields: merged.Fields}); err != nil {
-			p.mu.Unlock()
-			return 0, err
-		}
-	}
-	t.put(key, merged)
+	ver, seq, err := p.putLocked(w, table, key, fields, AnyVersion, true)
 	p.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
 	if seq != 0 {
 		if err := w.waitDurable(seq); err != nil {
 			return 0, err
 		}
 	}
-	return merged.Version, nil
+	return ver, nil
+}
+
+// putLocked is the put/update core, requiring p.mu (write). With
+// merge set it merges fields into the existing record (which must
+// exist); otherwise it evaluates expect and stores a full replacement.
+// It returns the WAL sequence the caller must wait on for durability
+// (0 = none). The WAL handle is passed in because callers capture
+// p.wal under the lock and wait on that same object after unlocking.
+func (p *partition) putLocked(w *wal, table, key string, fields map[string][]byte, expect uint64, merge bool) (uint64, uint64, error) {
+	t := p.table(table)
+	cur := t.get(key)
+	var stored *VersionedRecord
+	if merge {
+		if cur == nil {
+			return 0, 0, fmt.Errorf("%w: %s/%s", ErrNotFound, table, key)
+		}
+		stored = cur.clone()
+		stored.Version = cur.Version + 1
+		for f, b := range fields {
+			stored.Fields[f] = append([]byte(nil), b...)
+		}
+	} else {
+		switch expect {
+		case AnyVersion:
+		case MustNotExist:
+			if cur != nil {
+				return 0, 0, fmt.Errorf("%w: %s/%s", ErrExists, table, key)
+			}
+		default:
+			if cur == nil {
+				return 0, 0, fmt.Errorf("%w: %s/%s not found, expected version %d", ErrVersionMismatch, table, key, expect)
+			}
+			if cur.Version != expect {
+				return 0, 0, fmt.Errorf("%w: %s/%s at version %d, expected %d", ErrVersionMismatch, table, key, cur.Version, expect)
+			}
+		}
+		var next uint64 = 1
+		if cur != nil {
+			next = cur.Version + 1
+		}
+		stored = &VersionedRecord{Version: next, Fields: make(map[string][]byte, len(fields))}
+		for f, b := range fields {
+			stored.Fields[f] = append([]byte(nil), b...)
+		}
+	}
+	var seq uint64
+	if w != nil {
+		var err error
+		if seq, err = w.append(walRecord{Op: walPut, Table: table, Key: key, Version: stored.Version, Fields: stored.Fields}); err != nil {
+			return 0, 0, err
+		}
+	}
+	t.put(key, stored)
+	return stored.Version, seq, nil
 }
 
 func (p *partition) deleteIfVersion(table, key string, expect uint64) error {
@@ -175,33 +204,40 @@ func (p *partition) deleteIfVersion(table, key string, expect uint64) error {
 		p.mu.Unlock()
 		return ErrClosed
 	}
-	t := p.table(table)
-	cur := t.get(key)
-	if cur == nil {
-		p.mu.Unlock()
-		return fmt.Errorf("%w: %s/%s", ErrNotFound, table, key)
-	}
-	if expect != AnyVersion && cur.Version != expect {
-		p.mu.Unlock()
-		return fmt.Errorf("%w: %s/%s at version %d, expected %d", ErrVersionMismatch, table, key, cur.Version, expect)
-	}
-	var seq uint64
 	w := p.wal // captured under p.mu: compact may swap p.wal after unlock
-	if w != nil {
-		var err error
-		if seq, err = w.append(walRecord{Op: walDelete, Table: table, Key: key}); err != nil {
-			p.mu.Unlock()
-			return err
-		}
-	}
-	t.delete(key)
+	seq, err := p.deleteLocked(w, table, key, expect)
 	p.mu.Unlock()
+	if err != nil {
+		return err
+	}
 	if seq != 0 {
 		if err := w.waitDurable(seq); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// deleteLocked is the delete core, requiring p.mu (write). It returns
+// the WAL sequence the caller must wait on for durability (0 = none).
+func (p *partition) deleteLocked(w *wal, table, key string, expect uint64) (uint64, error) {
+	t := p.table(table)
+	cur := t.get(key)
+	if cur == nil {
+		return 0, fmt.Errorf("%w: %s/%s", ErrNotFound, table, key)
+	}
+	if expect != AnyVersion && cur.Version != expect {
+		return 0, fmt.Errorf("%w: %s/%s at version %d, expected %d", ErrVersionMismatch, table, key, cur.Version, expect)
+	}
+	var seq uint64
+	if w != nil {
+		var err error
+		if seq, err = w.append(walRecord{Op: walDelete, Table: table, Key: key}); err != nil {
+			return 0, err
+		}
+	}
+	t.delete(key)
+	return seq, nil
 }
 
 // scan returns up to count records with key ≥ startKey from this

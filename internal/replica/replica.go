@@ -147,29 +147,56 @@ func New(cfg Config) (*Store, error) {
 	return s, nil
 }
 
-// applier is the async replication worker: applies queued post-images
-// to every backup in order.
+// maxApplyBatch bounds how many queued post-images the applier ships
+// to the backups in one engine batch.
+const maxApplyBatch = 64
+
+// applier is the async replication worker: it drains the queue into
+// bounded batches, paying the replica-lag hop and the backups' lock
+// round once per batch rather than once per write — a backlog of N
+// writes catches up in N/maxApplyBatch hops instead of N.
 func (s *Store) applier() {
 	defer close(s.drained)
+	batch := make([]repOp, 0, maxApplyBatch)
 	for op := range s.queue {
+		batch = append(batch[:0], op)
+	drain:
+		for len(batch) < maxApplyBatch {
+			select {
+			case more, ok := <-s.queue:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, more)
+			default:
+				break drain
+			}
+		}
 		if s.cfg.ReplicaLag > 0 {
 			time.Sleep(s.cfg.ReplicaLag)
 		}
-		s.applyToBackups(op)
-		s.applied.Add(1)
+		s.applyToBackups(batch...)
+		s.applied.Add(int64(len(batch)))
 	}
 }
 
-func (s *Store) applyToBackups(op repOp) {
+// applyToBackups ships an ordered run of post-images to every backup
+// through the engine's multi-key path. Order within the batch is
+// queue order, so a later put of the same key wins as it must.
+func (s *Store) applyToBackups(ops ...repOp) {
 	s.topo.RLock()
 	backups := s.backups
 	s.topo.RUnlock()
-	for _, b := range backups {
+	muts := make([]kvstore.Mutation, len(ops))
+	for i, op := range ops {
 		if op.del {
-			b.Delete(op.table, op.key) // missing key on backup is fine
+			muts[i] = kvstore.Mutation{Op: kvstore.MutDelete, Table: op.table, Key: op.key, Expect: kvstore.AnyVersion}
 		} else {
-			b.Put(op.table, op.key, op.fields)
+			muts[i] = kvstore.Mutation{Op: kvstore.MutPut, Table: op.table, Key: op.key, Fields: op.fields, Expect: kvstore.AnyVersion}
 		}
+	}
+	for _, b := range backups {
+		b.BatchApply(muts) // per-item errors ignored: a missing key on delete is fine
 	}
 }
 

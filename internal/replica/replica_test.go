@@ -311,3 +311,45 @@ func TestPromoteRacesWithReaders(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAsyncBatchedApplierPreservesSameKeyOrder hammers one key with
+// interleaved puts and deletes so the applier's batch-draining path
+// (many queued post-images shipped in one engine batch) must apply
+// them in queue order to converge on the final value.
+func TestAsyncBatchedApplierPreservesSameKeyOrder(t *testing.T) {
+	// Lag makes the queue back up, so drains span many ops per batch.
+	s, err := New(Config{Name: "r", Backups: 2, Mode: Async, ReplicaLag: 200 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+	const rounds = 300
+	for i := 0; i < rounds; i++ {
+		if _, err := s.Put(ctx, "t", "hot", fieldsOf(fmt.Sprintf("v%03d", i)), kvstore.AnyVersion); err != nil {
+			t.Fatal(err)
+		}
+		if i%7 == 3 {
+			if err := s.Delete(ctx, "t", "hot", kvstore.AnyVersion); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Put(ctx, "t", "hot", fieldsOf(fmt.Sprintf("v%03d", i)), kvstore.AnyVersion); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s.Flush()
+	if s.Lag() != 0 {
+		t.Fatalf("lag after flush = %d", s.Lag())
+	}
+	want := fmt.Sprintf("v%03d", rounds-1)
+	for b := 0; b < 2; b++ {
+		rec, err := s.Backup(b).Get("t", "hot")
+		if err != nil {
+			t.Fatalf("backup %d: %v", b, err)
+		}
+		if got := string(rec.Fields["f"]); got != want {
+			t.Fatalf("backup %d converged to %q, want %q", b, got, want)
+		}
+	}
+}

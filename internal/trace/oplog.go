@@ -23,6 +23,10 @@ type OpEvent struct {
 	Latency time.Duration
 	// Code is the db return code of the outcome (0 = OK).
 	Code int
+	// Items is how many logical operations the event covers: 1 for
+	// single operations, the coalesced item count for BATCH-* flush
+	// events.
+	Items int
 }
 
 // OpLog is a bounded operation log implementing db.OpObserver: plug
@@ -52,12 +56,17 @@ func NewOpLog(max int) *OpLog {
 
 // ObserveOp implements db.OpObserver.
 func (l *OpLog) ObserveOp(info db.OpInfo, latency time.Duration, err error) {
+	items := info.Items
+	if items <= 0 {
+		items = 1
+	}
 	ev := OpEvent{
 		Op:      info.Op.Series(),
 		Table:   info.Table,
 		Key:     info.Key,
 		Latency: latency,
 		Code:    db.ReturnCode(err),
+		Items:   items,
 	}
 	l.mu.Lock()
 	if len(l.ring) < cap(l.ring) {
