@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
 	"testing"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"ycsbt/internal/httpkv"
 	"ycsbt/internal/kvstore"
 	"ycsbt/internal/measurement"
+	"ycsbt/internal/obs"
 	"ycsbt/internal/properties"
 	"ycsbt/internal/workload"
 )
@@ -30,12 +32,22 @@ import (
 // amortizes — should bound the single-op path.
 func startKVServer(tb testing.TB, delay time.Duration) (*kvstore.Store, string) {
 	tb.Helper()
-	inner := kvstore.OpenMemory()
+	// YCSBT_BENCH_OBS=1 instruments the engine and the HTTP server with
+	// a live registry, so `make bench-quick` run with and without it
+	// measures the observability layer's end-to-end overhead.
+	var reg *obs.Registry
+	if os.Getenv("YCSBT_BENCH_OBS") == "1" {
+		reg = obs.NewRegistry()
+	}
+	inner, err := kvstore.Open(kvstore.Options{Metrics: reg})
+	if err != nil {
+		tb.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		tb.Fatal(err)
 	}
-	store := httpkv.NewServer(inner)
+	store := httpkv.NewServerWithOptions(inner, httpkv.ServerOptions{Metrics: reg})
 	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if delay > 0 {
 			time.Sleep(delay)

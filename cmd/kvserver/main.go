@@ -7,6 +7,11 @@
 //	kvserver -addr 127.0.0.1:8077 -wal /tmp/cew.wal &
 //	ycsbt -db rawhttp -p rawhttp.url=http://127.0.0.1:8077 \
 //	      -P workloads/closed_economy_workload -threads 16 -load -t
+//
+// With -ops-addr set, a private ops listener serves Prometheus-text
+// /metrics, /healthz, and net/http/pprof. With -backups > 0 the node
+// serves a primary-backup replicated in-memory store instead of the
+// single embedded engine.
 package main
 
 import (
@@ -20,6 +25,8 @@ import (
 
 	"ycsbt/internal/httpkv"
 	"ycsbt/internal/kvstore"
+	"ycsbt/internal/obs"
+	"ycsbt/internal/replica"
 )
 
 func main() {
@@ -38,22 +45,60 @@ func run() error {
 	delay := flag.Duration("delay", 0, "artificial per-request service latency")
 	maxInflight := flag.Int("max-inflight", 0, "concurrent /v1/batch requests admitted before 429 (0 = unlimited)")
 	maxBodyBytes := flag.Int64("max-body-bytes", 0, "request body cap in bytes, larger bodies get 413 (0 = default 1MiB)")
+	opsAddr := flag.String("ops-addr", "", "ops listener address serving /metrics, /healthz, /debug/pprof (empty = disabled)")
+	backups := flag.Int("backups", 0, "serve a replicated in-memory store with this many backups instead of the embedded engine (-wal is ignored)")
+	replicaLag := flag.Duration("replica-lag", 0, "async replication delay per backup hop (with -backups)")
+	replicaSync := flag.Bool("replica-sync", false, "replicate synchronously: every write reaches all backups before acknowledging (with -backups)")
 	flag.Parse()
 
-	store, err := kvstore.Open(kvstore.Options{
-		Path:        *wal,
-		SyncWrites:  *syncWrites,
-		Shards:      *shards,
-		GroupCommit: *groupCommit,
-	})
-	if err != nil {
-		return err
+	reg := obs.Default()
+	var metrics *obs.Registry
+	if *opsAddr != "" {
+		metrics = reg
+		reg.RegisterCollector(obs.RuntimeCollector())
 	}
-	defer store.Close()
 
-	var handler http.Handler = httpkv.NewServerWithOptions(store, httpkv.ServerOptions{
+	// The engine: embedded single store, or a replicated group.
+	var eng kvstore.Engine
+	var desc string
+	if *backups > 0 {
+		mode := replica.Async
+		if *replicaSync {
+			mode = replica.Sync
+		}
+		rs, err := replica.New(replica.Config{
+			Name:       "kvserver",
+			Backups:    *backups,
+			Mode:       mode,
+			ReplicaLag: *replicaLag,
+			Shards:     *shards,
+			Metrics:    metrics,
+		})
+		if err != nil {
+			return err
+		}
+		eng = rs.Engine()
+		desc = fmt.Sprintf("replicated backups=%d sync=%v lag=%v", *backups, *replicaSync, *replicaLag)
+	} else {
+		store, err := kvstore.Open(kvstore.Options{
+			Path:        *wal,
+			SyncWrites:  *syncWrites,
+			Shards:      *shards,
+			GroupCommit: *groupCommit,
+			Metrics:     metrics,
+		})
+		if err != nil {
+			return err
+		}
+		eng = store
+		desc = fmt.Sprintf("wal=%q sync=%v shards=%d", *wal, *syncWrites, store.Shards())
+	}
+	defer eng.Close()
+
+	var handler http.Handler = httpkv.NewServerWithOptions(eng, httpkv.ServerOptions{
 		MaxInflightBatches: *maxInflight,
 		MaxBodyBytes:       *maxBodyBytes,
+		Metrics:            metrics,
 	})
 	if *delay > 0 {
 		inner := handler
@@ -70,26 +115,35 @@ func run() error {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
 			return
 		}
-		before, _ := store.WALSize()
-		if err := store.Compact(); err != nil {
+		before, _ := eng.WALSize()
+		if err := eng.Compact(); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		after, _ := store.WALSize()
+		after, _ := eng.WALSize()
 		fmt.Fprintf(w, "compacted: %d -> %d bytes\n", before, after)
 	})
 	mux.HandleFunc("/admin/stats", func(w http.ResponseWriter, r *http.Request) {
-		size, _ := store.WALSize()
+		size, _ := eng.WALSize()
 		fmt.Fprintf(w, "wal_bytes %d\n", size)
-		for _, table := range store.Tables() {
-			fmt.Fprintf(w, "records{table=%q} %d\n", table, store.Len(table))
+		for _, table := range eng.Tables() {
+			fmt.Fprintf(w, "records{table=%q} %d\n", table, eng.Len(table))
 		}
 	})
 	srv := &http.Server{Addr: *addr, Handler: mux}
 
+	if *opsAddr != "" {
+		opsSrv, opsLn, err := obs.StartOps(*opsAddr, reg, nil)
+		if err != nil {
+			return err
+		}
+		defer opsSrv.Close()
+		fmt.Printf("kvserver ops listening on http://%s\n", opsLn)
+	}
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("kvserver listening on http://%s (wal=%q sync=%v shards=%d)\n", *addr, *wal, *syncWrites, store.Shards())
+	fmt.Printf("kvserver listening on http://%s (%s)\n", *addr, desc)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -99,6 +153,6 @@ func run() error {
 	case s := <-sig:
 		fmt.Printf("kvserver: received %v, shutting down\n", s)
 		srv.Close()
-		return store.Sync()
+		return eng.Sync()
 	}
 }

@@ -6,7 +6,8 @@
 //	      -P workloads/closed_economy_workload -load -t
 //
 // Clients fetch timestamps with GET /ts (optionally batched:
-// GET /ts?n=100).
+// GET /ts?n=100). With -ops-addr set, a private ops listener serves
+// /metrics, /healthz, and pprof.
 package main
 
 import (
@@ -17,14 +18,30 @@ import (
 	"os/signal"
 	"syscall"
 
+	"ycsbt/internal/obs"
 	"ycsbt/internal/oracle"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8099", "listen address")
+	opsAddr := flag.String("ops-addr", "", "ops listener address serving /metrics, /healthz, /debug/pprof (empty = disabled)")
 	flag.Parse()
 
-	srv := &http.Server{Addr: *addr, Handler: oracle.NewServer(oracle.NewLocal())}
+	handler := oracle.NewServer(oracle.NewLocal())
+	if *opsAddr != "" {
+		reg := obs.Default()
+		reg.RegisterCollector(obs.RuntimeCollector())
+		handler.Instrument(reg)
+		opsSrv, opsLn, err := obs.StartOps(*opsAddr, reg, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oracle:", err)
+			os.Exit(1)
+		}
+		defer opsSrv.Close()
+		fmt.Printf("oracle ops listening on http://%s\n", opsLn)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	fmt.Printf("timestamp oracle listening on http://%s/ts\n", *addr)

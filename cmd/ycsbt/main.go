@@ -28,6 +28,8 @@ import (
 
 	"ycsbt/internal/client"
 	"ycsbt/internal/db"
+	"ycsbt/internal/measurement"
+	"ycsbt/internal/obs"
 	"ycsbt/internal/properties"
 	"ycsbt/internal/workload"
 
@@ -71,6 +73,7 @@ func run(args []string) error {
 		status    = fs.Bool("s", false, "print interim status to stderr (interval via 'status.interval_ms', default 10000)")
 		maxExec   = fs.Int64("maxexecutiontime", 0, "cap the transaction phase at this many seconds (overrides 'maxexecutiontime')")
 		timeline  = fs.Bool("timeline", false, "record and report 1-second throughput time series")
+		opsAddr   = fs.String("ops-addr", "", "ops listener address serving /metrics, /healthz, /debug/pprof with live run stats (sets obs.enabled=true)")
 		listDBs   = fs.Bool("list", false, "list registered bindings and workloads, then exit")
 	)
 	fs.Var(&propFiles, "P", "workload property file (repeatable)")
@@ -119,6 +122,10 @@ func run(args []string) error {
 	if *maxExec > 0 {
 		props.Set("maxexecutiontime", fmt.Sprint(*maxExec))
 	}
+	if *opsAddr != "" {
+		// Instrument the binding's substrate too, not just the client.
+		props.Set("obs.enabled", "true")
+	}
 	if !*doLoad && !*doRun {
 		return fmt.Errorf("nothing to do: pass -load, -t or both")
 	}
@@ -147,6 +154,18 @@ func run(args []string) error {
 		}
 	}
 	defer c.DB().Cleanup()
+
+	if *opsAddr != "" {
+		reg := obs.Default()
+		reg.RegisterCollector(obs.RuntimeCollector())
+		reg.RegisterCollector(measurement.ObsCollector(c.Registry()))
+		opsSrv, opsLn, err := obs.StartOps(*opsAddr, reg, nil)
+		if err != nil {
+			return err
+		}
+		defer opsSrv.Close()
+		fmt.Printf("ops listening on http://%s\n", opsLn)
+	}
 
 	ctx := context.Background()
 	if *doLoad {

@@ -23,6 +23,7 @@ func (s *Store) BatchGet(ctx context.Context, reqs []kvstore.GetReq) ([]kvstore.
 		return nil, err
 	}
 	s.reads.Add(1)
+	s.mReads.Inc()
 	return s.inner.BatchGet(reqs), nil
 }
 
@@ -33,6 +34,7 @@ func (s *Store) BatchApply(ctx context.Context, muts []kvstore.Mutation) ([]kvst
 		return nil, err
 	}
 	s.writes.Add(1)
+	s.mWrites.Inc()
 	return s.inner.BatchApply(muts), nil
 }
 

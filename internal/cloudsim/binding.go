@@ -8,6 +8,7 @@ import (
 
 	"ycsbt/internal/db"
 	"ycsbt/internal/kvstore"
+	"ycsbt/internal/obs"
 	"ycsbt/internal/properties"
 )
 
@@ -61,6 +62,7 @@ func (b *Binding) Init(p *properties.Properties) error {
 	cfg.ContentionPenalty = time.Duration(p.GetInt64("cloudsim.contention_us", cfg.ContentionPenalty.Microseconds())) * time.Microsecond
 	cfg.Shards = p.GetInt("kvstore.shards", kvstore.DefaultShards)
 	b.BlindUpdates = p.GetBool("cloudsim.blindupdates", false)
+	cfg.Metrics = obs.Enabled(p.GetBool("obs.enabled", false))
 	b.store = New(cfg)
 	b.owns = true
 	return nil

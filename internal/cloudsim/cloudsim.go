@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"ycsbt/internal/kvstore"
+	"ycsbt/internal/obs"
 )
 
 // Config tunes one simulated store container.
@@ -72,6 +73,10 @@ type Config struct {
 	// not serialize behind one lock or it, not the simulated
 	// container, becomes the bottleneck.
 	Shards int
+	// Metrics, when non-nil, receives the cloudsim_* series, labelled
+	// store=Name: request counters, rate-limit wait histogram, and
+	// inflight/pool-excess gauges.
+	Metrics *obs.Registry
 }
 
 // WASPreset returns a configuration shaped like the paper's single
@@ -130,6 +135,11 @@ type Store struct {
 	reads  atomic.Int64
 	writes atomic.Int64
 	waited atomic.Int64 // nanoseconds spent waiting for rate tokens
+
+	// obs handles; nil (uninstrumented) handles no-op.
+	mReads  *obs.Counter
+	mWrites *obs.Counter
+	mWait   *obs.Histogram
 }
 
 // NewOver returns a simulated container layered over an existing
@@ -167,6 +177,27 @@ func New(cfg Config) *Store {
 			}
 		}
 		s.limiter = newTokenBucket(cfg.RateLimit, burst)
+	}
+	if reg := cfg.Metrics; reg != nil {
+		reg.Help("cloudsim_requests_total", "Simulated container requests by kind.")
+		reg.Help("cloudsim_ratelimit_wait_seconds", "Time requests spent waiting for rate-limit tokens.")
+		reg.Help("cloudsim_inflight_requests", "Requests currently inside the simulated container.")
+		reg.Help("cloudsim_pool_excess", "In-flight requests beyond the connection pool (paying contention penalty).")
+		s.mReads = reg.Counter("cloudsim_requests_total", "kind", "read", "store", cfg.Name)
+		s.mWrites = reg.Counter("cloudsim_requests_total", "kind", "write", "store", cfg.Name)
+		s.mWait = reg.Histogram("cloudsim_ratelimit_wait_seconds", obs.DurationBuckets, "store", cfg.Name)
+		reg.GaugeFunc("cloudsim_inflight_requests", func() float64 {
+			return float64(s.inflight.Load())
+		}, "store", cfg.Name)
+		reg.GaugeFunc("cloudsim_pool_excess", func() float64 {
+			if cfg.PoolSize <= 0 {
+				return 0
+			}
+			if excess := s.inflight.Load() - int64(cfg.PoolSize); excess > 0 {
+				return float64(excess)
+			}
+			return 0
+		}, "store", cfg.Name)
 	}
 	return s
 }
@@ -217,6 +248,7 @@ func (s *Store) simulate(ctx context.Context, mean time.Duration) error {
 			return err
 		}
 		s.waited.Add(int64(waited))
+		s.mWait.Observe(waited.Seconds())
 	}
 	d := s.serviceTime(mean)
 	if d > 0 {
@@ -237,6 +269,7 @@ func (s *Store) Get(ctx context.Context, table, key string) (*kvstore.VersionedR
 		return nil, err
 	}
 	s.reads.Add(1)
+	s.mReads.Inc()
 	return s.inner.Get(table, key)
 }
 
@@ -247,6 +280,7 @@ func (s *Store) Put(ctx context.Context, table, key string, fields map[string][]
 		return 0, err
 	}
 	s.writes.Add(1)
+	s.mWrites.Inc()
 	return s.inner.PutIfVersion(table, key, fields, expect)
 }
 
@@ -257,6 +291,7 @@ func (s *Store) Delete(ctx context.Context, table, key string, expect uint64) er
 		return err
 	}
 	s.writes.Add(1)
+	s.mWrites.Inc()
 	return s.inner.DeleteIfVersion(table, key, expect)
 }
 
@@ -267,6 +302,7 @@ func (s *Store) Scan(ctx context.Context, table, startKey string, count int) ([]
 		return nil, err
 	}
 	s.reads.Add(1)
+	s.mReads.Inc()
 	return s.inner.Scan(table, startKey, count)
 }
 

@@ -104,6 +104,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeDecodeError(w, err)
 		return
 	}
+	s.metrics.observeBatchSize(len(ops))
 	if err := r.Context().Err(); err != nil {
 		http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
 		return
@@ -325,7 +326,7 @@ func (c *Client) postBatch(ctx context.Context, wire []wireBatchOp) ([]wireBatch
 	}
 	req.Header.Set("Content-Type", NDJSONContentType)
 	req.Header.Set("Accept", NDJSONContentType)
-	resp, err := c.send(req)
+	resp, err := c.sendRetry(req)
 	if err != nil {
 		return nil, fmt.Errorf("httpkv: %w", err)
 	}

@@ -158,6 +158,7 @@ func TestBatchAdmissionControl(t *testing.T) {
 	if err := c.Init(properties.New()); err != nil {
 		t.Fatal(err)
 	}
+	c.retry429 = 0 // this test asserts the raw 429 surface; retry has its own test
 
 	ops := []db.BatchOp{{Op: db.OpRead, Table: "t", Key: "k"}}
 	first := make(chan []db.BatchResult)

@@ -27,6 +27,13 @@ const (
 	DefaultPoolSize = 64
 	// DefaultTimeout bounds one HTTP exchange end to end.
 	DefaultTimeout = 30 * time.Second
+	// DefaultRetry429 is how many times a throttled (429) exchange is
+	// re-sent after honoring the server's Retry-After hint. 0 disables
+	// (surface db.ErrThrottled immediately, the pre-retry behavior).
+	DefaultRetry429 = 2
+	// DefaultRetry429Max caps one backoff sleep regardless of what
+	// Retry-After asks for.
+	DefaultRetry429Max = 5 * time.Second
 )
 
 // newPooledHTTPClient builds the binding's dedicated HTTP client:
@@ -68,6 +75,11 @@ type Client struct {
 	// batchUnsupported latches after a server answers /v1/batch with
 	// 404/405; later batches use the single-op fallback.
 	batchUnsupported atomic.Bool
+	// retry429 / retry429Max configure the throttle retry loop (see
+	// sendRetry): up to retry429 re-sends, each sleeping the server's
+	// Retry-After (doubled per attempt) capped at retry429Max.
+	retry429    int
+	retry429Max time.Duration
 }
 
 // NewClient returns a binding that talks to the server at baseURL
@@ -77,7 +89,7 @@ func NewClient(baseURL string, hc *http.Client) *Client {
 	if hc == nil {
 		hc = newPooledHTTPClient(DefaultPoolSize, DefaultTimeout)
 	}
-	return &Client{base: baseURL, hc: hc}
+	return &Client{base: baseURL, hc: hc, retry429: DefaultRetry429, retry429Max: DefaultRetry429Max}
 }
 
 func init() {
@@ -85,8 +97,9 @@ func init() {
 }
 
 // Init reads the "rawhttp.url", "rawhttp.pool_size",
-// "rawhttp.timeout_ms" and "rawhttp.max_inflight" properties when the
-// binding was opened by name through the registry.
+// "rawhttp.timeout_ms", "rawhttp.max_inflight", "rawhttp.retry429"
+// and "rawhttp.retry429_max_ms" properties when the binding was
+// opened by name through the registry.
 func (c *Client) Init(p *properties.Properties) error {
 	if c.base == "" {
 		c.base = p.GetString("rawhttp.url", "http://127.0.0.1:8077")
@@ -102,6 +115,8 @@ func (c *Client) Init(p *properties.Properties) error {
 			c.sem = make(chan struct{}, n)
 		}
 	}
+	c.retry429 = p.GetInt("rawhttp.retry429", DefaultRetry429)
+	c.retry429Max = time.Duration(p.GetInt64("rawhttp.retry429_max_ms", int64(DefaultRetry429Max/time.Millisecond))) * time.Millisecond
 	return nil
 }
 
@@ -151,8 +166,66 @@ func (c *Client) send(req *http.Request) (*http.Response, error) {
 	return c.hc.Do(req)
 }
 
-func (c *Client) do(req *http.Request) (*http.Response, error) {
+// sendRetry is send plus the 429 policy: a throttled response is
+// retried up to c.retry429 times, sleeping the server's Retry-After
+// hint (doubled each attempt as backoff, capped at c.retry429Max)
+// between sends. The request body is replayed via GetBody, which
+// net/http sets for the bytes.Reader/bytes.Buffer bodies every caller
+// here uses; a non-replayable body surfaces the 429 unchanged. The
+// retry gives up early when the context would expire before the
+// backoff elapses, returning the throttled response so the caller
+// still maps it to db.ErrThrottled.
+func (c *Client) sendRetry(req *http.Request) (*http.Response, error) {
 	resp, err := c.send(req)
+	for attempt := 0; attempt < c.retry429; attempt++ {
+		if err != nil || resp.StatusCode != http.StatusTooManyRequests {
+			return resp, err
+		}
+		if req.Body != nil && req.GetBody == nil {
+			return resp, err // cannot replay the body
+		}
+		wait := retryAfterDelay(resp, attempt, c.retry429Max)
+		if d, ok := req.Context().Deadline(); ok && time.Until(d) <= wait {
+			return resp, err // would expire mid-backoff; let the caller see the 429
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		select {
+		case <-time.After(wait):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+		if req.GetBody != nil {
+			body, berr := req.GetBody()
+			if berr != nil {
+				return nil, berr
+			}
+			req.Body = body
+		}
+		resp, err = c.send(req)
+	}
+	return resp, err
+}
+
+// retryAfterDelay resolves one backoff sleep: the response's
+// Retry-After seconds (100ms when absent or unparsable), doubled per
+// completed attempt, capped at max.
+func retryAfterDelay(resp *http.Response, attempt int, ceiling time.Duration) time.Duration {
+	base := 100 * time.Millisecond
+	if h := resp.Header.Get("Retry-After"); h != "" {
+		if secs, err := strconv.Atoi(h); err == nil && secs >= 0 {
+			base = time.Duration(secs) * time.Second
+		}
+	}
+	d := base << attempt
+	if ceiling > 0 && d > ceiling {
+		d = ceiling
+	}
+	return d
+}
+
+func (c *Client) do(req *http.Request) (*http.Response, error) {
+	resp, err := c.sendRetry(req)
 	if err != nil {
 		return nil, fmt.Errorf("httpkv: %w", err)
 	}

@@ -1,0 +1,148 @@
+package httpkv
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ycsbt/internal/db"
+)
+
+// throttleServer answers 429 (with the given Retry-After header) to
+// the first `fail` requests, then succeeds, echoing the body length so
+// the test can prove the replayed body arrived intact.
+type throttleServer struct {
+	fail       int32
+	retryAfter string
+	requests   atomic.Int32
+	lastBody   atomic.Int32
+}
+
+func (ts *throttleServer) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := ts.requests.Add(1)
+		body, _ := io.ReadAll(r.Body)
+		ts.lastBody.Store(int32(len(body)))
+		if n <= atomic.LoadInt32(&ts.fail) {
+			if ts.retryAfter != "" {
+				w.Header().Set("Retry-After", ts.retryAfter)
+			}
+			http.Error(w, "throttled", http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("ETag", "1")
+		w.WriteHeader(http.StatusNoContent)
+	})
+}
+
+func newRetryClient(t *testing.T, ts *throttleServer) (*Client, func()) {
+	t.Helper()
+	srv := httptest.NewServer(ts.handler())
+	c := NewClient(srv.URL, srv.Client())
+	return c, srv.Close
+}
+
+func TestRetry429ReplaysBodyAndSucceeds(t *testing.T) {
+	ts := &throttleServer{fail: 2, retryAfter: "0"}
+	c, closeSrv := newRetryClient(t, ts)
+	defer closeSrv()
+
+	values := db.Record{"field0": []byte("hello")}
+	if err := c.Insert(context.Background(), "usertable", "k1", values); err != nil {
+		t.Fatalf("Insert after retries: %v", err)
+	}
+	if got := ts.requests.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (1 + 2 retries)", got)
+	}
+	// The final (successful) attempt must carry the same JSON body as
+	// the first: GetBody replay, not an empty re-send.
+	want, _ := json.Marshal(wireRecord{Fields: values})
+	if got := ts.lastBody.Load(); got != int32(len(want)) {
+		t.Fatalf("replayed body was %d bytes, want %d", got, len(want))
+	}
+}
+
+func TestRetry429Exhausted(t *testing.T) {
+	ts := &throttleServer{fail: 100, retryAfter: "0"}
+	c, closeSrv := newRetryClient(t, ts)
+	defer closeSrv()
+
+	err := c.Insert(context.Background(), "usertable", "k1", db.Record{"f": []byte("v")})
+	if !errors.Is(err, db.ErrThrottled) {
+		t.Fatalf("exhausted retries: got %v, want ErrThrottled", err)
+	}
+	if got := ts.requests.Load(); got != int32(1+DefaultRetry429) {
+		t.Fatalf("server saw %d requests, want %d", got, 1+DefaultRetry429)
+	}
+}
+
+func TestRetry429Disabled(t *testing.T) {
+	ts := &throttleServer{fail: 1, retryAfter: "0"}
+	c, closeSrv := newRetryClient(t, ts)
+	defer closeSrv()
+	c.retry429 = 0
+
+	err := c.Insert(context.Background(), "usertable", "k1", db.Record{"f": []byte("v")})
+	if !errors.Is(err, db.ErrThrottled) {
+		t.Fatalf("retry disabled: got %v, want immediate ErrThrottled", err)
+	}
+	if got := ts.requests.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1", got)
+	}
+}
+
+func TestRetry429DeadlineShortCircuits(t *testing.T) {
+	// Retry-After asks for 5s but the context expires in 50ms: the
+	// client must surface the 429 instead of sleeping into the deadline.
+	ts := &throttleServer{fail: 100, retryAfter: "5"}
+	c, closeSrv := newRetryClient(t, ts)
+	defer closeSrv()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := c.Insert(ctx, "usertable", "k1", db.Record{"f": []byte("v")})
+	if !errors.Is(err, db.ErrThrottled) {
+		t.Fatalf("got %v, want ErrThrottled", err)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("took %v: slept into the backoff instead of bailing", el)
+	}
+	if got := ts.requests.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1", got)
+	}
+}
+
+func TestRetryAfterDelay(t *testing.T) {
+	mk := func(h string) *http.Response {
+		resp := &http.Response{Header: http.Header{}}
+		if h != "" {
+			resp.Header.Set("Retry-After", h)
+		}
+		return resp
+	}
+	cases := []struct {
+		header  string
+		attempt int
+		ceiling time.Duration
+		want    time.Duration
+	}{
+		{"", 0, 5 * time.Second, 100 * time.Millisecond},        // default base
+		{"", 2, 5 * time.Second, 400 * time.Millisecond},        // doubled per attempt
+		{"1", 0, 5 * time.Second, time.Second},                  // server hint
+		{"1", 1, 5 * time.Second, 2 * time.Second},              // hint doubled
+		{"30", 0, 5 * time.Second, 5 * time.Second},             // capped
+		{"garbage", 0, 5 * time.Second, 100 * time.Millisecond}, // unparsable → base
+	}
+	for _, tc := range cases {
+		if got := retryAfterDelay(mk(tc.header), tc.attempt, tc.ceiling); got != tc.want {
+			t.Errorf("retryAfterDelay(%q, %d, %v) = %v, want %v", tc.header, tc.attempt, tc.ceiling, tc.want, got)
+		}
+	}
+}

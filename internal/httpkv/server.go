@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"ycsbt/internal/kvstore"
+	"ycsbt/internal/obs"
 )
 
 // wireRecord is the JSON shape of one record on the wire.
@@ -66,6 +67,9 @@ type ServerOptions struct {
 	// RetryAfter is the backoff hint sent with 429 responses
 	// (default 1s; rendered in whole seconds per RFC 9110).
 	RetryAfter time.Duration
+	// Metrics, when non-nil, receives the server's httpkv_* series
+	// (inflight gauge, response-code counters, batch-size histogram).
+	Metrics *obs.Registry
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -86,6 +90,7 @@ type Server struct {
 	mux      *http.ServeMux
 	opts     ServerOptions
 	inflight chan struct{} // batch admission semaphore (nil = unlimited)
+	metrics  *serverMetrics
 }
 
 // NewServer returns a handler serving store with default admission
@@ -98,6 +103,7 @@ func NewServer(store kvstore.Engine) *Server {
 // admission control.
 func NewServerWithOptions(store kvstore.Engine, opts ServerOptions) *Server {
 	s := &Server{store: store, mux: http.NewServeMux(), opts: opts.withDefaults()}
+	s.metrics = newServerMetrics(opts.Metrics)
 	if opts.MaxInflightBatches > 0 {
 		s.inflight = make(chan struct{}, opts.MaxInflightBatches)
 	}
@@ -110,6 +116,13 @@ func NewServerWithOptions(store kvstore.Engine, opts ServerOptions) *Server {
 // ServeHTTP implements http.Handler: body caps and the per-request
 // deadline apply here, before any route runs.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.metrics != nil {
+		s.metrics.inflight.Add(1)
+		defer s.metrics.inflight.Add(-1)
+		sr := &statusRecorder{ResponseWriter: w}
+		defer func() { s.metrics.countResponse(sr.code()) }()
+		w = sr
+	}
 	if r.Body != nil && r.ContentLength != 0 {
 		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	}

@@ -131,6 +131,11 @@ func (s *Store) groupByShard(n int, keyOf func(int) string) map[int][]int {
 // getBatch serves the given request indices (nil = all) from this
 // partition under one read-lock acquisition.
 func (p *partition) getBatch(reqs []GetReq, idx []int, out []GetResult) {
+	if idx == nil {
+		p.metrics.gets.Add(int64(len(reqs)))
+	} else {
+		p.metrics.gets.Add(int64(len(idx)))
+	}
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	each(len(reqs), idx, func(i int) {
@@ -181,10 +186,13 @@ func (p *partition) applyBatch(muts []Mutation, idx []int, out []MutResult) {
 func (p *partition) applyOneLocked(w *wal, m Mutation) (uint64, uint64, error) {
 	switch m.Op {
 	case MutPut:
+		p.metrics.puts.Inc()
 		return p.putLocked(w, m.Table, m.Key, m.Fields, m.Expect, false)
 	case MutUpdate:
+		p.metrics.puts.Inc()
 		return p.putLocked(w, m.Table, m.Key, m.Fields, AnyVersion, true)
 	case MutDelete:
+		p.metrics.deletes.Inc()
 		seq, err := p.deleteLocked(w, m.Table, m.Key, m.Expect)
 		return 0, seq, err
 	default:

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ycsbt/internal/db"
+	"ycsbt/internal/obs"
 	"ycsbt/internal/properties"
 )
 
@@ -40,6 +41,7 @@ func (b *Binding) Init(p *properties.Properties) error {
 		SyncWrites:  p.GetBool("kvstore.sync", false),
 		Shards:      p.GetInt("kvstore.shards", DefaultShards),
 		GroupCommit: time.Duration(p.GetInt64("kvstore.wal.group_commit_ms", 0)) * time.Millisecond,
+		Metrics:     obs.Enabled(p.GetBool("obs.enabled", false)),
 	})
 	if err != nil {
 		return err

@@ -105,7 +105,7 @@ func (p *partition) compact() error {
 	// installed marks the partition closed, so later mutations fail
 	// fast instead of buffering into a closed file (or, in
 	// group-commit mode, blocking forever on a syncer that exited).
-	oldSync, oldGC := p.wal.syncOn, p.wal.gcInterval
+	oldSync, oldGC, oldMetrics := p.wal.syncOn, p.wal.gcInterval, p.wal.metrics
 	if err := p.wal.close(); err != nil {
 		f.Close()
 		os.Remove(tmp)
@@ -125,6 +125,9 @@ func (p *partition) compact() error {
 		p.closed = true
 		return err
 	}
+	// The fresh segment inherits the shard's metric handles so the
+	// fsync series stays continuous across compactions.
+	nw.metrics = oldMetrics
 	// Position for appending without replaying into the live store.
 	if err := nw.seekEnd(); err != nil {
 		p.closed = true
@@ -132,6 +135,7 @@ func (p *partition) compact() error {
 		return err
 	}
 	p.wal = nw
+	p.metrics.compactions.Inc()
 	return nil
 }
 

@@ -1,0 +1,70 @@
+package kvstore
+
+import (
+	"strconv"
+
+	"ycsbt/internal/obs"
+)
+
+// partMetrics holds one partition's private metric handles. Handles
+// are obs single-writer cells allocated per shard, so partitions never
+// share a metric cache line; every method is a no-op on the zero value
+// (nil handles), which is what partitions carry when Options.Metrics
+// is unset.
+type partMetrics struct {
+	gets        *obs.CounterHandle
+	puts        *obs.CounterHandle
+	deletes     *obs.CounterHandle
+	scans       *obs.CounterHandle
+	compactions *obs.CounterHandle
+}
+
+// walMetrics instruments one WAL segment. Compaction swaps the wal
+// object but hands the same metrics block to the replacement, so a
+// shard's fsync series is continuous across compactions.
+type walMetrics struct {
+	// fsync observes the duration of every fsync (inline or group),
+	// in seconds.
+	fsync *obs.HistogramHandle
+	// occupancy observes how many appended frames each group-commit
+	// sync covered — the batch size the group commit actually achieved.
+	occupancy *obs.HistogramHandle
+}
+
+// instrument registers the engine series on reg and hands every
+// partition and WAL its private handles. A nil registry leaves all
+// handles nil (inert). Called once from Open, before the store is
+// shared.
+func (s *Store) instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Help("kvstore_ops_total", "Engine operations started, by kind and shard.")
+	reg.Help("kvstore_wal_fsync_seconds", "WAL fsync latency per shard.")
+	reg.Help("kvstore_wal_group_commit_frames", "Frames covered by each group-commit sync, per shard.")
+	reg.Help("kvstore_compactions_total", "Completed WAL segment compactions, by shard.")
+	reg.Help("kvstore_wal_bytes", "Total WAL size across all segments.")
+	for i, p := range s.parts {
+		sh := strconv.Itoa(i)
+		p.metrics = partMetrics{
+			gets:        reg.Counter("kvstore_ops_total", "op", "get", "shard", sh).Handle(),
+			puts:        reg.Counter("kvstore_ops_total", "op", "put", "shard", sh).Handle(),
+			deletes:     reg.Counter("kvstore_ops_total", "op", "delete", "shard", sh).Handle(),
+			scans:       reg.Counter("kvstore_ops_total", "op", "scan", "shard", sh).Handle(),
+			compactions: reg.Counter("kvstore_compactions_total", "shard", sh).Handle(),
+		}
+		if p.wal != nil {
+			p.wal.metrics = &walMetrics{
+				fsync:     reg.Histogram("kvstore_wal_fsync_seconds", obs.DurationBuckets, "shard", sh).Handle(),
+				occupancy: reg.Histogram("kvstore_wal_group_commit_frames", obs.CountBuckets, "shard", sh).Handle(),
+			}
+		}
+	}
+	reg.GaugeFunc("kvstore_wal_bytes", func() float64 {
+		n, err := s.WALSize()
+		if err != nil {
+			return 0
+		}
+		return float64(n)
+	})
+}

@@ -17,6 +17,11 @@ type partition struct {
 	tables map[string]*btree
 	wal    *wal
 	closed bool
+
+	// metrics holds this shard's private obs handles; the zero value
+	// (nil handles) is inert. Written once in Store.instrument before
+	// the store is shared, read lock-free afterwards.
+	metrics partMetrics
 }
 
 func newPartition(w *wal) *partition {
@@ -57,6 +62,7 @@ func (p *partition) isClosed() bool {
 }
 
 func (p *partition) get(table, key string) (*VersionedRecord, error) {
+	p.metrics.gets.Inc()
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed {
@@ -105,6 +111,7 @@ func errBadMutOp(op MutOp) error {
 // since the old WAL's close performs a final group sync that wakes
 // its waiters.
 func (p *partition) putIfVersion(table, key string, fields map[string][]byte, expect uint64) (uint64, error) {
+	p.metrics.puts.Inc()
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -125,6 +132,7 @@ func (p *partition) putIfVersion(table, key string, fields map[string][]byte, ex
 }
 
 func (p *partition) update(table, key string, fields map[string][]byte) (uint64, error) {
+	p.metrics.puts.Inc()
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -199,6 +207,7 @@ func (p *partition) putLocked(w *wal, table, key string, fields map[string][]byt
 }
 
 func (p *partition) deleteIfVersion(table, key string, expect uint64) error {
+	p.metrics.deletes.Inc()
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -243,6 +252,7 @@ func (p *partition) deleteLocked(w *wal, table, key string, expect uint64) (uint
 // scan returns up to count records with key ≥ startKey from this
 // partition, in key order. A count < 0 means no limit.
 func (p *partition) scan(table, startKey string, count int) ([]VersionedKV, error) {
+	p.metrics.scans.Inc()
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed {
@@ -270,6 +280,7 @@ func (p *partition) scan(table, startKey string, count int) ([]VersionedKV, erro
 // The cross-partition merge uses it to defer cloning until it knows
 // which count records it will actually emit.
 func (p *partition) scanRefs(table, startKey string, count int) ([]VersionedKV, error) {
+	p.metrics.scans.Inc()
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed {

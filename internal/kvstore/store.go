@@ -10,6 +10,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"ycsbt/internal/obs"
 )
 
 // Common storage errors. They are distinct from the db-layer
@@ -87,6 +89,11 @@ type Options struct {
 	// When positive, a per-shard background syncer fsyncs once per
 	// window instead of once per mutation.
 	GroupCommit time.Duration
+	// Metrics, when non-nil, receives the engine's kvstore_* series
+	// (per-shard op counts, WAL fsync latency, group-commit occupancy,
+	// compactions, WAL size). Nil disables instrumentation entirely —
+	// the hot paths then touch only nil no-op handles.
+	Metrics *obs.Registry
 }
 
 // Store is a concurrent, versioned, ordered key-value store with
@@ -111,6 +118,7 @@ func Open(opts Options) (*Store, error) {
 		for i := range s.parts {
 			s.parts[i] = newPartition(nil)
 		}
+		s.instrument(opts.Metrics)
 		return s, nil
 	}
 
@@ -165,6 +173,7 @@ func Open(opts Options) (*Store, error) {
 		}
 		s.parts[i].wal = w
 	}
+	s.instrument(opts.Metrics)
 	return s, nil
 }
 
@@ -333,9 +342,9 @@ func (h scanHeap) Len() int { return len(h) }
 func (h scanHeap) Less(i, j int) bool {
 	return h[i].kvs[h[i].i].Key < h[j].kvs[h[j].i].Key
 }
-func (h scanHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *scanHeap) Push(x any)        { *h = append(*h, x.(*scanCursor)) }
-func (h *scanHeap) Pop() any          { old := *h; x := old[len(old)-1]; *h = old[:len(old)-1]; return x }
+func (h scanHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *scanHeap) Push(x any)   { *h = append(*h, x.(*scanCursor)) }
+func (h *scanHeap) Pop() any     { old := *h; x := old[len(old)-1]; *h = old[:len(old)-1]; return x }
 
 // mergeScan k-way merges per-partition ordered lists into one ordered
 // list of at most count records (count < 0 = no limit). Partitions

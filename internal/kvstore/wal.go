@@ -67,6 +67,11 @@ type wal struct {
 	syncErr    error
 	gcStop     chan struct{}
 	gcDone     chan struct{}
+
+	// metrics instruments fsync latency and group-commit occupancy;
+	// nil when the store is uninstrumented. Set before the wal is
+	// shared (Store.instrument / compact's swap), read-only after.
+	metrics *walMetrics
 }
 
 func openWAL(path string, syncWrites bool, groupCommit time.Duration) (*wal, error) {
@@ -223,6 +228,7 @@ func (w *wal) syncLoop() {
 func (w *wal) groupSync() {
 	w.gcMu.Lock()
 	target := w.appendSeq
+	covered := target - w.syncSeq
 	if target == w.syncSeq || w.syncErr != nil {
 		w.gcMu.Unlock()
 		return
@@ -239,6 +245,9 @@ func (w *wal) groupSync() {
 	}
 	w.gcCond.Broadcast()
 	w.gcMu.Unlock()
+	if err == nil && w.metrics != nil {
+		w.metrics.occupancy.Observe(float64(covered))
+	}
 }
 
 func (w *wal) sync() error {
@@ -252,7 +261,15 @@ func (w *wal) flushAndSync() error {
 	if err := w.w.Flush(); err != nil {
 		return err
 	}
-	return w.f.Sync()
+	if w.metrics == nil {
+		return w.f.Sync()
+	}
+	start := time.Now()
+	err := w.f.Sync()
+	if err == nil {
+		w.metrics.fsync.Observe(time.Since(start).Seconds())
+	}
+	return err
 }
 
 // size reports the flushed log size in bytes.

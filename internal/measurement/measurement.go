@@ -200,6 +200,7 @@ type Summary struct {
 	AvgUS      float64       `json:"avg_us"`
 	MinUS      int64         `json:"min_us"`
 	MaxUS      int64         `json:"max_us"`
+	P50MS      int64         `json:"p50_ms"`
 	P95MS      int64         `json:"p95_ms"`
 	P99MS      int64         `json:"p99_ms"`
 	Returns    map[int]int64 `json:"returns"`
@@ -250,6 +251,7 @@ func (s *Series) Snapshot() Summary {
 	if n > 0 {
 		out.AvgUS = float64(sum) / float64(n)
 	}
+	out.P50MS = percentileMS(buckets, n, 0.50)
 	out.P95MS = percentileMS(buckets, n, 0.95)
 	out.P99MS = percentileMS(buckets, n, 0.99)
 	for slot, c := range returns {

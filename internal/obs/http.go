@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// Handler serves the registry as Prometheus text exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.Export(w)
+	})
+}
+
+// NewOpsMux builds the private ops mux: /metrics (Prometheus text),
+// /healthz (200 "ok" or 503 with the error), and /debug/pprof/*. The
+// pprof handlers are mounted explicitly so nothing depends on
+// http.DefaultServeMux. health may be nil (always healthy).
+func NewOpsMux(r *Registry, health func() error) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		if health != nil {
+			if err := health(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartOps binds addr and serves the ops mux in a background
+// goroutine. It returns the server (for Close/Shutdown) and the bound
+// address, so ":0" listeners can report their port.
+func StartOps(addr string, r *Registry, health func() error) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewOpsMux(r, health), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr(), nil
+}
+
+// RuntimeCollector returns a scrape-time collector for Go runtime
+// vitals: goroutine count, heap bytes, cumulative GC runs and total
+// GC pause time.
+func RuntimeCollector() func() []Sample {
+	return func() []Sample {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return []Sample{
+			{Name: "go_goroutines", Kind: KindGauge, Help: "Number of live goroutines.", Value: float64(runtime.NumGoroutine())},
+			{Name: "go_heap_alloc_bytes", Kind: KindGauge, Help: "Bytes of allocated heap objects.", Value: float64(ms.HeapAlloc)},
+			{Name: "go_gc_runs_total", Kind: KindCounter, Help: "Completed GC cycles.", Value: float64(ms.NumGC)},
+			{Name: "go_gc_pause_seconds_total", Kind: KindCounter, Help: "Cumulative GC stop-the-world pause time.", Value: float64(ms.PauseTotalNs) / 1e9},
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestOpsMuxMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("kvstore_ops_total", "op", "get").Add(9)
+	srv := httptest.NewServer(NewOpsMux(r, nil))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), `kvstore_ops_total{op="get"} 9`) {
+		t.Fatalf("metrics body missing series:\n%s", body)
+	}
+}
+
+func TestOpsMuxHealthz(t *testing.T) {
+	var fail error
+	srv := httptest.NewServer(NewOpsMux(NewRegistry(), func() error { return fail }))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("healthy: got %s %q", resp.Status, body)
+	}
+
+	fail = errors.New("wal: disk full")
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unhealthy: got %s, want 503", resp.Status)
+	}
+	if !strings.Contains(string(body), "disk full") {
+		t.Fatalf("unhealthy body %q does not carry the error", body)
+	}
+}
+
+func TestOpsMuxPprof(t *testing.T) {
+	srv := httptest.NewServer(NewOpsMux(NewRegistry(), nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ = %s", resp.Status)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index missing profiles:\n%.200s", body)
+	}
+}
+
+func TestStartOps(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterCollector(RuntimeCollector())
+	srv, addr, err := StartOps("127.0.0.1:0", r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{"go_goroutines", "go_heap_alloc_bytes", "go_gc_runs_total"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("runtime collector missing %s", want)
+		}
+	}
+}

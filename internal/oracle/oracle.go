@@ -22,6 +22,8 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"ycsbt/internal/obs"
 )
 
 // Oracle hands out strictly increasing timestamps. Implementations
@@ -89,6 +91,23 @@ func (d *Delayed) Next(ctx context.Context) (int64, error) {
 type Server struct {
 	inner Oracle
 	mux   *http.ServeMux
+
+	// obs handles; nil (uninstrumented) handles no-op.
+	mRequests   *obs.Counter
+	mTimestamps *obs.Counter
+}
+
+// Instrument registers the oracle_* series on reg: allocation
+// requests and timestamps handed out (the gap between the two is the
+// batching amortization).
+func (s *Server) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Help("oracle_requests_total", "Timestamp allocation requests served.")
+	reg.Help("oracle_timestamps_total", "Timestamps handed out (a batched request counts its whole block).")
+	s.mRequests = reg.Counter("oracle_requests_total")
+	s.mTimestamps = reg.Counter("oracle_timestamps_total")
 }
 
 // NewServer serves the given oracle.
@@ -130,6 +149,8 @@ func (s *Server) handleTS(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	s.mRequests.Inc()
+	s.mTimestamps.Add(n)
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(tsResponse{TS: first, N: n})
 }

@@ -10,6 +10,7 @@ import (
 	"ycsbt/internal/cloudsim"
 	"ycsbt/internal/db"
 	"ycsbt/internal/kvstore"
+	"ycsbt/internal/obs"
 	"ycsbt/internal/oracle"
 	"ycsbt/internal/properties"
 	"ycsbt/internal/txn"
@@ -40,20 +41,26 @@ func (b *Binding) Init(p *properties.Properties) error {
 	}
 	var store Store
 	var closer func() error
+	reg := obs.Enabled(p.GetBool("obs.enabled", false))
+	sim := func(cfg cloudsim.Config) *cloudsim.Store {
+		cfg.Metrics = reg
+		return cloudsim.New(cfg)
+	}
 	switch backend := p.GetString("percolator.backend", "memory"); backend {
 	case "memory":
 		inner, err := kvstore.Open(kvstore.Options{
-			Shards: p.GetInt("kvstore.shards", kvstore.DefaultShards),
+			Shards:  p.GetInt("kvstore.shards", kvstore.DefaultShards),
+			Metrics: reg,
 		})
 		if err != nil {
 			return err
 		}
 		store, closer = txn.NewLocalStore("local", inner), inner.Close
 	case "was":
-		s := cloudsim.New(cloudsim.WASPreset())
+		s := sim(cloudsim.WASPreset())
 		store, closer = s, s.Close
 	case "gcs":
-		s := cloudsim.New(cloudsim.GCSPreset())
+		s := sim(cloudsim.GCSPreset())
 		store, closer = s, s.Close
 	default:
 		return fmt.Errorf("percolator: unknown backend %q", backend)

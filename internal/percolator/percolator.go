@@ -344,14 +344,12 @@ func (t *Txn) Commit(ctx context.Context) error {
 	cleanupCtx := context.WithoutCancel(ctx)
 
 	prewriteStart := time.Now()
-	for _, k := range keys {
-		if err := t.prewrite(ctx, k, primary); err != nil {
-			t.done = true
-			t.m.conflicts.Add(1)
-			t.m.aborts.Add(1)
-			t.removeLocks(cleanupCtx)
-			return fmt.Errorf("%w: prewriting %s/%s: %v", ErrConflict, k.table, k.key, err)
-		}
+	if k, err := t.prewriteAll(ctx, keys, primary); err != nil {
+		t.done = true
+		t.m.conflicts.Add(1)
+		t.m.aborts.Add(1)
+		t.removeLocks(cleanupCtx)
+		return fmt.Errorf("%w: prewriting %s/%s: %v", ErrConflict, k.table, k.key, err)
 	}
 
 	// Second oracle round trip: the commit timestamp.

@@ -1,0 +1,281 @@
+package percolator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"ycsbt/internal/kvstore"
+	"ycsbt/internal/oracle"
+	"ycsbt/internal/txn"
+)
+
+// countingStore wraps a Store+BatchStore and counts every call class,
+// so tests can prove which path a commit took.
+type countingStore struct {
+	inner     *txn.LocalStore
+	gets      atomic.Int64
+	puts      atomic.Int64
+	batchGets atomic.Int64
+	batchMuts atomic.Int64
+}
+
+func (c *countingStore) Name() string { return c.inner.Name() }
+
+func (c *countingStore) Get(ctx context.Context, table, key string) (*kvstore.VersionedRecord, error) {
+	c.gets.Add(1)
+	return c.inner.Get(ctx, table, key)
+}
+
+func (c *countingStore) Put(ctx context.Context, table, key string, fields map[string][]byte, expect uint64) (uint64, error) {
+	c.puts.Add(1)
+	return c.inner.Put(ctx, table, key, fields, expect)
+}
+
+func (c *countingStore) Delete(ctx context.Context, table, key string, expect uint64) error {
+	return c.inner.Delete(ctx, table, key, expect)
+}
+
+func (c *countingStore) Scan(ctx context.Context, table, startKey string, count int) ([]kvstore.VersionedKV, error) {
+	return c.inner.Scan(ctx, table, startKey, count)
+}
+
+func (c *countingStore) BatchGet(ctx context.Context, reqs []kvstore.GetReq) ([]kvstore.GetResult, error) {
+	c.batchGets.Add(1)
+	return c.inner.BatchGet(ctx, reqs)
+}
+
+func (c *countingStore) BatchApply(ctx context.Context, muts []kvstore.Mutation) ([]kvstore.MutResult, error) {
+	c.batchMuts.Add(1)
+	return c.inner.BatchApply(ctx, muts)
+}
+
+// noBatchStore hides the batch capability so the same manager takes
+// the per-key prewrite path.
+type noBatchStore struct{ *countingStore }
+
+func (n noBatchStore) BatchGet()   {} // shadow with the wrong arity
+func (n noBatchStore) BatchApply() {}
+
+func newCountingManager(t *testing.T) (*Manager, *countingStore) {
+	t.Helper()
+	inner := kvstore.OpenMemory()
+	t.Cleanup(func() { inner.Close() })
+	cs := &countingStore{inner: txn.NewLocalStore("local", inner)}
+	m, err := NewManager(Options{}, cs, oracle.NewLocal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, cs
+}
+
+func TestBatchedPrewriteUsesOneRoundTripPerPhase(t *testing.T) {
+	ctx := context.Background()
+	m, cs := newCountingManager(t)
+
+	const n = 8
+	if err := m.RunInTxn(ctx, 0, func(tx *Txn) error {
+		for i := 0; i < n; i++ {
+			if err := tx.Put("t", fmt.Sprintf("k%d", i), bal(int64(i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cs.batchGets.Load(); got != 1 {
+		t.Errorf("prewrite issued %d batched reads, want 1", got)
+	}
+	if got := cs.batchMuts.Load(); got != 1 {
+		t.Errorf("prewrite issued %d batched writes, want 1", got)
+	}
+	// No per-key store reads during prewrite. The commit phase still
+	// loads each record once (commitRecord), so the budget is exactly
+	// one get per key, not the per-key prewrite's two.
+	if got := cs.gets.Load(); got > n {
+		t.Errorf("batched prewrite still read per key: %d gets for %d records", got, n)
+	}
+
+	// The committed data is intact and unlocked.
+	tx, err := m.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Rollback(ctx)
+	for i := 0; i < n; i++ {
+		f, err := tx.Get(ctx, "t", fmt.Sprintf("k%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if getBal(t, f) != int64(i) {
+			t.Errorf("k%d = %d", i, getBal(t, f))
+		}
+	}
+}
+
+func TestBatchedPrewriteSingleKeySkipsBatch(t *testing.T) {
+	ctx := context.Background()
+	m, cs := newCountingManager(t)
+	if err := m.RunInTxn(ctx, 0, func(tx *Txn) error {
+		return tx.Put("t", "solo", bal(1))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cs.batchGets.Load(); got != 0 {
+		t.Errorf("single-key txn used the batch path: %d batched reads", got)
+	}
+}
+
+func TestPrewriteFallsBackWithoutBatchCapability(t *testing.T) {
+	ctx := context.Background()
+	inner := kvstore.OpenMemory()
+	t.Cleanup(func() { inner.Close() })
+	cs := &countingStore{inner: txn.NewLocalStore("local", inner)}
+	m, err := NewManager(Options{}, noBatchStore{cs}, oracle.NewLocal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunInTxn(ctx, 0, func(tx *Txn) error {
+		for i := 0; i < 4; i++ {
+			if err := tx.Put("t", fmt.Sprintf("k%d", i), bal(int64(i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cs.batchGets.Load(); got != 0 {
+		t.Fatalf("store without the capability got %d batched reads", got)
+	}
+	if got := cs.gets.Load(); got < 4 {
+		t.Fatalf("per-key fallback read only %d times for 4 records", got)
+	}
+}
+
+func TestBatchedPrewriteWriteWriteConflict(t *testing.T) {
+	ctx := context.Background()
+	m, _ := newCountingManager(t)
+
+	if err := m.RunInTxn(ctx, 0, func(tx *Txn) error {
+		return tx.Put("t", "a", bal(1))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// tx1 snapshots, then tx2 commits a newer version of a — tx1's
+	// batched prewrite must observe the newer commit and abort.
+	tx1, err := m.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunInTxn(ctx, 0, func(tx *Txn) error {
+		return tx.Put("t", "a", bal(2))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Put("t", "a", bal(99)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Put("t", "b", bal(1)); err != nil { // ≥2 keys → batch path
+		t.Fatal(err)
+	}
+	if err := tx1.Commit(ctx); !errors.Is(err, ErrConflict) {
+		t.Fatalf("commit over a newer version: %v, want ErrConflict", err)
+	}
+	// The loser's locks are gone: a fresh writer succeeds.
+	if err := m.RunInTxn(ctx, 0, func(tx *Txn) error {
+		return tx.Put("t", "b", bal(7))
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchedPrewriteForeignLockFallsToSlowPath(t *testing.T) {
+	ctx := context.Background()
+	m, _ := newCountingManager(t)
+
+	if err := m.RunInTxn(ctx, 0, func(tx *Txn) error {
+		if err := tx.Put("t", "a", bal(1)); err != nil {
+			return err
+		}
+		return tx.Put("t", "b", bal(2))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// An abandoned transaction leaves a fresh foreign lock on "a".
+	blocker, err := m.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := blocker.Put("t", "a", bal(50)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := blocker.prewriteAll(ctx, []tkey{{table: "t", key: "a"}}, tkey{table: "t", key: "a"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A competing multi-key writer hits the lock on "a": the batch path
+	// routes it to the per-key resolver, which cannot wait out a live
+	// lock and aborts — but "b", clean, must not be left locked.
+	loser, err := m.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loser.Put("t", "a", bal(100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := loser.Put("t", "b", bal(200)); err != nil {
+		t.Fatal(err)
+	}
+	if err := loser.Commit(ctx); !errors.Is(err, ErrConflict) {
+		t.Fatalf("commit against a held lock: %v, want ErrConflict", err)
+	}
+
+	// Release the blocker; both records stay writable afterwards.
+	if err := blocker.Rollback(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunInTxn(ctx, 0, func(tx *Txn) error {
+		if err := tx.Put("t", "a", bal(3)); err != nil {
+			return err
+		}
+		return tx.Put("t", "b", bal(4))
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchedPrewriteMixedInsertAndDelete(t *testing.T) {
+	ctx := context.Background()
+	m, _ := newCountingManager(t)
+
+	if err := m.RunInTxn(ctx, 0, func(tx *Txn) error {
+		return tx.Put("t", "old", bal(1))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// One transaction inserts a fresh key (MustNotExist expect) and
+	// deletes an existing one through the same batched prewrite.
+	if err := m.RunInTxn(ctx, 0, func(tx *Txn) error {
+		if err := tx.Put("t", "new", bal(9)); err != nil {
+			return err
+		}
+		return tx.Delete("t", "old")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := m.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Rollback(ctx)
+	if f, err := tx.Get(ctx, "t", "new"); err != nil || getBal(t, f) != 9 {
+		t.Fatalf("new: %v / %v", f, err)
+	}
+	if _, err := tx.Get(ctx, "t", "old"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("old after delete: %v", err)
+	}
+}

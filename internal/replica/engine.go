@@ -1,0 +1,217 @@
+package replica
+
+import (
+	"context"
+
+	"ycsbt/internal/kvstore"
+)
+
+// This file widens the replicated store to the full kvstore.Engine
+// surface and wraps it in an adapter, so the HTTP server (and any
+// other layer that programs against the engine seam) can serve a
+// primary-backup replicated store instead of a single embedded one.
+// Writes funnel through the primary under writeMu exactly like the
+// point path; reads follow the configured ReadPolicy.
+
+// Update merges fields at the primary and replicates the committed
+// post-image. Backups always receive full records (a merge at the
+// primary becomes a plain put downstream), so the post-image is read
+// back under writeMu where it cannot move.
+func (s *Store) Update(_ context.Context, table, key string, fields map[string][]byte) (uint64, error) {
+	if err := s.checkUp(); err != nil {
+		return 0, err
+	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.topo.RLock()
+	primary := s.primary
+	s.topo.RUnlock()
+	ver, err := primary.Update(table, key, fields)
+	if err != nil {
+		return 0, err
+	}
+	rec, err := primary.Get(table, key)
+	if err != nil {
+		return ver, err
+	}
+	s.replicate(repOp{table: table, key: key, fields: rec.Fields})
+	return ver, nil
+}
+
+// BatchGet serves a batched read from the read-policy target.
+func (s *Store) BatchGet(reqs []kvstore.GetReq) []kvstore.GetResult {
+	t, err := s.readTarget()
+	if err != nil {
+		out := make([]kvstore.GetResult, len(reqs))
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+	return t.BatchGet(reqs)
+}
+
+// BatchApply evaluates the batch at the primary and replicates the
+// post-image of every successful item, in batch order. Updates read
+// their merged record back under writeMu, the same way Update does.
+func (s *Store) BatchApply(muts []kvstore.Mutation) []kvstore.MutResult {
+	if err := s.checkUp(); err != nil {
+		out := make([]kvstore.MutResult, len(muts))
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.topo.RLock()
+	primary := s.primary
+	s.topo.RUnlock()
+	out := primary.BatchApply(muts)
+	for i, m := range muts {
+		if out[i].Err != nil {
+			continue
+		}
+		switch m.Op {
+		case kvstore.MutDelete:
+			s.replicate(repOp{del: true, table: m.Table, key: m.Key})
+		case kvstore.MutUpdate:
+			rec, err := primary.Get(m.Table, m.Key)
+			if err == nil {
+				s.replicate(repOp{table: m.Table, key: m.Key, fields: rec.Fields})
+			}
+		default:
+			s.replicate(repOp{table: m.Table, key: m.Key, fields: cloneFields(m.Fields)})
+		}
+	}
+	return out
+}
+
+// BulkLoad loads the primary and every backup directly, bypassing the
+// replication queue — it is a load-phase operation like every other
+// BulkLoad, not part of the replicated write path.
+func (s *Store) BulkLoad(table string, kvs []kvstore.BulkKV) error {
+	if err := s.checkUp(); err != nil {
+		return err
+	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.topo.RLock()
+	defer s.topo.RUnlock()
+	if err := s.primary.BulkLoad(table, kvs); err != nil {
+		return err
+	}
+	for _, b := range s.backups {
+		if err := b.BulkLoad(table, kvs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Engine adapts a replicated Store to the kvstore.Engine contract so
+// it plugs into the seam future engines were promised — notably
+// httpkv.Server, which makes kvserver a replicated node.
+type Engine struct {
+	s *Store
+}
+
+var _ kvstore.Engine = (*Engine)(nil)
+
+// Engine returns the kvstore.Engine view of the replicated store.
+func (s *Store) Engine() *Engine { return &Engine{s: s} }
+
+func (e *Engine) Get(table, key string) (*kvstore.VersionedRecord, error) {
+	return e.s.Get(context.Background(), table, key)
+}
+
+func (e *Engine) Put(table, key string, fields map[string][]byte) (uint64, error) {
+	return e.s.Put(context.Background(), table, key, fields, kvstore.AnyVersion)
+}
+
+func (e *Engine) Insert(table, key string, fields map[string][]byte) (uint64, error) {
+	return e.s.Put(context.Background(), table, key, fields, kvstore.MustNotExist)
+}
+
+func (e *Engine) PutIfVersion(table, key string, fields map[string][]byte, expect uint64) (uint64, error) {
+	return e.s.Put(context.Background(), table, key, fields, expect)
+}
+
+func (e *Engine) Update(table, key string, fields map[string][]byte) (uint64, error) {
+	return e.s.Update(context.Background(), table, key, fields)
+}
+
+func (e *Engine) Delete(table, key string) error {
+	return e.s.Delete(context.Background(), table, key, kvstore.AnyVersion)
+}
+
+func (e *Engine) DeleteIfVersion(table, key string, expect uint64) error {
+	return e.s.Delete(context.Background(), table, key, expect)
+}
+
+func (e *Engine) BatchGet(reqs []kvstore.GetReq) []kvstore.GetResult {
+	return e.s.BatchGet(reqs)
+}
+
+func (e *Engine) BatchApply(muts []kvstore.Mutation) []kvstore.MutResult {
+	return e.s.BatchApply(muts)
+}
+
+func (e *Engine) Scan(table, startKey string, count int) ([]kvstore.VersionedKV, error) {
+	return e.s.Scan(context.Background(), table, startKey, count)
+}
+
+func (e *Engine) ForEach(table string, fn func(key string, rec *kvstore.VersionedRecord) bool) error {
+	t, err := e.s.readTarget()
+	if err != nil {
+		return err
+	}
+	return t.ForEach(table, fn)
+}
+
+func (e *Engine) Len(table string) int {
+	t, err := e.s.readTarget()
+	if err != nil {
+		return 0
+	}
+	return t.Len(table)
+}
+
+func (e *Engine) Tables() []string {
+	t, err := e.s.readTarget()
+	if err != nil {
+		return nil
+	}
+	return t.Tables()
+}
+
+func (e *Engine) BulkLoad(table string, kvs []kvstore.BulkKV) error {
+	return e.s.BulkLoad(table, kvs)
+}
+
+// Compact compacts every replica; in-memory replicas make it a no-op.
+func (e *Engine) Compact() error {
+	e.s.topo.RLock()
+	defer e.s.topo.RUnlock()
+	if err := e.s.primary.Compact(); err != nil {
+		return err
+	}
+	for _, b := range e.s.backups {
+		if err := b.Compact(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) WALSize() (int64, error) {
+	return e.s.Primary().WALSize()
+}
+
+func (e *Engine) Sync() error {
+	return e.s.Primary().Sync()
+}
+
+func (e *Engine) Close() error {
+	return e.s.Close()
+}

@@ -1,0 +1,234 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"ycsbt/internal/kvstore"
+	"ycsbt/internal/obs"
+)
+
+func TestEngineAdapterImplementsEngine(t *testing.T) {
+	s, err := New(Config{Name: "r", Backups: 1, Mode: Sync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eng kvstore.Engine = s.Engine()
+	defer eng.Close()
+
+	if _, err := eng.Insert("t", "a", fieldsOf("1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Insert("t", "a", fieldsOf("dup")); !errors.Is(err, kvstore.ErrExists) {
+		t.Fatalf("duplicate insert: %v", err)
+	}
+	ver, err := eng.Put("t", "b", fieldsOf("2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.PutIfVersion("t", "b", fieldsOf("2b"), ver); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.PutIfVersion("t", "b", fieldsOf("stale"), ver); !errors.Is(err, kvstore.ErrVersionMismatch) {
+		t.Fatalf("stale CAS: %v", err)
+	}
+	if _, err := eng.Update("t", "a", map[string][]byte{"g": []byte("merged")}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := eng.Get("t", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec.Fields["f"]) != "1" || string(rec.Fields["g"]) != "merged" {
+		t.Fatalf("update did not merge: %v", rec.Fields)
+	}
+	if got := eng.Len("t"); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	kvs, err := eng.Scan("t", "a", 10)
+	if err != nil || len(kvs) != 2 {
+		t.Fatalf("Scan = %d records, err %v", len(kvs), err)
+	}
+	if tables := eng.Tables(); len(tables) != 1 || tables[0] != "t" {
+		t.Fatalf("Tables = %v", tables)
+	}
+	if err := eng.Delete("t", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Get("t", "b"); !errors.Is(err, kvstore.ErrNotFound) {
+		t.Fatalf("deleted key: %v", err)
+	}
+	if err := eng.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.WALSize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Sync mode: the surviving record already sits on the backup.
+	brec, err := s.Backup(0).Get("t", "a")
+	if err != nil || string(brec.Fields["g"]) != "merged" {
+		t.Fatalf("backup image: %v / %v", brec, err)
+	}
+}
+
+func TestEngineBatchApplyReplicatesPostImages(t *testing.T) {
+	s, err := New(Config{Name: "r", Backups: 2, Mode: Async})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	eng := s.Engine()
+
+	if _, err := eng.Put("t", "upd", fieldsOf("base")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Put("t", "gone", fieldsOf("x")); err != nil {
+		t.Fatal(err)
+	}
+	res := eng.BatchApply([]kvstore.Mutation{
+		{Op: kvstore.MutPut, Table: "t", Key: "put", Fields: fieldsOf("p"), Expect: kvstore.AnyVersion},
+		{Op: kvstore.MutUpdate, Table: "t", Key: "upd", Fields: map[string][]byte{"g": []byte("m")}},
+		{Op: kvstore.MutDelete, Table: "t", Key: "gone", Expect: kvstore.AnyVersion},
+		{Op: kvstore.MutPut, Table: "t", Key: "cas", Fields: fieldsOf("no"), Expect: 999}, // fails
+	})
+	for i, want := range []bool{true, true, true, false} {
+		if got := res[i].Err == nil; got != want {
+			t.Fatalf("item %d: err=%v, want success=%v", i, res[i].Err, want)
+		}
+	}
+	s.Flush()
+	for i := 0; i < 2; i++ {
+		b := s.Backup(i)
+		if rec, err := b.Get("t", "put"); err != nil || string(rec.Fields["f"]) != "p" {
+			t.Errorf("backup %d put: %v / %v", i, rec, err)
+		}
+		// The update replicated as its full post-image.
+		if rec, err := b.Get("t", "upd"); err != nil ||
+			string(rec.Fields["f"]) != "base" || string(rec.Fields["g"]) != "m" {
+			t.Errorf("backup %d update post-image: %v / %v", i, rec, err)
+		}
+		if _, err := b.Get("t", "gone"); !errors.Is(err, kvstore.ErrNotFound) {
+			t.Errorf("backup %d delete: %v", i, err)
+		}
+		if _, err := b.Get("t", "cas"); !errors.Is(err, kvstore.ErrNotFound) {
+			t.Errorf("backup %d: failed CAS leaked to backup: %v", i, err)
+		}
+	}
+	if d := s.Divergence("t", 0); d != 0 {
+		t.Fatalf("divergence after flush = %d", d)
+	}
+}
+
+func TestEngineBatchGetFollowsReadPolicy(t *testing.T) {
+	s, err := New(Config{Name: "r", Backups: 1, Mode: Sync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	eng := s.Engine()
+	if _, err := eng.Put("t", "a", fieldsOf("1")); err != nil {
+		t.Fatal(err)
+	}
+	res := eng.BatchGet([]kvstore.GetReq{
+		{Table: "t", Key: "a"},
+		{Table: "t", Key: "missing"},
+	})
+	if res[0].Err != nil || string(res[0].Record.Fields["f"]) != "1" {
+		t.Fatalf("hit: %+v", res[0])
+	}
+	if !errors.Is(res[1].Err, kvstore.ErrNotFound) {
+		t.Fatalf("miss: %v", res[1].Err)
+	}
+}
+
+func TestEngineBulkLoadReachesAllReplicas(t *testing.T) {
+	s, err := New(Config{Name: "r", Backups: 2, Mode: Async})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	kvs := []kvstore.BulkKV{
+		{Key: "a", Fields: fieldsOf("1")},
+		{Key: "b", Fields: fieldsOf("2")},
+	}
+	if err := s.Engine().BulkLoad("t", kvs); err != nil {
+		t.Fatal(err)
+	}
+	if s.Lag() != 0 {
+		t.Fatalf("bulk load went through the replication queue: lag=%d", s.Lag())
+	}
+	for i := 0; i < 2; i++ {
+		if got := s.Backup(i).Len("t"); got != 2 {
+			t.Fatalf("backup %d Len = %d, want 2", i, got)
+		}
+	}
+}
+
+// TestPipelinedLagPaidOncePerBatch is the pipelining property: with N
+// backups each charging the replica-lag hop, one apply round costs
+// about one lag, not N of them, because each backup ships in its own
+// goroutine.
+func TestPipelinedLagPaidOncePerBatch(t *testing.T) {
+	const backups = 4
+	const lag = 40 * time.Millisecond
+	s, err := New(Config{Name: "r", Backups: backups, Mode: Async})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	start := time.Now()
+	s.applyToBackups(lag, repOp{table: "t", key: "k", fields: fieldsOf("v")})
+	elapsed := time.Since(start)
+	if elapsed < lag {
+		t.Fatalf("apply returned in %v, before the %v lag elapsed", elapsed, lag)
+	}
+	if elapsed >= time.Duration(backups)*lag {
+		t.Fatalf("apply took %v: lag paid serially per backup (%d × %v)", elapsed, backups, lag)
+	}
+	for i := 0; i < backups; i++ {
+		if _, err := s.Backup(i).Get("t", "k"); err != nil {
+			t.Fatalf("backup %d missing the applied op: %v", i, err)
+		}
+	}
+}
+
+func TestReplicaMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := New(Config{Name: "r", Backups: 2, Mode: Async, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		if _, err := s.Put(ctx, "t", fmt.Sprintf("k%d", i), fieldsOf("v"), kvstore.AnyVersion); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Flush()
+	if got := reg.Counter("replica_applied_total").Value(); got != 10 {
+		t.Fatalf("replica_applied_total = %d, want 10", got)
+	}
+	var b strings.Builder
+	if err := reg.Export(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"replica_lag_ops 0",
+		"replica_queue_depth 0",
+		"replica_applied_total 10",
+		"replica_backup_batch_items_count",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}

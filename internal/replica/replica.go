@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"ycsbt/internal/kvstore"
+	"ycsbt/internal/obs"
 )
 
 // Mode selects the replication discipline.
@@ -82,6 +83,10 @@ type Config struct {
 	// Shards is the hash-partition count of each replica's engine; 0
 	// means kvstore.DefaultShards.
 	Shards int
+	// Metrics, when non-nil, receives the replica_* series: lag and
+	// queue-depth gauges, per-backup batch-size histogram, applied
+	// counter.
+	Metrics *obs.Registry
 }
 
 // repOp is one replicated operation (the committed post-image).
@@ -111,11 +116,19 @@ type Store struct {
 	rr     atomic.Int64 // round-robin backup cursor
 	down   atomic.Bool
 	closed atomic.Bool
+
+	// obs handles; nil (uninstrumented) handles no-op.
+	mBatchItems *obs.Histogram
+	mApplied    *obs.Counter
 }
 
-// newEngine builds one replica's in-memory partitioned engine.
-func newEngine(shards int) *kvstore.Store {
-	s, _ := kvstore.Open(kvstore.Options{Shards: shards}) // in-memory open cannot fail
+// newEngine builds one replica's in-memory partitioned engine. Only
+// the initial primary passes a registry: the kvstore_* series then
+// count the writes the node acknowledges, not every backup copy of
+// them. (A promoted backup serves uninstrumented; the replica_* series
+// keep covering the node either way.)
+func newEngine(shards int, reg *obs.Registry) *kvstore.Store {
+	s, _ := kvstore.Open(kvstore.Options{Shards: shards, Metrics: reg}) // in-memory open cannot fail
 	return s
 }
 
@@ -132,14 +145,31 @@ func New(cfg Config) (*Store, error) {
 	}
 	s := &Store{
 		cfg:     cfg,
-		primary: newEngine(cfg.Shards),
+		primary: newEngine(cfg.Shards, cfg.Metrics),
 		drained: make(chan struct{}),
 	}
 	for i := 0; i < cfg.Backups; i++ {
-		s.backups = append(s.backups, newEngine(cfg.Shards))
+		s.backups = append(s.backups, newEngine(cfg.Shards, nil))
 	}
 	if cfg.Mode == Async {
 		s.queue = make(chan repOp, cfg.QueueSize)
+	}
+	if reg := cfg.Metrics; reg != nil {
+		reg.Help("replica_lag_ops", "Acknowledged writes not yet applied to the backups (0 under Sync).")
+		reg.Help("replica_queue_depth", "Post-images waiting in the async replication queue.")
+		reg.Help("replica_backup_batch_items", "Post-images shipped per backup per engine batch.")
+		reg.Help("replica_applied_total", "Writes fully replicated to all backups.")
+		reg.GaugeFunc("replica_lag_ops", func() float64 { return float64(s.Lag()) })
+		reg.GaugeFunc("replica_queue_depth", func() float64 {
+			if s.queue == nil {
+				return 0
+			}
+			return float64(len(s.queue))
+		})
+		s.mBatchItems = reg.Histogram("replica_backup_batch_items", obs.CountBuckets)
+		s.mApplied = reg.Counter("replica_applied_total")
+	}
+	if cfg.Mode == Async {
 		go s.applier()
 	} else {
 		close(s.drained)
@@ -172,18 +202,21 @@ func (s *Store) applier() {
 				break drain
 			}
 		}
-		if s.cfg.ReplicaLag > 0 {
-			time.Sleep(s.cfg.ReplicaLag)
-		}
-		s.applyToBackups(batch...)
+		s.applyToBackups(s.cfg.ReplicaLag, batch...)
 		s.applied.Add(int64(len(batch)))
+		s.mApplied.Add(int64(len(batch)))
 	}
 }
 
 // applyToBackups ships an ordered run of post-images to every backup
-// through the engine's multi-key path. Order within the batch is
-// queue order, so a later put of the same key wins as it must.
-func (s *Store) applyToBackups(ops ...repOp) {
+// through the engine's multi-key path, pipelined: each backup gets its
+// own goroutine that pays the lag hop (the per-backup network delay)
+// and then applies, so N backups cost one lag plus the slowest apply
+// instead of N× either. The call still waits for every backup before
+// returning, so batch k+1 never races batch k on the same backup —
+// order within and across batches stays queue order, and a later put
+// of the same key wins as it must.
+func (s *Store) applyToBackups(lag time.Duration, ops ...repOp) {
 	s.topo.RLock()
 	backups := s.backups
 	s.topo.RUnlock()
@@ -195,18 +228,37 @@ func (s *Store) applyToBackups(ops ...repOp) {
 			muts[i] = kvstore.Mutation{Op: kvstore.MutPut, Table: op.table, Key: op.key, Fields: op.fields, Expect: kvstore.AnyVersion}
 		}
 	}
-	for _, b := range backups {
+	ship := func(b *kvstore.Store) {
+		if lag > 0 {
+			time.Sleep(lag)
+		}
 		b.BatchApply(muts) // per-item errors ignored: a missing key on delete is fine
+		s.mBatchItems.Observe(float64(len(muts)))
 	}
+	if len(backups) == 1 {
+		ship(backups[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for _, b := range backups {
+		wg.Add(1)
+		go func(b *kvstore.Store) {
+			defer wg.Done()
+			ship(b)
+		}(b)
+	}
+	wg.Wait()
 }
 
 // replicate ships one committed post-image per the mode. Caller holds
-// writeMu, so queue order matches primary apply order.
+// writeMu, so queue order matches primary apply order. Sync mode pays
+// no lag hop (the lag models the async path's network distance).
 func (s *Store) replicate(op repOp) {
 	s.acked.Add(1)
 	if s.cfg.Mode == Sync {
-		s.applyToBackups(op)
+		s.applyToBackups(0, op)
 		s.applied.Add(1)
+		s.mApplied.Inc()
 		return
 	}
 	s.queue <- op
@@ -351,7 +403,7 @@ func (s *Store) Promote() (lost int64) {
 	s.backups = append([]*kvstore.Store(nil), s.backups[1:]...)
 	if len(s.backups) == 0 {
 		// Keep at least one backup so the store stays replicated.
-		s.backups = append(s.backups, newEngine(s.cfg.Shards))
+		s.backups = append(s.backups, newEngine(s.cfg.Shards, nil))
 	}
 	s.topo.Unlock()
 	old.Close()

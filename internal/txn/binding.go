@@ -11,6 +11,7 @@ import (
 	"ycsbt/internal/cloudsim"
 	"ycsbt/internal/db"
 	"ycsbt/internal/kvstore"
+	"ycsbt/internal/obs"
 	"ycsbt/internal/properties"
 )
 
@@ -61,24 +62,30 @@ func (b *Binding) Init(p *properties.Properties) error {
 		stores = append(stores, s)
 		closers = append(closers, c)
 	}
+	reg := obs.Enabled(p.GetBool("obs.enabled", false))
+	sim := func(cfg cloudsim.Config) *cloudsim.Store {
+		cfg.Metrics = reg
+		return cloudsim.New(cfg)
+	}
 	switch backend := p.GetString("txnkv.backend", "memory"); backend {
 	case "memory":
 		inner, err := kvstore.Open(kvstore.Options{
-			Shards: p.GetInt("kvstore.shards", kvstore.DefaultShards),
+			Shards:  p.GetInt("kvstore.shards", kvstore.DefaultShards),
+			Metrics: reg,
 		})
 		if err != nil {
 			return err
 		}
 		add(NewLocalStore("local", inner), inner.Close)
 	case "was":
-		s := cloudsim.New(cloudsim.WASPreset())
+		s := sim(cloudsim.WASPreset())
 		add(s, s.Close)
 	case "gcs":
-		s := cloudsim.New(cloudsim.GCSPreset())
+		s := sim(cloudsim.GCSPreset())
 		add(s, s.Close)
 	case "was+gcs":
-		w := cloudsim.New(cloudsim.WASPreset())
-		g := cloudsim.New(cloudsim.GCSPreset())
+		w := sim(cloudsim.WASPreset())
+		g := sim(cloudsim.GCSPreset())
 		add(w, w.Close)
 		add(g, g.Close)
 	default:

@@ -45,3 +45,15 @@ func (l *LocalStore) Delete(_ context.Context, table, key string, expect uint64)
 func (l *LocalStore) Scan(_ context.Context, table, startKey string, count int) ([]kvstore.VersionedKV, error) {
 	return l.inner.Scan(table, startKey, count)
 }
+
+// BatchGet exposes the engine's multi-key read so batched protocol
+// paths (the percolator prewrite, the batch bindings) amortize lock
+// acquisitions on the zero-latency substrate too.
+func (l *LocalStore) BatchGet(_ context.Context, reqs []kvstore.GetReq) ([]kvstore.GetResult, error) {
+	return l.inner.BatchGet(reqs), nil
+}
+
+// BatchApply exposes the engine's multi-key conditional write.
+func (l *LocalStore) BatchApply(_ context.Context, muts []kvstore.Mutation) ([]kvstore.MutResult, error) {
+	return l.inner.BatchApply(muts), nil
+}
