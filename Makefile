@@ -29,10 +29,13 @@ bench:
 	$(GO) test -bench . -benchtime 1x ./...
 	$(GO) test -bench BenchmarkSeriesMeasureParallel -cpu 1,8,32 ./internal/measurement/
 
-# The batch-path acceptance benchmark, machine-readable: CI uploads
-# BENCH_batch.json so the batched-vs-single ratio is tracked per run.
+# The acceptance benchmarks, machine-readable: CI uploads
+# BENCH_batch.json (batched-vs-single ratio) and BENCH_read.json (the
+# lock-free snapshot read path vs the emulated locked+clone baseline)
+# so both regressions are visible per run.
 bench-quick:
 	$(GO) test -run xx -bench BenchmarkBatchVsSingle -benchtime 3x -json . | tee BENCH_batch.json
+	$(GO) test -run xx -bench 'BenchmarkReadHeavy|BenchmarkGetScanParallel' -benchtime 300ms -cpu 4 -json ./internal/kvstore/ | tee BENCH_read.json
 
 clean:
 	$(GO) clean ./...

@@ -48,7 +48,8 @@ func run() error {
 	opsAddr := flag.String("ops-addr", "", "ops listener address serving /metrics, /healthz, /debug/pprof (empty = disabled)")
 	backups := flag.Int("backups", 0, "serve a replicated in-memory store with this many backups instead of the embedded engine (-wal is ignored)")
 	replicaLag := flag.Duration("replica-lag", 0, "async replication delay per backup hop (with -backups)")
-	replicaSync := flag.Bool("replica-sync", false, "replicate synchronously: every write reaches all backups before acknowledging (with -backups)")
+	replicaSync := flag.Bool("replica-sync", false, "replicate synchronously: a quorum of backups applies every write before acknowledging (with -backups)")
+	replicaQuorum := flag.Int("replica-quorum", 0, "backups that must apply a sync write before acknowledging; 0 = majority (with -replica-sync)")
 	flag.Parse()
 
 	reg := obs.Default()
@@ -70,6 +71,7 @@ func run() error {
 			Name:       "kvserver",
 			Backups:    *backups,
 			Mode:       mode,
+			Quorum:     *replicaQuorum,
 			ReplicaLag: *replicaLag,
 			Shards:     *shards,
 			Metrics:    metrics,
@@ -78,7 +80,7 @@ func run() error {
 			return err
 		}
 		eng = rs.Engine()
-		desc = fmt.Sprintf("replicated backups=%d sync=%v lag=%v", *backups, *replicaSync, *replicaLag)
+		desc = fmt.Sprintf("replicated backups=%d sync=%v quorum=%d lag=%v", *backups, *replicaSync, rs.Quorum(), *replicaLag)
 	} else {
 		store, err := kvstore.Open(kvstore.Options{
 			Path:        *wal,

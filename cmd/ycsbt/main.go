@@ -38,6 +38,7 @@ import (
 	_ "ycsbt/internal/httpkv"
 	_ "ycsbt/internal/kvstore"
 	_ "ycsbt/internal/percolator"
+	_ "ycsbt/internal/replica"
 	_ "ycsbt/internal/txn"
 )
 

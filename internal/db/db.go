@@ -121,10 +121,18 @@ type KV struct {
 
 // ProjectFields filters a full record down to the requested fields
 // (nil fields = everything). Shared by the bindings, which all
-// project reads and scans the same way.
+// project reads and scans the same way. The result is always a fresh
+// map — the input may be an engine-owned record shared with concurrent
+// readers, so aliasing it out would let callers corrupt live store
+// state. The byte-slice values are not copied and must be treated as
+// read-only.
 func ProjectFields(all map[string][]byte, fields []string) Record {
 	if fields == nil {
-		return all
+		out := make(Record, len(all))
+		for f, v := range all {
+			out[f] = v
+		}
+		return out
 	}
 	out := make(Record, len(fields))
 	for _, f := range fields {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"ycsbt/internal/db"
@@ -48,6 +49,35 @@ const DeadlineHeader = "X-Deadline-Ms"
 
 // maxBatchItems bounds one batch request independently of body bytes.
 const maxBatchItems = 4096
+
+// Pooled per-request machinery: every /v1/batch round trip used to
+// allocate a bufio.Writer + json.Encoder for the response and a fresh
+// op slice for the request. At benchmark batch sizes these dominate
+// the handler's steady-state garbage, so both recycle through
+// sync.Pools (the encoder keeps its writer for life; Reset retargets
+// it per request).
+type batchEncoder struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+var batchEncPool = sync.Pool{New: func() any {
+	bw := bufio.NewWriterSize(nil, 4096)
+	return &batchEncoder{bw: bw, enc: json.NewEncoder(bw)}
+}}
+
+var batchOpsPool = sync.Pool{New: func() any {
+	ops := make([]wireBatchOp, 0, 64)
+	return &ops
+}}
+
+// putBatchOps clears decoded field maps (so the pool does not pin
+// request payloads) and returns the slice to the pool.
+func putBatchOps(ops *[]wireBatchOp) {
+	clear(*ops)
+	*ops = (*ops)[:0]
+	batchOpsPool.Put(ops)
+}
 
 // wireBatchOp is one NDJSON request line.
 type wireBatchOp struct {
@@ -99,11 +129,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	ops, err := decodeBatchOps(r)
+	opsp, err := decodeBatchOps(r)
 	if err != nil {
 		writeDecodeError(w, err)
 		return
 	}
+	defer putBatchOps(opsp)
+	ops := *opsp
 	s.metrics.observeBatchSize(len(ops))
 	if err := r.Context().Err(); err != nil {
 		http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
@@ -111,32 +143,42 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	results := s.execBatch(r.Context(), ops)
 	w.Header().Set("Content-Type", NDJSONContentType)
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
+	be := batchEncPool.Get().(*batchEncoder)
+	be.bw.Reset(w)
 	for _, res := range results {
-		enc.Encode(res)
+		be.enc.Encode(res)
 	}
-	bw.Flush()
+	be.bw.Flush()
+	be.bw.Reset(nil) // drop the ResponseWriter before pooling
+	batchEncPool.Put(be)
 }
 
-// decodeBatchOps reads the NDJSON request lines.
-func decodeBatchOps(r *http.Request) ([]wireBatchOp, error) {
-	var ops []wireBatchOp
+// decodeBatchOps reads the NDJSON request lines into a pooled slice;
+// the caller returns it with putBatchOps once the response is written.
+func decodeBatchOps(r *http.Request) (*[]wireBatchOp, error) {
+	opsp := batchOpsPool.Get().(*[]wireBatchOp)
+	ops := (*opsp)[:0]
+	fail := func(err error) (*[]wireBatchOp, error) {
+		*opsp = ops
+		putBatchOps(opsp)
+		return nil, err
+	}
 	dec := json.NewDecoder(r.Body)
 	for dec.More() {
+		if len(ops) >= maxBatchItems {
+			return fail(fmt.Errorf("batch exceeds %d items", maxBatchItems))
+		}
 		var op wireBatchOp
 		if err := dec.Decode(&op); err != nil {
-			return nil, fmt.Errorf("line %d: %w", len(ops)+1, err)
-		}
-		if len(ops) >= maxBatchItems {
-			return nil, fmt.Errorf("batch exceeds %d items", maxBatchItems)
+			return fail(fmt.Errorf("line %d: %w", len(ops)+1, err))
 		}
 		ops = append(ops, op)
 	}
 	if len(ops) == 0 {
-		return nil, errors.New("empty batch")
+		return fail(errors.New("empty batch"))
 	}
-	return ops, nil
+	*opsp = ops
+	return opsp, nil
 }
 
 // execBatch answers the decoded ops through the engine's multi-key
@@ -310,17 +352,26 @@ func (c *Client) ExecBatch(ctx context.Context, ops []db.BatchOp) []db.BatchResu
 // errNoBatchRoute marks a server without the /v1/batch route.
 var errNoBatchRoute = errors.New("httpkv: server has no batch route")
 
+// bodyBufPool recycles batch request bodies across POSTs. A buffer
+// goes back to the pool only after sendRetry has fully finished with
+// the request: net/http snapshots the buffer's bytes into GetBody at
+// request build time, and a 429 retry replays that snapshot — reusing
+// the buffer earlier would corrupt the replayed body.
+var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // postBatch ships the wire ops and parses the positional NDJSON
 // response.
 func (c *Client) postBatch(ctx context.Context, wire []wireBatchOp) ([]wireBatchResult, error) {
-	var body bytes.Buffer
-	enc := json.NewEncoder(&body)
+	body := bodyBufPool.Get().(*bytes.Buffer)
+	body.Reset()
+	defer bodyBufPool.Put(body)
+	enc := json.NewEncoder(body)
 	for _, op := range wire {
 		if err := enc.Encode(op); err != nil {
 			return nil, err
 		}
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/batch", &body)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/batch", body)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package httpkv
+
+const raceEnabled = false

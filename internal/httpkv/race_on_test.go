@@ -1,0 +1,8 @@
+//go:build race
+
+package httpkv
+
+// raceEnabled reports that the race detector is instrumenting this
+// build; allocation-count assertions are skipped since the detector
+// adds its own allocations.
+const raceEnabled = true

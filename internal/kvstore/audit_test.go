@@ -1,0 +1,98 @@
+package kvstore
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"ycsbt/internal/db"
+)
+
+// TestBindingUpholdsImmutability drives the kvstore db binding —
+// Read/Scan with and without field projections, updates, and batched
+// ops including the fields==nil path that used to alias the engine
+// map — over an audited engine and verifies no record handed out by
+// Get/Scan/BatchGet was ever mutated.
+func TestBindingUpholdsImmutability(t *testing.T) {
+	ctx := context.Background()
+	audit := NewAuditEngine(OpenMemoryShards(4))
+	defer audit.Close()
+	b := NewEngineBinding(audit)
+
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("user%03d", i)
+		if err := b.Insert(ctx, "t", key, db.Record{"f0": []byte("a"), "f1": []byte("b")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("user%03d", i)
+		// Full read (fields==nil): the caller owns the returned map and
+		// may extend it without corrupting engine state.
+		rec, err := b.Read(ctx, "t", key, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec["caller-added"] = []byte("x")
+		// Projected read.
+		if _, err := b.Read(ctx, "t", key, []string{"f0"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Update(ctx, "t", key, db.Record{"f1": []byte("updated")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kvs, err := b.Scan(ctx, "t", "", 32, nil)
+	if err != nil || len(kvs) != 32 {
+		t.Fatalf("Scan = %d, %v", len(kvs), err)
+	}
+	for _, kv := range kvs {
+		kv.Record["scan-added"] = []byte("y")
+	}
+	ops := []db.BatchOp{
+		{Op: db.OpRead, Table: "t", Key: "user001"},
+		{Op: db.OpRead, Table: "t", Key: "user002", Fields: []string{"f1"}},
+		{Op: db.OpUpdate, Table: "t", Key: "user003", Values: db.Record{"f0": []byte("z")}},
+		{Op: db.OpRead, Table: "t", Key: "user003"},
+	}
+	for i, r := range b.ExecBatch(ctx, ops) {
+		if r.Err != nil {
+			t.Fatalf("batch op %d: %v", i, r.Err)
+		}
+		if r.Record != nil {
+			r.Record["batch-added"] = []byte("w")
+		}
+	}
+	if err := audit.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if audit.Handed() == 0 {
+		t.Fatal("audit observed no records")
+	}
+}
+
+// TestAuditCatchesMutation proves the guard actually detects an
+// offender: mutating an engine-owned record must fail Verify.
+func TestAuditCatchesMutation(t *testing.T) {
+	audit := NewAuditEngine(OpenMemory())
+	defer audit.Close()
+	if _, err := audit.Put("t", "k", map[string][]byte{"f": []byte("ok")}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := audit.Get("t", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := audit.Verify(); err != nil {
+		t.Fatalf("clean Verify failed: %v", err)
+	}
+	rec.Fields["f"][0] = 'X' // the bug the audit exists to catch
+	if err := audit.Verify(); err == nil {
+		t.Fatal("Verify missed an in-place mutation")
+	}
+	rec.Fields["f"][0] = 'o'
+	rec.Fields["new"] = []byte("added")
+	if err := audit.Verify(); err == nil {
+		t.Fatal("Verify missed a map insert")
+	}
+}

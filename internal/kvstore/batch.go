@@ -1,6 +1,9 @@
 package kvstore
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // Multi-key engine operations. A batch is the engine-side half of the
 // batched request path: the layers above coalesce many logical
@@ -129,22 +132,35 @@ func (s *Store) groupByShard(n int, keyOf func(int) string) map[int][]int {
 }
 
 // getBatch serves the given request indices (nil = all) from this
-// partition under one read-lock acquisition.
+// partition with no lock: each table's snapshot is loaded once per run
+// of same-table requests, so the common single-table batch reads one
+// point-in-time view of the partition.
 func (p *partition) getBatch(reqs []GetReq, idx []int, out []GetResult) {
 	if idx == nil {
 		p.metrics.gets.Add(int64(len(reqs)))
 	} else {
 		p.metrics.gets.Add(int64(len(idx)))
 	}
-	p.mu.RLock()
-	defer p.mu.RUnlock()
+	if p.closed.Load() {
+		each(len(reqs), idx, func(i int) { out[i] = GetResult{Err: ErrClosed} })
+		return
+	}
+	var (
+		curTable string
+		curSnap  *treeSnapshot
+		have     bool
+	)
 	each(len(reqs), idx, func(i int) {
-		if p.closed {
-			out[i] = GetResult{Err: ErrClosed}
-			return
+		if !have || reqs[i].Table != curTable {
+			curTable, curSnap, have = reqs[i].Table, p.tableSnap(reqs[i].Table), true
 		}
-		rec, err := p.getLocked(reqs[i].Table, reqs[i].Key)
-		out[i] = GetResult{Record: rec, Err: err}
+		if curSnap != nil {
+			if v := curSnap.get(reqs[i].Key); v != nil {
+				out[i] = GetResult{Record: v}
+				return
+			}
+		}
+		out[i] = GetResult{Err: fmt.Errorf("%w: %s/%s", ErrNotFound, reqs[i].Table, reqs[i].Key)}
 	})
 }
 
@@ -154,7 +170,7 @@ func (p *partition) getBatch(reqs []GetReq, idx []int, out []GetResult) {
 // in-order group sync, covers every earlier frame of the batch).
 func (p *partition) applyBatch(muts []Mutation, idx []int, out []MutResult) {
 	p.mu.Lock()
-	if p.closed {
+	if p.closed.Load() {
 		p.mu.Unlock()
 		each(len(muts), idx, func(i int) { out[i] = MutResult{Err: ErrClosed} })
 		return
@@ -162,14 +178,33 @@ func (p *partition) applyBatch(muts []Mutation, idx []int, out []MutResult) {
 	w := p.wal // captured under p.mu: compact may swap p.wal after unlock
 	var maxSeq uint64
 	var syncErrIdx []int // items whose durability rides on the group sync
+	var touched []string // tables mutated by this batch (usually one)
 	each(len(muts), idx, func(i int) {
 		ver, seq, err := p.applyOneLocked(w, muts[i])
 		out[i] = MutResult{Version: ver, Err: err}
+		if err == nil {
+			dup := false
+			for _, t := range touched {
+				if t == muts[i].Table {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				touched = append(touched, muts[i].Table)
+			}
+		}
 		if seq != 0 {
 			maxSeq = seq
 			syncErrIdx = append(syncErrIdx, i)
 		}
 	})
+	// One root swap per touched table: the whole batch becomes visible
+	// to the lock-free read path atomically, so a concurrent scan never
+	// observes a torn multi-key state within one partition.
+	for _, t := range touched {
+		p.publishLocked(t, p.tables[t])
+	}
 	p.mu.Unlock()
 	if maxSeq != 0 {
 		if err := w.waitDurable(maxSeq); err != nil {

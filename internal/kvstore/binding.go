@@ -18,12 +18,16 @@ import (
 // as in Figure 4 of the paper.
 type Binding struct {
 	db.NoTransactions
-	store *Store
-	owns  bool // Close the store on Cleanup
+	eng  Engine
+	owns bool // Close the engine on Cleanup
 }
 
 // NewBinding wraps an existing store; Cleanup leaves it open.
-func NewBinding(s *Store) *Binding { return &Binding{store: s} }
+func NewBinding(s *Store) *Binding { return &Binding{eng: s} }
+
+// NewEngineBinding wraps any Engine (a replicated store, an audit
+// wrapper, ...) in the same db.DB adapter; Cleanup leaves it open.
+func NewEngineBinding(e Engine) *Binding { return &Binding{eng: e} }
 
 func init() {
 	db.Register("kvstore", func() (db.DB, error) { return &Binding{}, nil })
@@ -33,7 +37,7 @@ func init() {
 // "kvstore.shards" and "kvstore.wal.group_commit_ms" properties
 // unless NewBinding supplied one.
 func (b *Binding) Init(p *properties.Properties) error {
-	if b.store != nil {
+	if b.eng != nil {
 		return nil
 	}
 	s, err := Open(Options{
@@ -46,22 +50,29 @@ func (b *Binding) Init(p *properties.Properties) error {
 	if err != nil {
 		return err
 	}
-	b.store = s
+	b.eng = s
 	b.owns = true
 	return nil
 }
 
 // Cleanup closes the store when this binding opened it.
 func (b *Binding) Cleanup() error {
-	if b.owns && b.store != nil {
-		return b.store.Close()
+	if b.owns && b.eng != nil {
+		return b.eng.Close()
 	}
 	return nil
 }
 
-// Store exposes the underlying engine (for validation scans and
-// tests).
-func (b *Binding) Store() *Store { return b.store }
+// Store exposes the underlying partitioned store when the binding
+// wraps one directly (for validation scans and tests); nil when the
+// binding wraps some other Engine.
+func (b *Binding) Store() *Store {
+	s, _ := b.eng.(*Store)
+	return s
+}
+
+// Eng exposes the wrapped engine.
+func (b *Binding) Eng() Engine { return b.eng }
 
 // translate maps engine errors to db-layer sentinels.
 func translate(err error) error {
@@ -79,7 +90,7 @@ func translate(err error) error {
 
 // Read implements db.DB.
 func (b *Binding) Read(_ context.Context, table, key string, fields []string) (db.Record, error) {
-	rec, err := b.store.Get(table, key)
+	rec, err := b.eng.Get(table, key)
 	if err != nil {
 		return nil, translate(err)
 	}
@@ -88,7 +99,7 @@ func (b *Binding) Read(_ context.Context, table, key string, fields []string) (d
 
 // Scan implements db.DB.
 func (b *Binding) Scan(_ context.Context, table, startKey string, count int, fields []string) ([]db.KV, error) {
-	kvs, err := b.store.Scan(table, startKey, count)
+	kvs, err := b.eng.Scan(table, startKey, count)
 	if err != nil {
 		return nil, translate(err)
 	}
@@ -101,20 +112,20 @@ func (b *Binding) Scan(_ context.Context, table, startKey string, count int, fie
 
 // Update implements db.DB.
 func (b *Binding) Update(_ context.Context, table, key string, values db.Record) error {
-	_, err := b.store.Update(table, key, values)
+	_, err := b.eng.Update(table, key, values)
 	return translate(err)
 }
 
 // Insert implements db.DB; like most key-value stores, an insert of
 // an existing key overwrites it.
 func (b *Binding) Insert(_ context.Context, table, key string, values db.Record) error {
-	_, err := b.store.Put(table, key, values)
+	_, err := b.eng.Put(table, key, values)
 	return translate(err)
 }
 
 // Delete implements db.DB.
 func (b *Binding) Delete(_ context.Context, table, key string) error {
-	return translate(b.store.Delete(table, key))
+	return translate(b.eng.Delete(table, key))
 }
 
 // ExecBatch implements db.BatchDB by splitting the batch into maximal
@@ -145,7 +156,7 @@ func (b *Binding) execReadRun(ops []db.BatchOp, out []db.BatchResult) {
 	for i, op := range ops {
 		reqs[i] = GetReq{Table: op.Table, Key: op.Key}
 	}
-	for i, r := range b.store.BatchGet(reqs) {
+	for i, r := range b.eng.BatchGet(reqs) {
 		if r.Err != nil {
 			out[i] = db.BatchResult{Err: translate(r.Err)}
 			continue
@@ -176,19 +187,26 @@ func (b *Binding) execWriteRun(ops []db.BatchOp, out []db.BatchResult) {
 		muts = append(muts, m)
 		idx = append(idx, i)
 	}
-	for j, r := range b.store.BatchApply(muts) {
+	for j, r := range b.eng.BatchApply(muts) {
 		out[idx[j]] = db.BatchResult{Err: translate(r.Err)}
 	}
 }
 
 var _ db.BatchDB = (*Binding)(nil)
 
-// filterFields projects fields out of a stored record, copying values
-// so callers never alias engine memory (Get/Scan already cloned, but
-// the projection keeps the contract obvious and cheap).
+// filterFields projects fields out of a stored record. The engine
+// hands out shared immutable records, so the map is always shallow-
+// copied — returning `all` directly (the old nil-fields fast path)
+// would let a caller's map insert corrupt live engine state. The byte
+// slices themselves stay engine-owned: db.Record values are read-only
+// by contract, and the mutation-audit test enforces it.
 func filterFields(all map[string][]byte, fields []string) db.Record {
 	if fields == nil {
-		return all
+		out := make(db.Record, len(all))
+		for f, v := range all {
+			out[f] = v
+		}
+		return out
 	}
 	out := make(db.Record, len(fields))
 	for _, f := range fields {

@@ -56,11 +56,41 @@ func (n *node) find(key string) (int, bool) {
 	return lo, false
 }
 
-// btree is a classic CLRS B-tree mapping string keys to records. It
-// is not internally synchronized; the Store serializes access.
+// btree is a CLRS B-tree mapping string keys to records, with a
+// copy-on-write write path: put and delete clone every node they touch
+// (root to leaf) instead of mutating in place, so any previously
+// obtained root pointer remains a valid, immutable snapshot of the
+// tree forever. The handle itself is not synchronized — the partition
+// serializes writers — but a *node taken from t.root may be traversed
+// concurrently with writes without any lock; superseded nodes are
+// reclaimed by Go's garbage collector, which is why no epoch or
+// hazard-pointer machinery is needed.
 type btree struct {
 	root *node
 	size int
+}
+
+// clone shallow-copies a node: fresh item and child slices, shared
+// grandchildren. A cloned node is "owned" by the writer and may be
+// edited in place; everything it still points to is shared and must
+// not be.
+func (n *node) clone() *node {
+	c := &node{items: append([]item(nil), n.items...)}
+	if len(n.children) > 0 {
+		c.children = append([]*node(nil), n.children...)
+	}
+	return c
+}
+
+// depth returns the number of levels in the tree (≥ 1). Because every
+// write clones one root-to-leaf path, it is also the per-write
+// retired-node estimate exported by the snapshot metrics.
+func (t *btree) depth() int {
+	d := 1
+	for n := t.root; !n.leaf(); n = n.children[0] {
+		d++
+	}
+	return d
 }
 
 func newBTree() *btree {
@@ -83,35 +113,40 @@ func (t *btree) get(key string) *VersionedRecord {
 }
 
 // put stores val under key, replacing any existing value. It reports
-// whether a new key was inserted.
+// whether a new key was inserted. Copy-on-write: the nodes along the
+// insertion path are cloned and the new root installed in t.root; no
+// node reachable from the previous root is modified.
 func (t *btree) put(key string, val *VersionedRecord) bool {
+	var root *node
 	if len(t.root.items) == 2*btreeMinDegree-1 {
-		old := t.root
-		t.root = &node{children: []*node{old}}
-		t.root.splitChild(0)
+		root = &node{children: []*node{t.root}}
+		root.splitOwnedChild(0)
+	} else {
+		root = t.root.clone()
 	}
-	inserted := t.root.insertNonFull(key, val)
+	inserted := root.insertNonFull(key, val)
+	t.root = root
 	if inserted {
 		t.size++
 	}
 	return inserted
 }
 
-// splitChild splits the full child at index i of n, moving its median
-// item up into n.
-func (n *node) splitChild(i int) {
+// splitOwnedChild splits the full (shared) child at index i of the
+// owned node n, building a fresh left and right half instead of
+// truncating the original, and moving the median item up into n. Both
+// halves are owned by the writer afterwards.
+func (n *node) splitOwnedChild(i int) {
 	child := n.children[i]
 	t := btreeMinDegree
 	median := child.items[t-1]
-	right := &node{
-		items: append([]item(nil), child.items[t:]...),
-	}
+	left := &node{items: append([]item(nil), child.items[:t-1]...)}
+	right := &node{items: append([]item(nil), child.items[t:]...)}
 	if !child.leaf() {
+		left.children = append([]*node(nil), child.children[:t]...)
 		right.children = append([]*node(nil), child.children[t:]...)
-		child.children = child.children[:t]
 	}
-	child.items = child.items[:t-1]
-
+	n.children[i] = left
 	n.items = append(n.items, item{})
 	copy(n.items[i+1:], n.items[i:])
 	n.items[i] = median
@@ -120,8 +155,10 @@ func (n *node) splitChild(i int) {
 	n.children[i+1] = right
 }
 
-// insertNonFull inserts into a node known not to be full; it reports
-// whether the key is new.
+// insertNonFull inserts into an owned node known not to be full; it
+// reports whether the key is new. Shared children are cloned (or, when
+// full, split into fresh halves) before descending, so the writer only
+// ever edits nodes it owns.
 func (n *node) insertNonFull(key string, val *VersionedRecord) bool {
 	for {
 		i, ok := n.find(key)
@@ -136,7 +173,7 @@ func (n *node) insertNonFull(key string, val *VersionedRecord) bool {
 			return true
 		}
 		if len(n.children[i].items) == 2*btreeMinDegree-1 {
-			n.splitChild(i)
+			n.splitOwnedChild(i)
 			if key == n.items[i].key {
 				n.items[i].val = val
 				return false
@@ -144,31 +181,42 @@ func (n *node) insertNonFull(key string, val *VersionedRecord) bool {
 			if key > n.items[i].key {
 				i++
 			}
+			// The split halves are freshly built, hence owned.
+			n = n.children[i]
+			continue
 		}
-		n = n.children[i]
+		c := n.children[i].clone()
+		n.children[i] = c
+		n = c
 	}
 }
 
-// delete removes key and reports whether it was present.
+// delete removes key and reports whether it was present. Like put it
+// is copy-on-write: the deletion path is cloned and the new root
+// installed in t.root, leaving every previous root a valid snapshot.
 func (t *btree) delete(key string) bool {
-	removed := t.root.remove(key)
-	if len(t.root.items) == 0 && !t.root.leaf() {
-		t.root = t.root.children[0]
+	root := t.root.clone()
+	removed := root.remove(key)
+	if len(root.items) == 0 && !root.leaf() {
+		root = root.children[0]
 	}
+	t.root = root
 	if removed {
 		t.size--
 	}
 	return removed
 }
 
-// remove implements CLRS B-tree deletion; on entry n has at least t
-// items unless it is the root.
+// remove implements CLRS B-tree deletion over an owned node; on entry
+// n has at least t items unless it is the root. Children are cloned
+// (or rebuilt fresh by the borrow/merge helpers) before being edited
+// or descended into.
 func (n *node) remove(key string) bool {
 	t := btreeMinDegree
 	i, found := n.find(key)
 	if found {
 		if n.leaf() {
-			// Case 1: delete from leaf directly.
+			// Case 1: delete from leaf directly (owned slices).
 			n.items = append(n.items[:i], n.items[i+1:]...)
 			return true
 		}
@@ -177,16 +225,21 @@ func (n *node) remove(key string) bool {
 			// 2a: replace with predecessor from the left subtree.
 			pred := n.children[i].maxItem()
 			n.items[i] = pred
-			return n.children[i].remove(pred.key)
+			c := n.children[i].clone()
+			n.children[i] = c
+			return c.remove(pred.key)
 		}
 		if len(n.children[i+1].items) >= t {
 			// 2b: replace with successor from the right subtree.
 			succ := n.children[i+1].minItem()
 			n.items[i] = succ
-			return n.children[i+1].remove(succ.key)
+			c := n.children[i+1].clone()
+			n.children[i+1] = c
+			return c.remove(succ.key)
 		}
-		// 2c: merge the two t-1 children around the key, recurse.
-		n.mergeChildren(i)
+		// 2c: merge the two t-1 children around the key, recurse. The
+		// merged node is freshly built, hence owned.
+		n.mergeOwnedChildren(i)
 		return n.children[i].remove(key)
 	}
 	if n.leaf() {
@@ -195,62 +248,84 @@ func (n *node) remove(key string) bool {
 	// Case 3: key (if present) lives in subtree i; ensure that child
 	// has ≥ t items before descending.
 	if len(n.children[i].items) < t {
-		i = n.growChild(i)
+		i = n.growOwnedChild(i)
+		// growOwnedChild leaves children[i] freshly built (owned).
+		return n.children[i].remove(key)
 	}
-	return n.children[i].remove(key)
+	c := n.children[i].clone()
+	n.children[i] = c
+	return c.remove(key)
 }
 
-// growChild ensures child i has at least t items by borrowing from a
-// sibling or merging; it returns the (possibly shifted) child index
-// to descend into.
-func (n *node) growChild(i int) int {
+// growOwnedChild ensures child i has at least t items by borrowing
+// from a sibling or merging; it returns the (possibly shifted) child
+// index to descend into. The child at the returned index — and any
+// sibling the rotation shrank — are rebuilt as fresh nodes; the shared
+// originals are never modified.
+func (n *node) growOwnedChild(i int) int {
 	t := btreeMinDegree
 	switch {
 	case i > 0 && len(n.children[i-1].items) >= t:
 		// 3a-left: rotate an item from the left sibling through n.
-		child, left := n.children[i], n.children[i-1]
-		child.items = append(child.items, item{})
-		copy(child.items[1:], child.items)
-		child.items[0] = n.items[i-1]
-		n.items[i-1] = left.items[len(left.items)-1]
-		left.items = left.items[:len(left.items)-1]
-		if !left.leaf() {
-			borrowed := left.children[len(left.children)-1]
-			left.children = left.children[:len(left.children)-1]
-			child.children = append(child.children, nil)
-			copy(child.children[1:], child.children)
-			child.children[0] = borrowed
+		oldChild, oldLeft := n.children[i], n.children[i-1]
+		child := &node{items: make([]item, 0, len(oldChild.items)+1)}
+		child.items = append(child.items, n.items[i-1])
+		child.items = append(child.items, oldChild.items...)
+		left := &node{items: append([]item(nil), oldLeft.items[:len(oldLeft.items)-1]...)}
+		if !oldLeft.leaf() {
+			child.children = make([]*node, 0, len(oldChild.children)+1)
+			child.children = append(child.children, oldLeft.children[len(oldLeft.children)-1])
+			child.children = append(child.children, oldChild.children...)
+			left.children = append([]*node(nil), oldLeft.children[:len(oldLeft.children)-1]...)
 		}
+		n.items[i-1] = oldLeft.items[len(oldLeft.items)-1]
+		n.children[i-1] = left
+		n.children[i] = child
 		return i
 	case i < len(n.children)-1 && len(n.children[i+1].items) >= t:
 		// 3a-right: rotate an item from the right sibling through n.
-		child, right := n.children[i], n.children[i+1]
+		oldChild, oldRight := n.children[i], n.children[i+1]
+		child := &node{items: make([]item, 0, len(oldChild.items)+1)}
+		child.items = append(child.items, oldChild.items...)
 		child.items = append(child.items, n.items[i])
-		n.items[i] = right.items[0]
-		right.items = append(right.items[:0], right.items[1:]...)
-		if !right.leaf() {
-			child.children = append(child.children, right.children[0])
-			right.children = append(right.children[:0], right.children[1:]...)
+		right := &node{items: append([]item(nil), oldRight.items[1:]...)}
+		if !oldRight.leaf() {
+			child.children = make([]*node, 0, len(oldChild.children)+1)
+			child.children = append(child.children, oldChild.children...)
+			child.children = append(child.children, oldRight.children[0])
+			right.children = append([]*node(nil), oldRight.children[1:]...)
 		}
+		n.items[i] = oldRight.items[0]
+		n.children[i] = child
+		n.children[i+1] = right
 		return i
 	case i > 0:
 		// 3b: merge with the left sibling.
-		n.mergeChildren(i - 1)
+		n.mergeOwnedChildren(i - 1)
 		return i - 1
 	default:
 		// 3b: merge with the right sibling.
-		n.mergeChildren(i)
+		n.mergeOwnedChildren(i)
 		return i
 	}
 }
 
-// mergeChildren merges child i, item i and child i+1 into one node.
-func (n *node) mergeChildren(i int) {
+// mergeOwnedChildren merges child i, item i and child i+1 of the owned
+// node n into one freshly built node, leaving the shared originals
+// untouched.
+func (n *node) mergeOwnedChildren(i int) {
 	left, right := n.children[i], n.children[i+1]
-	left.items = append(left.items, n.items[i])
-	left.items = append(left.items, right.items...)
-	left.children = append(left.children, right.children...)
+	m := &node{items: make([]item, 0, len(left.items)+1+len(right.items))}
+	m.items = append(m.items, left.items...)
+	m.items = append(m.items, n.items[i])
+	m.items = append(m.items, right.items...)
+	if !left.leaf() {
+		m.children = make([]*node, 0, len(left.children)+len(right.children))
+		m.children = append(m.children, left.children...)
+		m.children = append(m.children, right.children...)
+	}
 	n.items = append(n.items[:i], n.items[i+1:]...)
+	n.children[i] = m
 	n.children = append(n.children[:i+1], n.children[i+2:]...)
 }
 

@@ -78,7 +78,7 @@ func (s *Store) BulkLoad(table string, kvs []BulkKV) error {
 // clobbered by the unconditional tree swap below.
 func (p *partition) bulkLoad(table string, kvs []BulkKV) error {
 	p.mu.Lock()
-	if p.closed {
+	if p.closed.Load() {
 		p.mu.Unlock()
 		return ErrClosed
 	}
@@ -104,7 +104,10 @@ func (p *partition) bulkLoad(table string, kvs []BulkKV) error {
 			seq = n
 		}
 	}
-	p.tables[table] = buildBTree(items)
+	t := buildBTree(items)
+	p.tables[table] = t
+	// One root swap exposes the whole load to the lock-free read path.
+	p.publishLocked(table, t)
 	p.mu.Unlock()
 	if seq != 0 {
 		// Group-commit + sync mode: one wait covers the whole batch.

@@ -44,7 +44,7 @@ func (s *Store) Compact() error {
 func (p *partition) compact() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.closed {
+	if p.closed.Load() {
 		return ErrClosed
 	}
 	if p.wal == nil {
@@ -58,8 +58,11 @@ func (p *partition) compact() error {
 		return fmt.Errorf("kvstore: compacting: %w", err)
 	}
 	w := bufio.NewWriter(f)
+	bp := walBufPool.Get().(*[]byte)
+	defer walBufPool.Put(bp)
 	writeFrame := func(rec walRecord) error {
-		payload := encodeWALRecord(rec)
+		payload := appendWALRecord((*bp)[:0], rec)
+		*bp = payload[:0] // keep the (possibly grown) buffer for reuse
 		var header [8]byte
 		binary.LittleEndian.PutUint32(header[:4], uint32(len(payload)))
 		binary.LittleEndian.PutUint32(header[4:], crc32.ChecksumIEEE(payload))
@@ -112,17 +115,17 @@ func (p *partition) compact() error {
 		return fmt.Errorf("kvstore: compacting: closing old WAL: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		p.closed = true
+		p.closed.Store(true)
 		os.Remove(tmp)
 		return fmt.Errorf("kvstore: compacting: %w", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		p.closed = true
+		p.closed.Store(true)
 		return fmt.Errorf("kvstore: compacting: %w", err)
 	}
 	nw, err := openWAL(path, oldSync, oldGC)
 	if err != nil {
-		p.closed = true
+		p.closed.Store(true)
 		return err
 	}
 	// The fresh segment inherits the shard's metric handles so the
@@ -130,7 +133,7 @@ func (p *partition) compact() error {
 	nw.metrics = oldMetrics
 	// Position for appending without replaying into the live store.
 	if err := nw.seekEnd(); err != nil {
-		p.closed = true
+		p.closed.Store(true)
 		nw.close()
 		return err
 	}

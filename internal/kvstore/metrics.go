@@ -17,6 +17,15 @@ type partMetrics struct {
 	deletes     *obs.CounterHandle
 	scans       *obs.CounterHandle
 	compactions *obs.CounterHandle
+
+	// Snapshot read-path series: root swaps published by writers, the
+	// length of each lock-free snapshot scan, and the estimated number
+	// of B-tree nodes retired per publish (the copied root-to-leaf
+	// path, i.e. tree depth) — a proxy for the garbage the COW write
+	// path hands to the collector in place of epoch reclamation.
+	rootSwaps    *obs.CounterHandle
+	retiredNodes *obs.CounterHandle
+	snapScanLen  *obs.HistogramHandle
 }
 
 // walMetrics instruments one WAL segment. Compaction swaps the wal
@@ -44,14 +53,20 @@ func (s *Store) instrument(reg *obs.Registry) {
 	reg.Help("kvstore_wal_group_commit_frames", "Frames covered by each group-commit sync, per shard.")
 	reg.Help("kvstore_compactions_total", "Completed WAL segment compactions, by shard.")
 	reg.Help("kvstore_wal_bytes", "Total WAL size across all segments.")
+	reg.Help("kvstore_snapshot_root_swaps_total", "B-tree roots atomically published to the lock-free read path, by shard.")
+	reg.Help("kvstore_snapshot_retired_nodes_total", "Estimated B-tree nodes retired to the GC by copy-on-write publishes, by shard.")
+	reg.Help("kvstore_snapshot_scan_len", "Records returned per lock-free snapshot scan, by shard.")
 	for i, p := range s.parts {
 		sh := strconv.Itoa(i)
 		p.metrics = partMetrics{
-			gets:        reg.Counter("kvstore_ops_total", "op", "get", "shard", sh).Handle(),
-			puts:        reg.Counter("kvstore_ops_total", "op", "put", "shard", sh).Handle(),
-			deletes:     reg.Counter("kvstore_ops_total", "op", "delete", "shard", sh).Handle(),
-			scans:       reg.Counter("kvstore_ops_total", "op", "scan", "shard", sh).Handle(),
-			compactions: reg.Counter("kvstore_compactions_total", "shard", sh).Handle(),
+			gets:         reg.Counter("kvstore_ops_total", "op", "get", "shard", sh).Handle(),
+			puts:         reg.Counter("kvstore_ops_total", "op", "put", "shard", sh).Handle(),
+			deletes:      reg.Counter("kvstore_ops_total", "op", "delete", "shard", sh).Handle(),
+			scans:        reg.Counter("kvstore_ops_total", "op", "scan", "shard", sh).Handle(),
+			compactions:  reg.Counter("kvstore_compactions_total", "shard", sh).Handle(),
+			rootSwaps:    reg.Counter("kvstore_snapshot_root_swaps_total", "shard", sh).Handle(),
+			retiredNodes: reg.Counter("kvstore_snapshot_retired_nodes_total", "shard", sh).Handle(),
+			snapScanLen:  reg.Histogram("kvstore_snapshot_scan_len", obs.CountBuckets, "shard", sh).Handle(),
 		}
 		if p.wal != nil {
 			p.wal.metrics = &walMetrics{

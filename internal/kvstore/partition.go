@@ -3,20 +3,28 @@ package kvstore
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // partition is one shard of the store: a private set of B-trees (one
-// per table) behind its own RWMutex, plus an optional WAL segment.
-// The Store front routes every point operation to exactly one
-// partition by key hash, so partitions never touch a shared lock or
-// cache line on the hot path. A partition is exactly the old
-// single-lock engine; a one-shard store behaves byte-identically to
-// the pre-sharding code.
+// per table) plus an optional WAL segment. The Store front routes
+// every point operation to exactly one partition by key hash, so
+// partitions never touch a shared lock or cache line on the hot path.
+//
+// Writers serialize on mu (which also orders WAL appends) and, after
+// updating the copy-on-write tree, publish its root into snaps with
+// one atomic store. Readers never take mu: they load the published
+// snapshot and traverse it wait-free, returning engine-owned immutable
+// records without cloning.
 type partition struct {
 	mu     sync.RWMutex
-	tables map[string]*btree
+	tables map[string]*btree // writer-side handles; guarded by mu
 	wal    *wal
-	closed bool
+	closed atomic.Bool
+
+	// snaps is the read side: the atomically published per-table
+	// snapshots the lock-free read path traverses.
+	snaps atomic.Pointer[snapSet]
 
 	// metrics holds this shard's private obs handles; the zero value
 	// (nil handles) is inert. Written once in Store.instrument before
@@ -25,7 +33,9 @@ type partition struct {
 }
 
 func newPartition(w *wal) *partition {
-	return &partition{tables: make(map[string]*btree), wal: w}
+	p := &partition{tables: make(map[string]*btree), wal: w}
+	p.snaps.Store(emptySnapSet)
+	return p
 }
 
 // table returns the tree for name, creating it when absent. Caller
@@ -41,7 +51,8 @@ func (p *partition) table(name string) *btree {
 
 // applyReplay applies one WAL record during recovery, bypassing
 // version checks (the log records outcomes, not intents). Runs
-// single-threaded during open, before the partition is published.
+// single-threaded during open, before the partition is published;
+// Open calls publishAll afterwards to expose the recovered state.
 func (p *partition) applyReplay(rec walRecord) error {
 	tree := p.table(rec.Table)
 	switch rec.Op {
@@ -56,32 +67,23 @@ func (p *partition) applyReplay(rec walRecord) error {
 }
 
 func (p *partition) isClosed() bool {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return p.closed
+	return p.closed.Load()
 }
 
+// get is the wait-free point read: no lock, no clone, zero heap
+// allocations on the hit path. The returned record is an engine-owned
+// immutable snapshot that callers must not mutate (Clone first).
 func (p *partition) get(table, key string) (*VersionedRecord, error) {
 	p.metrics.gets.Inc()
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	if p.closed {
+	if p.closed.Load() {
 		return nil, ErrClosed
 	}
-	return p.getLocked(table, key)
-}
-
-// getLocked is the read core, requiring at least p.mu.RLock.
-func (p *partition) getLocked(table, key string) (*VersionedRecord, error) {
-	t := p.tables[table]
-	if t == nil {
-		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, table, key)
+	if ts := p.tableSnap(table); ts != nil {
+		if v := ts.get(key); v != nil {
+			return v, nil
+		}
 	}
-	v := t.get(key)
-	if v == nil {
-		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, table, key)
-	}
-	return v.clone(), nil
+	return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, table, key)
 }
 
 // each calls fn for every index of idx, or for 0..n-1 when idx is nil
@@ -110,15 +112,23 @@ func errBadMutOp(op MutOp) error {
 // while holding it; waiting on the captured object stays correct
 // since the old WAL's close performs a final group sync that wakes
 // its waiters.
+//
+// The new root is published (one atomic store) before the lock drops,
+// matching the visibility the locked engine always had: a mutation is
+// readable as soon as its writer releases the partition, and durable
+// once the group commit covering its frame completes.
 func (p *partition) putIfVersion(table, key string, fields map[string][]byte, expect uint64) (uint64, error) {
 	p.metrics.puts.Inc()
 	p.mu.Lock()
-	if p.closed {
+	if p.closed.Load() {
 		p.mu.Unlock()
 		return 0, ErrClosed
 	}
 	w := p.wal
 	ver, seq, err := p.putLocked(w, table, key, fields, expect, false)
+	if err == nil {
+		p.publishLocked(table, p.tables[table])
+	}
 	p.mu.Unlock()
 	if err != nil {
 		return 0, err
@@ -134,12 +144,15 @@ func (p *partition) putIfVersion(table, key string, fields map[string][]byte, ex
 func (p *partition) update(table, key string, fields map[string][]byte) (uint64, error) {
 	p.metrics.puts.Inc()
 	p.mu.Lock()
-	if p.closed {
+	if p.closed.Load() {
 		p.mu.Unlock()
 		return 0, ErrClosed
 	}
 	w := p.wal // captured under p.mu: compact may swap p.wal after unlock
 	ver, seq, err := p.putLocked(w, table, key, fields, AnyVersion, true)
+	if err == nil {
+		p.publishLocked(table, p.tables[table])
+	}
 	p.mu.Unlock()
 	if err != nil {
 		return 0, err
@@ -155,9 +168,12 @@ func (p *partition) update(table, key string, fields map[string][]byte) (uint64,
 // putLocked is the put/update core, requiring p.mu (write). With
 // merge set it merges fields into the existing record (which must
 // exist); otherwise it evaluates expect and stores a full replacement.
-// It returns the WAL sequence the caller must wait on for durability
-// (0 = none). The WAL handle is passed in because callers capture
-// p.wal under the lock and wait on that same object after unlocking.
+// Either way it builds a fresh *VersionedRecord — published records
+// are immutable, which is what lets the read path hand them out
+// without cloning. It returns the WAL sequence the caller must wait
+// on for durability (0 = none). The WAL handle is passed in because
+// callers capture p.wal under the lock and wait on that same object
+// after unlocking. The caller publishes the new root.
 func (p *partition) putLocked(w *wal, table, key string, fields map[string][]byte, expect uint64, merge bool) (uint64, uint64, error) {
 	t := p.table(table)
 	cur := t.get(key)
@@ -209,12 +225,15 @@ func (p *partition) putLocked(w *wal, table, key string, fields map[string][]byt
 func (p *partition) deleteIfVersion(table, key string, expect uint64) error {
 	p.metrics.deletes.Inc()
 	p.mu.Lock()
-	if p.closed {
+	if p.closed.Load() {
 		p.mu.Unlock()
 		return ErrClosed
 	}
 	w := p.wal // captured under p.mu: compact may swap p.wal after unlock
 	seq, err := p.deleteLocked(w, table, key, expect)
+	if err == nil {
+		p.publishLocked(table, p.tables[table])
+	}
 	p.mu.Unlock()
 	if err != nil {
 		return err
@@ -229,6 +248,7 @@ func (p *partition) deleteIfVersion(table, key string, expect uint64) error {
 
 // deleteLocked is the delete core, requiring p.mu (write). It returns
 // the WAL sequence the caller must wait on for durability (0 = none).
+// The caller publishes the new root.
 func (p *partition) deleteLocked(w *wal, table, key string, expect uint64) (uint64, error) {
 	t := p.table(table)
 	cur := t.get(key)
@@ -250,88 +270,65 @@ func (p *partition) deleteLocked(w *wal, table, key string, expect uint64) (uint
 }
 
 // scan returns up to count records with key ≥ startKey from this
-// partition, in key order. A count < 0 means no limit.
+// partition, in key order, traversing one published snapshot without
+// locks or cloning. A count < 0 means no limit. The returned records
+// are engine-owned immutable snapshots.
 func (p *partition) scan(table, startKey string, count int) ([]VersionedKV, error) {
 	p.metrics.scans.Inc()
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	if p.closed {
+	if p.closed.Load() {
 		return nil, ErrClosed
 	}
-	t := p.tables[table]
-	if t == nil {
+	ts := p.tableSnap(table)
+	if ts == nil {
 		return nil, nil
 	}
-	var out []VersionedKV
-	t.ascend(startKey, func(key string, val *VersionedRecord) bool {
-		if count >= 0 && len(out) >= count {
-			return false
-		}
-		out = append(out, VersionedKV{Key: key, Record: val.clone()})
-		return true
-	})
+	out := scanSnap(ts, startKey, count)
+	p.metrics.snapScanLen.Observe(float64(len(out)))
 	return out, nil
 }
 
-// scanRefs is scan without the clones: it returns engine-owned record
-// pointers, relying on the engine's copy-on-write discipline (every
-// mutation publishes a fresh *VersionedRecord, never updating one in
-// place), so the refs stay immutable snapshots after the lock drops.
-// The cross-partition merge uses it to defer cloning until it knows
-// which count records it will actually emit.
-func (p *partition) scanRefs(table, startKey string, count int) ([]VersionedKV, error) {
-	p.metrics.scans.Inc()
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	if p.closed {
-		return nil, ErrClosed
-	}
-	t := p.tables[table]
-	if t == nil {
-		return nil, nil
-	}
+// scanSnap collects up to count records with key ≥ startKey from one
+// immutable snapshot (count < 0 = no limit).
+func scanSnap(ts *treeSnapshot, startKey string, count int) []VersionedKV {
 	var out []VersionedKV
-	t.ascend(startKey, func(key string, val *VersionedRecord) bool {
+	ts.ascend(startKey, func(key string, val *VersionedRecord) bool {
 		if count >= 0 && len(out) >= count {
 			return false
 		}
 		out = append(out, VersionedKV{Key: key, Record: val})
 		return true
 	})
-	return out, nil
+	return out
 }
 
-// forEach visits this partition's records of table in key order under
-// the partition read lock (single-shard fast path of Store.ForEach).
+// forEach visits this partition's records of table in key order over
+// one published snapshot (single-shard fast path of Store.ForEach) —
+// the whole visit is one atomic point-in-time view and never blocks
+// or is blocked by writers.
 func (p *partition) forEach(table string, fn func(key string, rec *VersionedRecord) bool) error {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	if p.closed {
+	if p.closed.Load() {
 		return ErrClosed
 	}
-	t := p.tables[table]
-	if t == nil {
+	ts := p.tableSnap(table)
+	if ts == nil {
 		return nil
 	}
-	t.ascend("", fn)
+	ts.ascend("", fn)
 	return nil
 }
 
 func (p *partition) len(table string) int {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	t := p.tables[table]
-	if t == nil {
+	ts := p.tableSnap(table)
+	if ts == nil {
 		return 0
 	}
-	return t.size
+	return ts.size
 }
 
 func (p *partition) tableNames() []string {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	names := make([]string, 0, len(p.tables))
-	for n := range p.tables {
+	set := p.snaps.Load()
+	names := make([]string, 0, len(set.tables))
+	for n := range set.tables {
 		names = append(names, n)
 	}
 	return names
@@ -340,7 +337,7 @@ func (p *partition) tableNames() []string {
 func (p *partition) sync() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.closed {
+	if p.closed.Load() {
 		return ErrClosed
 	}
 	if p.wal == nil {
@@ -352,7 +349,7 @@ func (p *partition) sync() error {
 func (p *partition) walSize() (int64, error) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	if p.closed {
+	if p.closed.Load() {
 		return 0, ErrClosed
 	}
 	if p.wal == nil {
@@ -364,10 +361,10 @@ func (p *partition) walSize() (int64, error) {
 func (p *partition) close() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.closed {
+	if p.closed.Load() {
 		return nil
 	}
-	p.closed = true
+	p.closed.Store(true)
 	if p.wal != nil {
 		return p.wal.close()
 	}

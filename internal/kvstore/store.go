@@ -32,12 +32,25 @@ var (
 // version starts at 1 on insert and increments on every successful
 // mutation; it is the engine's ETag and the compare handle of every
 // conditional operation.
+//
+// Immutability contract: records returned by Get, Scan, BatchGet and
+// ForEach are the engine's own stored values, shared with concurrent
+// readers — not copies. Callers must treat them (the Fields map and
+// every byte slice in it) as read-only, and call Clone before
+// mutating. Writers uphold the other half of the contract: every
+// mutation stores a freshly built record and never edits a published
+// one in place.
 type VersionedRecord struct {
 	Version uint64
 	Fields  map[string][]byte
 }
 
-// clone deep-copies the record so callers never alias engine memory.
+// Clone deep-copies the record. Use it when a caller needs a private,
+// mutable copy of an engine-returned record.
+func (v *VersionedRecord) Clone() *VersionedRecord { return v.clone() }
+
+// clone deep-copies the record (internal spelling; the write path uses
+// it to build fresh merge results).
 func (v *VersionedRecord) clone() *VersionedRecord {
 	out := &VersionedRecord{Version: v.Version, Fields: make(map[string][]byte, len(v.Fields))}
 	for f, b := range v.Fields {
@@ -173,6 +186,10 @@ func Open(opts Options) (*Store, error) {
 		}
 		s.parts[i].wal = w
 	}
+	// Expose the recovered trees to the lock-free read path.
+	for _, p := range s.parts {
+		p.publishAll()
+	}
 	s.instrument(opts.Metrics)
 	return s, nil
 }
@@ -257,7 +274,10 @@ func (s *Store) part(key string) *partition {
 	return s.parts[shardOf(key, len(s.parts))]
 }
 
-// Get returns a copy of the record under table/key.
+// Get returns the record under table/key. The read is wait-free and
+// allocation-free: it traverses the partition's atomically published
+// snapshot with no lock and returns the engine-owned immutable record
+// without cloning (see the VersionedRecord immutability contract).
 func (s *Store) Get(table, key string) (*VersionedRecord, error) {
 	return s.part(key).get(table, key)
 }
@@ -301,33 +321,36 @@ func (s *Store) DeleteIfVersion(table, key string, expect uint64) error {
 
 // Scan returns up to count records with key ≥ startKey in key order,
 // k-way merging the per-partition trees. A count < 0 means no limit.
-// Each partition is snapshotted under its own read lock; a scan
-// concurrent with writes sees each key at some committed version but
-// the snapshot is not atomic across partitions (the single-shard
-// store keeps the old fully-atomic behavior).
+// The scan is a true multi-partition snapshot read: one consistent cut
+// of every partition's published root is collected (see
+// snapshotTable), then the immutable trees are merged entirely
+// lock-free, so the result is an atomic point-in-time view of the
+// whole table even while writers and Compact run. Returned records are
+// engine-owned immutable snapshots — never mutate them.
 func (s *Store) Scan(table, startKey string, count int) ([]VersionedKV, error) {
 	if len(s.parts) == 1 {
 		return s.parts[0].scan(table, startKey, count)
 	}
-	lists := make([][]VersionedKV, 0, len(s.parts))
-	for _, p := range s.parts {
-		// Each partition contributes at most count records, so the
-		// global first count live inside the union of the lists. The
-		// refs are engine-owned immutable snapshots; only the records
-		// the merge emits get cloned.
-		kvs, err := p.scanRefs(table, startKey, count)
-		if err != nil {
-			return nil, err
+	snaps, err := s.snapshotTable(table)
+	if err != nil {
+		return nil, err
+	}
+	lists := make([][]VersionedKV, 0, len(snaps))
+	for i, ts := range snaps {
+		p := s.parts[i]
+		p.metrics.scans.Inc()
+		if ts == nil {
+			continue
 		}
+		// Each partition contributes at most count records, so the
+		// global first count live inside the union of the lists.
+		kvs := scanSnap(ts, startKey, count)
+		p.metrics.snapScanLen.Observe(float64(len(kvs)))
 		if len(kvs) > 0 {
 			lists = append(lists, kvs)
 		}
 	}
-	out := mergeScan(lists, count)
-	for i := range out {
-		out[i].Record = out[i].Record.clone()
-	}
-	return out, nil
+	return mergeScan(lists, count), nil
 }
 
 // scanCursor walks one partition's already-ordered scan result.
@@ -388,32 +411,26 @@ func mergeScan(lists [][]VersionedKV, count int) []VersionedKV {
 }
 
 // ForEach visits every record of table in key order. The callback
-// receives engine-owned data and must not retain or mutate it; it
-// runs with every partition's read lock held, so the visit is one
-// consistent snapshot of the whole table.
+// receives engine-owned immutable records and must not mutate them.
+// The visit is one consistent snapshot of the whole table: a single
+// consistent cut of the partitions' published roots is collected, then
+// iteration runs entirely lock-free, so long validation scans (the
+// CEW check phase) never block writers.
 func (s *Store) ForEach(table string, fn func(key string, rec *VersionedRecord) bool) error {
 	if len(s.parts) == 1 {
 		return s.parts[0].forEach(table, fn)
 	}
-	for _, p := range s.parts {
-		p.mu.RLock()
+	snaps, err := s.snapshotTable(table)
+	if err != nil {
+		return err
 	}
-	defer func() {
-		for _, p := range s.parts {
-			p.mu.RUnlock()
-		}
-	}()
-	lists := make([][]VersionedKV, 0, len(s.parts))
-	for _, p := range s.parts {
-		if p.closed {
-			return ErrClosed
-		}
-		t := p.tables[table]
-		if t == nil || t.size == 0 {
+	lists := make([][]VersionedKV, 0, len(snaps))
+	for _, ts := range snaps {
+		if ts == nil || ts.size == 0 {
 			continue
 		}
-		l := make([]VersionedKV, 0, t.size)
-		t.ascend("", func(key string, val *VersionedRecord) bool {
+		l := make([]VersionedKV, 0, ts.size)
+		ts.ascend("", func(key string, val *VersionedRecord) bool {
 			l = append(l, VersionedKV{Key: key, Record: val})
 			return true
 		})

@@ -31,11 +31,14 @@ func TestStoreCRUD(t *testing.T) {
 	if got.Version != 1 || string(got.Fields["field0"]) != "v1" {
 		t.Errorf("Get = %+v", got)
 	}
-	// Returned record must not alias engine memory.
-	got.Fields["field0"][0] = 'X'
+	// Returned records are shared immutable snapshots; Clone yields a
+	// private copy whose mutation never reaches engine memory.
+	priv := got.Clone()
+	priv.Fields["field0"][0] = 'X'
+	priv.Fields["added"] = []byte("y")
 	got2, _ := s.Get("t", "k")
-	if string(got2.Fields["field0"]) != "v1" {
-		t.Error("Get aliased engine memory")
+	if string(got2.Fields["field0"]) != "v1" || got2.Fields["added"] != nil {
+		t.Error("Clone aliased engine memory")
 	}
 	v, err = s.Put("t", "k", fields("v3"))
 	if err != nil || v != 2 {

@@ -148,12 +148,23 @@ func (w *wal) seekEnd() error {
 	return nil
 }
 
+// walBufPool recycles WAL encode buffers across appends: the record is
+// encoded into a pooled scratch buffer that is fully consumed (written
+// to the bufio writer) before the append returns, so the hot write
+// path allocates no per-record encode buffer at steady state. Buffers
+// grow to fit the largest record they ever carry and are reused at
+// that capacity.
+var walBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
 // append buffers one frame. It returns a non-zero sequence number when
 // the caller must wait for durability via waitDurable — that is, when
 // both SyncWrites and a group-commit window are configured. Without a
 // window, SyncWrites syncs inline exactly as before.
 func (w *wal) append(rec walRecord) (uint64, error) {
-	payload := encodeWALRecord(rec)
+	bp := walBufPool.Get().(*[]byte)
+	payload := appendWALRecord((*bp)[:0], rec)
+	*bp = payload[:0] // keep the (possibly grown) buffer for reuse
+	defer walBufPool.Put(bp)
 	var header [8]byte
 	binary.LittleEndian.PutUint32(header[:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(header[4:], crc32.ChecksumIEEE(payload))
@@ -308,7 +319,12 @@ func (w *wal) close() error {
 }
 
 func encodeWALRecord(rec walRecord) []byte {
-	buf := make([]byte, 0, 64+len(rec.Table)+len(rec.Key))
+	return appendWALRecord(make([]byte, 0, 64+len(rec.Table)+len(rec.Key)), rec)
+}
+
+// appendWALRecord encodes rec onto buf (the append-style core shared
+// by the pooled hot path and encodeWALRecord).
+func appendWALRecord(buf []byte, rec walRecord) []byte {
 	buf = append(buf, rec.Op)
 	buf = appendString(buf, rec.Table)
 	buf = appendString(buf, rec.Key)

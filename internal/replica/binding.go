@@ -1,0 +1,81 @@
+package replica
+
+import (
+	"time"
+
+	"ycsbt/internal/db"
+	"ycsbt/internal/kvstore"
+	"ycsbt/internal/obs"
+	"ycsbt/internal/properties"
+)
+
+// Binding adapts a replicated store group to the YCSB+T db.DB
+// interface under the name "replica", so the benchmark drives the
+// replication trade-offs directly:
+//
+//	ycsbt -db replica -p replica.backups=3 -p replica.sync=true \
+//	      -p replica.quorum=2 -P workloads/workloada -load -t
+//
+// Properties:
+//
+//	replica.backups  backup replica count (default 1)
+//	replica.sync     synchronous replication (default false = async)
+//	replica.quorum   Sync acks required before acknowledging
+//	                 (default 0 = majority ⌈(n+1)/2⌉)
+//	replica.lag_ms   async replication delay per backup hop
+//	replica.read     "primary" (default) or "backup" round-robin reads
+//	kvstore.shards   hash partitions per replica engine
+//	obs.enabled      register the replica_* and kvstore_* series
+//
+// All record operations delegate to the standard engine binding over
+// the group's kvstore.Engine view, so batching (db.BatchDB) and field
+// projection behave exactly like the embedded "kvstore" binding.
+type Binding struct {
+	*kvstore.Binding
+	store *Store
+}
+
+func init() {
+	db.Register("replica", func() (db.DB, error) { return &Binding{}, nil })
+}
+
+// Init builds the replica group per the replica.* properties.
+func (b *Binding) Init(p *properties.Properties) error {
+	mode := Async
+	if p.GetBool("replica.sync", false) {
+		mode = Sync
+	}
+	read := ReadPrimary
+	if p.GetString("replica.read", "primary") == "backup" {
+		read = ReadBackup
+	}
+	s, err := New(Config{
+		Name:       "replica",
+		Backups:    p.GetInt("replica.backups", 1),
+		Mode:       mode,
+		Quorum:     p.GetInt("replica.quorum", 0),
+		ReadPolicy: read,
+		ReplicaLag: time.Duration(p.GetInt64("replica.lag_ms", 0)) * time.Millisecond,
+		Shards:     p.GetInt("kvstore.shards", kvstore.DefaultShards),
+		Metrics:    obs.Enabled(p.GetBool("obs.enabled", false)),
+	})
+	if err != nil {
+		return err
+	}
+	b.store = s
+	b.Binding = kvstore.NewEngineBinding(s.Engine())
+	return nil
+}
+
+// Cleanup closes the whole replica group.
+func (b *Binding) Cleanup() error {
+	if b.store == nil {
+		return nil
+	}
+	return b.store.Close()
+}
+
+// Replicated exposes the underlying group (for tests and validation).
+func (b *Binding) Replicated() *Store { return b.store }
+
+var _ db.BatchDB = (*Binding)(nil)

@@ -1,0 +1,84 @@
+package replica
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"ycsbt/internal/db"
+	"ycsbt/internal/properties"
+)
+
+// TestReplicaBinding drives the registered "replica" binding through
+// the db registry with an explicit quorum, checking the property
+// plumbing and that the benchmark-facing surface replicates.
+func TestReplicaBinding(t *testing.T) {
+	d, err := db.Open("replica")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := properties.New()
+	p.Set("replica.backups", "3")
+	p.Set("replica.sync", "true")
+	p.Set("replica.quorum", "2")
+	if err := d.Init(p); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Cleanup()
+	rb := d.(*Binding)
+	if got := rb.Replicated().Quorum(); got != 2 {
+		t.Fatalf("quorum = %d, want 2", got)
+	}
+
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("user%02d", i)
+		if err := d.Insert(ctx, "t", key, db.Record{"f": []byte("v")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec, err := d.Read(ctx, "t", "user07", nil)
+	if err != nil || string(rec["f"]) != "v" {
+		t.Fatalf("Read = %v, %v", rec, err)
+	}
+	if err := d.Update(ctx, "t", "user07", db.Record{"f": []byte("v2")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete(ctx, "t", "user19"); err != nil {
+		t.Fatal(err)
+	}
+	kvs, err := rb.Scan(ctx, "t", "", -1, nil)
+	if err != nil || len(kvs) != 19 {
+		t.Fatalf("Scan = %d, %v", len(kvs), err)
+	}
+	// Everything above was acknowledged at quorum 2 of 3; once the
+	// stragglers drain all three backups converge.
+	rb.Replicated().Flush()
+	for b := 0; b < 3; b++ {
+		if div := rb.Replicated().Divergence("t", b); div != 0 {
+			t.Errorf("backup %d diverges by %d", b, div)
+		}
+	}
+}
+
+// TestReplicaBindingDefaults: the zero-property path builds an async
+// single-backup group, the documented default.
+func TestReplicaBindingDefaults(t *testing.T) {
+	d, err := db.Open("replica")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Init(properties.New()); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Cleanup()
+	ctx := context.Background()
+	if err := d.Insert(ctx, "t", "k", db.Record{"f": []byte("v")}); err != nil {
+		t.Fatal(err)
+	}
+	rb := d.(*Binding)
+	rb.Replicated().Flush()
+	if div := rb.Replicated().Divergence("t", 0); div != 0 {
+		t.Errorf("backup diverges by %d", div)
+	}
+}

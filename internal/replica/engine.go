@@ -96,6 +96,7 @@ func (s *Store) BulkLoad(table string, kvs []kvstore.BulkKV) error {
 	}
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
+	s.drainLanes() // stragglers finish before the load rewrites tables
 	s.topo.RLock()
 	defer s.topo.RUnlock()
 	if err := s.primary.BulkLoad(table, kvs); err != nil {

@@ -1,0 +1,196 @@
+package replica
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ycsbt/internal/kvstore"
+)
+
+func TestQuorumDefaultsToMajority(t *testing.T) {
+	for _, tc := range []struct {
+		backups, cfg, want int
+	}{
+		{1, 0, 1}, // majority of 1 = 1 (= all: classic sync)
+		{2, 0, 2}, // ⌈3/2⌉ = 2 (= all: classic sync)
+		{3, 0, 2},
+		{4, 0, 3},
+		{5, 0, 3},
+		{3, 1, 1}, // explicit quorum wins
+		{3, 3, 3},
+	} {
+		s, err := New(Config{Name: "r", Backups: tc.backups, Mode: Sync, Quorum: tc.cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Quorum(); got != tc.want {
+			t.Errorf("backups=%d quorum=%d: resolved %d, want %d", tc.backups, tc.cfg, got, tc.want)
+		}
+		s.Close()
+	}
+	for _, bad := range []Config{
+		{Name: "r", Backups: 2, Mode: Sync, Quorum: 3},
+		{Name: "r", Backups: 2, Mode: Sync, Quorum: -1},
+	} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("quorum %d with %d backups accepted", bad.Quorum, bad.Backups)
+		}
+	}
+}
+
+// TestQuorumAllActsLikeClassicSync pins the quorum=all behavior the
+// pre-quorum Sync mode had: once a write returns, every backup has it
+// and lag is zero.
+func TestQuorumAllActsLikeClassicSync(t *testing.T) {
+	s, err := New(Config{Name: "r", Backups: 3, Mode: Sync, Quorum: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+	for i := 0; i < 40; i++ {
+		if _, err := s.Put(ctx, "t", fmt.Sprintf("k%02d", i), fieldsOf("v"), kvstore.AnyVersion); err != nil {
+			t.Fatal(err)
+		}
+		if lag := s.Lag(); lag != 0 {
+			t.Fatalf("lag = %d after quorum=all write", lag)
+		}
+	}
+	for b := 0; b < 3; b++ {
+		if d := s.Divergence("t", b); d != 0 {
+			t.Errorf("backup %d diverges by %d", b, d)
+		}
+	}
+}
+
+// TestQuorumMajorityAcksDespiteStalledBackup is the headline scenario:
+// with 3 backups and the default quorum of 2, a completely stalled
+// backup must not block writers — acks come from the healthy majority,
+// the straggler's lane holds the backlog, and releasing the stall lets
+// the backup converge without any write having waited for it.
+func TestQuorumMajorityAcksDespiteStalledBackup(t *testing.T) {
+	s, err := New(Config{Name: "r", Backups: 3, Mode: Sync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Quorum() != 2 {
+		t.Fatalf("default quorum = %d, want 2", s.Quorum())
+	}
+	const stalled = 2
+	release := make(chan struct{})
+	var held atomic.Bool
+	s.stallBackup = func(idx int) {
+		if idx == stalled && !held.Load() {
+			held.Store(true)
+			<-release
+		}
+	}
+
+	ctx := context.Background()
+	const n = 50
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < n; i++ {
+			if _, err := s.Put(ctx, "t", fmt.Sprintf("k%02d", i), fieldsOf("v"), kvstore.AnyVersion); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("writes blocked on the stalled backup")
+	}
+
+	// The healthy majority has everything; the straggler has applied at
+	// most nothing (its lane parked before the first apply), and the
+	// backlog shows up as lag.
+	for b := 0; b < 2; b++ {
+		if got := s.Backup(b).Len("t"); got != n {
+			t.Errorf("healthy backup %d holds %d records, want %d", b, got, n)
+		}
+	}
+	if got := s.Backup(stalled).Len("t"); got != 0 {
+		t.Errorf("stalled backup applied %d records while parked", got)
+	}
+	if lag := s.Lag(); lag != n {
+		t.Errorf("lag = %d, want %d (every write short one backup)", lag, n)
+	}
+
+	// Release the stall: the lane drains in order and the store
+	// converges with zero divergence anywhere.
+	close(release)
+	s.Flush()
+	if lag := s.Lag(); lag != 0 {
+		t.Errorf("lag after drain = %d", lag)
+	}
+	for b := 0; b < 3; b++ {
+		if d := s.Divergence("t", b); d != 0 {
+			t.Errorf("backup %d diverges by %d after drain", b, d)
+		}
+	}
+}
+
+// TestQuorumPromoteDrainsStragglers: a promote while a straggler lane
+// holds a backlog must not lose quorum-acknowledged writes — the lanes
+// drain before the topology rewires, so Promote reports zero lost even
+// when the promoted backup was the one behind.
+func TestQuorumPromoteDrainsStragglers(t *testing.T) {
+	s, err := New(Config{Name: "r", Backups: 3, Mode: Sync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const stalled = 0 // the backup Promote will elect
+	release := make(chan struct{})
+	var parked atomic.Bool
+	s.stallBackup = func(idx int) {
+		if idx == stalled && !parked.Load() {
+			parked.Store(true)
+			<-release
+		}
+	}
+	ctx := context.Background()
+	const n = 30
+	for i := 0; i < n; i++ {
+		if _, err := s.Put(ctx, "t", fmt.Sprintf("k%02d", i), fieldsOf("v"), kvstore.AnyVersion); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.FailPrimary()
+	go func() {
+		// Promote blocks in drainLanes until the stall lifts — model the
+		// backup recovering shortly after the failover starts.
+		time.Sleep(10 * time.Millisecond)
+		close(release)
+	}()
+	if lost := s.Promote(); lost != 0 {
+		t.Fatalf("sync promote lost %d writes", lost)
+	}
+	kvs, err := s.Scan(ctx, "t", "", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != n {
+		t.Fatalf("new primary holds %d records, want %d", len(kvs), n)
+	}
+	// The rebuilt lanes replicate post-promotion writes.
+	if _, err := s.Put(ctx, "t", "post", fieldsOf("v"), kvstore.AnyVersion); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	for b := 0; b < 2; b++ {
+		if d := s.Divergence("t", b); d != 0 {
+			t.Errorf("backup %d diverges by %d after promote", b, d)
+		}
+	}
+}

@@ -11,9 +11,10 @@
 // substrate (versioned get/scan, conditional put/delete), so the
 // transaction libraries and benchmark bindings run against it
 // unchanged. Writes are evaluated at the primary; the committed
-// post-image is applied to each backup either before acknowledging
-// (Sync) or from a background queue with optional replication lag
-// (Async).
+// post-image flows to each backup either through per-backup ordered
+// lanes that acknowledge once a configurable quorum has applied
+// (Sync — see Config.Quorum) or from a background queue with optional
+// replication lag (Async).
 //
 // Fault injection mirrors the availability tier YCSB sketches:
 // FailPrimary makes the primary unreachable, Promote elects the first
@@ -37,7 +38,9 @@ import (
 type Mode int
 
 const (
-	// Sync applies every write to all backups before acknowledging.
+	// Sync applies every write to a quorum of backups before
+	// acknowledging; the remaining backups drain asynchronously from
+	// per-backup ordered lanes (see Config.Quorum).
 	Sync Mode = iota
 	// Async acknowledges after the primary write and replicates from
 	// a background queue.
@@ -72,6 +75,14 @@ type Config struct {
 	Backups int
 	// Mode is Sync or Async.
 	Mode Mode
+	// Quorum is how many backups must apply a Sync write before it is
+	// acknowledged (1 ≤ Quorum ≤ Backups). 0 selects the majority
+	// default ⌈(Backups+1)/2⌉ — with 1 or 2 backups that equals all of
+	// them, so small deployments keep the classic "sync = everywhere"
+	// semantics. Backups beyond the quorum receive the same writes in
+	// the same order from their lanes, just off the ack path.
+	// Ignored under Async.
+	Quorum int
 	// ReadPolicy is ReadPrimary or ReadBackup.
 	ReadPolicy ReadPolicy
 	// QueueSize bounds the async replication queue (default 4096);
@@ -97,6 +108,39 @@ type repOp struct {
 	fields map[string][]byte
 }
 
+// mutation converts the post-image to the engine's multi-key form.
+func (op repOp) mutation() kvstore.Mutation {
+	if op.del {
+		return kvstore.Mutation{Op: kvstore.MutDelete, Table: op.table, Key: op.key, Expect: kvstore.AnyVersion}
+	}
+	return kvstore.Mutation{Op: kvstore.MutPut, Table: op.table, Key: op.key, Fields: op.fields, Expect: kvstore.AnyVersion}
+}
+
+// syncJob is one write travelling down every backup lane. Each lane
+// applies it and sends one ack; the writer returns after quorum acks,
+// and the lane whose decrement empties rem counts the write as fully
+// replicated.
+type syncJob struct {
+	muts []kvstore.Mutation
+	rem  *atomic.Int32
+	ack  chan struct{}
+}
+
+// lane is one backup's ordered apply queue. A goroutine drains ch in
+// FIFO order, so a slow backup can fall behind but never reorders
+// writes; pending counts jobs enqueued and not yet applied so Promote,
+// Close and BulkLoad can drain stragglers.
+type lane struct {
+	eng     *kvstore.Store
+	ch      chan syncJob
+	pending sync.WaitGroup
+}
+
+// laneQueueSize bounds each backup lane; a straggler more than this
+// many writes behind applies backpressure (the writer blocks on the
+// enqueue), keeping the quorum window bounded.
+const laneQueueSize = 1024
+
 // Store is a primary-backup replicated store.
 type Store struct {
 	cfg Config
@@ -112,6 +156,19 @@ type Store struct {
 	drained chan struct{} // closed when the applier exits
 	applied atomic.Int64
 	acked   atomic.Int64
+
+	// Sync-mode replication lanes, one per backup. Only the writer
+	// (under writeMu) touches the slice; the goroutines live until
+	// stopLanes closes their channels. quorum is atomic because the
+	// metrics gauge reads it while Promote may be clamping it.
+	quorum atomic.Int32
+	lanes  []*lane
+	laneWG sync.WaitGroup
+
+	// stallBackup, when non-nil, runs in lane idx before each apply —
+	// a test hook for modelling a stalled backup. Set it before the
+	// first write (the enqueue's channel send orders the read).
+	stallBackup func(idx int)
 
 	rr     atomic.Int64 // round-robin backup cursor
 	down   atomic.Bool
@@ -137,17 +194,25 @@ func New(cfg Config) (*Store, error) {
 	if cfg.Backups < 1 {
 		return nil, fmt.Errorf("replica: need at least one backup, got %d", cfg.Backups)
 	}
+	if cfg.Quorum < 0 || cfg.Quorum > cfg.Backups {
+		return nil, fmt.Errorf("replica: quorum %d out of range [1,%d]", cfg.Quorum, cfg.Backups)
+	}
 	if cfg.QueueSize <= 0 {
 		cfg.QueueSize = 4096
 	}
 	if cfg.Shards <= 0 {
 		cfg.Shards = kvstore.DefaultShards
 	}
+	quorum := cfg.Quorum
+	if quorum == 0 {
+		quorum = (cfg.Backups + 2) / 2 // ⌈(n+1)/2⌉: majority, = all for n ≤ 2
+	}
 	s := &Store{
 		cfg:     cfg,
 		primary: newEngine(cfg.Shards, cfg.Metrics),
 		drained: make(chan struct{}),
 	}
+	s.quorum.Store(int32(quorum))
 	for i := 0; i < cfg.Backups; i++ {
 		s.backups = append(s.backups, newEngine(cfg.Shards, nil))
 	}
@@ -155,11 +220,13 @@ func New(cfg Config) (*Store, error) {
 		s.queue = make(chan repOp, cfg.QueueSize)
 	}
 	if reg := cfg.Metrics; reg != nil {
-		reg.Help("replica_lag_ops", "Acknowledged writes not yet applied to the backups (0 under Sync).")
+		reg.Help("replica_lag_ops", "Acknowledged writes not yet applied to every backup (bounded by the straggler lanes under Sync).")
 		reg.Help("replica_queue_depth", "Post-images waiting in the async replication queue.")
 		reg.Help("replica_backup_batch_items", "Post-images shipped per backup per engine batch.")
 		reg.Help("replica_applied_total", "Writes fully replicated to all backups.")
+		reg.Help("replica_quorum_size", "Backups that must apply a Sync write before it is acknowledged.")
 		reg.GaugeFunc("replica_lag_ops", func() float64 { return float64(s.Lag()) })
+		reg.GaugeFunc("replica_quorum_size", func() float64 { return float64(s.Quorum()) })
 		reg.GaugeFunc("replica_queue_depth", func() float64 {
 			if s.queue == nil {
 				return 0
@@ -173,8 +240,66 @@ func New(cfg Config) (*Store, error) {
 		go s.applier()
 	} else {
 		close(s.drained)
+		s.startLanes()
 	}
 	return s, nil
+}
+
+// Quorum reports how many backups must apply a Sync write before the
+// writer is acknowledged.
+func (s *Store) Quorum() int { return int(s.quorum.Load()) }
+
+// startLanes spawns one ordered apply lane per current backup. Called
+// from New and (under writeMu) after Promote rewires the topology.
+func (s *Store) startLanes() {
+	s.topo.RLock()
+	backups := s.backups
+	s.topo.RUnlock()
+	s.lanes = make([]*lane, len(backups))
+	for i, b := range backups {
+		l := &lane{eng: b, ch: make(chan syncJob, laneQueueSize)}
+		s.lanes[i] = l
+		s.laneWG.Add(1)
+		go s.runLane(i, l)
+	}
+}
+
+// runLane is one backup's apply loop: jobs arrive in write order and
+// apply in write order. The lane that completes a job's last apply
+// counts the write as fully replicated, then acks the writer.
+func (s *Store) runLane(idx int, l *lane) {
+	defer s.laneWG.Done()
+	for job := range l.ch {
+		if hook := s.stallBackup; hook != nil {
+			hook(idx)
+		}
+		l.eng.BatchApply(job.muts) // per-item errors ignored: a missing key on delete is fine
+		s.mBatchItems.Observe(float64(len(job.muts)))
+		if job.rem.Add(-1) == 0 {
+			s.applied.Add(int64(len(job.muts)))
+			s.mApplied.Add(int64(len(job.muts)))
+		}
+		job.ack <- struct{}{}
+		l.pending.Done()
+	}
+}
+
+// drainLanes waits until every enqueued job has applied on every
+// backup. Caller holds writeMu, so no new jobs arrive meanwhile.
+func (s *Store) drainLanes() {
+	for _, l := range s.lanes {
+		l.pending.Wait()
+	}
+}
+
+// stopLanes closes the (drained) lanes so their goroutines exit.
+// Caller holds writeMu.
+func (s *Store) stopLanes() {
+	for _, l := range s.lanes {
+		close(l.ch)
+	}
+	s.lanes = nil
+	s.laneWG.Wait()
 }
 
 // maxApplyBatch bounds how many queued post-images the applier ships
@@ -215,7 +340,8 @@ func (s *Store) applier() {
 // instead of N× either. The call still waits for every backup before
 // returning, so batch k+1 never races batch k on the same backup —
 // order within and across batches stays queue order, and a later put
-// of the same key wins as it must.
+// of the same key wins as it must. (Async path only; Sync replication
+// flows through the per-backup lanes.)
 func (s *Store) applyToBackups(lag time.Duration, ops ...repOp) {
 	s.topo.RLock()
 	backups := s.backups
@@ -251,14 +377,30 @@ func (s *Store) applyToBackups(lag time.Duration, ops ...repOp) {
 }
 
 // replicate ships one committed post-image per the mode. Caller holds
-// writeMu, so queue order matches primary apply order. Sync mode pays
-// no lag hop (the lag models the async path's network distance).
+// writeMu, so lane/queue order matches primary apply order. Sync mode
+// pays no lag hop (the lag models the async path's network distance).
+//
+// Under Sync the write goes down every backup lane but the writer
+// waits for only quorum acks: a stalled backup off the quorum path
+// cannot add latency, it just drains later (bounded by laneQueueSize,
+// after which its lane's enqueue blocks the writer — backpressure, not
+// unbounded divergence).
 func (s *Store) replicate(op repOp) {
 	s.acked.Add(1)
 	if s.cfg.Mode == Sync {
-		s.applyToBackups(0, op)
-		s.applied.Add(1)
-		s.mApplied.Inc()
+		job := syncJob{
+			muts: []kvstore.Mutation{op.mutation()},
+			rem:  new(atomic.Int32),
+			ack:  make(chan struct{}, len(s.lanes)),
+		}
+		job.rem.Store(int32(len(s.lanes)))
+		for _, l := range s.lanes {
+			l.pending.Add(1)
+			l.ch <- job
+		}
+		for i := 0; i < s.Quorum(); i++ {
+			<-job.ack
+		}
 		return
 	}
 	s.queue <- op
@@ -267,10 +409,13 @@ func (s *Store) replicate(op repOp) {
 // Name implements the store interface.
 func (s *Store) Name() string { return s.cfg.Name }
 
-// Lag reports acknowledged-but-unreplicated writes (0 under Sync).
+// Lag reports acknowledged writes not yet applied to every backup —
+// the async queue backlog, or under Sync the writes still draining
+// through straggler lanes beyond the quorum (0 when quorum = all).
 func (s *Store) Lag() int64 { return s.acked.Load() - s.applied.Load() }
 
-// Flush blocks until the replication queue drains (Async only).
+// Flush blocks until every acknowledged write reaches every backup
+// (the async queue or the sync straggler lanes drain).
 func (s *Store) Flush() {
 	for s.Lag() > 0 && !s.closed.Load() {
 		time.Sleep(time.Millisecond)
@@ -380,7 +525,9 @@ func (s *Store) FailPrimary() {
 
 // Promote elects the first backup as the new primary and reports how
 // many acknowledged writes were lost in the unreplicated queue
-// (always 0 under Sync). The old primary is discarded.
+// (always 0 under Sync: straggler lanes are drained first, so even a
+// backup that was behind the quorum catches up before taking over).
+// The old primary is discarded.
 func (s *Store) Promote() (lost int64) {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
@@ -397,6 +544,12 @@ func (s *Store) Promote() (lost int64) {
 			}
 		}
 	}
+	if s.cfg.Mode == Sync {
+		// Every lane finishes its backlog, then the lanes are rebuilt
+		// around the new backup set below.
+		s.drainLanes()
+		s.stopLanes()
+	}
 	s.topo.Lock()
 	old := s.primary
 	s.primary = s.backups[0]
@@ -406,6 +559,14 @@ func (s *Store) Promote() (lost int64) {
 		s.backups = append(s.backups, newEngine(s.cfg.Shards, nil))
 	}
 	s.topo.Unlock()
+	if s.cfg.Mode == Sync {
+		// A promoted backup shrinks the replica set; never require more
+		// acks than there are lanes.
+		if n := int32(len(s.backups)); s.quorum.Load() > n {
+			s.quorum.Store(n)
+		}
+		s.startLanes()
+	}
 	old.Close()
 	s.down.Store(false)
 	return lost
@@ -434,7 +595,8 @@ func (s *Store) Divergence(table string, i int) int {
 	return diff
 }
 
-// Close shuts the store down, draining the async queue first.
+// Close shuts the store down, draining the async queue and the sync
+// straggler lanes first.
 func (s *Store) Close() error {
 	s.writeMu.Lock()
 	if s.closed.Swap(true) {
@@ -444,6 +606,8 @@ func (s *Store) Close() error {
 	if s.queue != nil {
 		close(s.queue)
 	}
+	s.drainLanes()
+	s.stopLanes()
 	s.writeMu.Unlock()
 	<-s.drained
 	s.topo.RLock()

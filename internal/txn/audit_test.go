@@ -1,0 +1,108 @@
+package txn
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"ycsbt/internal/kvstore"
+)
+
+// TestTxnLayerUpholdsImmutability runs full client-coordinated
+// transactions (reads, read-modify-writes, deletes, an abort, and a
+// validation-style scan) over an audited engine: with clone-on-read
+// gone from the engine, the transaction layer must never mutate a
+// record it fetched — it builds fresh field maps for every write.
+func TestTxnLayerUpholdsImmutability(t *testing.T) {
+	ctx := context.Background()
+	audit := kvstore.NewAuditEngine(kvstore.OpenMemoryShards(4))
+	defer audit.Close()
+	m, err := NewManager(Options{}, NewLocalStore("local", audit))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 16; i++ {
+		tx, err := m.Begin(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Write("local", "t", fmt.Sprintf("acct%02d", i), bal(100)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Read-modify-write transfers: the pre-reads hand out engine-owned
+	// records whose balances feed freshly built post-images.
+	for i := 0; i < 8; i++ {
+		tx, err := m.Begin(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := fmt.Sprintf("acct%02d", i), fmt.Sprintf("acct%02d", 15-i)
+		fa, err := tx.Read(ctx, "local", "t", a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := tx.Read(ctx, "local", "t", b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Write("local", "t", a, bal(getBal(t, fa)-5)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Write("local", "t", b, bal(getBal(t, fb)+5)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An aborted transaction and a delete both walk the recovery and
+	// rollback paths over fetched records.
+	tx, err := m.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Read(ctx, "local", "t", "acct00"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write("local", "t", "acct00", bal(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(ctx); err != nil {
+		t.Fatal(err)
+	}
+	tx, err = m.Begin(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Delete("local", "t", "acct15"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Validation-style full scan.
+	kvs, err := audit.Scan("t", "", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for _, kv := range kvs {
+		total += getBal(t, kv.Record.Fields)
+	}
+	// 16 accounts of 100, minus deleted acct15 (100 + 5 received).
+	if total != 16*100-105 {
+		t.Fatalf("balance sum = %d, want 1495", total)
+	}
+
+	if err := audit.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if audit.Handed() == 0 {
+		t.Fatal("audit observed no records")
+	}
+}

@@ -6,17 +6,22 @@ import (
 	"ycsbt/internal/kvstore"
 )
 
-// LocalStore adapts an embedded kvstore.Store to the txn.Store
+// LocalStore adapts an embedded kvstore.Engine to the txn.Store
 // interface, giving it a name and a context-aware surface. It is the
 // zero-latency store used in unit tests and local examples; cloudsim
 // provides the latency-faithful equivalent.
+//
+// Records flowing out of Get/Scan/BatchGet are the engine's shared
+// immutable snapshots (see the kvstore.Engine immutability contract);
+// the transaction layer builds fresh field maps for everything it
+// writes and must never edit a fetched record in place.
 type LocalStore struct {
 	name  string
-	inner *kvstore.Store
+	inner kvstore.Engine
 }
 
 // NewLocalStore wraps inner under the given name.
-func NewLocalStore(name string, inner *kvstore.Store) *LocalStore {
+func NewLocalStore(name string, inner kvstore.Engine) *LocalStore {
 	return &LocalStore{name: name, inner: inner}
 }
 
@@ -24,7 +29,7 @@ func NewLocalStore(name string, inner *kvstore.Store) *LocalStore {
 func (l *LocalStore) Name() string { return l.name }
 
 // Inner returns the wrapped engine.
-func (l *LocalStore) Inner() *kvstore.Store { return l.inner }
+func (l *LocalStore) Inner() kvstore.Engine { return l.inner }
 
 // Get implements Store.
 func (l *LocalStore) Get(_ context.Context, table, key string) (*kvstore.VersionedRecord, error) {
