@@ -30,12 +30,17 @@ bench:
 	$(GO) test -bench BenchmarkSeriesMeasureParallel -cpu 1,8,32 ./internal/measurement/
 
 # The acceptance benchmarks, machine-readable: CI uploads
-# BENCH_batch.json (batched-vs-single ratio) and BENCH_read.json (the
+# BENCH_batch.json (batched-vs-single ratio), BENCH_read.json (the
 # lock-free snapshot read path vs the emulated locked+clone baseline)
-# so both regressions are visible per run.
+# and BENCH_mvcc.json (as-of scan throughput under concurrent writers
+# plus the head-read path, whose 0-alloc budget must not regress now
+# that records carry version chains) so all regressions are visible
+# per run.
 bench-quick:
 	$(GO) test -run xx -bench BenchmarkBatchVsSingle -benchtime 3x -json . | tee BENCH_batch.json
 	$(GO) test -run xx -bench 'BenchmarkReadHeavy|BenchmarkGetScanParallel' -benchtime 300ms -cpu 4 -json ./internal/kvstore/ | tee BENCH_read.json
+	$(GO) test -run xx -bench BenchmarkAsOfScanUnderWrites -benchtime 300ms -cpu 4 -json ./internal/kvstore/ | tee BENCH_mvcc.json
+	$(GO) test -run xx -bench BenchmarkStoreParallel -benchtime 300ms -json . | tee -a BENCH_mvcc.json
 
 clean:
 	$(GO) clean ./...

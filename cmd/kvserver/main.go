@@ -45,6 +45,8 @@ func run() error {
 	delay := flag.Duration("delay", 0, "artificial per-request service latency")
 	maxInflight := flag.Int("max-inflight", 0, "concurrent /v1/batch requests admitted before 429 (0 = unlimited)")
 	maxBodyBytes := flag.Int64("max-body-bytes", 0, "request body cap in bytes, larger bodies get 413 (0 = default 1MiB)")
+	retention := flag.Duration("retention", kvstore.DefaultRetention, "how long overwritten record versions stay readable via as-of reads")
+	vacuumInterval := flag.Duration("vacuum-interval", 0, "background version-vacuum sweep interval (0 = write-path trimming only)")
 	opsAddr := flag.String("ops-addr", "", "ops listener address serving /metrics, /healthz, /debug/pprof (empty = disabled)")
 	backups := flag.Int("backups", 0, "serve a replicated in-memory store with this many backups instead of the embedded engine (-wal is ignored)")
 	replicaLag := flag.Duration("replica-lag", 0, "async replication delay per backup hop (with -backups)")
@@ -83,11 +85,13 @@ func run() error {
 		desc = fmt.Sprintf("replicated backups=%d sync=%v quorum=%d lag=%v", *backups, *replicaSync, rs.Quorum(), *replicaLag)
 	} else {
 		store, err := kvstore.Open(kvstore.Options{
-			Path:        *wal,
-			SyncWrites:  *syncWrites,
-			Shards:      *shards,
-			GroupCommit: *groupCommit,
-			Metrics:     metrics,
+			Path:           *wal,
+			SyncWrites:     *syncWrites,
+			Shards:         *shards,
+			GroupCommit:    *groupCommit,
+			Retention:      *retention,
+			VacuumInterval: *vacuumInterval,
+			Metrics:        metrics,
 		})
 		if err != nil {
 			return err

@@ -1,0 +1,277 @@
+package httpkv
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"ycsbt/internal/db"
+	"ycsbt/internal/kvstore"
+	"ycsbt/internal/properties"
+)
+
+// newPreMVCCServer simulates a deployment that predates the as-of
+// protocol, for the old/new interop matrix: the as-of header is
+// dropped before dispatch (the old server never read it), batch lines
+// lose their as_of field (the old decoder had no such field), and
+// there is no /v1/ts route — that path falls through to the record
+// handler and scans a table named "ts", exactly as the old mux did.
+func newPreMVCCServer(store kvstore.Engine) http.Handler {
+	s := NewServer(store)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r.Header.Del(AsOfHeader)
+		switch {
+		case r.URL.Path == "/v1/ts":
+			s.handleRecord(w, r)
+		case r.URL.Path == "/v1/batch" && r.Body != nil:
+			var buf bytes.Buffer
+			dec := json.NewDecoder(r.Body)
+			enc := json.NewEncoder(&buf)
+			for dec.More() {
+				var op wireBatchOp
+				if err := dec.Decode(&op); err != nil {
+					break
+				}
+				op.AsOf = 0
+				enc.Encode(op)
+			}
+			r.Body = io.NopCloser(&buf)
+			r.ContentLength = int64(buf.Len())
+			s.ServeHTTP(w, r)
+		default:
+			s.ServeHTTP(w, r)
+		}
+	})
+}
+
+// asOfFixture seeds a store with a known snapshot, mutates past it,
+// and serves it through both a current and a pre-MVCC server.
+type asOfFixture struct {
+	store  *kvstore.Store
+	ts     int64 // snapshot: k1..k4 = "old"; after it k1 = "new", k3 deleted, k5 inserted
+	newSrv *httptest.Server
+	oldSrv *httptest.Server
+}
+
+func newAsOfFixture(t *testing.T) *asOfFixture {
+	t.Helper()
+	store := kvstore.OpenMemoryShards(4)
+	t.Cleanup(func() { store.Close() })
+	for i := 1; i <= 4; i++ {
+		if _, err := store.Put("t", "k"+strconv.Itoa(i), map[string][]byte{"v": []byte("old")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := store.SnapshotTS()
+	if _, err := store.Put("t", "k1", map[string][]byte{"v": []byte("new")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Delete("t", "k3"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Put("t", "k5", map[string][]byte{"v": []byte("late")}); err != nil {
+		t.Fatal(err)
+	}
+	f := &asOfFixture{store: store, ts: ts}
+	f.newSrv = httptest.NewServer(NewServer(store))
+	t.Cleanup(f.newSrv.Close)
+	f.oldSrv = httptest.NewServer(newPreMVCCServer(store))
+	t.Cleanup(f.oldSrv.Close)
+	return f
+}
+
+// client builds a fresh Client for one pairing; asOf 0 = a pre-MVCC
+// client that never sends the header.
+func (f *asOfFixture) client(t *testing.T, base string, asOf int64) *Client {
+	t.Helper()
+	c := NewClient(base, nil)
+	p := properties.New()
+	if asOf != 0 {
+		p.Set("as_of", strconv.FormatInt(asOf, 10))
+	}
+	if err := c.Init(p); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Cleanup() })
+	return c
+}
+
+// TestAsOfInteropNewClientNewServer: both sides speak the protocol —
+// GET, streamed scan and batch all answer from the frozen snapshot.
+func TestAsOfInteropNewClientNewServer(t *testing.T) {
+	ctx := context.Background()
+	f := newAsOfFixture(t)
+	c := f.client(t, f.newSrv.URL, f.ts)
+
+	if now, err := c.SnapshotTS(ctx); err != nil || now <= f.ts {
+		t.Fatalf("SnapshotTS = %d, %v; want > snapshot", now, err)
+	}
+	for key, want := range map[string]string{"k1": "old", "k3": "old"} {
+		rec, err := c.Read(ctx, "t", key, nil)
+		if err != nil {
+			t.Fatalf("Read %s: %v", key, err)
+		}
+		if got := string(rec["v"]); got != want {
+			t.Fatalf("Read %s = %q, want %q", key, got, want)
+		}
+	}
+	if _, err := c.Read(ctx, "t", "k5", nil); !errors.Is(err, db.ErrNotFound) {
+		t.Fatalf("Read later-inserted k5: %v, want ErrNotFound", err)
+	}
+	kvs, err := c.Scan(ctx, "t", "", 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 4 {
+		t.Fatalf("as-of scan saw %d keys, want 4: %v", len(kvs), kvs)
+	}
+	for _, kv := range kvs {
+		if got := string(kv.Record["v"]); got != "old" {
+			t.Fatalf("as-of scan %s = %q, want \"old\"", kv.Key, got)
+		}
+	}
+	res := c.ExecBatch(ctx, []db.BatchOp{
+		{Op: db.OpRead, Table: "t", Key: "k1"},
+		{Op: db.OpRead, Table: "t", Key: "k3"},
+		{Op: db.OpRead, Table: "t", Key: "k5"},
+	})
+	for i := 0; i < 2; i++ {
+		if res[i].Err != nil || string(res[i].Record["v"]) != "old" {
+			t.Fatalf("batch item %d = %v, %v; want \"old\"", i, res[i].Record, res[i].Err)
+		}
+	}
+	if !errors.Is(res[2].Err, db.ErrNotFound) {
+		t.Fatalf("batch read of later-inserted k5: %v, want ErrNotFound", res[2].Err)
+	}
+	if c.asOfUnsupported.Load() {
+		t.Fatal("latch set against a current server")
+	}
+}
+
+// TestAsOfInteropNewClientOldServer: the server ignores as-of requests
+// — the client must detect the missing echo on every path and fail
+// with ErrNotSupported rather than silently serving head data.
+func TestAsOfInteropNewClientOldServer(t *testing.T) {
+	ctx := context.Background()
+	f := newAsOfFixture(t)
+
+	// GET path: detect, fail, latch.
+	c := f.client(t, f.oldSrv.URL, f.ts)
+	if _, err := c.Read(ctx, "t", "k1", nil); !errors.Is(err, db.ErrNotSupported) {
+		t.Fatalf("as-of read against old server: %v, want ErrNotSupported", err)
+	}
+	if !c.asOfUnsupported.Load() {
+		t.Fatal("latch not set after missing echo")
+	}
+	if _, err := c.Scan(ctx, "t", "", 10, nil); !errors.Is(err, db.ErrNotSupported) {
+		t.Fatalf("latched scan: %v, want fast-fail ErrNotSupported", err)
+	}
+
+	// Streamed scan path on a fresh client.
+	c2 := f.client(t, f.oldSrv.URL, f.ts)
+	if _, err := c2.Scan(ctx, "t", "", 10, nil); !errors.Is(err, db.ErrNotSupported) {
+		t.Fatalf("as-of scan against old server: %v, want ErrNotSupported", err)
+	}
+
+	// Batch path on a fresh client: the old server strips as_of, so
+	// result lines carry no echo — every as-of get must fail.
+	c3 := f.client(t, f.oldSrv.URL, f.ts)
+	res := c3.ExecBatch(ctx, []db.BatchOp{
+		{Op: db.OpRead, Table: "t", Key: "k1"},
+		{Op: db.OpRead, Table: "t", Key: "k2"},
+	})
+	for i, r := range res {
+		if !errors.Is(r.Err, db.ErrNotSupported) {
+			t.Fatalf("batch item %d against old server: %v, want ErrNotSupported", i, r.Err)
+		}
+		if r.Record != nil {
+			t.Fatalf("batch item %d silently served head data: %v", i, r.Record)
+		}
+	}
+	if !c3.asOfUnsupported.Load() {
+		t.Fatal("batch latch not set after missing as_of echo")
+	}
+
+	// as_of=-1 resolves through /v1/ts, which the old server answers as
+	// a table scan: Init must refuse, not freeze at garbage.
+	c4 := NewClient(f.oldSrv.URL, nil)
+	p := properties.New()
+	p.Set("as_of", "-1")
+	if err := c4.Init(p); !errors.Is(err, db.ErrNotSupported) {
+		t.Fatalf("as_of=-1 against old server: %v, want ErrNotSupported", err)
+	}
+	c4.Cleanup()
+}
+
+// TestAsOfInteropOldClientAnyServer: a client that never sends as-of
+// headers keeps full head-read semantics against both server
+// generations — the protocol is invisible until asked for.
+func TestAsOfInteropOldClientAnyServer(t *testing.T) {
+	ctx := context.Background()
+	f := newAsOfFixture(t)
+	for name, base := range map[string]string{"new server": f.newSrv.URL, "old server": f.oldSrv.URL} {
+		c := f.client(t, base, 0)
+		rec, err := c.Read(ctx, "t", "k1", nil)
+		if err != nil || string(rec["v"]) != "new" {
+			t.Fatalf("%s: head read = %v, %v; want \"new\"", name, rec, err)
+		}
+		if _, err := c.Read(ctx, "t", "k3", nil); !errors.Is(err, db.ErrNotFound) {
+			t.Fatalf("%s: head read of deleted k3: %v, want ErrNotFound", name, err)
+		}
+		kvs, err := c.Scan(ctx, "t", "", 10, nil)
+		if err != nil || len(kvs) != 4 { // k1,k2,k4,k5 — k3 deleted
+			t.Fatalf("%s: head scan = %d keys, %v; want 4", name, len(kvs), err)
+		}
+		res := c.ExecBatch(ctx, []db.BatchOp{{Op: db.OpRead, Table: "t", Key: "k5"}})
+		if res[0].Err != nil || string(res[0].Record["v"]) != "late" {
+			t.Fatalf("%s: head batch read = %v, %v; want \"late\"", name, res[0].Record, res[0].Err)
+		}
+	}
+}
+
+// TestAsOfRemoteStoreSnapshot drives the txn-facing SnapshotStore
+// capability over the wire end to end: draw a ts, keep reading the
+// frozen cut through GetAsOf/ScanAsOf while the head moves on.
+func TestAsOfRemoteStoreSnapshot(t *testing.T) {
+	ctx := context.Background()
+	f := newAsOfFixture(t)
+	rs := NewRemoteStore("remote", f.newSrv.URL, nil)
+
+	ts, release, err := rs.Snapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if _, err := f.store.Put("t", "k1", map[string][]byte{"v": []byte("newer")}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := rs.GetAsOf(ctx, "t", "k1", ts)
+	if err != nil || string(rec.Fields["v"]) != "new" {
+		t.Fatalf("remote GetAsOf = %v, %v; want \"new\"", rec, err)
+	}
+	if _, err := rs.GetAsOf(ctx, "t", "k3", ts); !errors.Is(err, kvstore.ErrNotFound) {
+		t.Fatalf("remote GetAsOf deleted key: %v, want kvstore.ErrNotFound", err)
+	}
+	kvs, err := rs.ScanAsOf(ctx, "t", "", 10, ts)
+	if err != nil || len(kvs) != 4 {
+		t.Fatalf("remote ScanAsOf = %d keys, %v; want 4", len(kvs), err)
+	}
+
+	// Malformed header → 400, and bad-request responses don't latch.
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, f.newSrv.URL+"/v1/t/k1", nil)
+	req.Header.Set(AsOfHeader, "yesterday")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed as-of header: %d, want 400", resp.StatusCode)
+	}
+}

@@ -87,6 +87,10 @@ type wireBatchOp struct {
 	Fields      map[string][]byte `json:"fields,omitempty"`
 	IfMatch     string            `json:"if_match,omitempty"`
 	IfNoneMatch string            `json:"if_none_match,omitempty"`
+	// AsOf, on a get, asks for the newest version with commit ts ≤
+	// AsOf instead of the head. Old servers drop the unknown field and
+	// serve head data; the result-line echo is how clients tell.
+	AsOf int64 `json:"as_of,omitempty"`
 }
 
 // wireBatchResult is one NDJSON response line.
@@ -95,6 +99,10 @@ type wireBatchResult struct {
 	ETag   string            `json:"etag,omitempty"`
 	Fields map[string][]byte `json:"fields,omitempty"`
 	Error  string            `json:"error,omitempty"`
+	// AsOf echoes the request line's as_of when the server honored it;
+	// its absence on an as-of get means an old server served head data
+	// (the batch analogue of the missing AsOfServedHeader).
+	AsOf int64 `json:"as_of,omitempty"`
 }
 
 // expect resolves the line's conditional-write headers (same defaults
@@ -211,19 +219,75 @@ func (s *Server) execBatch(ctx context.Context, ops []wireBatchOp) []wireBatchRe
 }
 
 func (s *Server) execGetRun(ops []wireBatchOp, out []wireBatchResult) {
-	reqs := make([]kvstore.GetReq, len(ops))
-	for i, op := range ops {
-		reqs[i] = kvstore.GetReq{Table: op.Table, Key: op.Key}
+	// Fast path: no line asks for a snapshot, one head BatchGet covers
+	// the whole run without any grouping overhead.
+	head := true
+	for _, op := range ops {
+		if op.AsOf != 0 {
+			head = false
+			break
+		}
 	}
-	for i, r := range s.store.BatchGet(reqs) {
-		if r.Err != nil {
-			out[i] = batchErrResult(r.Err)
+	if head {
+		reqs := make([]kvstore.GetReq, len(ops))
+		for i, op := range ops {
+			reqs[i] = kvstore.GetReq{Table: op.Table, Key: op.Key}
+		}
+		for i, r := range s.store.BatchGet(reqs) {
+			if r.Err != nil {
+				out[i] = batchErrResult(r.Err)
+				continue
+			}
+			out[i] = wireBatchResult{
+				Status: http.StatusOK,
+				ETag:   strconv.FormatUint(r.Record.Version, 10),
+				Fields: r.Record.Fields,
+			}
+		}
+		return
+	}
+	// Mixed run: group the line indices by as_of timestamp so each
+	// distinct snapshot (and the head, ts 0) pays one engine round.
+	groups := make(map[int64][]int)
+	order := make([]int64, 0, 2)
+	for i, op := range ops {
+		if _, ok := groups[op.AsOf]; !ok {
+			order = append(order, op.AsOf)
+		}
+		groups[op.AsOf] = append(groups[op.AsOf], i)
+	}
+	for _, ts := range order {
+		idx := groups[ts]
+		if ts < 0 {
+			for _, i := range idx {
+				out[i] = wireBatchResult{Status: http.StatusBadRequest, Error: fmt.Sprintf("bad as_of %d", ts)}
+			}
 			continue
 		}
-		out[i] = wireBatchResult{
-			Status: http.StatusOK,
-			ETag:   strconv.FormatUint(r.Record.Version, 10),
-			Fields: r.Record.Fields,
+		reqs := make([]kvstore.GetReq, len(idx))
+		for j, i := range idx {
+			reqs[j] = kvstore.GetReq{Table: ops[i].Table, Key: ops[i].Key}
+		}
+		var results []kvstore.GetResult
+		if ts == 0 {
+			results = s.store.BatchGet(reqs)
+		} else {
+			results = s.store.BatchGetAsOf(reqs, ts)
+		}
+		for j, r := range results {
+			i := idx[j]
+			if r.Err != nil {
+				res := batchErrResult(r.Err)
+				res.AsOf = ts
+				out[i] = res
+				continue
+			}
+			out[i] = wireBatchResult{
+				Status: http.StatusOK,
+				ETag:   strconv.FormatUint(r.Record.Version, 10),
+				Fields: r.Record.Fields,
+				AsOf:   ts,
+			}
 		}
 	}
 }
@@ -311,6 +375,13 @@ func (c *Client) ExecBatch(ctx context.Context, ops []db.BatchOp) []db.BatchResu
 		switch op.Op {
 		case db.OpRead:
 			w = wireBatchOp{Op: "get", Table: op.Table, Key: op.Key}
+			if c.asOf != 0 {
+				if c.asOfUnsupported.Load() {
+					out[i] = db.BatchResult{Err: errAsOfUnsupported}
+					continue
+				}
+				w.AsOf = c.asOf
+			}
 		case db.OpInsert:
 			w = wireBatchOp{Op: "put", Table: op.Table, Key: op.Key, Fields: op.Values}
 		case db.OpUpdate:
@@ -344,6 +415,13 @@ func (c *Client) ExecBatch(ctx context.Context, ops []db.BatchOp) []db.BatchResu
 		return out
 	}
 	for j, i := range idx {
+		if wire[j].AsOf != 0 && results[j].AsOf == 0 {
+			// An old server dropped the unknown as_of field and served
+			// head data; refuse it and latch, like the header echo path.
+			c.asOfUnsupported.Store(true)
+			out[i] = db.BatchResult{Err: errAsOfUnsupported}
+			continue
+		}
 		out[i] = results[j].toBatchResult(ops[i].Fields)
 	}
 	return out

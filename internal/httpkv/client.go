@@ -75,6 +75,14 @@ type Client struct {
 	// batchUnsupported latches after a server answers /v1/batch with
 	// 404/405; later batches use the single-op fallback.
 	batchUnsupported atomic.Bool
+	// asOf, when non-zero, routes every read through the as-of wire
+	// protocol at that snapshot timestamp (the "as_of" property).
+	asOf int64
+	// asOfUnsupported latches after a server provably ignores as-of
+	// requests (no served-ts echo on a conclusive status, or /v1/ts
+	// answers as a table scan); later as-of reads fast-fail with
+	// db.ErrNotSupported rather than silently serving head data.
+	asOfUnsupported atomic.Bool
 	// retry429 / retry429Max configure the throttle retry loop (see
 	// sendRetry): up to retry429 re-sends, each sleeping the server's
 	// Retry-After (doubled per attempt) capped at retry429Max.
@@ -117,6 +125,19 @@ func (c *Client) Init(p *properties.Properties) error {
 	}
 	c.retry429 = p.GetInt("rawhttp.retry429", DefaultRetry429)
 	c.retry429Max = time.Duration(p.GetInt64("rawhttp.retry429_max_ms", int64(DefaultRetry429Max/time.Millisecond))) * time.Millisecond
+	// as_of pins every read this binding issues to one snapshot
+	// timestamp: an explicit positive commit ts, or -1 to freeze at
+	// whatever the server's clock reads now (fetched once via /v1/ts).
+	if ts := p.GetInt64("as_of", 0); ts != 0 {
+		if ts < 0 {
+			now, err := c.SnapshotTS(context.Background())
+			if err != nil {
+				return fmt.Errorf("httpkv: resolving as_of=-1: %w", err)
+			}
+			ts = now
+		}
+		c.asOf = ts
+	}
 	return nil
 }
 
@@ -238,6 +259,13 @@ func (c *Client) do(req *http.Request) (*http.Response, error) {
 
 // Read implements db.DB.
 func (c *Client) Read(ctx context.Context, table, key string, fields []string) (db.Record, error) {
+	if c.asOf != 0 {
+		wr, err := c.readWireAsOf(ctx, table, key, c.asOf)
+		if err != nil {
+			return nil, err
+		}
+		return db.ProjectFields(wr.Fields, fields), nil
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.recordURL(table, key), nil)
 	if err != nil {
 		return nil, err
@@ -309,7 +337,13 @@ func (c *Client) scanWire(ctx context.Context, table, startKey string, count int
 
 // Scan implements db.DB.
 func (c *Client) Scan(ctx context.Context, table, startKey string, count int, fields []string) ([]db.KV, error) {
-	wrs, err := c.scanWire(ctx, table, startKey, count)
+	var wrs []wireRecord
+	var err error
+	if c.asOf != 0 {
+		wrs, err = c.scanWireAsOf(ctx, table, startKey, count, c.asOf)
+	} else {
+		wrs, err = c.scanWire(ctx, table, startKey, count)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -21,10 +21,18 @@
 //	GET    /v1/{table}?start=k&count=n → 200 [{"key":k,"version":v,"fields":{...}},...]
 //	                                     (Accept: application/x-ndjson streams one record per line)
 //	POST   /v1/batch                  → 200 NDJSON per-item results (see batch.go)
+//	GET    /v1/ts                     → 200 {"ts":n} snapshot timestamp (see asof.go; reserves table name "ts")
 //	GET    /healthz                   → 200 "ok"
 //
 // Every successful record response carries the version in the "ETag"
 // header, the idiom the simulated cloud stores share.
+//
+// Time travel: an X-As-Of-Ts request header on GET/scan (and an
+// "as_of" field on batch get lines) serves the read from the engine's
+// version history as of that commit timestamp; the server echoes the
+// served ts in X-As-Of-Served (or the result line's "as_of"), which is
+// how clients detect servers that predate the header and refuse to
+// silently read head data (see asof.go).
 //
 // Admission control (ServerOptions): request bodies are capped (413
 // past the cap), an X-Deadline-Ms header bounds how long the server
@@ -109,6 +117,7 @@ func NewServerWithOptions(store kvstore.Engine, opts ServerOptions) *Server {
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/ts", s.handleSnapshotTS)
 	s.mux.HandleFunc("/v1/", s.handleRecord)
 	return s
 }
@@ -182,7 +191,7 @@ func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request) {
 	}
 	switch r.Method {
 	case http.MethodGet:
-		s.handleGet(w, table, key)
+		s.handleGet(w, r, table, key)
 	case http.MethodPut:
 		s.handlePut(w, r, table, key)
 	case http.MethodPatch:
@@ -194,8 +203,22 @@ func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleGet(w http.ResponseWriter, table, key string) {
-	rec, err := s.store.Get(table, key)
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request, table, key string) {
+	ts, err := asOfRequested(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var rec *kvstore.VersionedRecord
+	if ts != 0 {
+		// Echo the served ts on every as-of response (including
+		// errors): the echo is how clients distinguish a server that
+		// honored the snapshot from an old one that ignored the header.
+		w.Header().Set(AsOfServedHeader, strconv.FormatInt(ts, 10))
+		rec, err = s.store.GetAsOf(table, key, ts)
+	} else {
+		rec, err = s.store.Get(table, key)
+	}
 	if err != nil {
 		writeStoreError(w, err)
 		return
@@ -215,7 +238,18 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request, table string
 		}
 		count = n
 	}
-	kvs, err := s.store.Scan(table, start, count)
+	ts, err := asOfRequested(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var kvs []kvstore.VersionedKV
+	if ts != 0 {
+		w.Header().Set(AsOfServedHeader, strconv.FormatInt(ts, 10))
+		kvs, err = s.store.ScanAsOf(table, start, count, ts)
+	} else {
+		kvs, err = s.store.Scan(table, start, count)
+	}
 	if err != nil {
 		writeStoreError(w, err)
 		return

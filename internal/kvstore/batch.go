@@ -155,12 +155,73 @@ func (p *partition) getBatch(reqs []GetReq, idx []int, out []GetResult) {
 			curTable, curSnap, have = reqs[i].Table, p.tableSnap(reqs[i].Table), true
 		}
 		if curSnap != nil {
-			if v := curSnap.get(reqs[i].Key); v != nil {
+			if v := curSnap.get(reqs[i].Key); v != nil && !v.deleted {
 				out[i] = GetResult{Record: v}
 				return
 			}
 		}
 		out[i] = GetResult{Err: fmt.Errorf("%w: %s/%s", ErrNotFound, reqs[i].Table, reqs[i].Key)}
+	})
+}
+
+// BatchGetAsOf is BatchGet at a snapshot timestamp: every requested
+// record resolves through its version chain to the newest version ≤
+// ts. Grouping and concurrency match BatchGet; each partition's
+// snapshots are collected under a brief read lock so a previously
+// drawn SnapshotTS is a stable cut (see GetAsOf).
+func (s *Store) BatchGetAsOf(reqs []GetReq, ts int64) []GetResult {
+	out := make([]GetResult, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	if len(s.parts) == 1 {
+		s.parts[0].getBatchAsOf(reqs, nil, out, ts)
+		return out
+	}
+	groups := s.groupByShard(len(reqs), func(i int) string { return reqs[i].Key })
+	var wg sync.WaitGroup
+	for shard, idx := range groups {
+		wg.Add(1)
+		go func(p *partition, idx []int) {
+			defer wg.Done()
+			p.getBatchAsOf(reqs, idx, out, ts)
+		}(s.parts[shard], idx)
+	}
+	wg.Wait()
+	return out
+}
+
+// getBatchAsOf serves the given request indices (nil = all) as of ts.
+func (p *partition) getBatchAsOf(reqs []GetReq, idx []int, out []GetResult, ts int64) {
+	if idx == nil {
+		p.metrics.gets.Add(int64(len(reqs)))
+	} else {
+		p.metrics.gets.Add(int64(len(idx)))
+	}
+	if p.closed.Load() {
+		each(len(reqs), idx, func(i int) { out[i] = GetResult{Err: ErrClosed} })
+		return
+	}
+	var (
+		curTable string
+		curSnap  *treeSnapshot
+		have     bool
+	)
+	each(len(reqs), idx, func(i int) {
+		if !have || reqs[i].Table != curTable {
+			curTable = reqs[i].Table
+			p.mu.RLock()
+			curSnap = p.tableSnap(curTable)
+			p.mu.RUnlock()
+			have = true
+		}
+		if curSnap != nil {
+			if v := asOf(curSnap.get(reqs[i].Key), ts); v != nil {
+				out[i] = GetResult{Record: v}
+				return
+			}
+		}
+		out[i] = GetResult{Err: fmt.Errorf("%w: %s/%s as of %d", ErrNotFound, reqs[i].Table, reqs[i].Key, ts)}
 	})
 }
 

@@ -112,11 +112,23 @@ func (t *btree) get(key string) *VersionedRecord {
 	}
 }
 
-// put stores val under key, replacing any existing value. It reports
-// whether a new key was inserted. Copy-on-write: the nodes along the
-// insertion path are cloned and the new root installed in t.root; no
-// node reachable from the previous root is modified.
-func (t *btree) put(key string, val *VersionedRecord) bool {
+// live counts a record toward the tree's size: tombstone heads keep
+// the key in the index (for time-travel reads through the chain) but
+// are not live records.
+func live(v *VersionedRecord) int {
+	if v == nil || v.deleted {
+		return 0
+	}
+	return 1
+}
+
+// put stores val under key, replacing any existing value, and returns
+// the value it replaced (nil when the key is new). The size tracks
+// live records only, so installing or replacing tombstone heads
+// adjusts it by the liveness delta. Copy-on-write: the nodes along
+// the insertion path are cloned and the new root installed in t.root;
+// no node reachable from the previous root is modified.
+func (t *btree) put(key string, val *VersionedRecord) *VersionedRecord {
 	var root *node
 	if len(t.root.items) == 2*btreeMinDegree-1 {
 		root = &node{children: []*node{t.root}}
@@ -124,12 +136,10 @@ func (t *btree) put(key string, val *VersionedRecord) bool {
 	} else {
 		root = t.root.clone()
 	}
-	inserted := root.insertNonFull(key, val)
+	old := root.insertNonFull(key, val)
 	t.root = root
-	if inserted {
-		t.size++
-	}
-	return inserted
+	t.size += live(val) - live(old)
+	return old
 }
 
 // splitOwnedChild splits the full (shared) child at index i of the
@@ -156,27 +166,29 @@ func (n *node) splitOwnedChild(i int) {
 }
 
 // insertNonFull inserts into an owned node known not to be full; it
-// reports whether the key is new. Shared children are cloned (or, when
-// full, split into fresh halves) before descending, so the writer only
-// ever edits nodes it owns.
-func (n *node) insertNonFull(key string, val *VersionedRecord) bool {
+// returns the value it replaced (nil when the key is new). Shared
+// children are cloned (or, when full, split into fresh halves) before
+// descending, so the writer only ever edits nodes it owns.
+func (n *node) insertNonFull(key string, val *VersionedRecord) *VersionedRecord {
 	for {
 		i, ok := n.find(key)
 		if ok {
+			old := n.items[i].val
 			n.items[i].val = val
-			return false
+			return old
 		}
 		if n.leaf() {
 			n.items = append(n.items, item{})
 			copy(n.items[i+1:], n.items[i:])
 			n.items[i] = item{key: key, val: val}
-			return true
+			return nil
 		}
 		if len(n.children[i].items) == 2*btreeMinDegree-1 {
 			n.splitOwnedChild(i)
 			if key == n.items[i].key {
+				old := n.items[i].val
 				n.items[i].val = val
-				return false
+				return old
 			}
 			if key > n.items[i].key {
 				i++
@@ -191,20 +203,25 @@ func (n *node) insertNonFull(key string, val *VersionedRecord) bool {
 	}
 }
 
-// delete removes key and reports whether it was present. Like put it
-// is copy-on-write: the deletion path is cloned and the new root
-// installed in t.root, leaving every previous root a valid snapshot.
+// delete hard-removes key (chain and all) and reports whether it was
+// present — used by legacy WAL replay and by Vacuum's purge of
+// expired tombstoned keys; the live write path deletes by writing a
+// tombstone head instead. Like put it is copy-on-write: the deletion
+// path is cloned and the new root installed in t.root, leaving every
+// previous root a valid snapshot.
 func (t *btree) delete(key string) bool {
+	old := t.get(key)
+	if old == nil {
+		return false
+	}
 	root := t.root.clone()
-	removed := root.remove(key)
+	root.remove(key)
 	if len(root.items) == 0 && !root.leaf() {
 		root = root.children[0]
 	}
 	t.root = root
-	if removed {
-		t.size--
-	}
-	return removed
+	t.size -= live(old)
+	return true
 }
 
 // remove implements CLRS B-tree deletion over an owned node; on entry

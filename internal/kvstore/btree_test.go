@@ -17,11 +17,11 @@ func TestBTreeBasic(t *testing.T) {
 	if bt.get("a") != nil {
 		t.Error("get on empty tree")
 	}
-	if !bt.put("a", rec(1)) {
-		t.Error("put should report new key")
+	if bt.put("a", rec(1)) != nil {
+		t.Error("put of new key should return nil old record")
 	}
-	if bt.put("a", rec(2)) {
-		t.Error("overwrite should not report new key")
+	if old := bt.put("a", rec(2)); old == nil || old.Version != 1 {
+		t.Errorf("overwrite should return displaced record, got %+v", old)
 	}
 	if got := bt.get("a"); got == nil || got.Version != 2 {
 		t.Errorf("get = %+v", got)
@@ -156,9 +156,8 @@ func TestBTreeVsMapQuick(t *testing.T) {
 			switch o.Kind % 3 {
 			case 0: // put
 				ver++
-				newKey := bt.put(key, rec(ver))
-				_, existed := ref[key]
-				if newKey == existed {
+				old := bt.put(key, rec(ver))
+				if _, existed := ref[key]; (old != nil) != existed {
 					return false
 				}
 				ref[key] = ver

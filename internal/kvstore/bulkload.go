@@ -6,10 +6,17 @@ import (
 	"sync"
 )
 
-// BulkKV is one record of a bulk load.
+// BulkKV is one record of a bulk load. Version and CommitTS are
+// optional: zero values default to version 1 and a freshly drawn
+// commit timestamp. Callers replaying a consistent cut from another
+// store (backup seeding) pass both through so the copy preserves the
+// source's versions and as-of visibility; the destination clock is
+// advanced past the largest provided CommitTS.
 type BulkKV struct {
-	Key    string
-	Fields map[string][]byte
+	Key      string
+	Fields   map[string][]byte
+	Version  uint64
+	CommitTS int64
 }
 
 // BulkLoad loads a sorted batch of records into an empty table by
@@ -90,13 +97,23 @@ func (p *partition) bulkLoad(table string, kvs []BulkKV) error {
 	var seq uint64
 	w := p.wal // captured under p.mu: compact may swap p.wal after unlock
 	for i, kv := range kvs {
-		rec := &VersionedRecord{Version: 1, Fields: make(map[string][]byte, len(kv.Fields))}
+		ver, ts := kv.Version, kv.CommitTS
+		if ver == 0 {
+			ver = 1
+		}
+		if ts == 0 {
+			ts = p.store.nextTS()
+		} else {
+			p.store.advanceTS(ts)
+		}
+		rec := &VersionedRecord{Version: ver, CommitTS: ts, Fields: make(map[string][]byte, len(kv.Fields))}
 		for f, v := range kv.Fields {
 			rec.Fields[f] = append([]byte(nil), v...)
 		}
+		rec.link(nil)
 		items[i] = item{key: kv.Key, val: rec}
 		if w != nil {
-			n, err := w.append(walRecord{Op: walPut, Table: table, Key: kv.Key, Version: 1, Fields: rec.Fields})
+			n, err := w.append(walRecord{Op: walPutTS, Table: table, Key: kv.Key, Version: ver, CommitTS: ts, Fields: rec.Fields})
 			if err != nil {
 				p.mu.Unlock()
 				return err

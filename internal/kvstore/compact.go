@@ -72,17 +72,46 @@ func (p *partition) compact() error {
 		_, err := w.Write(payload)
 		return err
 	}
+	// Each key's version chain is rewritten oldest→newest so replay
+	// relinks it in append order, preserving as-of reads across a
+	// restart. Compaction applies the same reclaim horizon as Vacuum
+	// while it rewrites: versions older than the newest one visible at
+	// the cut are dropped, and keys whose head is a tombstone past the
+	// cut vanish from the new segment entirely — so the log still
+	// shrinks to (roughly) the retained state, not the full history.
+	cut := p.store.cutTS(p.store.clock.Load())
+	var chain []*VersionedRecord
 	for table, tree := range p.tables {
 		var werr error
 		tree.ascend("", func(key string, val *VersionedRecord) bool {
-			werr = writeFrame(walRecord{
-				Op:      walPut,
-				Table:   table,
-				Key:     key,
-				Version: val.Version,
-				Fields:  val.Fields,
-			})
-			return werr == nil
+			if val.deleted && val.CommitTS <= cut {
+				return true // expired tombstone head: drop the key entirely
+			}
+			chain = chain[:0]
+			for v := val; v != nil; v = v.Prev() {
+				chain = append(chain, v)
+				if v.CommitTS <= cut {
+					break // newest version ≤ cut closes the retained suffix
+				}
+			}
+			for i := len(chain) - 1; i >= 0; i-- {
+				v := chain[i]
+				rec := walRecord{
+					Op:       walPutTS,
+					Table:    table,
+					Key:      key,
+					Version:  v.Version,
+					CommitTS: v.CommitTS,
+					Fields:   v.Fields,
+				}
+				if v.deleted {
+					rec.Op, rec.Fields = walDeleteTS, nil
+				}
+				if werr = writeFrame(rec); werr != nil {
+					return false
+				}
+			}
+			return true
 		})
 		if werr != nil {
 			f.Close()

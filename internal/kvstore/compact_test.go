@@ -11,7 +11,9 @@ import (
 func TestCompactShrinksLogAndPreservesState(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "store.wal")
-	s, err := Open(Options{Path: path})
+	// A tiny retention window lets compaction drop overwritten versions
+	// immediately instead of keeping the MVCC history around.
+	s, err := Open(Options{Path: path, Retention: time.Nanosecond})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -46,6 +46,20 @@ type Engine interface {
 	Scan(table, startKey string, count int) ([]VersionedKV, error)
 	ForEach(table string, fn func(key string, rec *VersionedRecord) bool) error
 
+	// Time travel (MVCC). SnapshotTS draws a snapshot timestamp: every
+	// already-acknowledged commit is ≤ it and every later commit is >
+	// it, so the as-of reads below form a stable consistent cut at
+	// that ts. Pin additionally freezes the cut against version
+	// reclamation until its release func is called — reads at a merely
+	// drawn (unpinned) ts are only guaranteed within the retention
+	// window. As-of reads resolve each key to its newest version with
+	// commit ts ≤ the requested ts; deleted-at-ts keys are not found.
+	SnapshotTS() int64
+	Pin() (int64, func())
+	GetAsOf(table, key string, ts int64) (*VersionedRecord, error)
+	BatchGetAsOf(reqs []GetReq, ts int64) []GetResult
+	ScanAsOf(table, startKey string, count int, ts int64) ([]VersionedKV, error)
+
 	// Introspection.
 	Len(table string) int
 	Tables() []string

@@ -26,6 +26,12 @@ type partMetrics struct {
 	rootSwaps    *obs.CounterHandle
 	retiredNodes *obs.CounterHandle
 	snapScanLen  *obs.HistogramHandle
+
+	// MVCC series: the length of each key's version chain observed at
+	// write/vacuum time, and versions reclaimed (write-path retention
+	// trims plus Vacuum cuts and tombstone purges).
+	chainLen *obs.HistogramHandle
+	vacuumed *obs.CounterHandle
 }
 
 // walMetrics instruments one WAL segment. Compaction swaps the wal
@@ -56,6 +62,8 @@ func (s *Store) instrument(reg *obs.Registry) {
 	reg.Help("kvstore_snapshot_root_swaps_total", "B-tree roots atomically published to the lock-free read path, by shard.")
 	reg.Help("kvstore_snapshot_retired_nodes_total", "Estimated B-tree nodes retired to the GC by copy-on-write publishes, by shard.")
 	reg.Help("kvstore_snapshot_scan_len", "Records returned per lock-free snapshot scan, by shard.")
+	reg.Help("kvstore_version_chain_len", "Version-chain length per key observed at write and vacuum time, by shard.")
+	reg.Help("kvstore_versions_vacuumed_total", "Record versions reclaimed by retention trims and vacuum, by shard.")
 	for i, p := range s.parts {
 		sh := strconv.Itoa(i)
 		p.metrics = partMetrics{
@@ -67,6 +75,8 @@ func (s *Store) instrument(reg *obs.Registry) {
 			rootSwaps:    reg.Counter("kvstore_snapshot_root_swaps_total", "shard", sh).Handle(),
 			retiredNodes: reg.Counter("kvstore_snapshot_retired_nodes_total", "shard", sh).Handle(),
 			snapScanLen:  reg.Histogram("kvstore_snapshot_scan_len", obs.CountBuckets, "shard", sh).Handle(),
+			chainLen:     reg.Histogram("kvstore_version_chain_len", obs.CountBuckets, "shard", sh).Handle(),
+			vacuumed:     reg.Counter("kvstore_versions_vacuumed_total", "shard", sh).Handle(),
 		}
 		if p.wal != nil {
 			p.wal.metrics = &walMetrics{

@@ -20,6 +20,7 @@ type partition struct {
 	mu     sync.RWMutex
 	tables map[string]*btree // writer-side handles; guarded by mu
 	wal    *wal
+	store  *Store // shared state: commit clock, retention horizon
 	closed atomic.Bool
 
 	// snaps is the read side: the atomically published per-table
@@ -32,8 +33,8 @@ type partition struct {
 	metrics partMetrics
 }
 
-func newPartition(w *wal) *partition {
-	p := &partition{tables: make(map[string]*btree), wal: w}
+func newPartition(w *wal, s *Store) *partition {
+	p := &partition{tables: make(map[string]*btree), wal: w, store: s}
 	p.snaps.Store(emptySnapSet)
 	return p
 }
@@ -53,11 +54,22 @@ func (p *partition) table(name string) *btree {
 // version checks (the log records outcomes, not intents). Runs
 // single-threaded during open, before the partition is published;
 // Open calls publishAll afterwards to expose the recovered state.
+// Frames replay in append order — commit-ts order per partition — so
+// chaining each record onto the key's current head rebuilds version
+// chains exactly. Legacy frames (pre-MVCC op codes) carry no commit
+// ts and replay with ts 0; a legacy delete is a hard remove, matching
+// the semantics it was written under.
 func (p *partition) applyReplay(rec walRecord) error {
 	tree := p.table(rec.Table)
 	switch rec.Op {
-	case walPut:
-		tree.put(rec.Key, &VersionedRecord{Version: rec.Version, Fields: rec.Fields})
+	case walPut, walPutTS:
+		stored := &VersionedRecord{Version: rec.Version, CommitTS: rec.CommitTS, Fields: rec.Fields}
+		stored.link(tree.get(rec.Key))
+		tree.put(rec.Key, stored)
+	case walDeleteTS:
+		tomb := &VersionedRecord{Version: rec.Version, CommitTS: rec.CommitTS, deleted: true}
+		tomb.link(tree.get(rec.Key))
+		tree.put(rec.Key, tomb)
 	case walDelete:
 		tree.delete(rec.Key)
 	default:
@@ -79,11 +91,32 @@ func (p *partition) get(table, key string) (*VersionedRecord, error) {
 		return nil, ErrClosed
 	}
 	if ts := p.tableSnap(table); ts != nil {
-		if v := ts.get(key); v != nil {
+		if v := ts.get(key); v != nil && !v.deleted {
 			return v, nil
 		}
 	}
 	return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, table, key)
+}
+
+// getAsOf is the time-travel point read. The published root is
+// collected under a brief read lock — any writer that already drew a
+// commit ts ≤ ts publishes before releasing the partition, so a
+// previously drawn SnapshotTS is a stable cut — then the chain walk
+// itself is lock-free.
+func (p *partition) getAsOf(table, key string, ts int64) (*VersionedRecord, error) {
+	p.metrics.gets.Inc()
+	if p.closed.Load() {
+		return nil, ErrClosed
+	}
+	p.mu.RLock()
+	snap := p.tableSnap(table)
+	p.mu.RUnlock()
+	if snap != nil {
+		if v := asOf(snap.get(key), ts); v != nil {
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s/%s as of %d", ErrNotFound, table, key, ts)
 }
 
 // each calls fn for every index of idx, or for 0..n-1 when idx is nil
@@ -170,19 +203,27 @@ func (p *partition) update(table, key string, fields map[string][]byte) (uint64,
 // exist); otherwise it evaluates expect and stores a full replacement.
 // Either way it builds a fresh *VersionedRecord — published records
 // are immutable, which is what lets the read path hand them out
-// without cloning. It returns the WAL sequence the caller must wait
-// on for durability (0 = none). The WAL handle is passed in because
-// callers capture p.wal under the lock and wait on that same object
-// after unlocking. The caller publishes the new root.
+// without cloning. The new record draws the store-wide commit ts
+// under the lock and is linked onto the key's existing chain (a
+// tombstone head counts as "absent" for expect checks but stays in
+// the chain, so as-of reads can still see through it). It returns the
+// WAL sequence the caller must wait on for durability (0 = none). The
+// WAL handle is passed in because callers capture p.wal under the
+// lock and wait on that same object after unlocking. The caller
+// publishes the new root.
 func (p *partition) putLocked(w *wal, table, key string, fields map[string][]byte, expect uint64, merge bool) (uint64, uint64, error) {
 	t := p.table(table)
 	cur := t.get(key)
+	live := cur
+	if cur != nil && cur.deleted {
+		live = nil
+	}
 	var stored *VersionedRecord
 	if merge {
-		if cur == nil {
+		if live == nil {
 			return 0, 0, fmt.Errorf("%w: %s/%s", ErrNotFound, table, key)
 		}
-		stored = cur.clone()
+		stored = live.clone()
 		stored.Version = cur.Version + 1
 		for f, b := range fields {
 			stored.Fields[f] = append([]byte(nil), b...)
@@ -191,15 +232,15 @@ func (p *partition) putLocked(w *wal, table, key string, fields map[string][]byt
 		switch expect {
 		case AnyVersion:
 		case MustNotExist:
-			if cur != nil {
+			if live != nil {
 				return 0, 0, fmt.Errorf("%w: %s/%s", ErrExists, table, key)
 			}
 		default:
-			if cur == nil {
+			if live == nil {
 				return 0, 0, fmt.Errorf("%w: %s/%s not found, expected version %d", ErrVersionMismatch, table, key, expect)
 			}
-			if cur.Version != expect {
-				return 0, 0, fmt.Errorf("%w: %s/%s at version %d, expected %d", ErrVersionMismatch, table, key, cur.Version, expect)
+			if live.Version != expect {
+				return 0, 0, fmt.Errorf("%w: %s/%s at version %d, expected %d", ErrVersionMismatch, table, key, live.Version, expect)
 			}
 		}
 		var next uint64 = 1
@@ -211,15 +252,43 @@ func (p *partition) putLocked(w *wal, table, key string, fields map[string][]byt
 			stored.Fields[f] = append([]byte(nil), b...)
 		}
 	}
+	stored.CommitTS = p.store.nextTS()
+	stored.link(cur)
 	var seq uint64
 	if w != nil {
 		var err error
-		if seq, err = w.append(walRecord{Op: walPut, Table: table, Key: key, Version: stored.Version, Fields: stored.Fields}); err != nil {
+		if seq, err = w.append(walRecord{Op: walPutTS, Table: table, Key: key, Version: stored.Version, CommitTS: stored.CommitTS, Fields: stored.Fields}); err != nil {
 			return 0, 0, err
 		}
 	}
 	t.put(key, stored)
+	p.retireLocked(stored)
 	return stored.Version, seq, nil
+}
+
+// retireLocked applies the retention window inline on the write path:
+// if the new head's chain reaches below the reclaim horizon, the
+// chain is cut after the newest version ≤ the horizon. The tail-ts
+// hint makes the common case (nothing expired) a single comparison,
+// keeping hot-key writes O(live chain). Requires p.mu; stored is not
+// yet published, so its bookkeeping fields may still be rewritten.
+func (p *partition) retireLocked(stored *VersionedRecord) {
+	cut := p.store.cutTS(stored.CommitTS)
+	if stored.tailTS <= cut {
+		if n := cutChainAt(stored, cut); n > 0 {
+			p.metrics.vacuumed.Add(n)
+		}
+		// Recompute the hints from the (possibly shortened) chain.
+		depth := uint32(1)
+		tail := stored
+		for next := tail.prev.Load(); next != nil; next = tail.prev.Load() {
+			tail = next
+			depth++
+		}
+		stored.tailTS = tail.CommitTS
+		stored.chainLen = depth
+	}
+	p.metrics.chainLen.Observe(float64(stored.chainLen))
 }
 
 func (p *partition) deleteIfVersion(table, key string, expect uint64) error {
@@ -246,26 +315,33 @@ func (p *partition) deleteIfVersion(table, key string, expect uint64) error {
 	return nil
 }
 
-// deleteLocked is the delete core, requiring p.mu (write). It returns
-// the WAL sequence the caller must wait on for durability (0 = none).
-// The caller publishes the new root.
+// deleteLocked is the delete core, requiring p.mu (write). A delete
+// writes a tombstone version at the head of the chain — the key stays
+// in the tree so as-of reads still see pre-delete versions — and the
+// live count drops by one (btree.put accounts by liveness). The key
+// itself is removed by Vacuum once the tombstone ages past the
+// retention horizon. It returns the WAL sequence the caller must wait
+// on for durability (0 = none). The caller publishes the new root.
 func (p *partition) deleteLocked(w *wal, table, key string, expect uint64) (uint64, error) {
 	t := p.table(table)
 	cur := t.get(key)
-	if cur == nil {
+	if cur == nil || cur.deleted {
 		return 0, fmt.Errorf("%w: %s/%s", ErrNotFound, table, key)
 	}
 	if expect != AnyVersion && cur.Version != expect {
 		return 0, fmt.Errorf("%w: %s/%s at version %d, expected %d", ErrVersionMismatch, table, key, cur.Version, expect)
 	}
+	tomb := &VersionedRecord{Version: cur.Version + 1, CommitTS: p.store.nextTS(), deleted: true}
+	tomb.link(cur)
 	var seq uint64
 	if w != nil {
 		var err error
-		if seq, err = w.append(walRecord{Op: walDelete, Table: table, Key: key}); err != nil {
+		if seq, err = w.append(walRecord{Op: walDeleteTS, Table: table, Key: key, Version: tomb.Version, CommitTS: tomb.CommitTS}); err != nil {
 			return 0, err
 		}
 	}
-	t.delete(key)
+	t.put(key, tomb)
+	p.retireLocked(tomb)
 	return seq, nil
 }
 
@@ -287,15 +363,36 @@ func (p *partition) scan(table, startKey string, count int) ([]VersionedKV, erro
 	return out, nil
 }
 
-// scanSnap collects up to count records with key ≥ startKey from one
-// immutable snapshot (count < 0 = no limit).
+// scanSnap collects up to count live records with key ≥ startKey from
+// one immutable snapshot (count < 0 = no limit); tombstone heads are
+// skipped — a deleted key is invisible at the head.
 func scanSnap(ts *treeSnapshot, startKey string, count int) []VersionedKV {
 	var out []VersionedKV
 	ts.ascend(startKey, func(key string, val *VersionedRecord) bool {
 		if count >= 0 && len(out) >= count {
 			return false
 		}
+		if val.deleted {
+			return true
+		}
 		out = append(out, VersionedKV{Key: key, Record: val})
+		return true
+	})
+	return out
+}
+
+// scanSnapAsOf collects up to count records as they stood at ts:
+// every key resolves through its chain to the newest version ≤ ts,
+// with tombstones (and keys born after ts) skipped.
+func scanSnapAsOf(tsnap *treeSnapshot, startKey string, count int, ts int64) []VersionedKV {
+	var out []VersionedKV
+	tsnap.ascend(startKey, func(key string, val *VersionedRecord) bool {
+		if count >= 0 && len(out) >= count {
+			return false
+		}
+		if v := asOf(val, ts); v != nil {
+			out = append(out, VersionedKV{Key: key, Record: v})
+		}
 		return true
 	})
 	return out
@@ -313,7 +410,12 @@ func (p *partition) forEach(table string, fn func(key string, rec *VersionedReco
 	if ts == nil {
 		return nil
 	}
-	ts.ascend("", fn)
+	ts.ascend("", func(key string, rec *VersionedRecord) bool {
+		if rec.deleted {
+			return true
+		}
+		return fn(key, rec)
+	})
 	return nil
 }
 

@@ -4,11 +4,14 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"ycsbt/internal/obs"
@@ -28,10 +31,14 @@ var (
 	ErrClosed = errors.New("kvstore: store is closed")
 )
 
-// VersionedRecord is a stored record together with its version. The
-// version starts at 1 on insert and increments on every successful
-// mutation; it is the engine's ETag and the compare handle of every
-// conditional operation.
+// VersionedRecord is a stored record together with its version and
+// commit timestamp. The version starts at 1 on insert and increments
+// on every successful mutation (including tombstones); it is the
+// engine's ETag and the compare handle of every conditional
+// operation. CommitTS is the store-wide monotonic commit timestamp
+// assigned under the partition lock; each key's versions form a short
+// commit-timestamp-ordered chain (newest first) that time-travel
+// reads walk via AsOf.
 //
 // Immutability contract: records returned by Get, Scan, BatchGet and
 // ForEach are the engine's own stored values, shared with concurrent
@@ -39,24 +46,88 @@ var (
 // every byte slice in it) as read-only, and call Clone before
 // mutating. Writers uphold the other half of the contract: every
 // mutation stores a freshly built record and never edits a published
-// one in place.
+// one in place. The only post-publish mutation the engine itself
+// performs is cutting a chain's prev pointer to nil (retention trim /
+// vacuum), which is an atomic store concurrent walkers tolerate.
 type VersionedRecord struct {
-	Version uint64
-	Fields  map[string][]byte
+	Version  uint64
+	CommitTS int64
+	Fields   map[string][]byte
+
+	// deleted marks a tombstone: the version recording a delete. A
+	// tombstone head reads as "not found" at the head and at any ts at
+	// or after its commit; older versions beneath it remain readable.
+	deleted bool
+
+	// prev links to the next-older version of the same key (nil at the
+	// chain tail). Atomic because vacuum cuts chains with one store
+	// while lock-free readers walk them.
+	prev atomic.Pointer[VersionedRecord]
+
+	// tailTS is the oldest commit ts reachable through the chain and
+	// chainLen the link count, both recorded at link time so the write
+	// path can skip trim walks when nothing is expired. They are
+	// written only before the record is published (or under the
+	// partition lock) and may be conservatively stale after a
+	// lock-free vacuum cut.
+	tailTS   int64
+	chainLen uint32
 }
 
-// Clone deep-copies the record. Use it when a caller needs a private,
-// mutable copy of an engine-returned record.
+// Clone deep-copies the record's data (version, commit ts, fields).
+// The clone carries no chain link — use it when a caller needs a
+// private, mutable copy of an engine-returned record.
 func (v *VersionedRecord) Clone() *VersionedRecord { return v.clone() }
 
 // clone deep-copies the record (internal spelling; the write path uses
 // it to build fresh merge results).
 func (v *VersionedRecord) clone() *VersionedRecord {
-	out := &VersionedRecord{Version: v.Version, Fields: make(map[string][]byte, len(v.Fields))}
+	out := &VersionedRecord{Version: v.Version, CommitTS: v.CommitTS, Fields: make(map[string][]byte, len(v.Fields))}
 	for f, b := range v.Fields {
 		out.Fields[f] = append([]byte(nil), b...)
 	}
 	return out
+}
+
+// Prev returns the next-older version in the chain, or nil at the
+// tail (or after retention trimmed the rest away).
+func (v *VersionedRecord) Prev() *VersionedRecord { return v.prev.Load() }
+
+// Tombstone reports whether this version records a delete.
+func (v *VersionedRecord) Tombstone() bool { return v.deleted }
+
+// AsOf walks the chain to the newest version with CommitTS ≤ ts and
+// returns it — tombstones included — or nil when every version is
+// newer than ts. Callers wanting read semantics should treat a
+// tombstone result as "not found" (the asOf helper does).
+func (v *VersionedRecord) AsOf(ts int64) *VersionedRecord {
+	for v != nil && v.CommitTS > ts {
+		v = v.prev.Load()
+	}
+	return v
+}
+
+// asOf resolves a chain head to the readable version at ts: the
+// newest version ≤ ts, with tombstones mapped to nil (not found).
+func asOf(v *VersionedRecord, ts int64) *VersionedRecord {
+	v = v.AsOf(ts)
+	if v == nil || v.deleted {
+		return nil
+	}
+	return v
+}
+
+// link records prev as this record's older neighbour and carries the
+// chain bookkeeping (tail ts, length) forward. Called before the
+// record is published.
+func (v *VersionedRecord) link(prev *VersionedRecord) {
+	v.tailTS = v.CommitTS
+	v.chainLen = 1
+	if prev != nil {
+		v.prev.Store(prev)
+		v.tailTS = prev.tailTS
+		v.chainLen = prev.chainLen + 1
+	}
 }
 
 // VersionedKV pairs a key with its versioned record in scan results.
@@ -74,6 +145,14 @@ const MustNotExist = uint64(0)
 // DefaultShards is the partition count bindings use when the
 // "kvstore.shards" property is absent.
 const DefaultShards = 8
+
+// DefaultRetention is the version-chain retention window used when
+// Options.Retention is zero: time-travel reads are served at any ts
+// within the window; older versions are reclaimable.
+const DefaultRetention = 60 * time.Second
+
+// noFloor is the pin/watermark floor meaning "nothing pinned".
+const noFloor = int64(math.MaxInt64)
 
 // manifestName is the file recording a sharded directory's layout.
 const manifestName = "MANIFEST"
@@ -104,18 +183,154 @@ type Options struct {
 	GroupCommit time.Duration
 	// Metrics, when non-nil, receives the engine's kvstore_* series
 	// (per-shard op counts, WAL fsync latency, group-commit occupancy,
-	// compactions, WAL size). Nil disables instrumentation entirely —
-	// the hot paths then touch only nil no-op handles.
+	// compactions, WAL size, version-chain lengths, vacuumed versions).
+	// Nil disables instrumentation entirely — the hot paths then touch
+	// only nil no-op handles.
 	Metrics *obs.Registry
+	// Retention is the MVCC retention window: versions older than the
+	// newest one at (now − Retention) are reclaimable by the write-path
+	// trim and by Vacuum, unless a pin or the vacuum watermark holds
+	// them. Zero selects DefaultRetention.
+	Retention time.Duration
+	// VacuumInterval, when positive, runs a background Vacuum sweep on
+	// that period (trimming cold chains and purging expired tombstoned
+	// keys). Zero disables the loop; hot keys are still trimmed inline
+	// on every write.
+	VacuumInterval time.Duration
 }
 
 // Store is a concurrent, versioned, ordered key-value store with
 // multiple named tables, hash-partitioned across independent shards.
 // Single-key operations are linearizable (each key lives in exactly
 // one partition); Scan merges the per-partition trees into one
-// key-ordered result.
+// key-ordered result. Every committed mutation carries a store-wide
+// monotonic commit timestamp, and each key keeps a short chain of
+// recent versions so GetAsOf/ScanAsOf serve consistent reads at any
+// ts within the retention window.
 type Store struct {
 	parts []*partition
+
+	// clock is the last issued commit timestamp (UnixNano domain, CAS
+	// advanced — the same discipline as the oracle's Local source, so
+	// oracle-issued snapshot timestamps are directly comparable).
+	clock     atomic.Int64
+	retention time.Duration
+
+	// Pinned snapshots: vacuum and the write-path trim never reclaim a
+	// version the oldest pin can still see. pinFloor caches the min
+	// active pin (noFloor when none) so the hot path reads one atomic.
+	pinMu    sync.Mutex
+	pinned   map[int64]int
+	pinFloor atomic.Int64
+
+	// extFloor is the externally published min-active-ts watermark
+	// (SetVacuumFloor) — the txn layer's oldest snapshot reader.
+	extFloor atomic.Int64
+
+	vacStop chan struct{}
+	vacDone chan struct{}
+	vacOnce sync.Once
+}
+
+// newStore builds the shared store shell (clock, pins, retention).
+func newStore(shards int, retention time.Duration) *Store {
+	if retention <= 0 {
+		retention = DefaultRetention
+	}
+	s := &Store{parts: make([]*partition, shards), retention: retention, pinned: make(map[int64]int)}
+	s.pinFloor.Store(noFloor)
+	s.extFloor.Store(noFloor)
+	return s
+}
+
+// nextTS issues the next commit timestamp: wall-clock nanoseconds,
+// bumped to stay strictly monotonic across the whole store.
+func (s *Store) nextTS() int64 {
+	for {
+		now := time.Now().UnixNano()
+		last := s.clock.Load()
+		if now <= last {
+			now = last + 1
+		}
+		if s.clock.CompareAndSwap(last, now) {
+			return now
+		}
+	}
+}
+
+// advanceTS bumps the clock to at least ts (replay, bulk load).
+func (s *Store) advanceTS(ts int64) {
+	for {
+		last := s.clock.Load()
+		if ts <= last || s.clock.CompareAndSwap(last, ts) {
+			return
+		}
+	}
+}
+
+// SnapshotTS draws a fresh snapshot timestamp: every commit already
+// published is ≤ the returned ts and every later commit is > it, so
+// reads at this ts form a stable consistent cut.
+func (s *Store) SnapshotTS() int64 { return s.nextTS() }
+
+// Pin freezes a snapshot: it draws a snapshot ts and holds the vacuum
+// floor at it until the returned release is called, guaranteeing
+// every version visible at that ts survives trims and Vacuum.
+// Release is idempotent.
+func (s *Store) Pin() (int64, func()) {
+	s.pinMu.Lock()
+	ts := s.nextTS()
+	s.pinned[ts]++
+	s.recomputePinFloorLocked()
+	s.pinMu.Unlock()
+	var once sync.Once
+	return ts, func() {
+		once.Do(func() {
+			s.pinMu.Lock()
+			if n := s.pinned[ts]; n <= 1 {
+				delete(s.pinned, ts)
+			} else {
+				s.pinned[ts] = n - 1
+			}
+			s.recomputePinFloorLocked()
+			s.pinMu.Unlock()
+		})
+	}
+}
+
+func (s *Store) recomputePinFloorLocked() {
+	floor := noFloor
+	for ts := range s.pinned {
+		if ts < floor {
+			floor = ts
+		}
+	}
+	s.pinFloor.Store(floor)
+}
+
+// SetVacuumFloor publishes the min-active-ts watermark from an outer
+// coordination layer (the txn manager's oldest snapshot reader):
+// vacuum and the write-path trim keep every version visible at or
+// after ts. A ts ≤ 0 clears the watermark.
+func (s *Store) SetVacuumFloor(ts int64) {
+	if ts <= 0 {
+		ts = noFloor
+	}
+	s.extFloor.Store(ts)
+}
+
+// cutTS computes the reclaim horizon as of now: versions strictly
+// older than the newest one ≤ the cut are reclaimable. The cut never
+// passes a pinned snapshot or the external watermark.
+func (s *Store) cutTS(now int64) int64 {
+	cut := now - int64(s.retention)
+	if pf := s.pinFloor.Load(); pf < cut {
+		cut = pf
+	}
+	if ef := s.extFloor.Load(); ef < cut {
+		cut = ef
+	}
+	return cut
 }
 
 // Open creates or reopens a store. When opts.Path names an existing
@@ -127,11 +342,12 @@ func Open(opts Options) (*Store, error) {
 		shards = 1
 	}
 	if opts.Path == "" {
-		s := &Store{parts: make([]*partition, shards)}
+		s := newStore(shards, opts.Retention)
 		for i := range s.parts {
-			s.parts[i] = newPartition(nil)
+			s.parts[i] = newPartition(nil, s)
 		}
 		s.instrument(opts.Metrics)
+		s.startVacuumLoop(opts.VacuumInterval)
 		return s, nil
 	}
 
@@ -163,14 +379,17 @@ func Open(opts Options) (*Store, error) {
 		segments = []string{opts.Path}
 	}
 
-	s := &Store{parts: make([]*partition, shards)}
+	s := newStore(shards, opts.Retention)
 	for i := range s.parts {
-		s.parts[i] = newPartition(nil)
+		s.parts[i] = newPartition(nil, s)
 	}
 	// Recovery order: segments replay in ascending shard index. Each
 	// record routes by key hash, so with a stable shard count segment
 	// i rebuilds partition i; per-key history lives in one segment,
-	// keeping blind replay order-correct.
+	// keeping blind replay order-correct. Records replay in append
+	// order, which is commit-ts order per partition, so chains rebuild
+	// newest-at-head exactly as they were written.
+	var maxTS int64
 	for i, path := range segments {
 		w, err := openWAL(path, opts.SyncWrites, opts.GroupCommit)
 		if err != nil {
@@ -178,6 +397,9 @@ func Open(opts Options) (*Store, error) {
 			return nil, err
 		}
 		if err := w.replay(func(rec walRecord) error {
+			if rec.CommitTS > maxTS {
+				maxTS = rec.CommitTS
+			}
 			return s.part(rec.Key).applyReplay(rec)
 		}); err != nil {
 			w.close()
@@ -186,11 +408,14 @@ func Open(opts Options) (*Store, error) {
 		}
 		s.parts[i].wal = w
 	}
+	// Commits after recovery must stay above everything replayed.
+	s.advanceTS(maxTS)
 	// Expose the recovered trees to the lock-free read path.
 	for _, p := range s.parts {
 		p.publishAll()
 	}
 	s.instrument(opts.Metrics)
+	s.startVacuumLoop(opts.VacuumInterval)
 	return s, nil
 }
 
@@ -282,6 +507,17 @@ func (s *Store) Get(table, key string) (*VersionedRecord, error) {
 	return s.part(key).get(table, key)
 }
 
+// GetAsOf returns the newest version of table/key with commit ts ≤
+// ts (a time-travel read). It briefly takes the partition's read lock
+// to collect the published root — guaranteeing every commit ≤ a
+// previously drawn SnapshotTS is visible — then walks the immutable
+// chain lock-free. A tombstone at or before ts reads as not found.
+// Reads below the retention horizon may already be trimmed; callers
+// wanting a stable horizon should Pin first.
+func (s *Store) GetAsOf(table, key string, ts int64) (*VersionedRecord, error) {
+	return s.part(key).getAsOf(table, key, ts)
+}
+
 // Put unconditionally stores fields under table/key (insert or full
 // replace) and returns the new version.
 func (s *Store) Put(table, key string, fields map[string][]byte) (uint64, error) {
@@ -345,6 +581,33 @@ func (s *Store) Scan(table, startKey string, count int) ([]VersionedKV, error) {
 		// Each partition contributes at most count records, so the
 		// global first count live inside the union of the lists.
 		kvs := scanSnap(ts, startKey, count)
+		p.metrics.snapScanLen.Observe(float64(len(kvs)))
+		if len(kvs) > 0 {
+			lists = append(lists, kvs)
+		}
+	}
+	return mergeScan(lists, count), nil
+}
+
+// ScanAsOf returns up to count records with key ≥ startKey as they
+// stood at ts, k-way merging the per-partition chains. The consistent
+// cut property of Scan extends through time: the roots are collected
+// under every partition's read lock (so all commits ≤ ts are
+// published), then each key resolves to its newest version ≤ ts
+// entirely lock-free — writers are never blocked by the walk itself.
+func (s *Store) ScanAsOf(table, startKey string, count int, ts int64) ([]VersionedKV, error) {
+	snaps, err := s.snapshotTable(table)
+	if err != nil {
+		return nil, err
+	}
+	lists := make([][]VersionedKV, 0, len(snaps))
+	for i, tsnap := range snaps {
+		p := s.parts[i]
+		p.metrics.scans.Inc()
+		if tsnap == nil {
+			continue
+		}
+		kvs := scanSnapAsOf(tsnap, startKey, count, ts)
 		p.metrics.snapScanLen.Observe(float64(len(kvs)))
 		if len(kvs) > 0 {
 			lists = append(lists, kvs)
@@ -431,6 +694,9 @@ func (s *Store) ForEach(table string, fn func(key string, rec *VersionedRecord) 
 		}
 		l := make([]VersionedKV, 0, ts.size)
 		ts.ascend("", func(key string, val *VersionedRecord) bool {
+			if val.deleted {
+				return true
+			}
 			l = append(l, VersionedKV{Key: key, Record: val})
 			return true
 		})
@@ -482,6 +748,7 @@ func (s *Store) Sync() error {
 // Close flushes and closes every partition. Further operations return
 // ErrClosed.
 func (s *Store) Close() error {
+	s.stopVacuumLoop()
 	var first error
 	for _, p := range s.parts {
 		if err := p.close(); err != nil && first == nil {

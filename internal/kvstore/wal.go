@@ -12,21 +12,30 @@ import (
 	"time"
 )
 
-// WAL op codes.
+// WAL op codes. walPut/walDelete are the legacy pre-MVCC frames
+// (still replayed for old logs); walPutTS/walDeleteTS additionally
+// carry the commit timestamp so replay rebuilds version chains. New
+// fields need new op codes because decodeWALRecord rejects trailing
+// bytes — that strictness is what keeps old binaries from silently
+// misreading new frames.
 const (
 	walPut byte = iota + 1
 	walDelete
+	walPutTS
+	walDeleteTS
 )
 
 // walRecord is one logged mutation. Put records carry the full
 // post-image (version and fields) so replay is a blind apply; delete
-// records carry only the key.
+// records carry the key and (in TS form) the tombstone's version and
+// commit ts.
 type walRecord struct {
-	Op      byte
-	Table   string
-	Key     string
-	Version uint64
-	Fields  map[string][]byte
+	Op       byte
+	Table    string
+	Key      string
+	Version  uint64
+	CommitTS int64
+	Fields   map[string][]byte
 }
 
 // wal is an append-only redo log with per-record CRC32 checksums.
@@ -37,7 +46,9 @@ type walRecord struct {
 // Payload layout (all integers little-endian, strings/bytes
 // length-prefixed with uvarint):
 //
-//	op(1) table key version nfields {fieldName fieldValue}*
+//	op(1) table key version [commitTS] nfields {fieldName fieldValue}*
+//
+// where commitTS (uvarint) is present only for the TS op codes.
 //
 // A torn final frame (crash mid-append) is detected by length or CRC
 // mismatch and truncated away on open, so a crashed store reopens to
@@ -329,6 +340,9 @@ func appendWALRecord(buf []byte, rec walRecord) []byte {
 	buf = appendString(buf, rec.Table)
 	buf = appendString(buf, rec.Key)
 	buf = binary.AppendUvarint(buf, rec.Version)
+	if rec.Op == walPutTS || rec.Op == walDeleteTS {
+		buf = binary.AppendUvarint(buf, uint64(rec.CommitTS))
+	}
 	buf = binary.AppendUvarint(buf, uint64(len(rec.Fields)))
 	for f, v := range rec.Fields {
 		buf = appendString(buf, f)
@@ -357,6 +371,14 @@ func decodeWALRecord(payload []byte) (walRecord, error) {
 		return rec, errors.New("kvstore: bad WAL version")
 	}
 	rest = rest[n:]
+	if rec.Op == walPutTS || rec.Op == walDeleteTS {
+		ts, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return rec, errors.New("kvstore: bad WAL commit ts")
+		}
+		rec.CommitTS = int64(ts)
+		rest = rest[n:]
+	}
 	nf, n := binary.Uvarint(rest)
 	if n <= 0 {
 		return rec, errors.New("kvstore: bad WAL field count")

@@ -1,0 +1,62 @@
+package oracle
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestWatermarkMinAndRefcount(t *testing.T) {
+	w := NewWatermark()
+	if w.Min() != math.MaxInt64 {
+		t.Fatalf("empty Min = %d, want MaxInt64", w.Min())
+	}
+	r10 := w.Acquire(10)
+	r5a := w.Acquire(5)
+	r5b := w.Acquire(5) // same ts held twice
+	if w.Min() != 5 {
+		t.Fatalf("Min = %d, want 5", w.Min())
+	}
+	r5a()
+	if w.Min() != 5 {
+		t.Fatalf("Min after one of two releases = %d, want 5", w.Min())
+	}
+	r5b()
+	r5b() // idempotent
+	if w.Min() != 10 {
+		t.Fatalf("Min after both 5-releases = %d, want 10", w.Min())
+	}
+	if w.Active() != 1 {
+		t.Fatalf("Active = %d, want 1", w.Active())
+	}
+	r10()
+	if w.Min() != math.MaxInt64 || w.Active() != 0 {
+		t.Fatalf("drained: Min=%d Active=%d", w.Min(), w.Active())
+	}
+}
+
+func TestWatermarkConcurrent(t *testing.T) {
+	w := NewWatermark()
+	floor := w.Acquire(1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				release := w.Acquire(int64(2 + (g*7+i)%50))
+				if w.Min() != 1 {
+					t.Errorf("Min = %d, want 1 while floor held", w.Min())
+					release()
+					return
+				}
+				release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	floor()
+	if w.Min() != math.MaxInt64 {
+		t.Fatalf("Min = %d, want MaxInt64 after all releases", w.Min())
+	}
+}

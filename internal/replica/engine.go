@@ -170,6 +170,32 @@ func (e *Engine) ForEach(table string, fn func(key string, rec *kvstore.Versione
 	return t.ForEach(table, fn)
 }
 
+// Time travel. As-of reads always serve from the primary regardless
+// of ReadPolicy: commit timestamps are drawn per engine, so a ts
+// pinned on one replica is meaningless on another (backups re-commit
+// post-images under their own clocks). This keeps SnapshotTS, Pin and
+// the as-of reads one coherent clock domain.
+
+func (e *Engine) SnapshotTS() int64 {
+	return e.s.Primary().SnapshotTS()
+}
+
+func (e *Engine) Pin() (int64, func()) {
+	return e.s.Primary().Pin()
+}
+
+func (e *Engine) GetAsOf(table, key string, ts int64) (*kvstore.VersionedRecord, error) {
+	return e.s.Primary().GetAsOf(table, key, ts)
+}
+
+func (e *Engine) BatchGetAsOf(reqs []kvstore.GetReq, ts int64) []kvstore.GetResult {
+	return e.s.Primary().BatchGetAsOf(reqs, ts)
+}
+
+func (e *Engine) ScanAsOf(table, startKey string, count int, ts int64) ([]kvstore.VersionedKV, error) {
+	return e.s.Primary().ScanAsOf(table, startKey, count, ts)
+}
+
 func (e *Engine) Len(table string) int {
 	t, err := e.s.readTarget()
 	if err != nil {

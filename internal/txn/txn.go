@@ -44,12 +44,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"sync/atomic"
 	"time"
 
 	"ycsbt/internal/kvstore"
+	"ycsbt/internal/oracle"
 )
 
 // Store is what the transaction library needs from a data store: get
@@ -138,10 +140,10 @@ type Options struct {
 	// Tracer, when set, receives the read and write sets of every
 	// COMMITTED transaction for dependency-graph serializability
 	// checking (internal/trace, the Zellag & Kemme approach the paper
-	// discusses). Aborted transactions are not traced. Note: keys
-	// that are deleted and later re-created restart their version
-	// sequence, which confuses the version-ordered graph; trace
-	// workloads that do not reuse deleted keys.
+	// discusses). Aborted transactions are not traced. Deleted keys
+	// leave a tombstone version behind, so a later re-create continues
+	// the version sequence and the version-ordered graph stays sound
+	// across delete/insert cycles.
 	Tracer Tracer
 }
 
@@ -193,6 +195,9 @@ func (c *HLC) Now() int64 {
 	}
 }
 
+// noActiveSnapshot is the watermark's "no floor" sentinel.
+const noActiveSnapshot = int64(math.MaxInt64)
+
 // Manager coordinates transactions across one or more stores.
 type Manager struct {
 	opts   Options
@@ -200,6 +205,12 @@ type Manager struct {
 	defalt string // the sole store's name, for single-store shorthand
 	seq    atomic.Uint64
 	id     string // manager instance id, part of txn ids
+
+	// watermark tracks the snapshot timestamps pinned by live read-only
+	// transactions; its min is published to vacuum-capable stores and
+	// holds the TSR GC back (see Vacuum), so a snapshot reader can
+	// always resolve the prepared records it meets.
+	watermark *oracle.Watermark
 
 	// Stats.
 	commits   atomic.Int64
@@ -215,8 +226,9 @@ func NewManager(opts Options, stores ...Store) (*Manager, error) {
 		return nil, errors.New("txn: at least one store required")
 	}
 	m := &Manager{
-		opts:   opts.withDefaults(),
-		stores: make(map[string]Store, len(stores)),
+		opts:      opts.withDefaults(),
+		stores:    make(map[string]Store, len(stores)),
+		watermark: oracle.NewWatermark(),
 	}
 	for _, s := range stores {
 		if s.Name() == "" {

@@ -22,9 +22,17 @@ import (
 //
 // It returns how many TSRs were removed and how many records were
 // resolved. Safe to run concurrently with live transactions: all
-// repairs go through the same conditional-put resolution paths.
+// repairs go through the same conditional-put resolution paths, and
+// the cutoff never advances past the oldest snapshot pinned by a live
+// read-only transaction — a snapshot reader decides commit-as-of by
+// looking the TSR up in its version history, so the TSR (and the
+// prepared records it covers) must outlive every snapshot that might
+// still consult it.
 func (m *Manager) Vacuum(ctx context.Context) (tsrsRemoved, recordsResolved int, err error) {
 	cutoff := m.opts.Clock.Now() - int64(m.opts.RecoveryTimeout)
+	if wm := m.watermark.Min(); wm < cutoff {
+		cutoff = wm
+	}
 	for _, s := range m.stores {
 		kvs, err := s.Scan(ctx, tsrTable, "", -1)
 		if err != nil {
