@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test test-race bench bench-quick clean
+.PHONY: check vet build test test-race bench bench-quick bench-cluster clean
 
 # The full tier-1 gate: vet, build everything, then the race-enabled
 # short test run.
@@ -41,6 +41,12 @@ bench-quick:
 	$(GO) test -run xx -bench 'BenchmarkReadHeavy|BenchmarkGetScanParallel' -benchtime 300ms -cpu 4 -json ./internal/kvstore/ | tee BENCH_read.json
 	$(GO) test -run xx -bench BenchmarkAsOfScanUnderWrites -benchtime 300ms -cpu 4 -json ./internal/kvstore/ | tee BENCH_mvcc.json
 	$(GO) test -run xx -bench BenchmarkStoreParallel -benchtime 300ms -json . | tee -a BENCH_mvcc.json
+
+# Cluster scaling acceptance bench: identical capacity-bound nodes,
+# read-heavy load routed by the shard map, 1 node vs 3. The 3-node
+# cell must clear 2x; CI uploads BENCH_cluster.json per run.
+bench-cluster:
+	$(GO) test -run xx -bench BenchmarkClusterScaling -benchtime 3x -json . | tee BENCH_cluster.json
 
 clean:
 	$(GO) clean ./...

@@ -12,6 +12,13 @@
 // /metrics, /healthz, and net/http/pprof. With -backups > 0 the node
 // serves a primary-backup replicated in-memory store instead of the
 // single embedded engine.
+//
+// With -cluster-node-id set the node joins a shared-nothing fleet: it
+// boots a versioned shard map (-peers for a uniform bootstrap map,
+// -shardmap for an explicit one), serves only the slots the map
+// assigns it, and answers everything else 410 Gone with routing
+// hints. POST /admin/migrate?slot=N&dest=URL live-migrates one slot
+// to another member (freeze, pinned-ts copy, map version bump).
 package main
 
 import (
@@ -20,9 +27,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"ycsbt/internal/cluster"
 	"ycsbt/internal/httpkv"
 	"ycsbt/internal/kvstore"
 	"ycsbt/internal/obs"
@@ -52,6 +62,11 @@ func run() error {
 	replicaLag := flag.Duration("replica-lag", 0, "async replication delay per backup hop (with -backups)")
 	replicaSync := flag.Bool("replica-sync", false, "replicate synchronously: a quorum of backups applies every write before acknowledging (with -backups)")
 	replicaQuorum := flag.Int("replica-quorum", 0, "backups that must apply a sync write before acknowledging; 0 = majority (with -replica-sync)")
+	clusterNodeID := flag.String("cluster-node-id", "", "this node's base URL in the shard map, e.g. http://127.0.0.1:8077 (enables cluster mode)")
+	peers := flag.String("peers", "", "comma-separated base URLs of every cluster member, this node included; builds a uniform round-robin shard map at version 1 (with -cluster-node-id)")
+	shardmapPath := flag.String("shardmap", "", "path to a shard map JSON file to boot from instead of -peers (with -cluster-node-id)")
+	clusterSlots := flag.Int("cluster-slots", cluster.DefaultSlots, "key-space slots in the bootstrap shard map (with -peers)")
+	clusterPlacement := flag.String("cluster-placement", cluster.PlacementHash, "bootstrap placement, hash or range; range needs explicit bounds, so boot it from -shardmap (with -peers)")
 	flag.Parse()
 
 	reg := obs.Default()
@@ -101,10 +116,44 @@ func run() error {
 	}
 	defer eng.Close()
 
+	// Cluster mode: boot a shard map and serve only the owned slots.
+	var cs *cluster.State
+	if *clusterNodeID != "" {
+		var m *cluster.Map
+		var err error
+		switch {
+		case *shardmapPath != "":
+			doc, rerr := os.ReadFile(*shardmapPath)
+			if rerr != nil {
+				return fmt.Errorf("reading -shardmap: %w", rerr)
+			}
+			m, err = cluster.Decode(doc)
+		case *peers != "":
+			var nodes []string
+			for _, n := range strings.Split(*peers, ",") {
+				if n = strings.TrimSpace(n); n != "" {
+					nodes = append(nodes, n)
+				}
+			}
+			m, err = cluster.NewUniform(*clusterPlacement, *clusterSlots, nodes, nil)
+		default:
+			return fmt.Errorf("cluster mode needs -peers or -shardmap")
+		}
+		if err != nil {
+			return fmt.Errorf("bootstrapping shard map: %w", err)
+		}
+		cs, err = cluster.NewState(*clusterNodeID, m, metrics)
+		if err != nil {
+			return fmt.Errorf("joining cluster: %w", err)
+		}
+		desc += fmt.Sprintf(" cluster node=%s slots=%d/%d map=v%d", *clusterNodeID, len(m.SlotsOf(*clusterNodeID)), m.Slots, m.Version)
+	}
+
 	var handler http.Handler = httpkv.NewServerWithOptions(eng, httpkv.ServerOptions{
 		MaxInflightBatches: *maxInflight,
 		MaxBodyBytes:       *maxBodyBytes,
 		Metrics:            metrics,
+		Cluster:            cs,
 	})
 	if *delay > 0 {
 		inner := handler
@@ -128,6 +177,32 @@ func run() error {
 		}
 		after, _ := eng.WALSize()
 		fmt.Fprintf(w, "compacted: %d -> %d bytes\n", before, after)
+	})
+	mux.HandleFunc("/admin/migrate", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		if cs == nil {
+			http.Error(w, "not a cluster node", http.StatusPreconditionFailed)
+			return
+		}
+		slot, err := strconv.Atoi(r.URL.Query().Get("slot"))
+		if err != nil {
+			http.Error(w, "bad slot", http.StatusBadRequest)
+			return
+		}
+		dest := r.URL.Query().Get("dest")
+		if dest == "" {
+			http.Error(w, "missing dest", http.StatusBadRequest)
+			return
+		}
+		next, err := httpkv.MigrateSlot(r.Context(), nil, cs.Map(), slot, dest)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintf(w, "{\"slot\":%d,\"dest\":%q,\"map_version\":%d}\n", slot, dest, next.Version)
 	})
 	mux.HandleFunc("/admin/stats", func(w http.ResponseWriter, r *http.Request) {
 		size, _ := eng.WALSize()

@@ -1,0 +1,237 @@
+// Package cluster defines the shard map that scales the kvserver
+// fleet out to multiple nodes: a monotonically versioned assignment
+// of key-space slots onto node addresses, the node-local State that
+// mounts one owned slice of that map, and the typed MovedError the
+// HTTP layer surfaces when a request lands on the wrong node.
+//
+// The design follows the client-coordinated philosophy of the rest of
+// the system (the Cherry-Garcia-style txn layer needs no central
+// coordinator, and neither does routing): there is no metadata
+// service. Every node carries a full copy of the map and serves it at
+// GET /v1/shardmap; clients cache a copy, route per key, and re-fetch
+// when a 410 response tells them their copy is stale. Rebalancing
+// bumps the version and installs the new map node by node — stale
+// nodes keep answering with moved hints until they converge, so the
+// fleet never needs to agree atomically.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Placement names the key→slot function of a map.
+const (
+	// PlacementHash routes keys by FNV-1a hash modulo Slots — the
+	// default, matching the engine's own partition routing so load
+	// spreads uniformly without any knowledge of the key population.
+	PlacementHash = "hash"
+	// PlacementRange routes keys by binary search over Bounds:
+	// slot i owns [Bounds[i-1], Bounds[i]). Range placement keeps
+	// lexicographic neighbours colocated, so scans touch few nodes,
+	// at the price of choosing split points up front.
+	PlacementRange = "range"
+)
+
+// DefaultSlots is the slot count used when none is configured. Slots
+// are the unit of rebalancing — more slots than nodes, so a node can
+// shed load one slice at a time.
+const DefaultSlots = 16
+
+// Map is a versioned placement of key-space slots onto nodes. It is
+// immutable once published: rebalancing builds a successor with
+// WithSlotMoved, which bumps Version. Everything is exported and
+// JSON-encodable because the map itself is the wire protocol
+// (GET/PUT /v1/shardmap).
+type Map struct {
+	// Version orders maps totally; higher wins. Installation rejects
+	// anything ≤ the current version, so replayed or reordered
+	// installs are harmless.
+	Version int64 `json:"version"`
+	// Placement is PlacementHash or PlacementRange.
+	Placement string `json:"placement"`
+	// Slots is the number of key-space slices. Immutable across
+	// versions of the same cluster (resharding is a different, much
+	// bigger operation than rebalancing).
+	Slots int `json:"slots"`
+	// Nodes are the base URLs of every cluster member.
+	Nodes []string `json:"nodes"`
+	// Assign maps slot index → index into Nodes.
+	Assign []int `json:"assign"`
+	// Bounds are the Slots-1 sorted split keys of range placement:
+	// slot 0 owns keys < Bounds[0], slot i owns [Bounds[i-1],
+	// Bounds[i]), the last slot owns keys ≥ the final bound. Empty
+	// for hash placement.
+	Bounds []string `json:"bounds,omitempty"`
+}
+
+// NewUniform builds a version-1 map assigning slots round-robin over
+// nodes. For range placement the caller supplies the slots-1 split
+// keys; for hash placement bounds must be nil.
+func NewUniform(placement string, slots int, nodes []string, bounds []string) (*Map, error) {
+	if slots <= 0 {
+		slots = DefaultSlots
+	}
+	m := &Map{
+		Version:   1,
+		Placement: placement,
+		Slots:     slots,
+		Nodes:     append([]string(nil), nodes...),
+		Assign:    make([]int, slots),
+		Bounds:    append([]string(nil), bounds...),
+	}
+	for i := range m.Assign {
+		m.Assign[i] = i % len(nodes)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Validate checks the map's internal consistency.
+func (m *Map) Validate() error {
+	if m == nil {
+		return fmt.Errorf("cluster: nil map")
+	}
+	if m.Version <= 0 {
+		return fmt.Errorf("cluster: map version %d must be positive", m.Version)
+	}
+	switch m.Placement {
+	case PlacementHash:
+		if len(m.Bounds) != 0 {
+			return fmt.Errorf("cluster: hash placement carries %d bounds", len(m.Bounds))
+		}
+	case PlacementRange:
+		if len(m.Bounds) != m.Slots-1 {
+			return fmt.Errorf("cluster: range placement needs %d bounds, got %d", m.Slots-1, len(m.Bounds))
+		}
+		if !sort.StringsAreSorted(m.Bounds) {
+			return fmt.Errorf("cluster: range bounds not sorted")
+		}
+	default:
+		return fmt.Errorf("cluster: unknown placement %q", m.Placement)
+	}
+	if m.Slots <= 0 {
+		return fmt.Errorf("cluster: slots %d must be positive", m.Slots)
+	}
+	if len(m.Nodes) == 0 {
+		return fmt.Errorf("cluster: no nodes")
+	}
+	seen := make(map[string]bool, len(m.Nodes))
+	for _, n := range m.Nodes {
+		if n == "" {
+			return fmt.Errorf("cluster: empty node address")
+		}
+		if seen[n] {
+			return fmt.Errorf("cluster: duplicate node %q", n)
+		}
+		seen[n] = true
+	}
+	if len(m.Assign) != m.Slots {
+		return fmt.Errorf("cluster: assign length %d != slots %d", len(m.Assign), m.Slots)
+	}
+	for slot, ni := range m.Assign {
+		if ni < 0 || ni >= len(m.Nodes) {
+			return fmt.Errorf("cluster: slot %d assigned to unknown node index %d", slot, ni)
+		}
+	}
+	return nil
+}
+
+// fnv1a is the same 32-bit FNV-1a the engine uses for partition
+// routing, duplicated here so the cluster layer has no dependency on
+// the storage engine.
+func fnv1a(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// SlotOf maps a key to its slot under this map's placement.
+func (m *Map) SlotOf(key string) int {
+	if m.Placement == PlacementRange {
+		// Upper bound: the number of split keys ≤ key.
+		return sort.Search(len(m.Bounds), func(i int) bool { return m.Bounds[i] > key })
+	}
+	return int(fnv1a(key) % uint32(m.Slots))
+}
+
+// OwnerOfSlot returns the node address serving slot.
+func (m *Map) OwnerOfSlot(slot int) string {
+	return m.Nodes[m.Assign[slot]]
+}
+
+// Owner resolves a key to its owning node address and slot.
+func (m *Map) Owner(key string) (node string, slot int) {
+	slot = m.SlotOf(key)
+	return m.OwnerOfSlot(slot), slot
+}
+
+// NodeIndex returns the index of addr in Nodes, or -1.
+func (m *Map) NodeIndex(addr string) int {
+	for i, n := range m.Nodes {
+		if n == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+// SlotsOf lists the slots assigned to addr.
+func (m *Map) SlotsOf(addr string) []int {
+	ni := m.NodeIndex(addr)
+	var out []int
+	for slot, a := range m.Assign {
+		if a == ni {
+			out = append(out, slot)
+		}
+	}
+	return out
+}
+
+// Clone deep-copies the map.
+func (m *Map) Clone() *Map {
+	out := *m
+	out.Nodes = append([]string(nil), m.Nodes...)
+	out.Assign = append([]int(nil), m.Assign...)
+	out.Bounds = append([]string(nil), m.Bounds...)
+	return &out
+}
+
+// WithSlotMoved returns the successor map (Version+1) assigning slot
+// to node, which must already be a cluster member.
+func (m *Map) WithSlotMoved(slot int, node string) (*Map, error) {
+	if slot < 0 || slot >= m.Slots {
+		return nil, fmt.Errorf("cluster: slot %d out of range [0,%d)", slot, m.Slots)
+	}
+	ni := m.NodeIndex(node)
+	if ni < 0 {
+		return nil, fmt.Errorf("cluster: node %q not a cluster member", node)
+	}
+	out := m.Clone()
+	out.Version++
+	out.Assign[slot] = ni
+	return out, nil
+}
+
+// Encode renders the map as its wire JSON.
+func (m *Map) Encode() ([]byte, error) {
+	return json.Marshal(m)
+}
+
+// Decode parses and validates a wire-JSON map.
+func Decode(doc []byte) (*Map, error) {
+	var m Map
+	if err := json.Unmarshal(doc, &m); err != nil {
+		return nil, fmt.Errorf("cluster: decoding shard map: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

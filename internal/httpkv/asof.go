@@ -101,7 +101,7 @@ func (c *Client) checkAsOfEcho(resp *http.Response) error {
 	if !asOfEvidence(resp.StatusCode) {
 		return nil // inconclusive; don't latch, let the status surface
 	}
-	c.asOfUnsupported.Store(true)
+	c.caps.asOfUnsupported.Store(true)
 	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 	resp.Body.Close()
 	return errAsOfUnsupported
@@ -109,7 +109,7 @@ func (c *Client) checkAsOfEcho(resp *http.Response) error {
 
 // readWireAsOf fetches one record as of ts, enforcing the echo.
 func (c *Client) readWireAsOf(ctx context.Context, table, key string, ts int64) (*wireRecord, error) {
-	if c.asOfUnsupported.Load() {
+	if c.caps.asOfUnsupported.Load() {
 		return nil, errAsOfUnsupported
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.recordURL(table, key), nil)
@@ -138,7 +138,7 @@ func (c *Client) readWireAsOf(ctx context.Context, table, key string, ts int64) 
 // scanWireAsOf fetches one scan page as of ts, enforcing the echo.
 // Like scanWire it speaks NDJSON when the server does.
 func (c *Client) scanWireAsOf(ctx context.Context, table, startKey string, count int, ts int64) ([]wireRecord, error) {
-	if c.asOfUnsupported.Load() {
+	if c.caps.asOfUnsupported.Load() {
 		return nil, errAsOfUnsupported
 	}
 	u := c.base + "/v1/" + url.PathEscape(table) + "?start=" + url.QueryEscape(startKey) + "&count=" + strconv.Itoa(count)
@@ -182,7 +182,7 @@ func (c *Client) scanWireAsOf(ctx context.Context, table, startKey string, count
 // server answers the path as a table scan (a JSON array), which maps
 // to db.ErrNotSupported and latches the as-of fast-fail.
 func (c *Client) SnapshotTS(ctx context.Context) (int64, error) {
-	if c.asOfUnsupported.Load() {
+	if c.caps.asOfUnsupported.Load() {
 		return 0, errAsOfUnsupported
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/ts", nil)
@@ -196,7 +196,7 @@ func (c *Client) SnapshotTS(ctx context.Context) (int64, error) {
 	defer resp.Body.Close()
 	var ts wireTS
 	if err := json.NewDecoder(resp.Body).Decode(&ts); err != nil || ts.TS <= 0 {
-		c.asOfUnsupported.Store(true)
+		c.caps.asOfUnsupported.Store(true)
 		return 0, errAsOfUnsupported
 	}
 	return ts.TS, nil

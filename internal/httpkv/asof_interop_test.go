@@ -149,7 +149,7 @@ func TestAsOfInteropNewClientNewServer(t *testing.T) {
 	if !errors.Is(res[2].Err, db.ErrNotFound) {
 		t.Fatalf("batch read of later-inserted k5: %v, want ErrNotFound", res[2].Err)
 	}
-	if c.asOfUnsupported.Load() {
+	if c.caps.asOfUnsupported.Load() {
 		t.Fatal("latch set against a current server")
 	}
 }
@@ -166,7 +166,7 @@ func TestAsOfInteropNewClientOldServer(t *testing.T) {
 	if _, err := c.Read(ctx, "t", "k1", nil); !errors.Is(err, db.ErrNotSupported) {
 		t.Fatalf("as-of read against old server: %v, want ErrNotSupported", err)
 	}
-	if !c.asOfUnsupported.Load() {
+	if !c.caps.asOfUnsupported.Load() {
 		t.Fatal("latch not set after missing echo")
 	}
 	if _, err := c.Scan(ctx, "t", "", 10, nil); !errors.Is(err, db.ErrNotSupported) {
@@ -194,7 +194,7 @@ func TestAsOfInteropNewClientOldServer(t *testing.T) {
 			t.Fatalf("batch item %d silently served head data: %v", i, r.Record)
 		}
 	}
-	if !c3.asOfUnsupported.Load() {
+	if !c3.caps.asOfUnsupported.Load() {
 		t.Fatal("batch latch not set after missing as_of echo")
 	}
 

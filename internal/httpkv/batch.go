@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"ycsbt/internal/cluster"
 	"ycsbt/internal/db"
 	"ycsbt/internal/kvstore"
 )
@@ -103,6 +104,12 @@ type wireBatchResult struct {
 	// its absence on an as-of get means an old server served head data
 	// (the batch analogue of the missing AsOfServedHeader).
 	AsOf int64 `json:"as_of,omitempty"`
+	// Owner and MapVersion carry the routing hints of a per-item 410
+	// in cluster mode — the batch analogue of the X-Shard-Owner and
+	// X-Shard-Map-Version headers. Owner is empty while the key's slot
+	// drains for migration (back off, don't redirect).
+	Owner      string `json:"owner,omitempty"`
+	MapVersion int64  `json:"map_version,omitempty"`
 }
 
 // expect resolves the line's conditional-write headers (same defaults
@@ -209,9 +216,9 @@ func (s *Server) execBatch(ctx context.Context, ops []wireBatchOp) []wireBatchRe
 			return out
 		}
 		if ops[lo].Op == "get" {
-			s.execGetRun(ops[lo:hi], out[lo:hi])
+			s.execGetRunClustered(ops[lo:hi], out[lo:hi])
 		} else {
-			s.execMutRun(ops[lo:hi], out[lo:hi])
+			s.execMutRunClustered(ops[lo:hi], out[lo:hi])
 		}
 		lo = hi
 	}
@@ -376,7 +383,7 @@ func (c *Client) ExecBatch(ctx context.Context, ops []db.BatchOp) []db.BatchResu
 		case db.OpRead:
 			w = wireBatchOp{Op: "get", Table: op.Table, Key: op.Key}
 			if c.asOf != 0 {
-				if c.asOfUnsupported.Load() {
+				if c.caps.asOfUnsupported.Load() {
 					out[i] = db.BatchResult{Err: errAsOfUnsupported}
 					continue
 				}
@@ -398,14 +405,14 @@ func (c *Client) ExecBatch(ctx context.Context, ops []db.BatchOp) []db.BatchResu
 	if len(wire) == 0 {
 		return out
 	}
-	if c.batchUnsupported.Load() {
+	if c.caps.batchUnsupported.Load() {
 		c.execBatchFallback(ctx, ops, idx, out)
 		return out
 	}
 	results, err := c.postBatch(ctx, wire)
 	if err != nil {
 		if errors.Is(err, errNoBatchRoute) {
-			c.batchUnsupported.Store(true)
+			c.caps.batchUnsupported.Store(true)
 			c.execBatchFallback(ctx, ops, idx, out)
 			return out
 		}
@@ -418,7 +425,7 @@ func (c *Client) ExecBatch(ctx context.Context, ops []db.BatchOp) []db.BatchResu
 		if wire[j].AsOf != 0 && results[j].AsOf == 0 {
 			// An old server dropped the unknown as_of field and served
 			// head data; refuse it and latch, like the header echo path.
-			c.asOfUnsupported.Store(true)
+			c.caps.asOfUnsupported.Store(true)
 			out[i] = db.BatchResult{Err: errAsOfUnsupported}
 			continue
 		}
@@ -517,6 +524,8 @@ func (r wireBatchResult) toBatchResult(fields []string) db.BatchResult {
 		return db.BatchResult{Err: fmt.Errorf("%w: %s", db.ErrConflict, r.Error)}
 	case http.StatusTooManyRequests:
 		return db.BatchResult{Err: fmt.Errorf("%w: %s", db.ErrThrottled, r.Error)}
+	case http.StatusGone:
+		return db.BatchResult{Err: &cluster.MovedError{Owner: r.Owner, MapVersion: r.MapVersion}}
 	case http.StatusGatewayTimeout:
 		return db.BatchResult{Err: fmt.Errorf("%w: %s", context.DeadlineExceeded, r.Error)}
 	default:

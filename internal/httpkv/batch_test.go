@@ -330,7 +330,7 @@ func TestBatchFallbackToLegacyServer(t *testing.T) {
 			t.Fatalf("round %d item 2: %v", round, res[2].Err)
 		}
 	}
-	if !c.batchUnsupported.Load() {
+	if !c.caps.batchUnsupported.Load() {
 		t.Error("fallback latch not set after talking to a legacy server")
 	}
 

@@ -1,0 +1,25 @@
+package httpkv
+
+import "sync/atomic"
+
+// endpointCaps holds the negotiated-capability latches for ONE server
+// endpoint. The client discovers what a server speaks by trying: a
+// 404/405 on /v1/batch latches the single-op fallback, a missing
+// as-of echo latches snapshot-read fast-fail. Those latches are facts
+// about a *server*, not about the client — so they live in their own
+// per-endpoint struct rather than inline Client fields. A Client
+// talking to exactly one base URL owns exactly one endpointCaps; the
+// cluster Router keeps one per node address (keyed by the address, so
+// the latch survives the per-node Client being rebuilt on a map
+// change), and one old node in a mixed-version cluster degrades only
+// itself instead of disabling batch and as-of for the whole fleet.
+type endpointCaps struct {
+	// batchUnsupported latches after the endpoint answers /v1/batch
+	// with 404/405; later batches to it use the single-op fallback.
+	batchUnsupported atomic.Bool
+	// asOfUnsupported latches after the endpoint provably ignores
+	// as-of requests (no served-ts echo on a conclusive status, or
+	// /v1/ts answered as a table scan); later as-of reads against it
+	// fast-fail with db.ErrNotSupported rather than serving head data.
+	asOfUnsupported atomic.Bool
+}

@@ -10,9 +10,9 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
-	"sync/atomic"
 	"time"
 
+	"ycsbt/internal/cluster"
 	"ycsbt/internal/db"
 	"ycsbt/internal/kvstore"
 	"ycsbt/internal/properties"
@@ -72,17 +72,13 @@ type Client struct {
 	// bounded pipelining keeps a saturated benchmark from opening
 	// unlimited sockets when the server slows down.
 	sem chan struct{}
-	// batchUnsupported latches after a server answers /v1/batch with
-	// 404/405; later batches use the single-op fallback.
-	batchUnsupported atomic.Bool
+	// caps holds this endpoint's negotiated-capability latches
+	// (batch-route fallback, as-of fast-fail). Scoped per endpoint so
+	// a cluster router's nodes latch independently; see caps.go.
+	caps *endpointCaps
 	// asOf, when non-zero, routes every read through the as-of wire
 	// protocol at that snapshot timestamp (the "as_of" property).
 	asOf int64
-	// asOfUnsupported latches after a server provably ignores as-of
-	// requests (no served-ts echo on a conclusive status, or /v1/ts
-	// answers as a table scan); later as-of reads fast-fail with
-	// db.ErrNotSupported rather than silently serving head data.
-	asOfUnsupported atomic.Bool
 	// retry429 / retry429Max configure the throttle retry loop (see
 	// sendRetry): up to retry429 re-sends, each sleeping the server's
 	// Retry-After (doubled per attempt) capped at retry429Max.
@@ -97,7 +93,7 @@ func NewClient(baseURL string, hc *http.Client) *Client {
 	if hc == nil {
 		hc = newPooledHTTPClient(DefaultPoolSize, DefaultTimeout)
 	}
-	return &Client{base: baseURL, hc: hc, retry429: DefaultRetry429, retry429Max: DefaultRetry429Max}
+	return &Client{base: baseURL, hc: hc, caps: &endpointCaps{}, retry429: DefaultRetry429, retry429Max: DefaultRetry429Max}
 }
 
 func init() {
@@ -111,6 +107,9 @@ func init() {
 func (c *Client) Init(p *properties.Properties) error {
 	if c.base == "" {
 		c.base = p.GetString("rawhttp.url", "http://127.0.0.1:8077")
+	}
+	if c.caps == nil {
+		c.caps = &endpointCaps{}
 	}
 	if c.hc == nil {
 		c.hc = newPooledHTTPClient(
@@ -151,7 +150,11 @@ func (c *Client) recordURL(table, key string) string {
 	return c.base + "/v1/" + url.PathEscape(table) + "/" + url.PathEscape(key)
 }
 
-// statusError maps HTTP status codes back to db-layer sentinels.
+// statusError maps HTTP status codes back to db-layer sentinels. A
+// 410 becomes a typed *cluster.MovedError carrying the responding
+// node's map version and owner hint, so routers and middleware can
+// tell a stale shard map apart from a genuine client error instead of
+// pattern-matching on a generic 4xx.
 func statusError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 	switch resp.StatusCode {
@@ -161,6 +164,12 @@ func statusError(resp *http.Response) error {
 		return fmt.Errorf("%w: %s", db.ErrConflict, bytes.TrimSpace(body))
 	case http.StatusTooManyRequests:
 		return fmt.Errorf("%w: %s", db.ErrThrottled, bytes.TrimSpace(body))
+	case http.StatusGone:
+		ver, _ := strconv.ParseInt(resp.Header.Get(cluster.HeaderMapVersion), 10, 64)
+		return &cluster.MovedError{
+			Owner:      resp.Header.Get(cluster.HeaderOwner),
+			MapVersion: ver,
+		}
 	default:
 		return fmt.Errorf("httpkv: server returned %s: %s", resp.Status, bytes.TrimSpace(body))
 	}

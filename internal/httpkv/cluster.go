@@ -1,0 +1,306 @@
+package httpkv
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"ycsbt/internal/cluster"
+	"ycsbt/internal/kvstore"
+)
+
+// Server-side cluster mode: when ServerOptions.Cluster is set, the
+// node serves only the shard-map slots it owns and answers everything
+// else with 410 Gone plus routing hints (X-Shard-Map-Version and, for
+// settled slots, X-Shard-Owner). Four management routes appear:
+//
+//	GET  /v1/shardmap               → 200 the node's current map JSON
+//	PUT  /v1/shardmap               → install a newer map (409 if stale)
+//	POST /v1/shardmap/freeze?slot=N → drain writes to one slot ("&thaw=1" reverts)
+//	POST /v1/ingest?table=T         → NDJSON version-preserving record merge
+//	GET  /v1/tables                 → 200 {"tables":[...]}
+//
+// A non-cluster server answers the first two paths from its generic
+// record handler (a scan of a table named "shardmap"), which the
+// cluster client detects as "no cluster support" — the same
+// old-server negotiation idiom as /v1/ts. The table names "shardmap",
+// "ingest" and "tables" are reserved by these routes.
+//
+// Reads keep serving while a slot drains (the data is still local and
+// immutable past the migration snapshot); only writes 410 during the
+// drain window, with no owner hint — the new owner is not serving
+// yet, so clients back off and retry rather than redirect.
+
+// writeMoved answers a request for a key this node does not serve.
+func writeMoved(w http.ResponseWriter, me *cluster.MovedError) {
+	w.Header().Set(cluster.HeaderMapVersion, strconv.FormatInt(me.MapVersion, 10))
+	if me.Owner != "" {
+		w.Header().Set(cluster.HeaderOwner, me.Owner)
+	}
+	http.Error(w, me.Error(), http.StatusGone)
+}
+
+// checkRead gates a single-key read; it reports true when the request
+// was rejected (response already written).
+func (s *Server) checkRead(w http.ResponseWriter, key string) bool {
+	cs := s.opts.Cluster
+	if cs == nil {
+		return false
+	}
+	if err := cs.CheckRead(key); err != nil {
+		writeMoved(w, err.(*cluster.MovedError))
+		return true
+	}
+	return false
+}
+
+// enterWrite gates a single-key mutation: it takes the freeze barrier
+// and checks ownership, returning the release func the caller must
+// defer around the engine apply. rejected means the response was
+// already written (and nothing is held).
+func (s *Server) enterWrite(w http.ResponseWriter, key string) (release func(), rejected bool) {
+	cs := s.opts.Cluster
+	if cs == nil {
+		return func() {}, false
+	}
+	release = cs.Enter()
+	if err := cs.CheckWrite(key); err != nil {
+		release()
+		writeMoved(w, err.(*cluster.MovedError))
+		return nil, true
+	}
+	return release, false
+}
+
+// movedBatchResult renders a per-item 410 for the /v1/batch protocol,
+// carrying the same routing hints as the single-op headers.
+func movedBatchResult(me *cluster.MovedError) wireBatchResult {
+	return wireBatchResult{
+		Status:     http.StatusGone,
+		Error:      me.Error(),
+		Owner:      me.Owner,
+		MapVersion: me.MapVersion,
+	}
+}
+
+// execGetRunClustered gates a batch get run per item in cluster mode:
+// items this node does not own answer 410 with routing hints, the
+// rest share the usual engine rounds.
+func (s *Server) execGetRunClustered(ops []wireBatchOp, out []wireBatchResult) {
+	cs := s.opts.Cluster
+	if cs == nil {
+		s.execGetRun(ops, out)
+		return
+	}
+	kept, idx := s.clusterFilter(ops, out, cs.CheckRead)
+	if len(kept) == 0 {
+		return
+	}
+	sub := make([]wireBatchResult, len(kept))
+	s.execGetRun(kept, sub)
+	for j, i := range idx {
+		out[i] = sub[j]
+	}
+}
+
+// execMutRunClustered gates a batch mutation run per item, holding the
+// freeze barrier across check and engine apply so a migration snapshot
+// drawn after Freeze returns covers every write admitted here.
+func (s *Server) execMutRunClustered(ops []wireBatchOp, out []wireBatchResult) {
+	cs := s.opts.Cluster
+	if cs == nil {
+		s.execMutRun(ops, out)
+		return
+	}
+	release := cs.Enter()
+	defer release()
+	kept, idx := s.clusterFilter(ops, out, cs.CheckWrite)
+	if len(kept) == 0 {
+		return
+	}
+	sub := make([]wireBatchResult, len(kept))
+	s.execMutRun(kept, sub)
+	for j, i := range idx {
+		out[i] = sub[j]
+	}
+}
+
+// clusterFilter splits a run into the items this node serves (returned
+// with their original indices) and the ones it rejects (410 results
+// written in place).
+func (s *Server) clusterFilter(ops []wireBatchOp, out []wireBatchResult, check func(string) error) ([]wireBatchOp, []int) {
+	kept := make([]wireBatchOp, 0, len(ops))
+	idx := make([]int, 0, len(ops))
+	for i, op := range ops {
+		if err := check(op.Key); err != nil {
+			out[i] = movedBatchResult(err.(*cluster.MovedError))
+			continue
+		}
+		kept = append(kept, op)
+		idx = append(idx, i)
+	}
+	return kept, idx
+}
+
+// handleShardMap serves GET (fetch) and PUT (install) /v1/shardmap.
+func (s *Server) handleShardMap(w http.ResponseWriter, r *http.Request) {
+	cs := s.opts.Cluster
+	if cs == nil {
+		http.Error(w, "not a cluster node", http.StatusNotFound)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		m := cs.Map()
+		w.Header().Set(cluster.HeaderMapVersion, strconv.FormatInt(m.Version, 10))
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(cs.MapJSON())
+	case http.MethodPut:
+		var m cluster.Map
+		if err := json.NewDecoder(r.Body).Decode(&m); err != nil {
+			writeDecodeError(w, err)
+			return
+		}
+		installed, err := cs.Install(&m)
+		if err != nil {
+			cur := cs.Map()
+			w.Header().Set(cluster.HeaderMapVersion, strconv.FormatInt(cur.Version, 10))
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.Header().Set(cluster.HeaderMapVersion, strconv.FormatInt(installed.Version, 10))
+		w.WriteHeader(http.StatusOK)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// handleFreeze serves POST /v1/shardmap/freeze?slot=N[&thaw=1]. Freeze
+// returns only after every in-flight write to the slot has drained, so
+// a snapshot timestamp drawn afterwards covers them all.
+func (s *Server) handleFreeze(w http.ResponseWriter, r *http.Request) {
+	cs := s.opts.Cluster
+	if cs == nil {
+		http.Error(w, "not a cluster node", http.StatusNotFound)
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	slot, err := strconv.Atoi(r.URL.Query().Get("slot"))
+	if err != nil {
+		http.Error(w, "bad slot", http.StatusBadRequest)
+		return
+	}
+	if r.URL.Query().Get("thaw") != "" {
+		cs.Thaw(slot)
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	if err := cs.Freeze(slot); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// handleIngest serves POST /v1/ingest?table=T: NDJSON wireRecord lines
+// (key, version, commit_ts, fields) merged version-preservingly into
+// the engine — the receiving half of a slot migration. No ownership
+// gate: the point is to land records for a slot this node does not
+// own yet.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	table := r.URL.Query().Get("table")
+	if table == "" {
+		http.Error(w, "missing table", http.StatusBadRequest)
+		return
+	}
+	var kvs []kvstore.BulkKV
+	dec := json.NewDecoder(r.Body)
+	for dec.More() {
+		var wr wireRecord
+		if err := dec.Decode(&wr); err != nil {
+			writeDecodeError(w, fmt.Errorf("line %d: %w", len(kvs)+1, err))
+			return
+		}
+		if wr.Key == "" {
+			http.Error(w, fmt.Sprintf("line %d: missing key", len(kvs)+1), http.StatusBadRequest)
+			return
+		}
+		kvs = append(kvs, kvstore.BulkKV{Key: wr.Key, Fields: wr.Fields, Version: wr.Version, CommitTS: wr.CommitTS})
+	}
+	if err := s.store.Ingest(table, kvs); err != nil {
+		writeStoreError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"ingested\":%d}\n", len(kvs))
+}
+
+// handleTables serves GET /v1/tables so the migrator can enumerate
+// what to copy.
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	tables := s.store.Tables()
+	if tables == nil {
+		tables = []string{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string][]string{"tables": tables})
+}
+
+// scanFiltered pages through the engine until it has count records
+// that pass the cluster filter (exactly slot when slot ≥ 0, otherwise
+// the slots this node owns), resuming past each page's last key. A
+// plain engine scan stops short when filtered-out keys pad the page,
+// which would make a routed scan silently lossy.
+func (s *Server) scanFiltered(table, start string, count int, ts int64, slot int) ([]kvstore.VersionedKV, error) {
+	cs := s.opts.Cluster
+	m := cs.Map()
+	keep := func(key string) bool {
+		sl := m.SlotOf(key)
+		if slot >= 0 {
+			return sl == slot
+		}
+		return m.OwnerOfSlot(sl) == cs.Self()
+	}
+	pageSize := 1024
+	if count >= 0 && count > pageSize {
+		pageSize = count
+	}
+	var out []kvstore.VersionedKV
+	for {
+		var page []kvstore.VersionedKV
+		var err error
+		if ts != 0 {
+			page, err = s.store.ScanAsOf(table, start, pageSize, ts)
+		} else {
+			page, err = s.store.Scan(table, start, pageSize)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, kv := range page {
+			if !keep(kv.Key) {
+				continue
+			}
+			out = append(out, kv)
+			if count >= 0 && len(out) >= count {
+				return out, nil
+			}
+		}
+		if len(page) < pageSize {
+			return out, nil
+		}
+		start = page[len(page)-1].Key + "\x00"
+	}
+}

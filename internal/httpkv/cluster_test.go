@@ -1,0 +1,381 @@
+package httpkv
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"ycsbt/internal/cluster"
+	"ycsbt/internal/db"
+	"ycsbt/internal/kvstore"
+)
+
+// clusterNode is one in-process cluster member: a real Server behind a
+// real HTTP listener, late-bound so the shard map can name the
+// listener's URL before the Server exists.
+type clusterNode struct {
+	URL   string
+	state *cluster.State
+	store *kvstore.Store
+	srv   *httptest.Server
+	h     atomic.Pointer[Server]
+	// pre intercepts requests before the Server sees them (handled
+	// when it returns true) — used to fake old-version nodes.
+	pre atomic.Pointer[func(http.ResponseWriter, *http.Request) bool]
+}
+
+// startTestCluster boots n cluster-mode nodes sharing one uniform
+// hash map over the given slot count.
+func startTestCluster(t *testing.T, n, slots int) []*clusterNode {
+	t.Helper()
+	nodes := make([]*clusterNode, n)
+	for i := range nodes {
+		tn := &clusterNode{}
+		tn.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if pre := tn.pre.Load(); pre != nil && (*pre)(w, r) {
+				return
+			}
+			if s := tn.h.Load(); s != nil {
+				s.ServeHTTP(w, r)
+				return
+			}
+			http.Error(w, "booting", http.StatusServiceUnavailable)
+		}))
+		tn.URL = tn.srv.URL
+		t.Cleanup(tn.srv.Close)
+		nodes[i] = tn
+	}
+	addrs := make([]string, n)
+	for i, tn := range nodes {
+		addrs[i] = tn.URL
+	}
+	m, err := cluster.NewUniform(cluster.PlacementHash, slots, addrs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tn := range nodes {
+		st, err := cluster.NewState(tn.URL, m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		store, err := kvstore.Open(kvstore.Options{Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { store.Close() })
+		tn.state = st
+		tn.store = store
+		tn.h.Store(NewServerWithOptions(store, ServerOptions{Cluster: st}))
+	}
+	return nodes
+}
+
+// keyOwnedBy generates a key the given node owns under m.
+func keyOwnedBy(t *testing.T, m *cluster.Map, addr, prefix string) string {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		k := fmt.Sprintf("%s%05d", prefix, i)
+		if owner, _ := m.Owner(k); owner == addr {
+			return k
+		}
+	}
+	t.Fatalf("no key with prefix %q owned by %s", prefix, addr)
+	return ""
+}
+
+func rec(v string) db.Record { return db.Record{"f": []byte(v)} }
+
+// A cluster node must answer operations on keys it does not own with
+// 410 plus routing hints, and serve its own keys normally.
+func TestClusterSingleOpMoved(t *testing.T) {
+	nodes := startTestCluster(t, 2, 8)
+	a, b := nodes[0], nodes[1]
+	m := a.state.Map()
+	ctx := context.Background()
+	ca := NewClient(a.URL, a.srv.Client())
+
+	theirs := keyOwnedBy(t, m, b.URL, "user")
+	var me *cluster.MovedError
+	if err := ca.Insert(ctx, "t", theirs, rec("x")); !errors.As(err, &me) {
+		t.Fatalf("insert of foreign key: got %v, want MovedError", err)
+	}
+	if me.Owner != b.URL || me.MapVersion != m.Version {
+		t.Errorf("moved hints: owner=%q v=%d, want owner=%q v=%d", me.Owner, me.MapVersion, b.URL, m.Version)
+	}
+	if _, err := ca.Read(ctx, "t", theirs, nil); !errors.As(err, &me) {
+		t.Errorf("read of foreign key: got %v, want MovedError", err)
+	}
+
+	mine := keyOwnedBy(t, m, a.URL, "user")
+	if err := ca.Insert(ctx, "t", mine, rec("y")); err != nil {
+		t.Fatalf("insert of owned key: %v", err)
+	}
+	got, err := ca.Read(ctx, "t", mine, nil)
+	if err != nil || string(got["f"]) != "y" {
+		t.Errorf("read of owned key: %v %v", got, err)
+	}
+}
+
+// Batch envelopes gate per item: foreign items answer 410 results with
+// routing hints while owned items in the same envelope succeed.
+func TestClusterBatchPartialMoved(t *testing.T) {
+	nodes := startTestCluster(t, 2, 8)
+	a, b := nodes[0], nodes[1]
+	m := a.state.Map()
+	ctx := context.Background()
+	ca := NewClient(a.URL, a.srv.Client())
+
+	mine := keyOwnedBy(t, m, a.URL, "user")
+	theirs := keyOwnedBy(t, m, b.URL, "user")
+	res := ca.ExecBatch(ctx, []db.BatchOp{
+		{Op: db.OpInsert, Table: "t", Key: mine, Values: rec("v1")},
+		{Op: db.OpInsert, Table: "t", Key: theirs, Values: rec("v2")},
+		{Op: db.OpRead, Table: "t", Key: mine},
+	})
+	if res[0].Err != nil {
+		t.Errorf("owned insert in batch: %v", res[0].Err)
+	}
+	var me *cluster.MovedError
+	if !errors.As(res[1].Err, &me) {
+		t.Fatalf("foreign insert in batch: got %v, want MovedError", res[1].Err)
+	}
+	if me.Owner != b.URL {
+		t.Errorf("batch moved owner hint = %q, want %q", me.Owner, b.URL)
+	}
+	if res[2].Err != nil || string(res[2].Record["f"]) != "v1" {
+		t.Errorf("owned read in batch: %v %v", res[2].Record, res[2].Err)
+	}
+}
+
+// A frozen slot drains writes (410, no owner hint — the slot has not
+// moved yet) while reads keep serving; thaw restores writes.
+func TestClusterFreezeWindow(t *testing.T) {
+	nodes := startTestCluster(t, 2, 8)
+	a := nodes[0]
+	m := a.state.Map()
+	ctx := context.Background()
+	ca := NewClient(a.URL, a.srv.Client())
+
+	key := keyOwnedBy(t, m, a.URL, "user")
+	if err := ca.Insert(ctx, "t", key, rec("v1")); err != nil {
+		t.Fatal(err)
+	}
+	_, slot := m.Owner(key)
+
+	resp, err := a.srv.Client().Post(fmt.Sprintf("%s/v1/shardmap/freeze?slot=%d", a.URL, slot), "", nil)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("freeze: %v %v", resp.Status, err)
+	}
+	resp.Body.Close()
+
+	var me *cluster.MovedError
+	if err := ca.Update(ctx, "t", key, rec("v2")); !errors.As(err, &me) {
+		t.Fatalf("write to frozen slot: got %v, want MovedError", err)
+	}
+	if me.Owner != "" {
+		t.Errorf("frozen slot advertised owner %q, want none (back off, not redirect)", me.Owner)
+	}
+	if got, err := ca.Read(ctx, "t", key, nil); err != nil || string(got["f"]) != "v1" {
+		t.Errorf("read during freeze: %v %v", got, err)
+	}
+
+	resp, err = a.srv.Client().Post(fmt.Sprintf("%s/v1/shardmap/freeze?slot=%d&thaw=1", a.URL, slot), "", nil)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("thaw: %v %v", resp.Status, err)
+	}
+	resp.Body.Close()
+	if err := ca.Update(ctx, "t", key, rec("v2")); err != nil {
+		t.Errorf("write after thaw: %v", err)
+	}
+}
+
+// GET serves the current map; PUT installs strictly newer maps and
+// answers 409 with the node's version header otherwise. After an
+// install the node starts 410ing the slots it lost.
+func TestClusterShardMapRoutes(t *testing.T) {
+	nodes := startTestCluster(t, 2, 8)
+	a, b := nodes[0], nodes[1]
+	m := a.state.Map()
+	ctx := context.Background()
+	hc := a.srv.Client()
+
+	got, err := fetchShardMap(ctx, hc, a.URL)
+	if err != nil {
+		t.Fatalf("GET shardmap: %v", err)
+	}
+	if got.Version != m.Version || len(got.Nodes) != 2 {
+		t.Errorf("fetched map v%d nodes=%d, want v%d nodes=2", got.Version, len(got.Nodes), m.Version)
+	}
+
+	// Re-PUT of the current version is stale → 409 + version header.
+	if err := putShardMap(ctx, hc, a.URL, m); err != nil {
+		t.Errorf("idempotent re-PUT of current map should be accepted as converged: %v", err)
+	}
+	doc, _ := m.Encode()
+	req, _ := http.NewRequest(http.MethodPut, a.URL+"/v1/shardmap", bytes.NewReader(doc))
+	resp, err := hc.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("stale PUT status = %d, want 409", resp.StatusCode)
+	}
+	if v, _ := strconv.ParseInt(resp.Header.Get(cluster.HeaderMapVersion), 10, 64); v != m.Version {
+		t.Errorf("stale PUT version header = %d, want %d", v, m.Version)
+	}
+
+	// A v+1 map moving one of a's slots to b installs and takes effect.
+	slots := m.SlotsOf(a.URL)
+	next, err := m.WithSlotMoved(slots[0], b.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := putShardMap(ctx, hc, a.URL, next); err != nil {
+		t.Fatalf("PUT v2: %v", err)
+	}
+	key := keyOwnedBy(t, next, b.URL, "moved")
+	if owner, sl := m.Owner(key); owner != a.URL || sl != slots[0] {
+		// keyOwnedBy walked next; re-derive one in the moved slot.
+		for i := 0; ; i++ {
+			key = fmt.Sprintf("mv%05d", i)
+			if _, s2 := m.Owner(key); s2 == slots[0] {
+				break
+			}
+		}
+	}
+	ca := NewClient(a.URL, hc)
+	var me *cluster.MovedError
+	if err := ca.Insert(ctx, "t", key, rec("x")); !errors.As(err, &me) {
+		t.Fatalf("write to moved-away slot: got %v, want MovedError", err)
+	}
+	if me.MapVersion != next.Version || me.Owner != b.URL {
+		t.Errorf("moved hints after install: owner=%q v=%d, want %q v=%d", me.Owner, me.MapVersion, b.URL, next.Version)
+	}
+}
+
+// POST /v1/ingest merges NDJSON records version-preservingly.
+func TestClusterIngestRoute(t *testing.T) {
+	nodes := startTestCluster(t, 1, 4)
+	a := nodes[0]
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	for i, tc := range []struct {
+		ver uint64
+		ts  int64
+	}{{7, 100}, {3, 101}} {
+		enc.Encode(wireRecord{
+			Key:      fmt.Sprintf("k%d", i),
+			Fields:   map[string][]byte{"f": []byte("v")},
+			Version:  tc.ver,
+			CommitTS: tc.ts,
+		})
+	}
+	resp, err := a.srv.Client().Post(a.URL+"/v1/ingest?table=t", NDJSONContentType, &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	r0, err := a.store.Get("t", "k0")
+	if err != nil || r0.Version != 7 || r0.CommitTS != 100 {
+		t.Errorf("k0 after ingest: %+v %v, want version=7 ts=100", r0, err)
+	}
+	r1, err := a.store.Get("t", "k1")
+	if err != nil || r1.Version != 3 || r1.CommitTS != 101 {
+		t.Errorf("k1 after ingest: %+v %v, want version=3 ts=101", r1, err)
+	}
+}
+
+// Scans in cluster mode filter to owned slots by default and to one
+// exact slot with ?slot=N, paging the engine far enough that filtered
+// rows never truncate the result.
+func TestClusterScanFiltered(t *testing.T) {
+	nodes := startTestCluster(t, 2, 8)
+	a := nodes[0]
+	m := a.state.Map()
+	ctx := context.Background()
+	ca := NewClient(a.URL, a.srv.Client())
+
+	// Land 40 keys on node a (writes of foreign keys would 410).
+	var mine []string
+	for i := 0; len(mine) < 40; i++ {
+		k := fmt.Sprintf("user%05d", i)
+		if owner, _ := m.Owner(k); owner == a.URL {
+			if err := ca.Insert(ctx, "t", k, rec("v")); err != nil {
+				t.Fatal(err)
+			}
+			mine = append(mine, k)
+		}
+	}
+
+	kvs, err := ca.Scan(ctx, "t", "", -1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != len(mine) {
+		t.Fatalf("owned scan returned %d keys, want %d", len(kvs), len(mine))
+	}
+
+	slot := -1
+	for _, k := range mine {
+		_, slot = m.Owner(k)
+		break
+	}
+	resp, err := a.srv.Client().Get(fmt.Sprintf("%s/v1/t?start=&count=-1&slot=%d", a.URL, slot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var page []wireRecord
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, k := range mine {
+		if _, s := m.Owner(k); s == slot {
+			want++
+		}
+	}
+	if len(page) != want || want == 0 {
+		t.Fatalf("slot scan returned %d keys, want %d (>0)", len(page), want)
+	}
+	for _, wr := range page {
+		if _, s := m.Owner(wr.Key); s != slot {
+			t.Errorf("slot scan leaked key %q from slot %d", wr.Key, s)
+		}
+	}
+}
+
+// Scan count=-1 (drain) stays rejected outside cluster mode, where
+// unbounded scans have no migration to serve.
+func TestScanDrainRequiresCluster(t *testing.T) {
+	store, err := kvstore.Open(kvstore.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	srv := httptest.NewServer(NewServer(store))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/v1/t?start=&count=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("count=-1 without cluster: status %d, want 400", resp.StatusCode)
+	}
+	if !strings.Contains(resp.Status, "400") {
+		t.Errorf("unexpected status %s", resp.Status)
+	}
+}

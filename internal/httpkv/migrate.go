@@ -1,0 +1,307 @@
+package httpkv
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"ycsbt/internal/cluster"
+)
+
+// Slot migration: move one shard-map slot between live nodes with no
+// lost updates and no stale reads.
+//
+//	freeze   POST src /v1/shardmap/freeze?slot=N — drains in-flight
+//	         writes; returns only when every admitted write has
+//	         applied. Reads keep serving (the data cannot change:
+//	         src rejects new writes, and no other node owns the slot).
+//	ts       GET src /v1/ts — a commit timestamp covering every
+//	         acknowledged write, drawn after the freeze barrier.
+//	copy     per table: scan src ?slot=N&count=-1 as-of ts (the
+//	         pinned-ts machinery replica seeding uses), stream the
+//	         versioned records into dest /v1/ingest in bounded chunks.
+//	         Ingest preserves Version and CommitTS, so CAS handles
+//	         held by clients stay valid across the move, and advances
+//	         dest's commit clock past the imported history.
+//	serve    install map v+1 (slot → dest) on src FIRST, then dest,
+//	         then the rest of the fleet. Between the two installs the
+//	         slot answers 410 everywhere — briefly unavailable, never
+//	         stale: src stops serving reads the instant it learns the
+//	         slot is no longer its own, so no read can miss a write
+//	         that landed on dest. Routers ride the window out with
+//	         refetch-and-retry.
+//
+// Failure before the src install thaws the slot and leaves the old
+// map in force (the copy is harmlessly idempotent — Ingest skips
+// records the destination already has at the same or newer commit
+// ts). Failure after the src install attempts a v+2 rollback map
+// assigning the slot back to src, whose data is still complete.
+//
+// Source-side records of a migrated slot are not deleted; the
+// ownership gate hides them and scans filter them out. Space is
+// reclaimed by the engine's normal retention/compaction machinery.
+
+// migrateChunk bounds one ingest POST: at most this many records and
+// roughly this many body bytes, staying under the server's default
+// 1 MiB body cap with margin.
+const (
+	migrateChunkRecords = 512
+	migrateChunkBytes   = 256 << 10
+)
+
+// MigrateSlot moves slot to dest under the given map, returning the
+// successor map it installed across the fleet.
+func MigrateSlot(ctx context.Context, hc *http.Client, m *cluster.Map, slot int, dest string) (*cluster.Map, error) {
+	if hc == nil {
+		hc = newPooledHTTPClient(DefaultPoolSize, DefaultTimeout)
+	}
+	if slot < 0 || slot >= m.Slots {
+		return nil, fmt.Errorf("cluster: migrate slot %d out of range [0,%d)", slot, m.Slots)
+	}
+	if m.NodeIndex(dest) < 0 {
+		return nil, fmt.Errorf("cluster: migrate destination %q not a cluster member", dest)
+	}
+	src := m.OwnerOfSlot(slot)
+	if src == dest {
+		return m, nil
+	}
+	next, err := m.WithSlotMoved(slot, dest)
+	if err != nil {
+		return nil, err
+	}
+
+	// Drain: after this returns, no write to the slot is in flight
+	// anywhere, and none can start (src rejects, nobody else owns it).
+	if err := postFreeze(ctx, hc, src, slot, false); err != nil {
+		return nil, fmt.Errorf("cluster: freezing slot %d on %s: %w", slot, src, err)
+	}
+	fail := func(step string, err error) (*cluster.Map, error) {
+		postFreeze(ctx, hc, src, slot, true) // thaw, best effort
+		return nil, fmt.Errorf("cluster: migrate slot %d %s→%s: %s: %w", slot, src, dest, step, err)
+	}
+
+	ts, err := fetchSnapshotTS(ctx, hc, src)
+	if err != nil {
+		return fail("drawing snapshot ts", err)
+	}
+	tables, err := fetchTables(ctx, hc, src)
+	if err != nil {
+		return fail("listing tables", err)
+	}
+	for _, table := range tables {
+		if err := copySlot(ctx, hc, src, dest, table, slot, ts); err != nil {
+			return fail(fmt.Sprintf("copying table %q", table), err)
+		}
+	}
+
+	// Cut over: src first (stops serving the slot, clears the freeze),
+	// then dest (starts serving), then the rest of the fleet.
+	if err := putShardMap(ctx, hc, src, next); err != nil {
+		return fail("installing map on source", err)
+	}
+	if err := putShardMap(ctx, hc, dest, next); err != nil {
+		// src already dropped the slot; give it back under v+2 so the
+		// fleet is never left with an unserved slot.
+		if back, berr := next.WithSlotMoved(slot, src); berr == nil {
+			if rerr := putShardMap(ctx, hc, src, back); rerr == nil {
+				installEverywhere(ctx, hc, back, src)
+				return nil, fmt.Errorf("cluster: migrate slot %d %s→%s: installing map on destination: %w (rolled back to %s at map v%d)",
+					slot, src, dest, err, src, back.Version)
+			}
+		}
+		return nil, fmt.Errorf("cluster: migrate slot %d %s→%s: installing map on destination: %w (ROLLBACK FAILED: slot unserved until an operator re-installs a map)",
+			slot, src, dest, err)
+	}
+	installEverywhere(ctx, hc, next, src, dest)
+	return next, nil
+}
+
+// installEverywhere pushes the map to every fleet node not in done,
+// best effort: a straggler keeps answering moved hints from its stale
+// map, which routers resolve by polling the whole fleet for the
+// newest copy.
+func installEverywhere(ctx context.Context, hc *http.Client, m *cluster.Map, done ...string) {
+	skip := make(map[string]bool, len(done))
+	for _, d := range done {
+		skip[d] = true
+	}
+	for _, addr := range m.Nodes {
+		if !skip[addr] {
+			putShardMap(ctx, hc, addr, m)
+		}
+	}
+}
+
+// postFreeze freezes (or thaws) one slot on a node.
+func postFreeze(ctx context.Context, hc *http.Client, base string, slot int, thaw bool) error {
+	u := fmt.Sprintf("%s/v1/shardmap/freeze?slot=%d", base, slot)
+	if thaw {
+		u += "&thaw=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	return nil
+}
+
+// fetchSnapshotTS draws a commit timestamp from a node's clock.
+func fetchSnapshotTS(ctx context.Context, hc *http.Client, base string) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/ts", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var ts wireTS
+	if err := json.NewDecoder(resp.Body).Decode(&ts); err != nil || ts.TS <= 0 {
+		return 0, fmt.Errorf("node %s serves no snapshot clock", base)
+	}
+	return ts.TS, nil
+}
+
+// fetchTables lists the tables a node carries.
+func fetchTables(ctx context.Context, hc *http.Client, base string) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/tables", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("listing tables: %s", resp.Status)
+	}
+	var body struct {
+		Tables []string `json:"tables"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	return body.Tables, nil
+}
+
+// copySlot streams one table's slice of the slot from src (scanned
+// as-of ts) into dest's ingest route in bounded chunks.
+func copySlot(ctx context.Context, hc *http.Client, src, dest, table string, slot int, ts int64) error {
+	u := fmt.Sprintf("%s/v1/%s?start=&count=-1&slot=%d", src, url.PathEscape(table), slot)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", NDJSONContentType)
+	req.Header.Set(AsOfHeader, strconv.FormatInt(ts, 10))
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("scanning source: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	if resp.Header.Get(AsOfServedHeader) == "" {
+		return fmt.Errorf("source node %s ignored the as-of scan (pre-MVCC server?)", src)
+	}
+
+	var chunk bytes.Buffer
+	enc := json.NewEncoder(&chunk)
+	records := 0
+	flush := func() error {
+		if records == 0 {
+			return nil
+		}
+		if err := postIngest(ctx, hc, dest, table, &chunk); err != nil {
+			return err
+		}
+		chunk.Reset()
+		records = 0
+		return nil
+	}
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var wr wireRecord
+		if err := dec.Decode(&wr); err != nil {
+			return fmt.Errorf("decoding source scan: %w", err)
+		}
+		if err := enc.Encode(wr); err != nil {
+			return err
+		}
+		records++
+		if records >= migrateChunkRecords || chunk.Len() >= migrateChunkBytes {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+// postIngest ships one NDJSON chunk to the destination's merge route.
+func postIngest(ctx context.Context, hc *http.Client, dest, table string, body *bytes.Buffer) error {
+	u := dest + "/v1/ingest?table=" + url.QueryEscape(table)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body.Bytes()))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", NDJSONContentType)
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("ingest on %s: %s: %s", dest, resp.Status, bytes.TrimSpace(b))
+	}
+	return nil
+}
+
+// putShardMap installs a map on one node via PUT /v1/shardmap. A 409
+// with an equal-or-newer version header is success (the node already
+// converged).
+func putShardMap(ctx context.Context, hc *http.Client, base string, m *cluster.Map) error {
+	doc, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, base+"/v1/shardmap", bytes.NewReader(doc))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		return nil
+	}
+	if resp.StatusCode == http.StatusConflict {
+		if have, _ := strconv.ParseInt(resp.Header.Get(cluster.HeaderMapVersion), 10, 64); have >= m.Version {
+			return nil // already there or ahead
+		}
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	return fmt.Errorf("installing map v%d on %s: %s: %s", m.Version, base, resp.Status, bytes.TrimSpace(body))
+}

@@ -1,4 +1,4 @@
-package httpkv
+package httpkv_test
 
 import (
 	"context"
@@ -7,19 +7,20 @@ import (
 	"strconv"
 	"testing"
 
+	"ycsbt/internal/httpkv"
 	"ycsbt/internal/kvstore"
 	"ycsbt/internal/txn"
 )
 
-func newRemote(t *testing.T, name string) (*RemoteStore, *kvstore.Store) {
+func newRemote(t *testing.T, name string) (*httpkv.RemoteStore, *kvstore.Store) {
 	t.Helper()
 	store := kvstore.OpenMemory()
-	srv := httptest.NewServer(NewServer(store))
+	srv := httptest.NewServer(httpkv.NewServer(store))
 	t.Cleanup(func() {
 		srv.Close()
 		store.Close()
 	})
-	return NewRemoteStore(name, srv.URL, srv.Client()), store
+	return httpkv.NewRemoteStore(name, srv.URL, srv.Client()), store
 }
 
 func TestRemoteStoreVersionedOps(t *testing.T) {

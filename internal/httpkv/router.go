@@ -1,0 +1,562 @@
+package httpkv
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ycsbt/internal/cluster"
+	"ycsbt/internal/db"
+	"ycsbt/internal/obs"
+	"ycsbt/internal/properties"
+)
+
+// Router is the "cluster" DB binding: a client-side, coordinator-free
+// router over a fleet of cluster-mode kvservers. It caches the
+// versioned shard map, routes every single-key operation to the key's
+// owner, fans /v1/batch envelopes out per owner node (merging results
+// back in request order), and merges scans across the fleet. When a
+// node answers 410 moved — its map is newer, or the router's copy is
+// stale, or the key's slot is mid-migration — the router re-fetches
+// the map and retries with bounded attempts and backoff, so a live
+// rebalance costs clients a blip, not an error.
+//
+// Each node gets its own underlying Client with its own endpointCaps,
+// so one old node in a mixed-version fleet falls back to single-op /
+// head reads by itself without latching the capability off for every
+// other node. Node clients share one pooled HTTP transport; the caps
+// are keyed by node address and survive client rebuilds on map change.
+//
+// The router does not support the "as_of" property: commit timestamps
+// are per-store logical clocks, so one timestamp has no meaning
+// across node boundaries. Snapshot transactions against a cluster
+// need a cluster-wide clock — future work, out of scope here.
+type Router struct {
+	db.NoTransactions
+	hc *http.Client
+
+	// retries bounds how many moved-error rounds one logical op may
+	// pay; backoff is slept (doubling) between rounds while the fleet
+	// converges on a new map.
+	retries int
+	backoff time.Duration
+
+	cur atomic.Pointer[cluster.Map]
+
+	mu    sync.RWMutex
+	nodes map[string]*Client       // node address → its client
+	caps  map[string]*endpointCaps // node address → capability latches
+
+	metrics *routerMetrics
+}
+
+// Router defaults; overridable via the cluster.* properties.
+const (
+	// DefaultRouterRetries is how many moved-error rounds one logical
+	// operation survives before the router gives up. A migration's
+	// unavailability window is two map installs long, so a handful of
+	// short-backoff rounds rides it out with margin.
+	DefaultRouterRetries = 8
+	// DefaultRouterBackoff is the first between-round sleep; it
+	// doubles per round.
+	DefaultRouterBackoff = 25 * time.Millisecond
+)
+
+// routerMetrics holds the router's obs handles; everything is
+// nil-safe so the binding runs identically with metrics off.
+type routerMetrics struct {
+	reg     *obs.Registry
+	refetch *obs.Counter // cluster_map_refetch_total
+	moved   *obs.Counter // httpkv_client_moved_total
+
+	mu         sync.Mutex
+	batchItems map[string]*obs.Histogram // httpkv_routed_batch_items per node
+}
+
+func newRouterMetrics(reg *obs.Registry, mapVersion func() float64) *routerMetrics {
+	m := &routerMetrics{reg: reg, batchItems: make(map[string]*obs.Histogram)}
+	reg.Help("cluster_map_refetch_total", "Shard-map re-fetches triggered by moved errors or bootstrap.")
+	reg.Help("httpkv_client_moved_total", "Moved (410) answers observed by the cluster router.")
+	reg.Help("cluster_client_shardmap_version", "Version of the shard map the router currently routes by.")
+	reg.Help("httpkv_routed_batch_items", "Operations per routed per-node batch, labeled by owner node.")
+	m.refetch = reg.Counter("cluster_map_refetch_total")
+	m.moved = reg.Counter("httpkv_client_moved_total")
+	reg.GaugeFunc("cluster_client_shardmap_version", mapVersion)
+	return m
+}
+
+// observeRoutedBatch records the per-node envelope size.
+func (m *routerMetrics) observeRoutedBatch(node string, items int) {
+	if m == nil || m.reg == nil {
+		return
+	}
+	m.mu.Lock()
+	h, ok := m.batchItems[node]
+	if !ok {
+		h = m.reg.Histogram("httpkv_routed_batch_items", obs.CountBuckets, "node", node)
+		m.batchItems[node] = h
+	}
+	m.mu.Unlock()
+	h.Observe(float64(items))
+}
+
+func (m *routerMetrics) incRefetch() {
+	if m != nil {
+		m.refetch.Inc()
+	}
+}
+
+func (m *routerMetrics) incMoved() {
+	if m != nil {
+		m.moved.Inc()
+	}
+}
+
+func init() {
+	db.Register("cluster", func() (db.DB, error) { return &Router{}, nil })
+}
+
+// NewRouter builds a router over the given seed node addresses,
+// bootstrapping the shard map from the first node that serves one. A
+// nil hc gets a dedicated pooled transport shared by all node
+// clients. The registry may be nil (metrics off).
+func NewRouter(seeds []string, hc *http.Client, reg *obs.Registry) (*Router, error) {
+	r := &Router{
+		hc:      hc,
+		retries: DefaultRouterRetries,
+		backoff: DefaultRouterBackoff,
+		nodes:   make(map[string]*Client),
+		caps:    make(map[string]*endpointCaps),
+	}
+	if r.hc == nil {
+		r.hc = newPooledHTTPClient(DefaultPoolSize, DefaultTimeout)
+	}
+	r.metrics = newRouterMetrics(reg, func() float64 {
+		if m := r.cur.Load(); m != nil {
+			return float64(m.Version)
+		}
+		return 0
+	})
+	if err := r.bootstrap(context.Background(), seeds); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Init reads the "cluster.nodes" (comma-separated base URLs, required),
+// "cluster.placement" (optional assertion against the fetched map),
+// "cluster.retries" and "cluster.retry_backoff_ms" properties, plus
+// the rawhttp.* transport knobs for the underlying node clients.
+func (r *Router) Init(p *properties.Properties) error {
+	if r.cur.Load() != nil {
+		return nil // built via NewRouter
+	}
+	seeds := splitNodes(p.GetString("cluster.nodes", ""))
+	if len(seeds) == 0 {
+		return errors.New("cluster: missing required property cluster.nodes")
+	}
+	r.hc = newPooledHTTPClient(
+		p.GetInt("rawhttp.pool_size", DefaultPoolSize),
+		time.Duration(p.GetInt64("rawhttp.timeout_ms", int64(DefaultTimeout/time.Millisecond)))*time.Millisecond,
+	)
+	r.retries = p.GetInt("cluster.retries", DefaultRouterRetries)
+	r.backoff = time.Duration(p.GetInt64("cluster.retry_backoff_ms", int64(DefaultRouterBackoff/time.Millisecond))) * time.Millisecond
+	if r.nodes == nil {
+		r.nodes = make(map[string]*Client)
+		r.caps = make(map[string]*endpointCaps)
+	}
+	reg := obs.Enabled(p.GetBool("obs.enabled", false))
+	r.metrics = newRouterMetrics(reg, func() float64 {
+		if m := r.cur.Load(); m != nil {
+			return float64(m.Version)
+		}
+		return 0
+	})
+	if p.GetInt64("as_of", 0) != 0 {
+		return fmt.Errorf("%w: the cluster binding cannot serve as-of reads (per-store commit clocks)", db.ErrNotSupported)
+	}
+	if err := r.bootstrap(context.Background(), seeds); err != nil {
+		return err
+	}
+	if want := p.GetString("cluster.placement", ""); want != "" {
+		if got := r.cur.Load().Placement; got != want {
+			return fmt.Errorf("cluster: fleet placement is %q, cluster.placement asserts %q", got, want)
+		}
+	}
+	return nil
+}
+
+func splitNodes(s string) []string {
+	var out []string
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, strings.TrimRight(n, "/"))
+		}
+	}
+	return out
+}
+
+// bootstrap fetches the shard map from the first seed that serves
+// one and mounts a client per fleet node.
+func (r *Router) bootstrap(ctx context.Context, seeds []string) error {
+	var firstErr error
+	for _, seed := range seeds {
+		m, err := fetchShardMap(ctx, r.hc, seed)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: fetching shard map from %s: %w", seed, err)
+			}
+			continue
+		}
+		r.installMap(m)
+		r.metrics.incRefetch()
+		return nil
+	}
+	return firstErr
+}
+
+// fetchShardMap GETs /v1/shardmap from one node. An old
+// (non-cluster) server answers the path as a table scan — a JSON
+// array — which cluster.Decode rejects, surfacing "not a cluster
+// node" instead of a silent mis-parse.
+func fetchShardMap(ctx context.Context, hc *http.Client, base string) (*cluster.Map, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/shardmap", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("shardmap fetch: %s", resp.Status)
+	}
+	doc, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	return cluster.Decode(doc)
+}
+
+// installMap publishes m when newer than the current map and mounts
+// clients for any node addresses not seen before. Idempotent under
+// races: the newest version wins, clients/caps are create-only.
+func (r *Router) installMap(m *cluster.Map) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.cur.Load()
+	if cur == nil || m.Version > cur.Version {
+		r.cur.Store(m.Clone())
+	}
+	for _, addr := range m.Nodes {
+		if _, ok := r.nodes[addr]; ok {
+			continue
+		}
+		caps := r.caps[addr]
+		if caps == nil {
+			caps = &endpointCaps{}
+			r.caps[addr] = caps
+		}
+		c := NewClient(addr, r.hc)
+		c.caps = caps
+		r.nodes[addr] = c
+	}
+}
+
+// Map returns the shard map the router currently routes by.
+func (r *Router) Map() *cluster.Map { return r.cur.Load() }
+
+// node returns the client for addr, mounting one if the address is
+// new (a just-fetched map can name nodes bootstrap never saw).
+func (r *Router) node(addr string) *Client {
+	r.mu.RLock()
+	c := r.nodes[addr]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.nodes[addr]; c != nil {
+		return c
+	}
+	caps := r.caps[addr]
+	if caps == nil {
+		caps = &endpointCaps{}
+		r.caps[addr] = caps
+	}
+	c = NewClient(addr, r.hc)
+	c.caps = caps
+	r.nodes[addr] = c
+	return c
+}
+
+// refetchMap pulls the shard map from the fleet and installs the
+// newest copy found. Prefer is polled first (the 410's owner hint
+// names a node that, being the new owner, installed the new map
+// early).
+func (r *Router) refetchMap(ctx context.Context, prefer string) {
+	r.metrics.incRefetch()
+	cur := r.cur.Load()
+	order := make([]string, 0, len(cur.Nodes)+1)
+	if prefer != "" {
+		order = append(order, prefer)
+	}
+	for _, n := range cur.Nodes {
+		if n != prefer {
+			order = append(order, n)
+		}
+	}
+	for _, addr := range order {
+		m, err := fetchShardMap(ctx, r.hc, addr)
+		if err != nil {
+			continue
+		}
+		r.installMap(m)
+		if m.Version > cur.Version {
+			return // found a successor; good enough to retry with
+		}
+	}
+}
+
+// handleMoved reacts to one moved error: refetch (hinted) when the
+// responder knows a newer map, otherwise back off while the fleet
+// converges, then refetch. Returns ctx.Err() when the deadline fires
+// mid-backoff.
+func (r *Router) handleMoved(ctx context.Context, me *cluster.MovedError, attempt int) error {
+	r.metrics.incMoved()
+	cur := r.cur.Load()
+	if me.MapVersion > cur.Version {
+		// The responder is ahead of us: fetch its map and go again.
+		r.refetchMap(ctx, me.Owner)
+		return nil
+	}
+	// The responder is stale or the slot is mid-migration (frozen, or
+	// in the between-installs window where nobody serves it). Back off
+	// a beat, then look for a newer map.
+	wait := r.backoff << attempt
+	if wait > time.Second {
+		wait = time.Second
+	}
+	select {
+	case <-time.After(wait):
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	r.refetchMap(ctx, me.Owner)
+	return nil
+}
+
+// route runs fn against the key's owner, riding out moved errors with
+// bounded map-refetch retries.
+func (r *Router) route(ctx context.Context, key string, fn func(c *Client) error) error {
+	for attempt := 0; ; attempt++ {
+		m := r.cur.Load()
+		owner, _ := m.Owner(key)
+		err := fn(r.node(owner))
+		var me *cluster.MovedError
+		if err == nil || !errors.As(err, &me) {
+			return err
+		}
+		if attempt >= r.retries {
+			return fmt.Errorf("cluster: key %q still moving after %d retries (map v%d): %w",
+				key, attempt, r.cur.Load().Version, me)
+		}
+		if herr := r.handleMoved(ctx, me, attempt); herr != nil {
+			return herr
+		}
+	}
+}
+
+// Cleanup implements db.DB.
+func (r *Router) Cleanup() error {
+	r.hc.CloseIdleConnections()
+	return nil
+}
+
+// Read implements db.DB.
+func (r *Router) Read(ctx context.Context, table, key string, fields []string) (db.Record, error) {
+	var rec db.Record
+	err := r.route(ctx, key, func(c *Client) error {
+		var err error
+		rec, err = c.Read(ctx, table, key, fields)
+		return err
+	})
+	return rec, err
+}
+
+// Insert implements db.DB.
+func (r *Router) Insert(ctx context.Context, table, key string, values db.Record) error {
+	return r.route(ctx, key, func(c *Client) error {
+		return c.Insert(ctx, table, key, values)
+	})
+}
+
+// Update implements db.DB.
+func (r *Router) Update(ctx context.Context, table, key string, values db.Record) error {
+	return r.route(ctx, key, func(c *Client) error {
+		return c.Update(ctx, table, key, values)
+	})
+}
+
+// Delete implements db.DB.
+func (r *Router) Delete(ctx context.Context, table, key string) error {
+	return r.route(ctx, key, func(c *Client) error {
+		return c.Delete(ctx, table, key)
+	})
+}
+
+// Scan implements db.DB: every node scans its owned slice (the server
+// filters), and the router k-way merges the sorted, disjoint pages
+// back into one global key order.
+func (r *Router) Scan(ctx context.Context, table, startKey string, count int, fields []string) ([]db.KV, error) {
+	pages, err := r.scanAllNodes(ctx, table, startKey, count)
+	if err != nil {
+		return nil, err
+	}
+	merged := mergeWirePages(pages, count)
+	out := make([]db.KV, 0, len(merged))
+	for _, wr := range merged {
+		out = append(out, db.KV{Key: wr.Key, Record: db.ProjectFields(wr.Fields, fields)})
+	}
+	return out, nil
+}
+
+// scanAllNodes fans one scan out to the whole fleet. Nodes that
+// answer 404 for the table contribute an empty page (a table can live
+// on a subset of nodes until writes spread).
+func (r *Router) scanAllNodes(ctx context.Context, table, startKey string, count int) ([][]wireRecord, error) {
+	m := r.cur.Load()
+	pages := make([][]wireRecord, len(m.Nodes))
+	errs := make([]error, len(m.Nodes))
+	var wg sync.WaitGroup
+	for i, addr := range m.Nodes {
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			page, err := c.scanWire(ctx, table, startKey, count)
+			if err != nil && errors.Is(err, db.ErrNotFound) {
+				err = nil
+			}
+			pages[i], errs[i] = page, err
+		}(i, r.node(addr))
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: scan on %s: %w", m.Nodes[i], err)
+		}
+	}
+	return pages, nil
+}
+
+// mergeWirePages merges per-node sorted pages (disjoint key sets) into
+// one sorted slice of at most count records.
+func mergeWirePages(pages [][]wireRecord, count int) []wireRecord {
+	total := 0
+	for _, p := range pages {
+		total += len(p)
+	}
+	out := make([]wireRecord, 0, total)
+	heads := make([]int, len(pages))
+	for {
+		best := -1
+		for i, p := range pages {
+			if heads[i] >= len(p) {
+				continue
+			}
+			if best < 0 || p[heads[i]].Key < pages[best][heads[best]].Key {
+				best = i
+			}
+		}
+		if best < 0 || (count >= 0 && len(out) >= count) {
+			return out
+		}
+		out = append(out, pages[best][heads[best]])
+		heads[best]++
+	}
+}
+
+// ExecBatch implements db.BatchDB: ops group by owner node, one
+// envelope POSTs per owner concurrently, and results merge back in
+// request order. Items answered 410 re-route (after a map refetch)
+// with bounded retries, so a batch spanning a migrating slot loses no
+// operations — it just pays extra rounds for the moved subset.
+func (r *Router) ExecBatch(ctx context.Context, ops []db.BatchOp) []db.BatchResult {
+	out := make([]db.BatchResult, len(ops))
+	pending := make([]int, len(ops))
+	for i := range ops {
+		pending[i] = i
+	}
+	for attempt := 0; len(pending) > 0; attempt++ {
+		m := r.cur.Load()
+		groups := make(map[string][]int)
+		for _, i := range pending {
+			owner, _ := m.Owner(ops[i].Key)
+			groups[owner] = append(groups[owner], i)
+		}
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var movedNext []int
+		var firstMoved *cluster.MovedError
+		for owner, idx := range groups {
+			wg.Add(1)
+			go func(owner string, idx []int) {
+				defer wg.Done()
+				sub := make([]db.BatchOp, len(idx))
+				for j, i := range idx {
+					sub[j] = ops[i]
+				}
+				r.metrics.observeRoutedBatch(owner, len(sub))
+				results := r.node(owner).ExecBatch(ctx, sub)
+				mu.Lock()
+				defer mu.Unlock()
+				for j, i := range idx {
+					res := results[j]
+					var me *cluster.MovedError
+					if errors.As(res.Err, &me) {
+						movedNext = append(movedNext, i)
+						if firstMoved == nil {
+							firstMoved = me
+						}
+						continue
+					}
+					out[i] = res
+				}
+			}(owner, idx)
+		}
+		wg.Wait()
+		if len(movedNext) == 0 {
+			return out
+		}
+		if attempt >= r.retries {
+			for _, i := range movedNext {
+				out[i] = db.BatchResult{Err: fmt.Errorf(
+					"cluster: key %q still moving after %d retries: %w", ops[i].Key, attempt, firstMoved)}
+			}
+			return out
+		}
+		if err := r.handleMoved(ctx, firstMoved, attempt); err != nil {
+			for _, i := range movedNext {
+				out[i] = db.BatchResult{Err: err}
+			}
+			return out
+		}
+		sort.Ints(movedNext)
+		pending = movedNext
+	}
+	return out
+}
+
+var (
+	_ db.DB      = (*Router)(nil)
+	_ db.BatchDB = (*Router)(nil)
+)

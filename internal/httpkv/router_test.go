@@ -1,0 +1,374 @@
+package httpkv
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"ycsbt/internal/db"
+	"ycsbt/internal/obs"
+	"ycsbt/internal/properties"
+)
+
+func newTestRouter(t *testing.T, nodes []*clusterNode, reg *obs.Registry) *Router {
+	t.Helper()
+	r, err := NewRouter([]string{nodes[0].URL}, nodes[0].srv.Client(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Cleanup() })
+	return r
+}
+
+// The router sends every key to its owner: operations succeed across
+// the whole fleet and each record lands on exactly the node the map
+// assigns it.
+func TestRouterRoutesPerKey(t *testing.T) {
+	nodes := startTestCluster(t, 3, 12)
+	r := newTestRouter(t, nodes, nil)
+	ctx := context.Background()
+	m := r.Map()
+
+	const n = 60
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("user%05d", i)
+		if err := r.Insert(ctx, "t", k, rec("v-"+k)); err != nil {
+			t.Fatalf("insert %s: %v", k, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("user%05d", i)
+		got, err := r.Read(ctx, "t", k, nil)
+		if err != nil || string(got["f"]) != "v-"+k {
+			t.Fatalf("read %s: %v %v", k, got, err)
+		}
+		owner, _ := m.Owner(k)
+		for _, tn := range nodes {
+			_, err := tn.store.Get("t", k)
+			if (tn.URL == owner) != (err == nil) {
+				t.Fatalf("key %s: presence on %s = %v, owner is %s", k, tn.URL, err == nil, owner)
+			}
+		}
+	}
+	if err := r.Update(ctx, "t", "user00000", rec("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete(ctx, "t", "user00001"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(ctx, "t", "user00001", nil); err == nil {
+		t.Error("deleted key still readable")
+	}
+}
+
+// Fleet-wide scans merge per-node pages into one global key order.
+func TestRouterScanMerges(t *testing.T) {
+	nodes := startTestCluster(t, 3, 12)
+	r := newTestRouter(t, nodes, nil)
+	ctx := context.Background()
+
+	var want []string
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("user%05d", i)
+		if err := r.Insert(ctx, "t", k, rec("v")); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, k)
+	}
+	kvs, err := r.Scan(ctx, "t", "", 50, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, kv := range kvs {
+		got = append(got, kv.Key)
+	}
+	sort.Strings(want)
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("scan order mismatch:\n got %v\nwant %v", got, want)
+	}
+	// Bounded scans honor count across the merge.
+	kvs, err = r.Scan(ctx, "t", "user00010", 7, nil)
+	if err != nil || len(kvs) != 7 || kvs[0].Key != "user00010" {
+		t.Errorf("bounded scan: %d keys from %q, err %v", len(kvs), kvs[0].Key, err)
+	}
+}
+
+// Batches fan out per owner and merge positionally: result i always
+// answers op i, whatever node served it.
+func TestRouterBatchFanOut(t *testing.T) {
+	nodes := startTestCluster(t, 3, 12)
+	r := newTestRouter(t, nodes, nil)
+	ctx := context.Background()
+
+	var ops []db.BatchOp
+	for i := 0; i < 30; i++ {
+		ops = append(ops, db.BatchOp{Op: db.OpInsert, Table: "t", Key: fmt.Sprintf("user%05d", i), Values: rec(fmt.Sprintf("v%d", i))})
+	}
+	for _, res := range r.ExecBatch(ctx, ops) {
+		if res.Err != nil {
+			t.Fatalf("batch insert: %v", res.Err)
+		}
+	}
+	ops = ops[:0]
+	for i := 0; i < 30; i++ {
+		ops = append(ops, db.BatchOp{Op: db.OpRead, Table: "t", Key: fmt.Sprintf("user%05d", i)})
+	}
+	for i, res := range r.ExecBatch(ctx, ops) {
+		if res.Err != nil || string(res.Record["f"]) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("batch read %d: %v %v", i, res.Record, res.Err)
+		}
+	}
+}
+
+// When the fleet installs a newer map behind the router's back, the
+// 410 + hint makes it refetch and retry — the operation succeeds and
+// the refetch counter moves.
+func TestRouterRefetchesOnMoved(t *testing.T) {
+	nodes := startTestCluster(t, 2, 8)
+	reg := obs.NewRegistry()
+	r := newTestRouter(t, nodes, reg)
+	ctx := context.Background()
+	m := r.Map()
+	a, b := nodes[0], nodes[1]
+
+	slot := m.SlotsOf(a.URL)[0]
+	next, err := m.WithSlotMoved(slot, b.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tn := range nodes {
+		if _, err := tn.state.Install(next); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.Map().Version; got != m.Version {
+		t.Fatalf("router map already at v%d before any traffic", got)
+	}
+
+	key := keyOwnedBy(t, next, b.URL, "mv")
+	if owner, _ := m.Owner(key); owner != a.URL {
+		// Want a key that moved: owned by a under v1, by b under v2.
+		for i := 0; ; i++ {
+			key = fmt.Sprintf("mv2-%05d", i)
+			if _, s := m.Owner(key); s == slot {
+				break
+			}
+		}
+	}
+	before := reg.Counter("cluster_map_refetch_total").Value()
+	if err := r.Insert(ctx, "t", key, rec("v")); err != nil {
+		t.Fatalf("insert across stale map: %v", err)
+	}
+	if got := r.Map().Version; got != next.Version {
+		t.Errorf("router map version after retry = %d, want %d", got, next.Version)
+	}
+	if after := reg.Counter("cluster_map_refetch_total").Value(); after <= before {
+		t.Errorf("refetch counter did not move: %d -> %d", before, after)
+	}
+	if moved := reg.Counter("httpkv_client_moved_total").Value(); moved == 0 {
+		t.Error("moved counter did not move")
+	}
+	// The record landed on the new owner.
+	if _, err := b.store.Get("t", key); err != nil {
+		t.Errorf("record not on new owner: %v", err)
+	}
+}
+
+// One old node in a mixed-version fleet latches its own capability
+// fallback without disabling batch support for every other node: the
+// per-endpoint latches are scoped per node address.
+func TestRouterPerNodeCapabilityLatch(t *testing.T) {
+	nodes := startTestCluster(t, 2, 8)
+	a, b := nodes[0], nodes[1]
+	// Node b plays an old server with no /v1/batch route.
+	oldNode := func(w http.ResponseWriter, r *http.Request) bool {
+		if r.URL.Path == "/v1/batch" {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return true
+		}
+		return false
+	}
+	b.pre.Store(&oldNode)
+
+	r := newTestRouter(t, nodes, nil)
+	ctx := context.Background()
+	m := r.Map()
+
+	var ops []db.BatchOp
+	seenB := false
+	for i := 0; len(ops) < 20; i++ {
+		k := fmt.Sprintf("user%05d", i)
+		if owner, _ := m.Owner(k); owner == b.URL {
+			seenB = true
+		}
+		ops = append(ops, db.BatchOp{Op: db.OpInsert, Table: "t", Key: k, Values: rec("v")})
+	}
+	if !seenB {
+		t.Fatal("test keys never hit node b")
+	}
+	for i, res := range r.ExecBatch(ctx, ops) {
+		if res.Err != nil {
+			t.Fatalf("mixed-fleet batch op %d: %v", i, res.Err)
+		}
+	}
+
+	r.mu.RLock()
+	capsA, capsB := r.caps[a.URL], r.caps[b.URL]
+	r.mu.RUnlock()
+	if !capsB.batchUnsupported.Load() {
+		t.Error("old node's batch latch not set despite 405")
+	}
+	if capsA.batchUnsupported.Load() {
+		t.Error("new node's batch latch set by the old node's 405 — latch must be per endpoint")
+	}
+
+	// New batches still go to a as envelopes; reads see every write.
+	for i := range ops {
+		got, err := r.Read(ctx, "t", ops[i].Key, nil)
+		if err != nil || string(got["f"]) != "v" {
+			t.Fatalf("read-back %s: %v %v", ops[i].Key, got, err)
+		}
+	}
+}
+
+// The moved-key storm (run under -race): eight writers batch through
+// the router while a slot live-migrates underneath them. No operation
+// may be lost or duplicated, and the map refetches must stay bounded
+// instead of stampeding once per moved item.
+func TestRouterMovedStorm(t *testing.T) {
+	nodes := startTestCluster(t, 3, 12)
+	reg := obs.NewRegistry()
+	r := newTestRouter(t, nodes, reg)
+	ctx := context.Background()
+	m := r.Map()
+	a, b := nodes[0], nodes[1]
+
+	const (
+		threads = 8
+		rounds  = 30
+		perOp   = 4 // keys per thread per batch
+	)
+	// Seed every key; counters start at 0.
+	for th := 0; th < threads; th++ {
+		var ops []db.BatchOp
+		for j := 0; j < perOp; j++ {
+			ops = append(ops, db.BatchOp{
+				Op: db.OpInsert, Table: "t",
+				Key: fmt.Sprintf("storm-%d-%d", th, j), Values: rec("0"),
+			})
+		}
+		for _, res := range r.ExecBatch(ctx, ops) {
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, threads)
+	acked := make([][]int, threads) // per-thread count of acked updates per key
+	for th := 0; th < threads; th++ {
+		acked[th] = make([]int, perOp)
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			for round := 1; round <= rounds; round++ {
+				var ops []db.BatchOp
+				for j := 0; j < perOp; j++ {
+					ops = append(ops, db.BatchOp{
+						Op: db.OpUpdate, Table: "t",
+						Key:    fmt.Sprintf("storm-%d-%d", th, j),
+						Values: rec(fmt.Sprintf("%d", round)),
+					})
+				}
+				for j, res := range r.ExecBatch(ctx, ops) {
+					if res.Err != nil {
+						errs <- fmt.Errorf("thread %d round %d op %d: %w", th, round, j, res.Err)
+						return
+					}
+					acked[th][j]++
+				}
+			}
+		}(th)
+	}
+
+	// Two live migrations mid-storm: a → b, then another slot b → a.
+	slotAB := m.SlotsOf(a.URL)[0]
+	m2, err := MigrateSlot(ctx, a.srv.Client(), m, slotAB, b.URL)
+	if err != nil {
+		t.Fatalf("storm migration 1: %v", err)
+	}
+	slotBA := m2.SlotsOf(b.URL)[0]
+	if _, err := MigrateSlot(ctx, a.srv.Client(), m2, slotBA, a.URL); err != nil {
+		t.Fatalf("storm migration 2: %v", err)
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// No lost ops: every thread acked all its rounds, and the final
+	// image is the last acked write (updates are ordered per thread,
+	// so a lost-but-acked write would leave an older value behind).
+	for th := 0; th < threads; th++ {
+		for j := 0; j < perOp; j++ {
+			if acked[th][j] != rounds {
+				t.Errorf("thread %d key %d: %d acks, want %d", th, j, acked[th][j], rounds)
+			}
+			k := fmt.Sprintf("storm-%d-%d", th, j)
+			got, err := r.Read(ctx, "t", k, nil)
+			if err != nil {
+				t.Fatalf("final read %s: %v", k, err)
+			}
+			if string(got["f"]) != fmt.Sprintf("%d", rounds) {
+				t.Errorf("%s final value = %s, want %d (lost update)", k, got["f"], rounds)
+			}
+			// Exactly rounds+1 record versions (seed + one per round):
+			// a duplicated (replayed) update would inflate this.
+			owner, _ := r.Map().Owner(k)
+			for _, tn := range nodes {
+				if tn.URL != owner {
+					continue
+				}
+				recv, err := tn.store.Get("t", k)
+				if err != nil {
+					t.Fatalf("owner read %s: %v", k, err)
+				}
+				if recv.Version != uint64(rounds+1) {
+					t.Errorf("%s version = %d, want %d (duplicated or lost op)", k, recv.Version, rounds+1)
+				}
+			}
+		}
+	}
+
+	// Bounded refetches: a handful per migration, not one per moved op.
+	refetches := reg.Counter("cluster_map_refetch_total").Value()
+	const maxRefetches = 2 * (threads + 2) // generous: both migrations, every thread may refetch once each
+	if refetches > maxRefetches {
+		t.Errorf("refetch storm: %d map refetches (bound %d)", refetches, maxRefetches)
+	}
+	t.Logf("storm: %d refetches, %d moved answers",
+		refetches, reg.Counter("httpkv_client_moved_total").Value())
+}
+
+// The cluster binding rejects as_of: commit timestamps are per-store
+// logical clocks with no cross-node meaning.
+func TestRouterRejectsAsOf(t *testing.T) {
+	nodes := startTestCluster(t, 1, 4)
+	r := &Router{}
+	p := properties.New()
+	p.Set("cluster.nodes", nodes[0].URL)
+	p.Set("as_of", "123")
+	err := r.Init(p)
+	if !errors.Is(err, db.ErrNotSupported) {
+		t.Fatalf("as_of init: got %v, want ErrNotSupported", err)
+	}
+}

@@ -51,15 +51,20 @@ import (
 	"strings"
 	"time"
 
+	"ycsbt/internal/cluster"
 	"ycsbt/internal/kvstore"
 	"ycsbt/internal/obs"
 )
 
-// wireRecord is the JSON shape of one record on the wire.
+// wireRecord is the JSON shape of one record on the wire. CommitTS
+// rides along (omitted when zero) so a migration copy can preserve
+// as-of visibility on the destination node; old clients drop the
+// unknown field.
 type wireRecord struct {
-	Key     string            `json:"key,omitempty"`
-	Version uint64            `json:"version"`
-	Fields  map[string][]byte `json:"fields"`
+	Key      string            `json:"key,omitempty"`
+	Version  uint64            `json:"version"`
+	CommitTS int64             `json:"commit_ts,omitempty"`
+	Fields   map[string][]byte `json:"fields"`
 }
 
 // ServerOptions tunes the server's admission control.
@@ -78,6 +83,11 @@ type ServerOptions struct {
 	// Metrics, when non-nil, receives the server's httpkv_* series
 	// (inflight gauge, response-code counters, batch-size histogram).
 	Metrics *obs.Registry
+	// Cluster, when non-nil, puts the server in cluster mode: it
+	// serves only the shard-map slots the node owns, answers the rest
+	// with 410 + routing hints, and exposes the shard-map management
+	// routes (see cluster.go).
+	Cluster *cluster.State
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -118,6 +128,10 @@ func NewServerWithOptions(store kvstore.Engine, opts ServerOptions) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
 	s.mux.HandleFunc("/v1/ts", s.handleSnapshotTS)
+	s.mux.HandleFunc("/v1/shardmap", s.handleShardMap)
+	s.mux.HandleFunc("/v1/shardmap/freeze", s.handleFreeze)
+	s.mux.HandleFunc("/v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("/v1/tables", s.handleTables)
 	s.mux.HandleFunc("/v1/", s.handleRecord)
 	return s
 }
@@ -204,6 +218,9 @@ func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request, table, key string) {
+	if s.checkRead(w, key) {
+		return
+	}
 	ts, err := asOfRequested(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -232,20 +249,41 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request, table string
 	count := 100
 	if c := q.Get("count"); c != "" {
 		n, err := strconv.Atoi(c)
-		if err != nil || n < 0 {
+		// count=-1 (unlimited) is reserved for cluster-internal scans:
+		// the migration copy must drain a whole slot in one pass.
+		if err != nil || n < -1 || (n == -1 && s.opts.Cluster == nil) {
 			http.Error(w, "bad count", http.StatusBadRequest)
 			return
 		}
 		count = n
+	}
+	slot := -1
+	if sl := q.Get("slot"); sl != "" {
+		if s.opts.Cluster == nil {
+			http.Error(w, "not a cluster node", http.StatusBadRequest)
+			return
+		}
+		n, err := strconv.Atoi(sl)
+		if err != nil || n < 0 || n >= s.opts.Cluster.Map().Slots {
+			http.Error(w, "bad slot", http.StatusBadRequest)
+			return
+		}
+		slot = n
 	}
 	ts, err := asOfRequested(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	var kvs []kvstore.VersionedKV
 	if ts != 0 {
 		w.Header().Set(AsOfServedHeader, strconv.FormatInt(ts, 10))
+	}
+	var kvs []kvstore.VersionedKV
+	if s.opts.Cluster != nil {
+		// Cluster mode always filters: owned slots by default, one
+		// exact slot when requested (the migration copy path).
+		kvs, err = s.scanFiltered(table, start, count, ts, slot)
+	} else if ts != 0 {
 		kvs, err = s.store.ScanAsOf(table, start, count, ts)
 	} else {
 		kvs, err = s.store.Scan(table, start, count)
@@ -261,13 +299,13 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request, table string
 		w.Header().Set("Content-Type", NDJSONContentType)
 		enc := json.NewEncoder(w)
 		for _, kv := range kvs {
-			enc.Encode(wireRecord{Key: kv.Key, Version: kv.Record.Version, Fields: kv.Record.Fields})
+			enc.Encode(wireRecord{Key: kv.Key, Version: kv.Record.Version, CommitTS: kv.Record.CommitTS, Fields: kv.Record.Fields})
 		}
 		return
 	}
 	out := make([]wireRecord, 0, len(kvs))
 	for _, kv := range kvs {
-		out = append(out, wireRecord{Key: kv.Key, Version: kv.Record.Version, Fields: kv.Record.Fields})
+		out = append(out, wireRecord{Key: kv.Key, Version: kv.Record.Version, CommitTS: kv.Record.CommitTS, Fields: kv.Record.Fields})
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(out)
@@ -325,7 +363,12 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request, table, key st
 		writeDecodeError(w, err)
 		return
 	}
+	release, rejected := s.enterWrite(w, key)
+	if rejected {
+		return
+	}
 	ver, err := s.store.PutIfVersion(table, key, fields, expect)
+	release()
 	if err != nil {
 		writeStoreError(w, err)
 		return
@@ -340,7 +383,12 @@ func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request, table, key 
 		writeDecodeError(w, err)
 		return
 	}
+	release, rejected := s.enterWrite(w, key)
+	if rejected {
+		return
+	}
 	ver, err := s.store.Update(table, key, fields)
+	release()
 	if err != nil {
 		writeStoreError(w, err)
 		return
@@ -355,7 +403,13 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request, table, key
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	if err := s.store.DeleteIfVersion(table, key, expect); err != nil {
+	release, rejected := s.enterWrite(w, key)
+	if rejected {
+		return
+	}
+	err = s.store.DeleteIfVersion(table, key, expect)
+	release()
+	if err != nil {
 		writeStoreError(w, err)
 		return
 	}
@@ -365,7 +419,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request, table, key
 func writeRecord(w http.ResponseWriter, key string, rec *kvstore.VersionedRecord) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("ETag", strconv.FormatUint(rec.Version, 10))
-	json.NewEncoder(w).Encode(wireRecord{Key: key, Version: rec.Version, Fields: rec.Fields})
+	json.NewEncoder(w).Encode(wireRecord{Key: key, Version: rec.Version, CommitTS: rec.CommitTS, Fields: rec.Fields})
 }
 
 func writeStoreError(w http.ResponseWriter, err error) {

@@ -110,6 +110,31 @@ func (s *Store) BulkLoad(table string, kvs []kvstore.BulkKV) error {
 	return nil
 }
 
+// Ingest merges migrated records into the primary and every backup
+// directly, like BulkLoad: a topology-change operation, not part of
+// the replicated write path. writeMu keeps it ordered against live
+// writes; lanes are drained so stragglers can't interleave with the
+// version-preserving merge.
+func (s *Store) Ingest(table string, kvs []kvstore.BulkKV) error {
+	if err := s.checkUp(); err != nil {
+		return err
+	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.drainLanes()
+	s.topo.RLock()
+	defer s.topo.RUnlock()
+	if err := s.primary.Ingest(table, kvs); err != nil {
+		return err
+	}
+	for _, b := range s.backups {
+		if err := b.Ingest(table, kvs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Engine adapts a replicated Store to the kvstore.Engine contract so
 // it plugs into the seam future engines were promised — notably
 // httpkv.Server, which makes kvserver a replicated node.
@@ -214,6 +239,10 @@ func (e *Engine) Tables() []string {
 
 func (e *Engine) BulkLoad(table string, kvs []kvstore.BulkKV) error {
 	return e.s.BulkLoad(table, kvs)
+}
+
+func (e *Engine) Ingest(table string, kvs []kvstore.BulkKV) error {
+	return e.s.Ingest(table, kvs)
 }
 
 // Compact compacts every replica; in-memory replicas make it a no-op.

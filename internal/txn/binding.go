@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strings"
 	"time"
 
 	"ycsbt/internal/cloudsim"
+	"ycsbt/internal/httpkv"
 	"ycsbt/internal/db"
 	"ycsbt/internal/kvstore"
 	"ycsbt/internal/obs"
@@ -46,7 +48,9 @@ func init() {
 
 // Init builds the manager from properties when the binding was opened
 // by name: "txnkv.backend" is one of "memory" (default), "was",
-// "gcs", or "was+gcs" (two simulated containers, keys partitioned);
+// "gcs", "was+gcs" (two simulated containers, keys partitioned), or
+// "cluster" (client-coordinated transactions over a multi-node
+// kvserver fleet routed by the shard map; requires "cluster.nodes");
 // "txnkv.serializable" upgrades read validation.
 func (b *Binding) Init(p *properties.Properties) error {
 	if b.m != nil {
@@ -88,6 +92,13 @@ func (b *Binding) Init(p *properties.Properties) error {
 		g := sim(cloudsim.GCSPreset())
 		add(w, w.Close)
 		add(g, g.Close)
+	case "cluster":
+		seeds := strings.Split(p.GetString("cluster.nodes", ""), ",")
+		router, err := httpkv.NewRouter(seeds, nil, reg)
+		if err != nil {
+			return fmt.Errorf("txnkv: cluster backend: %w", err)
+		}
+		add(httpkv.NewRouterStore("cluster", router), router.Cleanup)
 	default:
 		return fmt.Errorf("txnkv: unknown backend %q", backend)
 	}
