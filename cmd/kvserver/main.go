@@ -28,7 +28,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
-	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -129,13 +129,7 @@ func run() error {
 			}
 			m, err = cluster.Decode(doc)
 		case *peers != "":
-			var nodes []string
-			for _, n := range strings.Split(*peers, ",") {
-				if n = strings.TrimSpace(n); n != "" {
-					nodes = append(nodes, n)
-				}
-			}
-			m, err = cluster.NewUniform(*clusterPlacement, *clusterSlots, nodes, nil)
+			m, err = cluster.NewUniform(*clusterPlacement, *clusterSlots, httpkv.SplitNodes(*peers), nil)
 		default:
 			return fmt.Errorf("cluster mode needs -peers or -shardmap")
 		}
@@ -178,6 +172,11 @@ func run() error {
 		after, _ := eng.WALSize()
 		fmt.Fprintf(w, "compacted: %d -> %d bytes\n", before, after)
 	})
+	// One migration at a time per admin node: MigrateSlot's preflight
+	// and CAS cutover catch races across the fleet, but two local
+	// requests need not burn a freeze/copy cycle each to discover only
+	// one can win.
+	var migrateMu sync.Mutex
 	mux.HandleFunc("/admin/migrate", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -187,6 +186,8 @@ func run() error {
 			http.Error(w, "not a cluster node", http.StatusPreconditionFailed)
 			return
 		}
+		migrateMu.Lock()
+		defer migrateMu.Unlock()
 		slot, err := strconv.Atoi(r.URL.Query().Get("slot"))
 		if err != nil {
 			http.Error(w, "bad slot", http.StatusBadRequest)

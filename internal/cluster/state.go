@@ -36,6 +36,13 @@ const (
 	// HeaderOwner carries the owning node's address on a 410; absent
 	// or empty while the slot drains for migration.
 	HeaderOwner = "X-Shard-Owner"
+	// HeaderMapCAS, on a PUT /v1/shardmap, makes the install
+	// conditional: it only succeeds when the node's current map version
+	// equals the header's value. The migration cutover uses it so two
+	// racing migrations built from the same predecessor cannot both
+	// install their divergent successors — the loser gets a 409 and
+	// aborts instead of silently splitting the fleet.
+	HeaderMapCAS = "X-Shard-Map-If-Version"
 )
 
 // State is a node's live view of the cluster: the current map, which
@@ -165,16 +172,35 @@ func (s *State) Frozen(slot int) bool {
 
 // Install publishes a new map. The version must strictly increase and
 // the placement geometry (slots, placement, bounds) must be unchanged
-// — rebalancing moves slots, it doesn't reshard. Freezes are cleared:
-// whatever migration was in flight is concluded by the new map.
-// Returns the installed map.
+// — rebalancing moves slots, it doesn't reshard or re-split the key
+// space. Freezes are cleared only for slots the new map actually
+// reassigns: those migrations are concluded by the map, while a freeze
+// for a slot the map leaves in place belongs to a still-in-flight (or
+// unrelated) migration and must survive the install. Returns the
+// installed map.
 func (s *State) Install(m *Map) (*Map, error) {
+	return s.install(m, -1)
+}
+
+// InstallCAS is Install conditioned on the exact current version: it
+// fails unless the node's map is at expect when the install lands.
+// The migration cutover uses it to detect a concurrent migration that
+// already moved the fleet past the predecessor this map was built
+// from.
+func (s *State) InstallCAS(m *Map, expect int64) (*Map, error) {
+	return s.install(m, expect)
+}
+
+func (s *State) install(m *Map, expect int64) (*Map, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cur := s.cur.Load()
+	if expect >= 0 && cur.Version != expect {
+		return nil, fmt.Errorf("cluster: conditional install of v%d expected current v%d, have v%d", m.Version, expect, cur.Version)
+	}
 	if m.Version <= cur.Version {
 		return nil, fmt.Errorf("cluster: stale map install v%d (have v%d)", m.Version, cur.Version)
 	}
@@ -182,15 +208,33 @@ func (s *State) Install(m *Map) (*Map, error) {
 		return nil, fmt.Errorf("cluster: map v%d changes geometry (slots %d→%d, placement %s→%s)",
 			m.Version, cur.Slots, m.Slots, cur.Placement, m.Placement)
 	}
+	if !stringsEqual(m.Bounds, cur.Bounds) {
+		return nil, fmt.Errorf("cluster: map v%d changes range bounds (keys would silently remap to different slots)", m.Version)
+	}
 	if m.NodeIndex(s.self) < 0 {
 		return nil, fmt.Errorf("cluster: map v%d drops self %q", m.Version, s.self)
 	}
 	installed := m.Clone()
 	s.cur.Store(installed)
 	for slot := range s.frozen {
-		delete(s.frozen, slot)
+		if installed.OwnerOfSlot(slot) != cur.OwnerOfSlot(slot) {
+			delete(s.frozen, slot)
+		}
 	}
 	return installed, nil
+}
+
+// stringsEqual reports element-wise equality of two string slices.
+func stringsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // MapJSON renders the current map for the /v1/shardmap endpoint.

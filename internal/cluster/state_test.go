@@ -216,6 +216,96 @@ func TestInstall(t *testing.T) {
 	}
 }
 
+// TestInstallCAS pins the conditional-install contract the migration
+// cutover rides on: the install lands only when the node's map is at
+// exactly the expected predecessor version.
+func TestInstallCAS(t *testing.T) {
+	st, m := newTestState(t, "http://a")
+	next := m.Clone()
+	next.Version++
+
+	if _, err := st.InstallCAS(next, m.Version+5); err == nil {
+		t.Error("InstallCAS accepted a wrong expected version")
+	}
+	if st.Map().Version != m.Version {
+		t.Fatalf("failed CAS changed the map to v%d", st.Map().Version)
+	}
+	if _, err := st.InstallCAS(next, m.Version); err != nil {
+		t.Fatalf("InstallCAS with the right predecessor: %v", err)
+	}
+	if st.Map().Version != next.Version {
+		t.Errorf("installed version = %d, want %d", st.Map().Version, next.Version)
+	}
+	// A second racing v+1 built from the same predecessor must lose.
+	rival := m.Clone()
+	rival.Version = next.Version
+	if _, err := st.InstallCAS(rival, m.Version); err == nil {
+		t.Error("InstallCAS accepted a rival successor of an already-consumed predecessor")
+	}
+}
+
+// Rebalancing moves slots; it must not silently re-split the key
+// space. A successor with different range bounds would remap keys to
+// different slots under the same slot count.
+func TestInstallRejectsBoundsChange(t *testing.T) {
+	m, err := NewUniform(PlacementRange, 3, []string{"http://a", "http://b"}, []string{"g", "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewState("http://a", m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := m.Clone()
+	next.Version++
+	next.Bounds = []string{"g", "q"}
+	if _, err := st.Install(next); err == nil {
+		t.Error("Install accepted a map with different range bounds")
+	}
+	next.Bounds = []string{"g", "p"}
+	if _, err := st.Install(next); err != nil {
+		t.Errorf("Install rejected a map with unchanged bounds: %v", err)
+	}
+}
+
+// Install concludes only the migrations the new map actually settles:
+// a freeze for a slot the map leaves in place belongs to a different
+// in-flight migration and must survive.
+func TestInstallKeepsUnrelatedFreeze(t *testing.T) {
+	st, m := newTestState(t, "http://a")
+	keys := keysFor(t, m, "http://a", "http://b")
+	moved := m.SlotOf(keys["http://a"])
+	kept := -1
+	for slot := 0; slot < m.Slots; slot++ {
+		if slot != moved && m.OwnerOfSlot(slot) == "http://a" {
+			kept = slot
+			break
+		}
+	}
+	if kept < 0 {
+		t.Skip("no second owned slot under this map")
+	}
+	if err := st.Freeze(moved); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Freeze(kept); err != nil {
+		t.Fatal(err)
+	}
+	next, err := m.WithSlotMoved(moved, "http://b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Install(next); err != nil {
+		t.Fatal(err)
+	}
+	if st.Frozen(moved) {
+		t.Error("install left the migrated slot frozen")
+	}
+	if !st.Frozen(kept) {
+		t.Error("install cleared the freeze of a slot it did not move")
+	}
+}
+
 func TestMovedCounterAndGauge(t *testing.T) {
 	reg := obs.NewRegistry()
 	m, err := NewUniform(PlacementHash, 4, []string{"http://a", "http://b"}, nil)

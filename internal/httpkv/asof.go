@@ -45,6 +45,11 @@ const AsOfHeader = "X-As-Of-Ts"
 // AsOfHeader.
 const AsOfServedHeader = "X-As-Of-Served"
 
+// ScanTombstonesHeader echoes a scan's tombstones=1 request param; its
+// absence tells the migration copy the server predates tombstone
+// propagation and would silently drop deletes.
+const ScanTombstonesHeader = "X-Scan-Tombstones"
+
 // errAsOfUnsupported marks a server that ignores as-of requests.
 var errAsOfUnsupported = fmt.Errorf("%w: server does not support as-of reads", db.ErrNotSupported)
 

@@ -312,36 +312,39 @@ func (c *Client) ReadVersioned(ctx context.Context, table, key string) (*kvstore
 
 // scanWire fetches one scan page, asking for NDJSON and decoding
 // whichever representation the server speaks (old servers answer a
-// JSON array; the Content-Type decides).
-func (c *Client) scanWire(ctx context.Context, table, startKey string, count int) ([]wireRecord, error) {
+// JSON array; the Content-Type decides). mapVer is the shard map
+// version the serving node scanned under (echoed on cluster-mode
+// responses; 0 from non-cluster or pre-echo servers) — the router's
+// fan-out compares it across nodes to detect a scan that straddled a
+// migration cutover.
+func (c *Client) scanWire(ctx context.Context, table, startKey string, count int) (wrs []wireRecord, mapVer int64, err error) {
 	u := c.base + "/v1/" + url.PathEscape(table) + "?start=" + url.QueryEscape(startKey) + "&count=" + strconv.Itoa(count)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	req.Header.Set("Accept", NDJSONContentType)
 	resp, err := c.do(req)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer resp.Body.Close()
+	mapVer, _ = strconv.ParseInt(resp.Header.Get(cluster.HeaderMapVersion), 10, 64)
 	if strings.Contains(resp.Header.Get("Content-Type"), NDJSONContentType) {
-		var wrs []wireRecord
 		dec := json.NewDecoder(resp.Body)
 		for dec.More() {
 			var wr wireRecord
 			if err := dec.Decode(&wr); err != nil {
-				return nil, fmt.Errorf("httpkv: decoding scan line %d: %w", len(wrs)+1, err)
+				return nil, 0, fmt.Errorf("httpkv: decoding scan line %d: %w", len(wrs)+1, err)
 			}
 			wrs = append(wrs, wr)
 		}
-		return wrs, nil
+		return wrs, mapVer, nil
 	}
-	var wrs []wireRecord
 	if err := json.NewDecoder(resp.Body).Decode(&wrs); err != nil {
-		return nil, fmt.Errorf("httpkv: decoding scan: %w", err)
+		return nil, 0, fmt.Errorf("httpkv: decoding scan: %w", err)
 	}
-	return wrs, nil
+	return wrs, mapVer, nil
 }
 
 // Scan implements db.DB.
@@ -351,7 +354,7 @@ func (c *Client) Scan(ctx context.Context, table, startKey string, count int, fi
 	if c.asOf != 0 {
 		wrs, err = c.scanWireAsOf(ctx, table, startKey, count, c.asOf)
 	} else {
-		wrs, err = c.scanWire(ctx, table, startKey, count)
+		wrs, _, err = c.scanWire(ctx, table, startKey, count)
 	}
 	if err != nil {
 		return nil, err
@@ -461,7 +464,7 @@ func (c *Client) deleteVersioned(ctx context.Context, table, key string, expect 
 
 // scanVersioned fetches a scan page with record versions.
 func (c *Client) scanVersioned(ctx context.Context, table, startKey string, count int) ([]kvstore.VersionedKV, error) {
-	wrs, err := c.scanWire(ctx, table, startKey, count)
+	wrs, _, err := c.scanWire(ctx, table, startKey, count)
 	if err != nil {
 		return nil, err
 	}

@@ -162,7 +162,18 @@ func (s *Server) handleShardMap(w http.ResponseWriter, r *http.Request) {
 			writeDecodeError(w, err)
 			return
 		}
-		installed, err := cs.Install(&m)
+		var installed *cluster.Map
+		var err error
+		if cas := r.Header.Get(cluster.HeaderMapCAS); cas != "" {
+			expect, perr := strconv.ParseInt(cas, 10, 64)
+			if perr != nil || expect < 0 {
+				http.Error(w, "bad "+cluster.HeaderMapCAS, http.StatusBadRequest)
+				return
+			}
+			installed, err = cs.InstallCAS(&m, expect)
+		} else {
+			installed, err = cs.Install(&m)
+		}
 		if err != nil {
 			cur := cs.Map()
 			w.Header().Set(cluster.HeaderMapVersion, strconv.FormatInt(cur.Version, 10))
@@ -233,7 +244,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, fmt.Sprintf("line %d: missing key", len(kvs)+1), http.StatusBadRequest)
 			return
 		}
-		kvs = append(kvs, kvstore.BulkKV{Key: wr.Key, Fields: wr.Fields, Version: wr.Version, CommitTS: wr.CommitTS})
+		kvs = append(kvs, kvstore.BulkKV{Key: wr.Key, Fields: wr.Fields, Version: wr.Version, CommitTS: wr.CommitTS, Deleted: wr.Deleted})
 	}
 	if err := s.store.Ingest(table, kvs); err != nil {
 		writeStoreError(w, err)
@@ -262,8 +273,10 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 // that pass the cluster filter (exactly slot when slot ≥ 0, otherwise
 // the slots this node owns), resuming past each page's last key. A
 // plain engine scan stops short when filtered-out keys pad the page,
-// which would make a routed scan silently lossy.
-func (s *Server) scanFiltered(table, start string, count int, ts int64, slot int) ([]kvstore.VersionedKV, error) {
+// which would make a routed scan silently lossy. With tombstones set
+// (migration copy) delete versions ride along instead of being
+// skipped.
+func (s *Server) scanFiltered(table, start string, count int, ts int64, slot int, tombstones bool) ([]kvstore.VersionedKV, error) {
 	cs := s.opts.Cluster
 	m := cs.Map()
 	keep := func(key string) bool {
@@ -281,9 +294,12 @@ func (s *Server) scanFiltered(table, start string, count int, ts int64, slot int
 	for {
 		var page []kvstore.VersionedKV
 		var err error
-		if ts != 0 {
+		switch {
+		case tombstones:
+			page, err = s.store.ScanVersionsAsOf(table, start, pageSize, ts)
+		case ts != 0:
 			page, err = s.store.ScanAsOf(table, start, pageSize, ts)
-		} else {
+		default:
 			page, err = s.store.Scan(table, start, pageSize)
 		}
 		if err != nil {

@@ -216,7 +216,7 @@ func TestClusterShardMapRoutes(t *testing.T) {
 	}
 
 	// Re-PUT of the current version is stale → 409 + version header.
-	if err := putShardMap(ctx, hc, a.URL, m); err != nil {
+	if err := putShardMap(ctx, hc, a.URL, m, 0); err != nil {
 		t.Errorf("idempotent re-PUT of current map should be accepted as converged: %v", err)
 	}
 	doc, _ := m.Encode()
@@ -239,7 +239,7 @@ func TestClusterShardMapRoutes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := putShardMap(ctx, hc, a.URL, next); err != nil {
+	if err := putShardMap(ctx, hc, a.URL, next, 0); err != nil {
 		t.Fatalf("PUT v2: %v", err)
 	}
 	key := keyOwnedBy(t, next, b.URL, "moved")
@@ -263,6 +263,55 @@ func TestClusterShardMapRoutes(t *testing.T) {
 }
 
 // POST /v1/ingest merges NDJSON records version-preservingly.
+// PUT /v1/shardmap with the CAS header only lands on the exact
+// predecessor version; the unconditional path keeps treating an
+// equal-or-newer node as converged.
+func TestClusterShardMapPutCAS(t *testing.T) {
+	nodes := startTestCluster(t, 2, 8)
+	a, b := nodes[0], nodes[1]
+	m := a.state.Map()
+	ctx := context.Background()
+	hc := a.srv.Client()
+	next, err := m.WithSlotMoved(m.SlotsOf(a.URL)[0], b.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong predecessor → strict failure, map untouched.
+	if err := putShardMap(ctx, hc, a.URL, next, m.Version+7); err == nil {
+		t.Fatal("CAS install against the wrong predecessor succeeded")
+	}
+	if got := a.state.Map().Version; got != m.Version {
+		t.Fatalf("failed CAS moved the map to v%d", got)
+	}
+	// Right predecessor → lands.
+	if err := putShardMap(ctx, hc, a.URL, next, m.Version); err != nil {
+		t.Fatalf("CAS install against the right predecessor: %v", err)
+	}
+	// The predecessor is consumed: a rival CAS of the same expected
+	// version must fail even though the node already carries v+1 — a
+	// divergent v+1 is not "already converged".
+	if err := putShardMap(ctx, hc, a.URL, next, m.Version); err == nil {
+		t.Error("CAS re-install of a consumed predecessor succeeded")
+	}
+	// The unconditional path still reads equal-or-newer as converged.
+	if err := putShardMap(ctx, hc, a.URL, next, 0); err != nil {
+		t.Errorf("unconditional re-install of the current map: %v", err)
+	}
+	// A malformed CAS header is a 400, not an install.
+	doc, _ := next.Encode()
+	req, _ := http.NewRequest(http.MethodPut, a.URL+"/v1/shardmap", bytes.NewReader(doc))
+	req.Header.Set(cluster.HeaderMapCAS, "bogus")
+	resp, err := hc.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed CAS header status = %d, want 400", resp.StatusCode)
+	}
+}
+
 func TestClusterIngestRoute(t *testing.T) {
 	nodes := startTestCluster(t, 1, 4)
 	a := nodes[0]

@@ -22,29 +22,46 @@ import (
 //	         src rejects new writes, and no other node owns the slot).
 //	ts       GET src /v1/ts — a commit timestamp covering every
 //	         acknowledged write, drawn after the freeze barrier.
-//	copy     per table: scan src ?slot=N&count=-1 as-of ts (the
-//	         pinned-ts machinery replica seeding uses), stream the
-//	         versioned records into dest /v1/ingest in bounded chunks.
-//	         Ingest preserves Version and CommitTS, so CAS handles
-//	         held by clients stay valid across the move, and advances
-//	         dest's commit clock past the imported history.
+//	copy     per table: scan src ?slot=N&count=-1&tombstones=1 as-of
+//	         ts (the pinned-ts machinery replica seeding uses), stream
+//	         the versioned records — tombstones included — into dest
+//	         /v1/ingest in bounded chunks. Ingest preserves Version
+//	         and CommitTS, so CAS handles held by clients stay valid
+//	         across the move, and advances dest's commit clock past
+//	         the imported history.
 //	serve    install map v+1 (slot → dest) on src FIRST, then dest,
-//	         then the rest of the fleet. Between the two installs the
-//	         slot answers 410 everywhere — briefly unavailable, never
-//	         stale: src stops serving reads the instant it learns the
-//	         slot is no longer its own, so no read can miss a write
-//	         that landed on dest. Routers ride the window out with
-//	         refetch-and-retry.
+//	         then the rest of the fleet. Both cutover installs are
+//	         CAS-conditioned on the predecessor version v, so a
+//	         concurrent migration built from the same v cannot
+//	         silently install a divergent v+1 — the loser 409s and
+//	         aborts (src) or rolls back (dest). Between the two
+//	         installs the slot answers 410 everywhere — briefly
+//	         unavailable, never stale: src stops serving reads the
+//	         instant it learns the slot is no longer its own, so no
+//	         read can miss a write that landed on dest. Routers ride
+//	         the window out with refetch-and-retry.
+//
+// Before freezing, a preflight confirms every fleet member is at
+// exactly map version v: stragglers behind v are converged by
+// re-pushing v, and any node already past v aborts the migration (a
+// concurrent migration won). Combined with the CAS cutover this
+// serializes racing migrations: at most one v+1 ever installs.
 //
 // Failure before the src install thaws the slot and leaves the old
 // map in force (the copy is harmlessly idempotent — Ingest skips
 // records the destination already has at the same or newer commit
-// ts). Failure after the src install attempts a v+2 rollback map
-// assigning the slot back to src, whose data is still complete.
+// ts). Failure at the dest install rolls the slot back to src on top
+// of the newest map observed in the fleet, so the rollback converges
+// any concurrent divergence instead of fighting it; src's data is
+// still complete.
 //
 // Source-side records of a migrated slot are not deleted; the
 // ownership gate hides them and scans filter them out. Space is
 // reclaimed by the engine's normal retention/compaction machinery.
+// Those hidden records are exactly why the copy must carry
+// tombstones: if the slot ever migrates back, a live-records-only
+// copy would omit keys deleted elsewhere and the former owner's stale
+// live records would resurrect — a silent lost delete.
 
 // migrateChunk bounds one ingest POST: at most this many records and
 // roughly this many body bytes, staying under the server's default
@@ -75,6 +92,26 @@ func MigrateSlot(ctx context.Context, hc *http.Client, m *cluster.Map, slot int,
 		return nil, err
 	}
 
+	// Preflight: a concurrent migration shows up as a fleet member
+	// whose map is already past m. Stragglers behind m (a previous
+	// migration's best-effort fan-out missed them) are converged by
+	// re-pushing m; anything ahead aborts before we freeze.
+	for _, addr := range m.Nodes {
+		got, ferr := fetchShardMap(ctx, hc, addr)
+		if ferr != nil {
+			return nil, fmt.Errorf("cluster: migrate slot %d: preflight map fetch from %s: %w", slot, addr, ferr)
+		}
+		switch {
+		case got.Version > m.Version:
+			return nil, fmt.Errorf("cluster: migrate slot %d: node %s already at map v%d (concurrent migration?); re-run against the current map",
+				slot, addr, got.Version)
+		case got.Version < m.Version:
+			if perr := putShardMap(ctx, hc, addr, m, 0); perr != nil {
+				return nil, fmt.Errorf("cluster: migrate slot %d: converging straggler %s to v%d: %w", slot, addr, m.Version, perr)
+			}
+		}
+	}
+
 	// Drain: after this returns, no write to the slot is in flight
 	// anywhere, and none can start (src rejects, nobody else owns it).
 	if err := postFreeze(ctx, hc, src, slot, false); err != nil {
@@ -100,15 +137,24 @@ func MigrateSlot(ctx context.Context, hc *http.Client, m *cluster.Map, slot int,
 	}
 
 	// Cut over: src first (stops serving the slot, clears the freeze),
-	// then dest (starts serving), then the rest of the fleet.
-	if err := putShardMap(ctx, hc, src, next); err != nil {
+	// then dest (starts serving), then the rest of the fleet. Both
+	// installs are CAS-conditioned on the predecessor version so a
+	// racing migration that slipped past the preflight loses cleanly
+	// instead of split-braining the fleet with a divergent successor.
+	if err := putShardMap(ctx, hc, src, next, m.Version); err != nil {
 		return fail("installing map on source", err)
 	}
-	if err := putShardMap(ctx, hc, dest, next); err != nil {
-		// src already dropped the slot; give it back under v+2 so the
-		// fleet is never left with an unserved slot.
-		if back, berr := next.WithSlotMoved(slot, src); berr == nil {
-			if rerr := putShardMap(ctx, hc, src, back); rerr == nil {
+	if err := putShardMap(ctx, hc, dest, next, m.Version); err != nil {
+		// src already dropped the slot; give it back so the fleet is
+		// never left with an unserved slot. Build the rollback on top of
+		// the newest map observed (a concurrent migration may have moved
+		// dest past next), so the rollback converges the divergence.
+		base := next
+		if dm, derr := fetchShardMap(ctx, hc, dest); derr == nil && dm.Version > base.Version {
+			base = dm
+		}
+		if back, berr := base.WithSlotMoved(slot, src); berr == nil {
+			if rerr := putShardMap(ctx, hc, src, back, 0); rerr == nil {
 				installEverywhere(ctx, hc, back, src)
 				return nil, fmt.Errorf("cluster: migrate slot %d %s→%s: installing map on destination: %w (rolled back to %s at map v%d)",
 					slot, src, dest, err, src, back.Version)
@@ -132,7 +178,7 @@ func installEverywhere(ctx context.Context, hc *http.Client, m *cluster.Map, don
 	}
 	for _, addr := range m.Nodes {
 		if !skip[addr] {
-			putShardMap(ctx, hc, addr, m)
+			putShardMap(ctx, hc, addr, m, 0)
 		}
 	}
 }
@@ -203,7 +249,7 @@ func fetchTables(ctx context.Context, hc *http.Client, base string) ([]string, e
 // copySlot streams one table's slice of the slot from src (scanned
 // as-of ts) into dest's ingest route in bounded chunks.
 func copySlot(ctx context.Context, hc *http.Client, src, dest, table string, slot int, ts int64) error {
-	u := fmt.Sprintf("%s/v1/%s?start=&count=-1&slot=%d", src, url.PathEscape(table), slot)
+	u := fmt.Sprintf("%s/v1/%s?start=&count=-1&slot=%d&tombstones=1", src, url.PathEscape(table), slot)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return err
@@ -221,6 +267,9 @@ func copySlot(ctx context.Context, hc *http.Client, src, dest, table string, slo
 	}
 	if resp.Header.Get(AsOfServedHeader) == "" {
 		return fmt.Errorf("source node %s ignored the as-of scan (pre-MVCC server?)", src)
+	}
+	if resp.Header.Get(ScanTombstonesHeader) == "" {
+		return fmt.Errorf("source node %s ignored the tombstone scan (pre-tombstone server?); refusing a copy that would resurrect deleted keys", src)
 	}
 
 	var chunk bytes.Buffer
@@ -276,10 +325,17 @@ func postIngest(ctx context.Context, hc *http.Client, dest, table string, body *
 	return nil
 }
 
-// putShardMap installs a map on one node via PUT /v1/shardmap. A 409
-// with an equal-or-newer version header is success (the node already
-// converged).
-func putShardMap(ctx context.Context, hc *http.Client, base string, m *cluster.Map) error {
+// putShardMap installs a map on one node via PUT /v1/shardmap.
+//
+// With expect > 0 the install is a CAS on the node's exact current
+// version (the HeaderMapCAS header) and only a 200 is success — the
+// cutover installs use this so a concurrent migration's divergent
+// same-version map can never be mistaken for our own already landed.
+// With expect == 0 the install is unconditional convergence: a 409
+// with an equal-or-newer version header is success (the node is
+// already there or ahead), which is what the best-effort fleet
+// fan-out and rollback paths want.
+func putShardMap(ctx context.Context, hc *http.Client, base string, m *cluster.Map, expect int64) error {
 	doc, err := m.Encode()
 	if err != nil {
 		return err
@@ -289,6 +345,9 @@ func putShardMap(ctx context.Context, hc *http.Client, base string, m *cluster.M
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if expect > 0 {
+		req.Header.Set(cluster.HeaderMapCAS, strconv.FormatInt(expect, 10))
+	}
 	resp, err := hc.Do(req)
 	if err != nil {
 		return err
@@ -297,7 +356,7 @@ func putShardMap(ctx context.Context, hc *http.Client, base string, m *cluster.M
 	if resp.StatusCode == http.StatusOK {
 		return nil
 	}
-	if resp.StatusCode == http.StatusConflict {
+	if expect == 0 && resp.StatusCode == http.StatusConflict {
 		if have, _ := strconv.ParseInt(resp.Header.Get(cluster.HeaderMapVersion), 10, 64); have >= m.Version {
 			return nil // already there or ahead
 		}

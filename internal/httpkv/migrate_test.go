@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"ycsbt/internal/cluster"
+	"ycsbt/internal/db"
+	"ycsbt/internal/kvstore"
 )
 
 // MigrateSlot end to end, in process: the moved slot's records appear
@@ -133,6 +135,89 @@ func TestMigrateSlotIdempotentCopy(t *testing.T) {
 	got, err := b.store.Get("usertable", key)
 	if err != nil || string(got.Fields["f"]) != "v1" || got.Version != 1 {
 		t.Errorf("after idempotent re-copy: %+v %v", got, err)
+	}
+}
+
+// A slot that migrates away and back must not resurrect keys deleted
+// while it lived elsewhere: the source keeps its hidden pre-migration
+// records, so the return copy has to carry the new owner's tombstones
+// over them.
+func TestMigrateBackPreservesDeletes(t *testing.T) {
+	nodes := startTestCluster(t, 2, 8)
+	a, b := nodes[0], nodes[1]
+	m := a.state.Map()
+	ctx := context.Background()
+	hc := a.srv.Client()
+	ca := NewClient(a.URL, hc)
+
+	slot := m.SlotsOf(a.URL)[0]
+	var keys []string
+	for i := 0; len(keys) < 2; i++ {
+		k := fmt.Sprintf("user%05d", i)
+		if _, s := m.Owner(k); s == slot {
+			keys = append(keys, k)
+		}
+	}
+	doomed, kept := keys[0], keys[1]
+	for _, k := range keys {
+		if err := ca.Insert(ctx, "usertable", k, rec("v-"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	next, err := MigrateSlot(ctx, hc, m, slot, b.URL)
+	if err != nil {
+		t.Fatalf("migrate a→b: %v", err)
+	}
+	cb := NewClient(b.URL, hc)
+	if err := cb.Delete(ctx, "usertable", doomed); err != nil {
+		t.Fatalf("delete on new owner: %v", err)
+	}
+
+	back, err := MigrateSlot(ctx, hc, next, slot, a.URL)
+	if err != nil {
+		t.Fatalf("migrate b→a: %v", err)
+	}
+	if back.OwnerOfSlot(slot) != a.URL {
+		t.Fatalf("slot owner after return = %s", back.OwnerOfSlot(slot))
+	}
+	if _, err := ca.Read(ctx, "usertable", doomed, nil); !errors.Is(err, db.ErrNotFound) {
+		t.Fatalf("deleted key resurrected after migrate-back: err=%v", err)
+	}
+	if got, err := ca.Read(ctx, "usertable", kept, nil); err != nil || string(got["f"]) != "v-"+kept {
+		t.Fatalf("undeleted key after migrate-back: %v %v", got, err)
+	}
+	// The delete landed on a's engine as a tombstone version shadowing
+	// the hidden pre-migration record, not as an untouched head.
+	if _, err := a.store.Get("usertable", doomed); !errors.Is(err, kvstore.ErrNotFound) {
+		t.Fatalf("engine head read of deleted key: %v", err)
+	}
+}
+
+// A migration whose map is already superseded somewhere in the fleet
+// must abort in preflight, before freezing or copying anything.
+func TestMigrateSlotAbortsWhenFleetAhead(t *testing.T) {
+	nodes := startTestCluster(t, 2, 8)
+	a, b := nodes[0], nodes[1]
+	m := a.state.Map()
+	ctx := context.Background()
+
+	// A concurrent migration already advanced b past m.
+	ahead := m.Clone()
+	ahead.Version++
+	if _, err := b.state.Install(ahead); err != nil {
+		t.Fatal(err)
+	}
+
+	slot := m.SlotsOf(a.URL)[0]
+	if _, err := MigrateSlot(ctx, a.srv.Client(), m, slot, b.URL); err == nil {
+		t.Fatal("migration built from a superseded map ran anyway")
+	}
+	if a.state.Frozen(slot) {
+		t.Error("aborted preflight left the slot frozen")
+	}
+	if got := a.state.Map().Version; got != m.Version {
+		t.Errorf("aborted preflight moved a's map to v%d", got)
 	}
 }
 

@@ -158,7 +158,7 @@ func (r *Router) Init(p *properties.Properties) error {
 	if r.cur.Load() != nil {
 		return nil // built via NewRouter
 	}
-	seeds := splitNodes(p.GetString("cluster.nodes", ""))
+	seeds := SplitNodes(p.GetString("cluster.nodes", ""))
 	if len(seeds) == 0 {
 		return errors.New("cluster: missing required property cluster.nodes")
 	}
@@ -193,7 +193,13 @@ func (r *Router) Init(p *properties.Properties) error {
 	return nil
 }
 
-func splitNodes(s string) []string {
+// SplitNodes parses a comma-separated node address list (the
+// cluster.nodes property): whitespace is trimmed, empty entries are
+// dropped, and trailing slashes are stripped so addresses compare
+// equal to the map's node entries. Every consumer of cluster.nodes
+// must parse it this way or the same property string routes
+// differently per entry point.
+func SplitNodes(s string) []string {
 	var out []string
 	for _, n := range strings.Split(s, ",") {
 		if n = strings.TrimSpace(n); n != "" {
@@ -433,29 +439,69 @@ func (r *Router) Scan(ctx context.Context, table, startKey string, count int, fi
 // scanAllNodes fans one scan out to the whole fleet. Nodes that
 // answer 404 for the table contribute an empty page (a table can live
 // on a subset of nodes until writes spread).
+//
+// Each node echoes the shard map version it scanned under. If the
+// echoes disagree, the fan-out straddled a migration cutover: the
+// node still at v filters the migrating slot out (it no longer owns
+// it... or doesn't own it yet), and so does the node at v+1 — the
+// slot's records would silently vanish from the merged result. The
+// router refetches the map, backs off, and rescans until the fleet
+// answers under one version, bounded by the usual retry budget.
+// Pre-echo servers report version 0 and are exempt from the check —
+// best effort is all a mixed-version fleet can offer.
 func (r *Router) scanAllNodes(ctx context.Context, table, startKey string, count int) ([][]wireRecord, error) {
-	m := r.cur.Load()
-	pages := make([][]wireRecord, len(m.Nodes))
-	errs := make([]error, len(m.Nodes))
-	var wg sync.WaitGroup
-	for i, addr := range m.Nodes {
-		wg.Add(1)
-		go func(i int, c *Client) {
-			defer wg.Done()
-			page, err := c.scanWire(ctx, table, startKey, count)
-			if err != nil && errors.Is(err, db.ErrNotFound) {
-				err = nil
-			}
-			pages[i], errs[i] = page, err
-		}(i, r.node(addr))
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("cluster: scan on %s: %w", m.Nodes[i], err)
+	for attempt := 0; ; attempt++ {
+		m := r.cur.Load()
+		pages := make([][]wireRecord, len(m.Nodes))
+		vers := make([]int64, len(m.Nodes))
+		errs := make([]error, len(m.Nodes))
+		var wg sync.WaitGroup
+		for i, addr := range m.Nodes {
+			wg.Add(1)
+			go func(i int, c *Client) {
+				defer wg.Done()
+				page, ver, err := c.scanWire(ctx, table, startKey, count)
+				if err != nil && errors.Is(err, db.ErrNotFound) {
+					err = nil
+				}
+				pages[i], vers[i], errs[i] = page, ver, err
+			}(i, r.node(addr))
 		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("cluster: scan on %s: %w", m.Nodes[i], err)
+			}
+		}
+		skew := int64(0)
+		for _, v := range vers {
+			if v == 0 {
+				continue // pre-echo server; nothing to compare
+			}
+			if skew == 0 {
+				skew = v
+			} else if v != skew {
+				skew = -1
+				break
+			}
+		}
+		if skew >= 0 {
+			return pages, nil
+		}
+		if attempt >= r.retries {
+			return nil, fmt.Errorf("cluster: scan still straddling a map change after %d retries (node versions %v)", attempt, vers)
+		}
+		wait := r.backoff << attempt
+		if wait > time.Second {
+			wait = time.Second
+		}
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		r.refetchMap(ctx, "")
 	}
-	return pages, nil
 }
 
 // mergeWirePages merges per-node sorted pages (disjoint key sets) into

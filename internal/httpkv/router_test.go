@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"ycsbt/internal/db"
 	"ycsbt/internal/obs"
@@ -96,6 +97,51 @@ func TestRouterScanMerges(t *testing.T) {
 	kvs, err = r.Scan(ctx, "t", "user00010", 7, nil)
 	if err != nil || len(kvs) != 7 || kvs[0].Key != "user00010" {
 		t.Errorf("bounded scan: %d keys from %q, err %v", len(kvs), kvs[0].Key, err)
+	}
+}
+
+// A scan fanned out while the fleet straddles a map install must not
+// return a silently merged result: each node echoes the map version
+// it scanned under, and disagreement makes the router retry and, if
+// the fleet never converges, fail loudly instead of dropping the
+// migrating slot's records.
+func TestRouterScanDetectsVersionSkew(t *testing.T) {
+	nodes := startTestCluster(t, 2, 8)
+	r := newTestRouter(t, nodes, nil)
+	ctx := context.Background()
+	a, b := nodes[0], nodes[1]
+
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := r.Insert(ctx, "t", fmt.Sprintf("user%05d", i), rec("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Half-install a successor: a is at v+1, b still at v.
+	next := r.Map().Clone()
+	next.Version++
+	if _, err := a.state.Install(next); err != nil {
+		t.Fatal(err)
+	}
+	r.retries = 2
+	r.backoff = time.Millisecond
+	if _, err := r.Scan(ctx, "t", "", -1, nil); err == nil {
+		t.Fatal("scan across a version-skewed fleet succeeded silently")
+	} else if !strings.Contains(err.Error(), "straddling") {
+		t.Fatalf("skewed scan error = %v, want version-skew report", err)
+	}
+
+	// Once the fleet converges the same scan covers every key again.
+	if _, err := b.state.Install(next); err != nil {
+		t.Fatal(err)
+	}
+	kvs, err := r.Scan(ctx, "t", "", -1, nil)
+	if err != nil {
+		t.Fatalf("scan after convergence: %v", err)
+	}
+	if len(kvs) != n {
+		t.Errorf("converged scan returned %d keys, want %d", len(kvs), n)
 	}
 }
 

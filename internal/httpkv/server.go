@@ -58,12 +58,14 @@ import (
 
 // wireRecord is the JSON shape of one record on the wire. CommitTS
 // rides along (omitted when zero) so a migration copy can preserve
-// as-of visibility on the destination node; old clients drop the
-// unknown field.
+// as-of visibility on the destination node; Deleted marks a tombstone
+// in a migration copy (tombstone scans + ingest), so deletes travel
+// with the data. Old clients drop the unknown fields.
 type wireRecord struct {
 	Key      string            `json:"key,omitempty"`
 	Version  uint64            `json:"version"`
 	CommitTS int64             `json:"commit_ts,omitempty"`
+	Deleted  bool              `json:"deleted,omitempty"`
 	Fields   map[string][]byte `json:"fields"`
 }
 
@@ -278,11 +280,27 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request, table string
 	if ts != 0 {
 		w.Header().Set(AsOfServedHeader, strconv.FormatInt(ts, 10))
 	}
+	// tombstones=1 (cluster-internal, as-of only) includes delete
+	// versions in the result, marked wireRecord.Deleted — the migration
+	// copy needs them so a deleted key cannot resurrect when a slot
+	// returns to a former owner. The echo header is how the migrator
+	// detects a pre-tombstone server that silently ignored the param.
+	tombstones := q.Get("tombstones") != ""
+	if tombstones {
+		if s.opts.Cluster == nil || ts == 0 {
+			http.Error(w, "tombstones requires cluster mode and an as-of ts", http.StatusBadRequest)
+			return
+		}
+		w.Header().Set(ScanTombstonesHeader, "1")
+	}
 	var kvs []kvstore.VersionedKV
 	if s.opts.Cluster != nil {
 		// Cluster mode always filters: owned slots by default, one
-		// exact slot when requested (the migration copy path).
-		kvs, err = s.scanFiltered(table, start, count, ts, slot)
+		// exact slot when requested (the migration copy path). Scan
+		// responses echo the node's map version so routers can detect a
+		// mid-cutover fleet whose nodes filter by different maps.
+		w.Header().Set(cluster.HeaderMapVersion, strconv.FormatInt(s.opts.Cluster.Map().Version, 10))
+		kvs, err = s.scanFiltered(table, start, count, ts, slot, tombstones)
 	} else if ts != 0 {
 		kvs, err = s.store.ScanAsOf(table, start, count, ts)
 	} else {
@@ -292,6 +310,15 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request, table string
 		writeStoreError(w, err)
 		return
 	}
+	toWire := func(kv kvstore.VersionedKV) wireRecord {
+		return wireRecord{
+			Key:      kv.Key,
+			Version:  kv.Record.Version,
+			CommitTS: kv.Record.CommitTS,
+			Deleted:  kv.Record.Tombstone(),
+			Fields:   kv.Record.Fields,
+		}
+	}
 	// NDJSON-aware clients get one record per line (written as
 	// produced, no array buffering); everyone else keeps the original
 	// JSON array.
@@ -299,13 +326,13 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request, table string
 		w.Header().Set("Content-Type", NDJSONContentType)
 		enc := json.NewEncoder(w)
 		for _, kv := range kvs {
-			enc.Encode(wireRecord{Key: kv.Key, Version: kv.Record.Version, CommitTS: kv.Record.CommitTS, Fields: kv.Record.Fields})
+			enc.Encode(toWire(kv))
 		}
 		return
 	}
 	out := make([]wireRecord, 0, len(kvs))
 	for _, kv := range kvs {
-		out = append(out, wireRecord{Key: kv.Key, Version: kv.Record.Version, CommitTS: kv.Record.CommitTS, Fields: kv.Record.Fields})
+		out = append(out, toWire(kv))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(out)

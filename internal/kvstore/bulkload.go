@@ -11,12 +11,17 @@ import (
 // commit timestamp. Callers replaying a consistent cut from another
 // store (backup seeding) pass both through so the copy preserves the
 // source's versions and as-of visibility; the destination clock is
-// advanced past the largest provided CommitTS.
+// advanced past the largest provided CommitTS. Deleted marks a
+// tombstone: Ingest writes a delete version instead of fields, so a
+// migrated slot carries its deletes along and a later copy back to a
+// former owner cannot resurrect them. BulkLoad rejects tombstones (a
+// fresh table has nothing to delete).
 type BulkKV struct {
 	Key      string
 	Fields   map[string][]byte
 	Version  uint64
 	CommitTS int64
+	Deleted  bool
 }
 
 // BulkLoad loads a sorted batch of records into an empty table by
@@ -48,6 +53,11 @@ func (s *Store) BulkLoad(table string, kvs []BulkKV) error {
 	for i := 1; i < len(kvs); i++ {
 		if kvs[i].Key == kvs[i-1].Key {
 			return fmt.Errorf("kvstore: duplicate key %q in bulk load", kvs[i].Key)
+		}
+	}
+	for _, kv := range kvs {
+		if kv.Deleted {
+			return fmt.Errorf("kvstore: tombstone for %q in bulk load (deletes only make sense in Ingest)", kv.Key)
 		}
 	}
 	if len(s.parts) == 1 {

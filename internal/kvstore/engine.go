@@ -59,6 +59,10 @@ type Engine interface {
 	GetAsOf(table, key string, ts int64) (*VersionedRecord, error)
 	BatchGetAsOf(reqs []GetReq, ts int64) []GetResult
 	ScanAsOf(table, startKey string, count int, ts int64) ([]VersionedKV, error)
+	// ScanVersionsAsOf is ScanAsOf with tombstones included
+	// (Record.Tombstone() distinguishes them) — the replication read a
+	// migration copy uses so deletes travel with the data.
+	ScanVersionsAsOf(table, startKey string, count int, ts int64) ([]VersionedKV, error)
 
 	// Introspection.
 	Len(table string) int

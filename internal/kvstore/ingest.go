@@ -18,6 +18,12 @@ import "sync"
 // the destination clock is advanced past every provided CommitTS so
 // later local commits sort after the ingested history.
 //
+// Tombstones travel too: a BulkKV with Deleted set writes a delete
+// version (same WAL frame the live delete path logs), so a slot copy
+// that includes its deletes cannot resurrect a deleted key on a node
+// that still holds an older live record from a previous ownership
+// stint.
+//
 // Like every multi-key operation, Ingest is atomic per partition, not
 // across the store: readers may observe a prefix of the batch. The
 // cluster layer only routes a slot to its new owner after the whole
@@ -85,13 +91,20 @@ func (p *partition) ingest(table string, kvs []BulkKV) error {
 		if cur != nil && cur.CommitTS >= ts {
 			continue // already have this version or newer (re-run)
 		}
-		rec := &VersionedRecord{Version: ver, CommitTS: ts, Fields: make(map[string][]byte, len(kv.Fields))}
-		for f, v := range kv.Fields {
-			rec.Fields[f] = append([]byte(nil), v...)
+		var rec *VersionedRecord
+		op := walPutTS
+		if kv.Deleted {
+			rec = &VersionedRecord{Version: ver, CommitTS: ts, deleted: true}
+			op = walDeleteTS
+		} else {
+			rec = &VersionedRecord{Version: ver, CommitTS: ts, Fields: make(map[string][]byte, len(kv.Fields))}
+			for f, v := range kv.Fields {
+				rec.Fields[f] = append([]byte(nil), v...)
+			}
 		}
 		rec.link(cur)
 		if w != nil {
-			n, err := w.append(walRecord{Op: walPutTS, Table: table, Key: kv.Key, Version: ver, CommitTS: ts, Fields: rec.Fields})
+			n, err := w.append(walRecord{Op: op, Table: table, Key: kv.Key, Version: ver, CommitTS: ts, Fields: rec.Fields})
 			if err != nil {
 				// Publish what was applied so tree and snapshot agree.
 				if applied {

@@ -1,7 +1,9 @@
 package kvstore
 
 import (
+	"errors"
 	"fmt"
+	"path/filepath"
 	"testing"
 )
 
@@ -97,6 +99,85 @@ func TestIngestAdvancesCommitClock(t *testing.T) {
 	}
 	if rec.CommitTS <= importedTS {
 		t.Errorf("local commit ts %d did not advance past imported ts %d", rec.CommitTS, importedTS)
+	}
+}
+
+// An ingested tombstone must delete the key: migrating a slot back to
+// a former owner replays deletes performed elsewhere, or the former
+// owner's hidden live records would resurrect.
+func TestIngestTombstone(t *testing.T) {
+	s := openIngestStore(t)
+	if _, err := s.Put("t", "k", fieldsOf("alive")); err != nil {
+		t.Fatal(err)
+	}
+	preTS := s.SnapshotTS()
+	if err := s.Ingest("t", []BulkKV{{Key: "k", Deleted: true, Version: 9, CommitTS: preTS + 100}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("t", "k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("head read after ingested tombstone: %v, want ErrNotFound", err)
+	}
+	// History below the tombstone stays readable.
+	if rec, err := s.GetAsOf("t", "k", preTS); err != nil || string(rec.Fields["f"]) != "alive" {
+		t.Fatalf("pre-delete as-of read = %v, %v; want \"alive\"", rec, err)
+	}
+	// A live scan skips the key; a tombstone-carrying scan ships it.
+	if out, err := s.ScanAsOf("t", "", -1, preTS+200); err != nil || len(out) != 0 {
+		t.Fatalf("live as-of scan = %d records, %v; want 0", len(out), err)
+	}
+	out, err := s.ScanVersionsAsOf("t", "", -1, preTS+200)
+	if err != nil || len(out) != 1 {
+		t.Fatalf("tombstone scan = %d records, %v; want 1", len(out), err)
+	}
+	if !out[0].Record.Tombstone() || out[0].Record.Version != 9 || out[0].Record.CommitTS != preTS+100 {
+		t.Errorf("tombstone scan record = tombstone=%v version=%d ts=%d, want true/9/%d",
+			out[0].Record.Tombstone(), out[0].Record.Version, out[0].Record.CommitTS, preTS+100)
+	}
+	// Idempotence holds for tombstones too.
+	if err := s.Ingest("t", []BulkKV{{Key: "k", Deleted: true, Version: 9, CommitTS: preTS + 100}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("t", "k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("head read after re-ingest: %v, want ErrNotFound", err)
+	}
+}
+
+// Ingested tombstones must survive a WAL replay like any other write.
+func TestIngestTombstoneDurable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	s, err := Open(Options{Path: path, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Ingest("t", []BulkKV{
+		{Key: "live", Fields: fieldsOf("v"), Version: 2, CommitTS: 50},
+		{Key: "dead", Deleted: true, Version: 4, CommitTS: 60},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(Options{Path: path, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rec, err := s2.Get("t", "live"); err != nil || rec.Version != 2 {
+		t.Fatalf("replayed live record = %v, %v; want version 2", rec, err)
+	}
+	if _, err := s2.Get("t", "dead"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("replayed ingested tombstone: %v, want ErrNotFound", err)
+	}
+}
+
+// BulkLoad is the benchmark's fresh-load fast path; a tombstone there
+// is a caller bug, not a migration.
+func TestBulkLoadRejectsTombstone(t *testing.T) {
+	s := openIngestStore(t)
+	err := s.BulkLoad("t", []BulkKV{{Key: "k", Deleted: true}})
+	if err == nil {
+		t.Fatal("BulkLoad accepted a tombstone")
 	}
 }
 

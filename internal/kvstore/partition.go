@@ -398,6 +398,24 @@ func scanSnapAsOf(tsnap *treeSnapshot, startKey string, count int, ts int64) []V
 	return out
 }
 
+// scanSnapVersionsAsOf is scanSnapAsOf with tombstones kept: each key
+// resolves to its newest version ≤ ts — delete versions included, so
+// callers replicating state (the migration copy) see deletes instead
+// of silently losing them. Keys born after ts are still skipped.
+func scanSnapVersionsAsOf(tsnap *treeSnapshot, startKey string, count int, ts int64) []VersionedKV {
+	var out []VersionedKV
+	tsnap.ascend(startKey, func(key string, val *VersionedRecord) bool {
+		if count >= 0 && len(out) >= count {
+			return false
+		}
+		if v := val.AsOf(ts); v != nil {
+			out = append(out, VersionedKV{Key: key, Record: v})
+		}
+		return true
+	})
+	return out
+}
+
 // forEach visits this partition's records of table in key order over
 // one published snapshot (single-shard fast path of Store.ForEach) —
 // the whole visit is one atomic point-in-time view and never blocks

@@ -616,6 +616,33 @@ func (s *Store) ScanAsOf(table, startKey string, count int, ts int64) ([]Version
 	return mergeScan(lists, count), nil
 }
 
+// ScanVersionsAsOf is ScanAsOf with tombstones included: each key
+// resolves to its newest version ≤ ts even when that version records a
+// delete (Record.Tombstone() reports which). This is the replication
+// read — a consistent cut that carries deletes along, so a migration
+// copy cannot resurrect deleted keys on a node holding older live
+// records. Ordinary readers want ScanAsOf.
+func (s *Store) ScanVersionsAsOf(table, startKey string, count int, ts int64) ([]VersionedKV, error) {
+	snaps, err := s.snapshotTable(table)
+	if err != nil {
+		return nil, err
+	}
+	lists := make([][]VersionedKV, 0, len(snaps))
+	for i, tsnap := range snaps {
+		p := s.parts[i]
+		p.metrics.scans.Inc()
+		if tsnap == nil {
+			continue
+		}
+		kvs := scanSnapVersionsAsOf(tsnap, startKey, count, ts)
+		p.metrics.snapScanLen.Observe(float64(len(kvs)))
+		if len(kvs) > 0 {
+			lists = append(lists, kvs)
+		}
+	}
+	return mergeScan(lists, count), nil
+}
+
 // scanCursor walks one partition's already-ordered scan result.
 type scanCursor struct {
 	kvs []VersionedKV

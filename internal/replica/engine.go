@@ -221,6 +221,10 @@ func (e *Engine) ScanAsOf(table, startKey string, count int, ts int64) ([]kvstor
 	return e.s.Primary().ScanAsOf(table, startKey, count, ts)
 }
 
+func (e *Engine) ScanVersionsAsOf(table, startKey string, count int, ts int64) ([]kvstore.VersionedKV, error) {
+	return e.s.Primary().ScanVersionsAsOf(table, startKey, count, ts)
+}
+
 func (e *Engine) Len(table string) int {
 	t, err := e.s.readTarget()
 	if err != nil {

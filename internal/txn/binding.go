@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
-	"strings"
 	"time"
 
 	"ycsbt/internal/cloudsim"
@@ -93,7 +92,10 @@ func (b *Binding) Init(p *properties.Properties) error {
 		add(w, w.Close)
 		add(g, g.Close)
 	case "cluster":
-		seeds := strings.Split(p.GetString("cluster.nodes", ""), ",")
+		seeds := httpkv.SplitNodes(p.GetString("cluster.nodes", ""))
+		if len(seeds) == 0 {
+			return errors.New("txnkv: cluster backend requires cluster.nodes")
+		}
 		router, err := httpkv.NewRouter(seeds, nil, reg)
 		if err != nil {
 			return fmt.Errorf("txnkv: cluster backend: %w", err)
