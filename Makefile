@@ -3,11 +3,15 @@
 
 GO ?= go
 
-.PHONY: check vet build test test-race bench bench-quick bench-cluster clean
+.PHONY: check vet build test test-race fuzz-smoke bench bench-quick bench-cluster clean
 
-# The full tier-1 gate: vet, build everything, then the race-enabled
-# short test run.
-check: vet build test-race
+# The full tier-1 gate: vet, build everything, the race-enabled short
+# test run, then a short coverage-guided fuzz of the binary frame
+# codec (hostile bytes off the network must never panic the decoder).
+check: vet build test-race fuzz-smoke
+
+fuzz-smoke:
+	$(GO) test -run xx -fuzz FuzzFrameCodec -fuzztime 10s ./internal/kvwire/
 
 vet:
 	$(GO) vet ./...
@@ -31,16 +35,19 @@ bench:
 
 # The acceptance benchmarks, machine-readable: CI uploads
 # BENCH_batch.json (batched-vs-single ratio), BENCH_read.json (the
-# lock-free snapshot read path vs the emulated locked+clone baseline)
-# and BENCH_mvcc.json (as-of scan throughput under concurrent writers
+# lock-free snapshot read path vs the emulated locked+clone baseline),
+# BENCH_mvcc.json (as-of scan throughput under concurrent writers
 # plus the head-read path, whose 0-alloc budget must not regress now
-# that records carry version chains) so all regressions are visible
-# per run.
+# that records carry version chains) and BENCH_wire.json (the framed
+# binary transport vs HTTP/NDJSON at 32 client threads — the Read
+# cells carry the ≥2x acceptance bound) so all regressions are
+# visible per run.
 bench-quick:
 	$(GO) test -run xx -bench BenchmarkBatchVsSingle -benchtime 3x -json . | tee BENCH_batch.json
 	$(GO) test -run xx -bench 'BenchmarkReadHeavy|BenchmarkGetScanParallel' -benchtime 300ms -cpu 4 -json ./internal/kvstore/ | tee BENCH_read.json
 	$(GO) test -run xx -bench BenchmarkAsOfScanUnderWrites -benchtime 300ms -cpu 4 -json ./internal/kvstore/ | tee BENCH_mvcc.json
 	$(GO) test -run xx -bench BenchmarkStoreParallel -benchtime 300ms -json . | tee -a BENCH_mvcc.json
+	$(GO) test -run xx -bench BenchmarkWireVsHTTP -benchtime 1s -json . | tee BENCH_wire.json
 
 # Cluster scaling acceptance bench: identical capacity-bound nodes,
 # read-heavy load routed by the shard map, 1 node vs 3. The 3-node

@@ -9,6 +9,7 @@ package ycsbt_test
 import (
 	"context"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os/exec"
@@ -43,8 +44,12 @@ func freeAddrs(t *testing.T, n int) []string {
 }
 
 // startClusterProcs builds the kvserver binary once and spawns one
-// real process per address, all sharing a uniform bootstrap map.
-func startClusterProcs(t *testing.T, addrs []string, slots int) []string {
+// real process per address, all sharing a uniform bootstrap map. Every
+// node also gets a binary wire listener and an ops listener, so the
+// fleet exercises the framed protocol end to end and the test can
+// confirm from kvwire_* metrics that traffic really rode it; opsURLs
+// receives one ops base URL per node when non-nil.
+func startClusterProcs(t *testing.T, addrs []string, slots int, opsURLs *[]string) []string {
 	t.Helper()
 	bin := filepath.Join(t.TempDir(), "kvserver")
 	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/kvserver").CombinedOutput(); err != nil {
@@ -55,17 +60,26 @@ func startClusterProcs(t *testing.T, addrs []string, slots int) []string {
 		urls[i] = "http://" + a
 	}
 	peers := strings.Join(urls, ",")
+	wireAddrs := freeAddrs(t, len(addrs))
+	opsAddrs := freeAddrs(t, len(addrs))
 	for i, a := range addrs {
 		cmd := exec.Command(bin,
 			"-addr", a,
 			"-cluster-node-id", urls[i],
 			"-peers", peers,
 			"-cluster-slots", fmt.Sprint(slots),
+			"-wire-addr", wireAddrs[i],
+			"-ops-addr", opsAddrs[i],
 		)
 		if err := cmd.Start(); err != nil {
 			t.Fatalf("starting node %d: %v", i, err)
 		}
 		t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+	}
+	if opsURLs != nil {
+		for _, a := range opsAddrs {
+			*opsURLs = append(*opsURLs, "http://"+a)
+		}
 	}
 	for _, u := range urls {
 		ok := false
@@ -106,7 +120,8 @@ func TestClusterCEWZeroAnomalyAcrossMigration(t *testing.T) {
 	}
 	ctx := context.Background()
 	const slots = 12
-	urls := startClusterProcs(t, freeAddrs(t, 3), slots)
+	var opsURLs []string
+	urls := startClusterProcs(t, freeAddrs(t, 3), slots, &opsURLs)
 
 	p := properties.FromMap(map[string]string{
 		"workload":                  "closedeconomy",
@@ -200,6 +215,29 @@ func TestClusterCEWZeroAnomalyAcrossMigration(t *testing.T) {
 		resp.Body.Close()
 		if ver != "3" {
 			t.Errorf("node %s at map v%s after two migrations, want v3", u, ver)
+		}
+	}
+
+	// The run really rode the binary protocol: every node's wire
+	// listener saw frames.
+	for i, u := range opsURLs {
+		resp, err := http.Get(u + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames := 0.0
+		for _, line := range strings.Split(string(body), "\n") {
+			if strings.HasPrefix(line, `kvwire_frames_total{dir="in"}`) {
+				fmt.Sscanf(line, `kvwire_frames_total{dir="in"} %g`, &frames)
+			}
+		}
+		if frames == 0 {
+			t.Errorf("node %d (%s): kvwire_frames_total{dir=in} = 0; cluster traffic never rode the wire", i, urls[i])
 		}
 	}
 }

@@ -22,8 +22,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -35,6 +37,7 @@ import (
 	"ycsbt/internal/cluster"
 	"ycsbt/internal/httpkv"
 	"ycsbt/internal/kvstore"
+	"ycsbt/internal/kvwire"
 	"ycsbt/internal/obs"
 	"ycsbt/internal/replica"
 )
@@ -58,6 +61,8 @@ func run() error {
 	retention := flag.Duration("retention", kvstore.DefaultRetention, "how long overwritten record versions stay readable via as-of reads")
 	vacuumInterval := flag.Duration("vacuum-interval", 0, "background version-vacuum sweep interval (0 = write-path trimming only)")
 	opsAddr := flag.String("ops-addr", "", "ops listener address serving /metrics, /healthz, /debug/pprof (empty = disabled)")
+	wireAddr := flag.String("wire-addr", "", "binary wire protocol listener address; advertised to clients via the X-KV-Wire response header (empty = disabled)")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown bound: how long in-flight requests on the HTTP, wire and ops listeners get to finish")
 	backups := flag.Int("backups", 0, "serve a replicated in-memory store with this many backups instead of the embedded engine (-wal is ignored)")
 	replicaLag := flag.Duration("replica-lag", 0, "async replication delay per backup hop (with -backups)")
 	replicaSync := flag.Bool("replica-sync", false, "replicate synchronously: a quorum of backups applies every write before acknowledging (with -backups)")
@@ -143,11 +148,34 @@ func run() error {
 		desc += fmt.Sprintf(" cluster node=%s slots=%d/%d map=v%d", *clusterNodeID, len(m.SlotsOf(*clusterNodeID)), m.Slots, m.Version)
 	}
 
+	// One transport-neutral core serves both front ends, so HTTP and
+	// binary requests share a single admission limit and ownership gate.
+	core := kvwire.NewCore(eng, cs, *maxInflight)
+
+	var wireSrv *kvwire.Server
+	var wireLnAddr string
+	if *wireAddr != "" {
+		wireLn, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			return fmt.Errorf("wire listener: %w", err)
+		}
+		wireSrv = kvwire.NewServer(core, kvwire.ServerOptions{Metrics: metrics})
+		go func() {
+			if err := wireSrv.Serve(wireLn); err != nil {
+				fmt.Fprintln(os.Stderr, "kvserver: wire listener:", err)
+			}
+		}()
+		wireLnAddr = wireLn.Addr().String()
+		desc += fmt.Sprintf(" wire=%s", wireLnAddr)
+	}
+
 	var handler http.Handler = httpkv.NewServerWithOptions(eng, httpkv.ServerOptions{
 		MaxInflightBatches: *maxInflight,
 		MaxBodyBytes:       *maxBodyBytes,
 		Metrics:            metrics,
 		Cluster:            cs,
+		Core:               core,
+		WireAddr:           wireLnAddr,
 	})
 	if *delay > 0 {
 		inner := handler
@@ -214,8 +242,11 @@ func run() error {
 	})
 	srv := &http.Server{Addr: *addr, Handler: mux}
 
+	var opsSrv *http.Server
 	if *opsAddr != "" {
-		opsSrv, opsLn, err := obs.StartOps(*opsAddr, reg, nil)
+		var opsLn net.Addr
+		var err error
+		opsSrv, opsLn, err = obs.StartOps(*opsAddr, reg, nil)
 		if err != nil {
 			return err
 		}
@@ -234,7 +265,34 @@ func run() error {
 		return err
 	case s := <-sig:
 		fmt.Printf("kvserver: received %v, shutting down\n", s)
-		srv.Close()
+		drain(*drainTimeout, srv, wireSrv, opsSrv)
 		return eng.Sync()
 	}
+}
+
+// drain stops all listeners gracefully and concurrently — new
+// connections are refused at once, in-flight requests (including
+// pipelined binary frames already read off a connection) get until
+// the deadline to finish, then everything is cut.
+func drain(timeout time.Duration, srv *http.Server, wireSrv *kvwire.Server, opsSrv *http.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	var wg sync.WaitGroup
+	shutdown := func(f func(context.Context) error, name string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := f(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "kvserver: %s drain: %v\n", name, err)
+			}
+		}()
+	}
+	shutdown(srv.Shutdown, "http")
+	if wireSrv != nil {
+		shutdown(wireSrv.Shutdown, "wire")
+	}
+	if opsSrv != nil {
+		shutdown(opsSrv.Shutdown, "ops")
+	}
+	wg.Wait()
 }

@@ -15,6 +15,7 @@ import (
 	"ycsbt/internal/cluster"
 	"ycsbt/internal/db"
 	"ycsbt/internal/kvstore"
+	"ycsbt/internal/kvwire"
 )
 
 // The /v1/batch protocol: the request body is NDJSON, one operation
@@ -80,6 +81,26 @@ func putBatchOps(ops *[]wireBatchOp) {
 	batchOpsPool.Put(ops)
 }
 
+// coreBatchPool recycles the kvwire op/result slices the handler
+// builds per request, so the core extraction does not add steady-state
+// garbage to the NDJSON hot path.
+type coreBatch struct {
+	ops []kvwire.Op
+	res []kvwire.Result
+}
+
+var coreBatchPool = sync.Pool{New: func() any {
+	return &coreBatch{ops: make([]kvwire.Op, 0, 64), res: make([]kvwire.Result, 0, 64)}
+}}
+
+func putCoreBatch(cb *coreBatch) {
+	clear(cb.ops)
+	clear(cb.res)
+	cb.ops = cb.ops[:0]
+	cb.res = cb.res[:0]
+	coreBatchPool.Put(cb)
+}
+
 // wireBatchOp is one NDJSON request line.
 type wireBatchOp struct {
 	Op          string            `json:"op"`
@@ -128,22 +149,62 @@ func (op wireBatchOp) expect() (uint64, error) {
 	return v, nil
 }
 
+// toOp parses one NDJSON line into the transport-neutral op model.
+// Parse failures (bad conditional, unknown op name) become KindInvalid
+// with Reason set, preserving the protocol's error precedence: a bad
+// if_match 400s before an unknown op name, which 400s before missing
+// fields (the core's check).
+func (op wireBatchOp) toOp() kvwire.Op {
+	if op.Op == "get" {
+		return kvwire.Op{Kind: kvwire.KindGet, Table: op.Table, Key: op.Key, AsOf: op.AsOf}
+	}
+	expect, err := op.expect()
+	if err != nil {
+		return kvwire.Op{Reason: err.Error()}
+	}
+	var kind kvwire.Kind
+	switch op.Op {
+	case "put":
+		kind = kvwire.KindPut
+	case "patch":
+		kind = kvwire.KindPatch
+	case "delete":
+		kind = kvwire.KindDelete
+	default:
+		return kvwire.Op{Reason: fmt.Sprintf("unknown op %q", op.Op)}
+	}
+	return kvwire.Op{Kind: kind, Table: op.Table, Key: op.Key, Fields: op.Fields, Expect: expect}
+}
+
+// fromResult renders one core result as an NDJSON response line.
+func fromResult(res kvwire.Result) wireBatchResult {
+	out := wireBatchResult{
+		Status:     res.Status,
+		Fields:     res.Fields,
+		Error:      res.Err,
+		AsOf:       res.AsOf,
+		Owner:      res.Owner,
+		MapVersion: res.MapVersion,
+	}
+	if res.HasVersion {
+		out.ETag = strconv.FormatUint(res.Version, 10)
+	}
+	return out
+}
+
 // handleBatch serves POST /v1/batch.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	if s.inflight != nil {
-		select {
-		case s.inflight <- struct{}{}:
-			defer func() { <-s.inflight }()
-		default:
-			w.Header().Set("Retry-After", retryAfterSeconds(s.opts.RetryAfter))
-			http.Error(w, "too many in-flight batches", http.StatusTooManyRequests)
-			return
-		}
+	release, ok := s.core.AcquireBatch()
+	if !ok {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.opts.RetryAfter))
+		http.Error(w, "too many in-flight batches", http.StatusTooManyRequests)
+		return
 	}
+	defer release()
 	opsp, err := decodeBatchOps(r)
 	if err != nil {
 		writeDecodeError(w, err)
@@ -156,12 +217,22 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
 		return
 	}
-	results := s.execBatch(r.Context(), ops)
+	cb := coreBatchPool.Get().(*coreBatch)
+	defer putCoreBatch(cb)
+	for _, op := range ops {
+		cb.ops = append(cb.ops, op.toOp())
+	}
+	if cap(cb.res) < len(cb.ops) {
+		cb.res = make([]kvwire.Result, len(cb.ops))
+	} else {
+		cb.res = cb.res[:len(cb.ops)]
+	}
+	s.core.ExecBatchInto(r.Context(), cb.ops, cb.res)
 	w.Header().Set("Content-Type", NDJSONContentType)
 	be := batchEncPool.Get().(*batchEncoder)
 	be.bw.Reset(w)
-	for _, res := range results {
-		be.enc.Encode(res)
+	for _, res := range cb.res {
+		be.enc.Encode(fromResult(res))
 	}
 	be.bw.Flush()
 	be.bw.Reset(nil) // drop the ResponseWriter before pooling
@@ -194,166 +265,6 @@ func decodeBatchOps(r *http.Request) (*[]wireBatchOp, error) {
 	}
 	*opsp = ops
 	return opsp, nil
-}
-
-// execBatch answers the decoded ops through the engine's multi-key
-// path, splitting the batch into maximal same-kind runs — consecutive
-// gets share one BatchGet, consecutive mutations one BatchApply — so
-// order within the batch is preserved while each run pays one lock
-// round per touched partition. If the request deadline expires
-// between runs, the remaining items report 504 instead of running.
-func (s *Server) execBatch(ctx context.Context, ops []wireBatchOp) []wireBatchResult {
-	out := make([]wireBatchResult, len(ops))
-	for lo := 0; lo < len(ops); {
-		hi := lo + 1
-		for hi < len(ops) && (ops[hi].Op == "get") == (ops[lo].Op == "get") {
-			hi++
-		}
-		if ctx.Err() != nil {
-			for i := lo; i < len(ops); i++ {
-				out[i] = wireBatchResult{Status: http.StatusGatewayTimeout, Error: "deadline exceeded"}
-			}
-			return out
-		}
-		if ops[lo].Op == "get" {
-			s.execGetRunClustered(ops[lo:hi], out[lo:hi])
-		} else {
-			s.execMutRunClustered(ops[lo:hi], out[lo:hi])
-		}
-		lo = hi
-	}
-	return out
-}
-
-func (s *Server) execGetRun(ops []wireBatchOp, out []wireBatchResult) {
-	// Fast path: no line asks for a snapshot, one head BatchGet covers
-	// the whole run without any grouping overhead.
-	head := true
-	for _, op := range ops {
-		if op.AsOf != 0 {
-			head = false
-			break
-		}
-	}
-	if head {
-		reqs := make([]kvstore.GetReq, len(ops))
-		for i, op := range ops {
-			reqs[i] = kvstore.GetReq{Table: op.Table, Key: op.Key}
-		}
-		for i, r := range s.store.BatchGet(reqs) {
-			if r.Err != nil {
-				out[i] = batchErrResult(r.Err)
-				continue
-			}
-			out[i] = wireBatchResult{
-				Status: http.StatusOK,
-				ETag:   strconv.FormatUint(r.Record.Version, 10),
-				Fields: r.Record.Fields,
-			}
-		}
-		return
-	}
-	// Mixed run: group the line indices by as_of timestamp so each
-	// distinct snapshot (and the head, ts 0) pays one engine round.
-	groups := make(map[int64][]int)
-	order := make([]int64, 0, 2)
-	for i, op := range ops {
-		if _, ok := groups[op.AsOf]; !ok {
-			order = append(order, op.AsOf)
-		}
-		groups[op.AsOf] = append(groups[op.AsOf], i)
-	}
-	for _, ts := range order {
-		idx := groups[ts]
-		if ts < 0 {
-			for _, i := range idx {
-				out[i] = wireBatchResult{Status: http.StatusBadRequest, Error: fmt.Sprintf("bad as_of %d", ts)}
-			}
-			continue
-		}
-		reqs := make([]kvstore.GetReq, len(idx))
-		for j, i := range idx {
-			reqs[j] = kvstore.GetReq{Table: ops[i].Table, Key: ops[i].Key}
-		}
-		var results []kvstore.GetResult
-		if ts == 0 {
-			results = s.store.BatchGet(reqs)
-		} else {
-			results = s.store.BatchGetAsOf(reqs, ts)
-		}
-		for j, r := range results {
-			i := idx[j]
-			if r.Err != nil {
-				res := batchErrResult(r.Err)
-				res.AsOf = ts
-				out[i] = res
-				continue
-			}
-			out[i] = wireBatchResult{
-				Status: http.StatusOK,
-				ETag:   strconv.FormatUint(r.Record.Version, 10),
-				Fields: r.Record.Fields,
-				AsOf:   ts,
-			}
-		}
-	}
-}
-
-func (s *Server) execMutRun(ops []wireBatchOp, out []wireBatchResult) {
-	muts := make([]kvstore.Mutation, 0, len(ops))
-	idx := make([]int, 0, len(ops))
-	for i, op := range ops {
-		expect, err := op.expect()
-		if err != nil {
-			out[i] = wireBatchResult{Status: http.StatusBadRequest, Error: err.Error()}
-			continue
-		}
-		var m kvstore.Mutation
-		switch op.Op {
-		case "put":
-			m = kvstore.Mutation{Op: kvstore.MutPut, Table: op.Table, Key: op.Key, Fields: op.Fields, Expect: expect}
-		case "patch":
-			m = kvstore.Mutation{Op: kvstore.MutUpdate, Table: op.Table, Key: op.Key, Fields: op.Fields}
-		case "delete":
-			m = kvstore.Mutation{Op: kvstore.MutDelete, Table: op.Table, Key: op.Key, Expect: expect}
-		default:
-			out[i] = wireBatchResult{Status: http.StatusBadRequest, Error: fmt.Sprintf("unknown op %q", op.Op)}
-			continue
-		}
-		if (op.Op == "put" || op.Op == "patch") && op.Fields == nil {
-			out[i] = wireBatchResult{Status: http.StatusBadRequest, Error: "missing fields"}
-			continue
-		}
-		muts = append(muts, m)
-		idx = append(idx, i)
-	}
-	for j, r := range s.store.BatchApply(muts) {
-		i := idx[j]
-		if r.Err != nil {
-			out[i] = batchErrResult(r.Err)
-			continue
-		}
-		status := http.StatusOK
-		if ops[i].Op == "delete" {
-			status = http.StatusNoContent
-		}
-		out[i] = wireBatchResult{Status: status, ETag: strconv.FormatUint(r.Version, 10)}
-	}
-}
-
-// batchErrResult maps a store error to a per-item result, mirroring
-// writeStoreError's single-op status mapping.
-func batchErrResult(err error) wireBatchResult {
-	status := http.StatusInternalServerError
-	switch {
-	case errors.Is(err, kvstore.ErrNotFound):
-		status = http.StatusNotFound
-	case errors.Is(err, kvstore.ErrVersionMismatch), errors.Is(err, kvstore.ErrExists):
-		status = http.StatusPreconditionFailed
-	case errors.Is(err, kvstore.ErrClosed):
-		status = http.StatusServiceUnavailable
-	}
-	return wireBatchResult{Status: status, Error: err.Error()}
 }
 
 // retryAfterSeconds renders a Retry-After header value (whole
@@ -404,6 +315,29 @@ func (c *Client) ExecBatch(ctx context.Context, ops []db.BatchOp) []db.BatchResu
 	}
 	if len(wire) == 0 {
 		return out
+	}
+	// The binary fast path: when the endpoint has negotiated the wire
+	// protocol, the whole batch rides one request frame. served=false
+	// (transient conn failure, or a definitive one that just latched)
+	// falls through to the HTTP path below.
+	if ep, ok := c.wireEndpoint(); ok {
+		wops := make([]kvwire.Op, len(wire))
+		for j := range wire {
+			wops[j] = wire[j].toOp()
+		}
+		res, err, served := c.wireExec(ctx, ep, wops)
+		if served {
+			if err != nil {
+				for _, i := range idx {
+					out[i] = db.BatchResult{Err: err}
+				}
+				return out
+			}
+			for j, i := range idx {
+				out[i] = fromResult(res[j]).toBatchResult(ops[i].Fields)
+			}
+			return out
+		}
 	}
 	if c.caps.batchUnsupported.Load() {
 		c.execBatchFallback(ctx, ops, idx, out)

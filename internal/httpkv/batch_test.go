@@ -14,6 +14,7 @@ import (
 
 	"ycsbt/internal/db"
 	"ycsbt/internal/kvstore"
+	"ycsbt/internal/kvwire"
 	"ycsbt/internal/properties"
 )
 
@@ -21,7 +22,7 @@ import (
 // (no /v1/batch route), standing in for an old deployment in interop
 // tests.
 func newLegacyServer(store kvstore.Engine) *Server {
-	s := &Server{store: store, mux: http.NewServeMux(), opts: ServerOptions{}.withDefaults()}
+	s := &Server{store: store, core: kvwire.NewCore(store, nil, 0), mux: http.NewServeMux(), opts: ServerOptions{}.withDefaults()}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/v1/", s.handleRecord)
 	return s

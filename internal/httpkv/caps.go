@@ -1,6 +1,10 @@
 package httpkv
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"ycsbt/internal/kvwire"
+)
 
 // endpointCaps holds the negotiated-capability latches for ONE server
 // endpoint. The client discovers what a server speaks by trying: a
@@ -22,4 +26,22 @@ type endpointCaps struct {
 	// /v1/ts answered as a table scan); later as-of reads against it
 	// fast-fail with db.ErrNotSupported rather than serving head data.
 	asOfUnsupported atomic.Bool
+
+	// The binary wire state. wireAddr is the endpoint's advertised
+	// binary listener (learned from the X-KV-Wire response header, or
+	// set explicitly via the rawhttp.wire property); wireEp is the
+	// lazily-dialed shared connection pool for it. wireUnsupported
+	// latches after a definitive protocol failure (connection refused,
+	// bad handshake) — later requests stay on HTTP without re-probing,
+	// the same degrade-per-endpoint shape as the batch latch.
+	wireAddr        atomic.Pointer[string]
+	wireEp          atomic.Pointer[kvwire.Endpoint]
+	wireUnsupported atomic.Bool
+}
+
+// closeWire tears down the endpoint's wire pool, if one was dialed.
+func (caps *endpointCaps) closeWire() {
+	if ep := caps.wireEp.Swap(nil); ep != nil {
+		ep.Close()
+	}
 }

@@ -15,6 +15,7 @@ import (
 	"ycsbt/internal/cluster"
 	"ycsbt/internal/db"
 	"ycsbt/internal/kvstore"
+	"ycsbt/internal/kvwire"
 	"ycsbt/internal/properties"
 )
 
@@ -84,6 +85,12 @@ type Client struct {
 	// Retry-After (doubled per attempt) capped at retry429Max.
 	retry429    int
 	retry429Max time.Duration
+	// wireMode steers the binary transport: "auto" (or empty) sniffs
+	// the X-KV-Wire header, "off" stays on HTTP, anything else is an
+	// explicit host:port dial address. wireConns sizes the binary
+	// connection pool (0 = kvwire.DefaultMaxConns). See wire.go.
+	wireMode  string
+	wireConns int
 }
 
 // NewClient returns a binding that talks to the server at baseURL
@@ -124,6 +131,8 @@ func (c *Client) Init(p *properties.Properties) error {
 	}
 	c.retry429 = p.GetInt("rawhttp.retry429", DefaultRetry429)
 	c.retry429Max = time.Duration(p.GetInt64("rawhttp.retry429_max_ms", int64(DefaultRetry429Max/time.Millisecond))) * time.Millisecond
+	c.wireMode = p.GetString("rawhttp.wire", WireModeAuto)
+	c.wireConns = p.GetInt("rawhttp.wire_conns", 0)
 	// as_of pins every read this binding issues to one snapshot
 	// timestamp: an explicit positive commit ts, or -1 to freeze at
 	// whatever the server's clock reads now (fetched once via /v1/ts).
@@ -143,6 +152,7 @@ func (c *Client) Init(p *properties.Properties) error {
 // Cleanup implements db.DB.
 func (c *Client) Cleanup() error {
 	c.hc.CloseIdleConnections()
+	c.caps.closeWire()
 	return nil
 }
 
@@ -193,7 +203,11 @@ func (c *Client) send(req *http.Request) (*http.Response, error) {
 			return nil, req.Context().Err()
 		}
 	}
-	return c.hc.Do(req)
+	resp, err := c.hc.Do(req)
+	if err == nil {
+		c.sniffWire(resp)
+	}
+	return resp, err
 }
 
 // sendRetry is send plus the 429 policy: a throttled response is
@@ -238,13 +252,21 @@ func (c *Client) sendRetry(req *http.Request) (*http.Response, error) {
 }
 
 // retryAfterDelay resolves one backoff sleep: the response's
-// Retry-After seconds (100ms when absent or unparsable), doubled per
-// completed attempt, capped at max.
+// Retry-After hint (100ms when absent or unparsable), doubled per
+// completed attempt, capped at max. RFC 9110 §10.2.3 allows both
+// forms of the header — delta-seconds and an HTTP-date — so both
+// parse here; a date already in the past means "retry now" (zero
+// sleep), not "fall back to the default".
 func retryAfterDelay(resp *http.Response, attempt int, ceiling time.Duration) time.Duration {
 	base := 100 * time.Millisecond
 	if h := resp.Header.Get("Retry-After"); h != "" {
 		if secs, err := strconv.Atoi(h); err == nil && secs >= 0 {
 			base = time.Duration(secs) * time.Second
+		} else if t, terr := http.ParseTime(h); terr == nil {
+			base = time.Until(t)
+			if base < 0 {
+				base = 0
+			}
 		}
 	}
 	d := base << attempt
@@ -268,6 +290,18 @@ func (c *Client) do(req *http.Request) (*http.Response, error) {
 
 // Read implements db.DB.
 func (c *Client) Read(ctx context.Context, table, key string, fields []string) (db.Record, error) {
+	if c.asOf == 0 || !c.caps.asOfUnsupported.Load() {
+		op := kvwire.Op{Kind: kvwire.KindGet, Table: table, Key: key, AsOf: c.asOf}
+		if res, served, err := c.wireSingle(ctx, op); served {
+			if err != nil {
+				return nil, err
+			}
+			if err := wireResultErr(res); err != nil {
+				return nil, err
+			}
+			return db.ProjectFields(res.Fields, fields), nil
+		}
+	}
 	if c.asOf != 0 {
 		wr, err := c.readWireAsOf(ctx, table, key, c.asOf)
 		if err != nil {
@@ -294,6 +328,15 @@ func (c *Client) Read(ctx context.Context, table, key string, fields []string) (
 // ReadVersioned fetches a record together with its version (ETag);
 // used by tests and by callers that need the CAS handle.
 func (c *Client) ReadVersioned(ctx context.Context, table, key string) (*kvstore.VersionedRecord, error) {
+	if res, served, err := c.wireSingle(ctx, kvwire.Op{Kind: kvwire.KindGet, Table: table, Key: key}); served {
+		if err != nil {
+			return nil, err
+		}
+		if err := wireResultErr(res); err != nil {
+			return nil, err
+		}
+		return &kvstore.VersionedRecord{Version: res.Version, Fields: res.Fields}, nil
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.recordURL(table, key), nil)
 	if err != nil {
 		return nil, err
@@ -388,13 +431,42 @@ func (c *Client) writeReq(ctx context.Context, method, u string, values db.Recor
 	return nil
 }
 
+// wireWrite runs one mutation over the binary protocol when it is
+// negotiated, returning served=false to send the caller down the HTTP
+// path. A nil fields map would answer 400 from the core's batch
+// validation, so it rides as an empty one — matching the single-op
+// HTTP route, which accepts a missing fields object.
+func (c *Client) wireWrite(ctx context.Context, kind kvwire.Kind, table, key string, values db.Record, expect uint64) (ver uint64, served bool, err error) {
+	op := kvwire.Op{Kind: kind, Table: table, Key: key, Fields: values, Expect: expect}
+	if op.Fields == nil && kind != kvwire.KindDelete {
+		op.Fields = map[string][]byte{}
+	}
+	res, served, err := c.wireSingle(ctx, op)
+	if !served {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, true, err
+	}
+	if err := wireResultErr(res); err != nil {
+		return 0, true, err
+	}
+	return res.Version, true, nil
+}
+
 // Update implements db.DB (merge semantics, key must exist).
 func (c *Client) Update(ctx context.Context, table, key string, values db.Record) error {
+	if _, served, err := c.wireWrite(ctx, kvwire.KindPatch, table, key, values, kvstore.AnyVersion); served {
+		return err
+	}
 	return c.writeReq(ctx, http.MethodPatch, c.recordURL(table, key), values, nil)
 }
 
 // Insert implements db.DB (unconditional put).
 func (c *Client) Insert(ctx context.Context, table, key string, values db.Record) error {
+	if _, served, err := c.wireWrite(ctx, kvwire.KindPut, table, key, values, kvstore.AnyVersion); served {
+		return err
+	}
 	return c.writeReq(ctx, http.MethodPut, c.recordURL(table, key), values, nil)
 }
 
@@ -421,6 +493,9 @@ func condHeaders(expect uint64) map[string]string {
 // putVersioned performs a conditional put and returns the new version
 // from the response ETag.
 func (c *Client) putVersioned(ctx context.Context, table, key string, values db.Record, expect uint64) (uint64, error) {
+	if ver, served, err := c.wireWrite(ctx, kvwire.KindPut, table, key, values, expect); served {
+		return ver, err
+	}
 	body, err := json.Marshal(wireRecord{Fields: values})
 	if err != nil {
 		return 0, err
@@ -447,6 +522,9 @@ func (c *Client) putVersioned(ctx context.Context, table, key string, values db.
 
 // deleteVersioned performs a conditional delete.
 func (c *Client) deleteVersioned(ctx context.Context, table, key string, expect uint64) error {
+	if _, served, err := c.wireWrite(ctx, kvwire.KindDelete, table, key, nil, expect); served {
+		return err
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.recordURL(table, key), nil)
 	if err != nil {
 		return err
@@ -480,6 +558,9 @@ func (c *Client) scanVersioned(ctx context.Context, table, startKey string, coun
 
 // Delete implements db.DB.
 func (c *Client) Delete(ctx context.Context, table, key string) error {
+	if _, served, err := c.wireWrite(ctx, kvwire.KindDelete, table, key, nil, kvstore.AnyVersion); served {
+		return err
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.recordURL(table, key), nil)
 	if err != nil {
 		return err

@@ -55,94 +55,6 @@ func (s *Server) checkRead(w http.ResponseWriter, key string) bool {
 	return false
 }
 
-// enterWrite gates a single-key mutation: it takes the freeze barrier
-// and checks ownership, returning the release func the caller must
-// defer around the engine apply. rejected means the response was
-// already written (and nothing is held).
-func (s *Server) enterWrite(w http.ResponseWriter, key string) (release func(), rejected bool) {
-	cs := s.opts.Cluster
-	if cs == nil {
-		return func() {}, false
-	}
-	release = cs.Enter()
-	if err := cs.CheckWrite(key); err != nil {
-		release()
-		writeMoved(w, err.(*cluster.MovedError))
-		return nil, true
-	}
-	return release, false
-}
-
-// movedBatchResult renders a per-item 410 for the /v1/batch protocol,
-// carrying the same routing hints as the single-op headers.
-func movedBatchResult(me *cluster.MovedError) wireBatchResult {
-	return wireBatchResult{
-		Status:     http.StatusGone,
-		Error:      me.Error(),
-		Owner:      me.Owner,
-		MapVersion: me.MapVersion,
-	}
-}
-
-// execGetRunClustered gates a batch get run per item in cluster mode:
-// items this node does not own answer 410 with routing hints, the
-// rest share the usual engine rounds.
-func (s *Server) execGetRunClustered(ops []wireBatchOp, out []wireBatchResult) {
-	cs := s.opts.Cluster
-	if cs == nil {
-		s.execGetRun(ops, out)
-		return
-	}
-	kept, idx := s.clusterFilter(ops, out, cs.CheckRead)
-	if len(kept) == 0 {
-		return
-	}
-	sub := make([]wireBatchResult, len(kept))
-	s.execGetRun(kept, sub)
-	for j, i := range idx {
-		out[i] = sub[j]
-	}
-}
-
-// execMutRunClustered gates a batch mutation run per item, holding the
-// freeze barrier across check and engine apply so a migration snapshot
-// drawn after Freeze returns covers every write admitted here.
-func (s *Server) execMutRunClustered(ops []wireBatchOp, out []wireBatchResult) {
-	cs := s.opts.Cluster
-	if cs == nil {
-		s.execMutRun(ops, out)
-		return
-	}
-	release := cs.Enter()
-	defer release()
-	kept, idx := s.clusterFilter(ops, out, cs.CheckWrite)
-	if len(kept) == 0 {
-		return
-	}
-	sub := make([]wireBatchResult, len(kept))
-	s.execMutRun(kept, sub)
-	for j, i := range idx {
-		out[i] = sub[j]
-	}
-}
-
-// clusterFilter splits a run into the items this node serves (returned
-// with their original indices) and the ones it rejects (410 results
-// written in place).
-func (s *Server) clusterFilter(ops []wireBatchOp, out []wireBatchResult, check func(string) error) ([]wireBatchOp, []int) {
-	kept := make([]wireBatchOp, 0, len(ops))
-	idx := make([]int, 0, len(ops))
-	for i, op := range ops {
-		if err := check(op.Key); err != nil {
-			out[i] = movedBatchResult(err.(*cluster.MovedError))
-			continue
-		}
-		kept = append(kept, op)
-		idx = append(idx, i)
-	}
-	return kept, idx
-}
-
 // handleShardMap serves GET (fetch) and PUT (install) /v1/shardmap.
 func (s *Server) handleShardMap(w http.ResponseWriter, r *http.Request) {
 	cs := s.opts.Cluster
@@ -269,54 +181,3 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(map[string][]string{"tables": tables})
 }
 
-// scanFiltered pages through the engine until it has count records
-// that pass the cluster filter (exactly slot when slot ≥ 0, otherwise
-// the slots this node owns), resuming past each page's last key. A
-// plain engine scan stops short when filtered-out keys pad the page,
-// which would make a routed scan silently lossy. With tombstones set
-// (migration copy) delete versions ride along instead of being
-// skipped.
-func (s *Server) scanFiltered(table, start string, count int, ts int64, slot int, tombstones bool) ([]kvstore.VersionedKV, error) {
-	cs := s.opts.Cluster
-	m := cs.Map()
-	keep := func(key string) bool {
-		sl := m.SlotOf(key)
-		if slot >= 0 {
-			return sl == slot
-		}
-		return m.OwnerOfSlot(sl) == cs.Self()
-	}
-	pageSize := 1024
-	if count >= 0 && count > pageSize {
-		pageSize = count
-	}
-	var out []kvstore.VersionedKV
-	for {
-		var page []kvstore.VersionedKV
-		var err error
-		switch {
-		case tombstones:
-			page, err = s.store.ScanVersionsAsOf(table, start, pageSize, ts)
-		case ts != 0:
-			page, err = s.store.ScanAsOf(table, start, pageSize, ts)
-		default:
-			page, err = s.store.Scan(table, start, pageSize)
-		}
-		if err != nil {
-			return nil, err
-		}
-		for _, kv := range page {
-			if !keep(kv.Key) {
-				continue
-			}
-			out = append(out, kv)
-			if count >= 0 && len(out) >= count {
-				return out, nil
-			}
-		}
-		if len(page) < pageSize {
-			return out, nil
-		}
-		start = page[len(page)-1].Key + "\x00"
-	}
-}

@@ -146,3 +146,45 @@ func TestRetryAfterDelay(t *testing.T) {
 		}
 	}
 }
+
+// TestRetryAfterDelayHTTPDate covers the header's second allowed form
+// (RFC 9110 §10.2.3): an HTTP-date instead of delta-seconds.
+func TestRetryAfterDelayHTTPDate(t *testing.T) {
+	mk := func(h string) *http.Response {
+		resp := &http.Response{Header: http.Header{}}
+		resp.Header.Set("Retry-After", h)
+		return resp
+	}
+	// A date ~3s out resolves to roughly that delay.
+	future := time.Now().Add(3 * time.Second).UTC().Format(http.TimeFormat)
+	got := retryAfterDelay(mk(future), 0, 10*time.Second)
+	if got < 1500*time.Millisecond || got > 3*time.Second {
+		t.Errorf("future HTTP-date: got %v, want ~3s", got)
+	}
+	// A date in the past means "retry now", not the fallback default.
+	past := time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat)
+	if got := retryAfterDelay(mk(past), 0, 10*time.Second); got != 0 {
+		t.Errorf("past HTTP-date: got %v, want 0", got)
+	}
+	// RFC 850 dates parse too (http.ParseTime tries all three forms).
+	rfc850 := time.Now().Add(-time.Minute).UTC().Format(time.RFC850)
+	if got := retryAfterDelay(mk(rfc850), 0, 10*time.Second); got != 0 {
+		t.Errorf("RFC 850 date: got %v, want 0", got)
+	}
+}
+
+// TestRetry429HonorsHTTPDateEndToEnd drives the whole retry loop with
+// a date-form Retry-After: the request must be retried (not surfaced
+// as a throttle error) and succeed.
+func TestRetry429HonorsHTTPDateEndToEnd(t *testing.T) {
+	past := time.Now().Add(-time.Second).UTC().Format(http.TimeFormat)
+	ts := &throttleServer{fail: 1, retryAfter: past}
+	c, closeSrv := newRetryClient(t, ts)
+	defer closeSrv()
+	if err := c.Insert(context.Background(), "t", "k", db.Record{"f": []byte("v")}); err != nil {
+		t.Fatalf("Insert after date-form retry: %v", err)
+	}
+	if got := ts.requests.Load(); got != 2 {
+		t.Fatalf("requests = %d, want 2 (one 429 + one retry)", got)
+	}
+}

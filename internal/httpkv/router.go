@@ -54,6 +54,13 @@ type Router struct {
 	nodes map[string]*Client       // node address → its client
 	caps  map[string]*endpointCaps // node address → capability latches
 
+	// wireMode / wireConns propagate the rawhttp.wire settings to every
+	// node client. The wire state itself lives in caps, keyed by node
+	// address, so one old node in a mixed-version fleet degrades only
+	// itself and the latch survives the per-node Client being rebuilt.
+	wireMode  string
+	wireConns int
+
 	metrics *routerMetrics
 }
 
@@ -168,6 +175,8 @@ func (r *Router) Init(p *properties.Properties) error {
 	)
 	r.retries = p.GetInt("cluster.retries", DefaultRouterRetries)
 	r.backoff = time.Duration(p.GetInt64("cluster.retry_backoff_ms", int64(DefaultRouterBackoff/time.Millisecond))) * time.Millisecond
+	r.wireMode = p.GetString("rawhttp.wire", WireModeAuto)
+	r.wireConns = p.GetInt("rawhttp.wire_conns", 0)
 	if r.nodes == nil {
 		r.nodes = make(map[string]*Client)
 		r.caps = make(map[string]*endpointCaps)
@@ -273,6 +282,8 @@ func (r *Router) installMap(m *cluster.Map) {
 		}
 		c := NewClient(addr, r.hc)
 		c.caps = caps
+		c.wireMode = r.wireMode
+		c.wireConns = r.wireConns
 		r.nodes[addr] = c
 	}
 }
@@ -301,6 +312,8 @@ func (r *Router) node(addr string) *Client {
 	}
 	c = NewClient(addr, r.hc)
 	c.caps = caps
+	c.wireMode = r.wireMode
+	c.wireConns = r.wireConns
 	r.nodes[addr] = c
 	return c
 }
@@ -385,6 +398,11 @@ func (r *Router) route(ctx context.Context, key string, fn func(c *Client) error
 // Cleanup implements db.DB.
 func (r *Router) Cleanup() error {
 	r.hc.CloseIdleConnections()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, caps := range r.caps {
+		caps.closeWire()
+	}
 	return nil
 }
 

@@ -53,6 +53,7 @@ import (
 
 	"ycsbt/internal/cluster"
 	"ycsbt/internal/kvstore"
+	"ycsbt/internal/kvwire"
 	"ycsbt/internal/obs"
 )
 
@@ -90,6 +91,16 @@ type ServerOptions struct {
 	// with 410 + routing hints, and exposes the shard-map management
 	// routes (see cluster.go).
 	Cluster *cluster.State
+	// Core, when non-nil, is the transport-neutral request core to
+	// serve through — pass the same Core to the binary wire listener so
+	// both transports share one admission limit and ownership gate.
+	// When nil a private core is built from Cluster and
+	// MaxInflightBatches.
+	Core *kvwire.Core
+	// WireAddr, when non-empty, is the address of this process's
+	// binary wire listener; every HTTP response advertises it in the
+	// X-KV-Wire header so clients can upgrade the hot path.
+	WireAddr string
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -106,11 +117,11 @@ func (o ServerOptions) withDefaults() ServerOptions {
 // implementation (the embedded partitioned store today, future
 // engines tomorrow) gets the HTTP surface for free.
 type Server struct {
-	store    kvstore.Engine
-	mux      *http.ServeMux
-	opts     ServerOptions
-	inflight chan struct{} // batch admission semaphore (nil = unlimited)
-	metrics  *serverMetrics
+	store   kvstore.Engine
+	core    *kvwire.Core
+	mux     *http.ServeMux
+	opts    ServerOptions
+	metrics *serverMetrics
 }
 
 // NewServer returns a handler serving store with default admission
@@ -124,8 +135,13 @@ func NewServer(store kvstore.Engine) *Server {
 func NewServerWithOptions(store kvstore.Engine, opts ServerOptions) *Server {
 	s := &Server{store: store, mux: http.NewServeMux(), opts: opts.withDefaults()}
 	s.metrics = newServerMetrics(opts.Metrics)
-	if opts.MaxInflightBatches > 0 {
-		s.inflight = make(chan struct{}, opts.MaxInflightBatches)
+	s.core = s.opts.Core
+	if s.core == nil {
+		s.core = kvwire.NewCore(store, s.opts.Cluster, s.opts.MaxInflightBatches)
+	} else if s.opts.Cluster == nil {
+		// A shared core carries the cluster gate; the HTTP management
+		// routes need it too.
+		s.opts.Cluster = s.core.Cluster()
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
@@ -141,6 +157,9 @@ func NewServerWithOptions(store kvstore.Engine, opts ServerOptions) *Server {
 // ServeHTTP implements http.Handler: body caps and the per-request
 // deadline apply here, before any route runs.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.opts.WireAddr != "" {
+		w.Header().Set(WireAddrHeader, s.opts.WireAddr)
+	}
 	if s.metrics != nil {
 		s.metrics.inflight.Add(1)
 		defer s.metrics.inflight.Add(-1)
@@ -228,16 +247,13 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request, table, key st
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	var rec *kvstore.VersionedRecord
 	if ts != 0 {
 		// Echo the served ts on every as-of response (including
 		// errors): the echo is how clients distinguish a server that
 		// honored the snapshot from an old one that ignored the header.
 		w.Header().Set(AsOfServedHeader, strconv.FormatInt(ts, 10))
-		rec, err = s.store.GetAsOf(table, key, ts)
-	} else {
-		rec, err = s.store.Get(table, key)
 	}
+	rec, err := s.core.Get(table, key, ts)
 	if err != nil {
 		writeStoreError(w, err)
 		return
@@ -293,19 +309,14 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request, table string
 		}
 		w.Header().Set(ScanTombstonesHeader, "1")
 	}
-	var kvs []kvstore.VersionedKV
 	if s.opts.Cluster != nil {
-		// Cluster mode always filters: owned slots by default, one
-		// exact slot when requested (the migration copy path). Scan
-		// responses echo the node's map version so routers can detect a
-		// mid-cutover fleet whose nodes filter by different maps.
+		// Cluster mode always filters (the core pages until count
+		// owned records are found). Scan responses echo the node's map
+		// version so routers can detect a mid-cutover fleet whose
+		// nodes filter by different maps.
 		w.Header().Set(cluster.HeaderMapVersion, strconv.FormatInt(s.opts.Cluster.Map().Version, 10))
-		kvs, err = s.scanFiltered(table, start, count, ts, slot, tombstones)
-	} else if ts != 0 {
-		kvs, err = s.store.ScanAsOf(table, start, count, ts)
-	} else {
-		kvs, err = s.store.Scan(table, start, count)
 	}
+	kvs, err := s.core.Scan(table, start, count, ts, slot, tombstones)
 	if err != nil {
 		writeStoreError(w, err)
 		return
@@ -390,12 +401,7 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request, table, key st
 		writeDecodeError(w, err)
 		return
 	}
-	release, rejected := s.enterWrite(w, key)
-	if rejected {
-		return
-	}
-	ver, err := s.store.PutIfVersion(table, key, fields, expect)
-	release()
+	ver, err := s.core.Put(table, key, fields, expect)
 	if err != nil {
 		writeStoreError(w, err)
 		return
@@ -410,12 +416,7 @@ func (s *Server) handlePatch(w http.ResponseWriter, r *http.Request, table, key 
 		writeDecodeError(w, err)
 		return
 	}
-	release, rejected := s.enterWrite(w, key)
-	if rejected {
-		return
-	}
-	ver, err := s.store.Update(table, key, fields)
-	release()
+	ver, err := s.core.Update(table, key, fields)
 	if err != nil {
 		writeStoreError(w, err)
 		return
@@ -430,13 +431,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request, table, key
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	release, rejected := s.enterWrite(w, key)
-	if rejected {
-		return
-	}
-	err = s.store.DeleteIfVersion(table, key, expect)
-	release()
-	if err != nil {
+	if err := s.core.Delete(table, key, expect); err != nil {
 		writeStoreError(w, err)
 		return
 	}
@@ -450,6 +445,11 @@ func writeRecord(w http.ResponseWriter, key string, rec *kvstore.VersionedRecord
 }
 
 func writeStoreError(w http.ResponseWriter, err error) {
+	var me *cluster.MovedError
+	if errors.As(err, &me) {
+		writeMoved(w, me)
+		return
+	}
 	switch {
 	case errors.Is(err, kvstore.ErrNotFound):
 		http.Error(w, err.Error(), http.StatusNotFound)

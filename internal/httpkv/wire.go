@@ -1,0 +1,205 @@
+package httpkv
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"time"
+
+	"ycsbt/internal/cluster"
+	"ycsbt/internal/db"
+	"ycsbt/internal/kvwire"
+)
+
+// The client side of the binary wire negotiation. Discovery costs
+// nothing: every response from a wire-capable server carries the
+// X-KV-Wire header (its binary listener address), which send() sniffs
+// in passing. Once an address is known, batch and single-record
+// operations ride the framed binary protocol; HTTP stays the path for
+// scans, streams and the management routes. Failure handling mirrors
+// the batch/as-of capability latches: a definitive protocol failure
+// (connection refused, bad handshake) latches the endpoint back to
+// HTTP permanently, while a transient error only falls back for the
+// one call.
+//
+// The rawhttp.wire property steers the mode: "auto" (default) sniffs
+// the header, "off" disables the binary path, anything else is used
+// as an explicit host:port dial address.
+
+// WireAddrHeader advertises the server's binary wire listener. Every
+// HTTP response from a server started with a wire listener carries it
+// (X-KV-Wire: host:port), so a client discovers the fast path from
+// responses it was already making — no extra negotiation round trip.
+// Old servers never set it; clients simply stay on HTTP.
+const WireAddrHeader = "X-KV-Wire"
+
+// WireModeOff disables the binary transport ("rawhttp.wire=off").
+const WireModeOff = "off"
+
+// WireModeAuto (the default) negotiates per endpoint via the
+// X-KV-Wire response header.
+const WireModeAuto = "auto"
+
+// sniffWire records a server's advertised binary listener. Called on
+// every HTTP response; after the first hit it is one atomic load.
+func (c *Client) sniffWire(resp *http.Response) {
+	if c.wireMode == WireModeOff || c.caps.wireAddr.Load() != nil {
+		return
+	}
+	h := resp.Header.Get(WireAddrHeader)
+	if h == "" {
+		return
+	}
+	addr := c.resolveWireAddr(h)
+	if addr == "" {
+		return
+	}
+	c.caps.wireAddr.CompareAndSwap(nil, &addr)
+}
+
+// resolveWireAddr turns an advertised listener address into a dialable
+// one, filling a missing or unspecified host (":9077", "0.0.0.0:9077",
+// "[::]:9077") from the endpoint's base URL — the server knows its
+// port but not necessarily the name clients reach it by.
+func (c *Client) resolveWireAddr(adv string) string {
+	host, port, err := net.SplitHostPort(adv)
+	if err != nil || port == "" {
+		return ""
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		u, err := url.Parse(c.base)
+		if err != nil {
+			return ""
+		}
+		host = u.Hostname()
+		if host == "" {
+			return ""
+		}
+	}
+	return net.JoinHostPort(host, port)
+}
+
+// wireEndpoint returns the endpoint's binary connection pool when the
+// binary path is available: an address is known (sniffed or explicit)
+// and no definitive failure has latched the endpoint back to HTTP.
+func (c *Client) wireEndpoint() (*kvwire.Endpoint, bool) {
+	if c.wireMode == WireModeOff || c.caps.wireUnsupported.Load() {
+		return nil, false
+	}
+	if ep := c.caps.wireEp.Load(); ep != nil {
+		return ep, true
+	}
+	var addr string
+	switch c.wireMode {
+	case "", WireModeAuto:
+		p := c.caps.wireAddr.Load()
+		if p == nil {
+			return nil, false
+		}
+		addr = *p
+	default:
+		addr = c.wireMode // explicit dial address
+	}
+	ep := kvwire.NewEndpoint(addr, c.wireConns)
+	if !c.caps.wireEp.CompareAndSwap(nil, ep) {
+		ep.Close()
+		ep = c.caps.wireEp.Load()
+		if ep == nil {
+			return nil, false
+		}
+	}
+	return ep, true
+}
+
+// wireExec ships ops over the binary protocol with the same 429
+// policy as sendRetry: up to c.retry429 re-sends honoring the server's
+// retry hint (doubled per attempt, capped at c.retry429Max).
+// ok=false means the caller should run the HTTP path instead — either
+// a transient connection error (this call only) or a definitive one
+// (latched; every later call skips the wire).
+func (c *Client) wireExec(ctx context.Context, ep *kvwire.Endpoint, ops []kvwire.Op) (res []kvwire.Result, err error, ok bool) {
+	for attempt := 0; ; attempt++ {
+		res, err = ep.Exec(ctx, ops)
+		if err == nil {
+			if len(res) != len(ops) {
+				return nil, fmt.Errorf("httpkv: wire answered %d of %d items", len(res), len(ops)), true
+			}
+			return res, nil, true
+		}
+		var re *kvwire.RequestError
+		if errors.As(err, &re) && re.Status == http.StatusTooManyRequests {
+			if attempt >= c.retry429 {
+				return nil, fmt.Errorf("%w: %s", db.ErrThrottled, re.Msg), true
+			}
+			wait := re.RetryAfter
+			if wait <= 0 {
+				wait = 100 * time.Millisecond
+			}
+			wait <<= attempt
+			if c.retry429Max > 0 && wait > c.retry429Max {
+				wait = c.retry429Max
+			}
+			if d, ok := ctx.Deadline(); ok && time.Until(d) <= wait {
+				return nil, fmt.Errorf("%w: %s", db.ErrThrottled, re.Msg), true
+			}
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return nil, ctx.Err(), true
+			}
+			continue
+		}
+		if errors.As(err, &re) {
+			return nil, fmt.Errorf("httpkv: wire request failed: %d %s", re.Status, re.Msg), true
+		}
+		if errors.Is(err, kvwire.ErrUnavailable) {
+			// Definitive: nothing (or not our protocol) listens there.
+			c.caps.wireUnsupported.Store(true)
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err(), true
+		}
+		return nil, err, false
+	}
+}
+
+// wireSingle runs one op over the binary protocol. ok=false means
+// "use HTTP" (no wire endpoint, or a fallback-worthy failure).
+func (c *Client) wireSingle(ctx context.Context, op kvwire.Op) (kvwire.Result, bool, error) {
+	ep, ok := c.wireEndpoint()
+	if !ok {
+		return kvwire.Result{}, false, nil
+	}
+	res, err, served := c.wireExec(ctx, ep, []kvwire.Op{op})
+	if !served {
+		return kvwire.Result{}, false, nil
+	}
+	if err != nil {
+		return kvwire.Result{}, true, err
+	}
+	return res[0], true, nil
+}
+
+// wireResultErr maps a non-2xx wire result to the same db-layer error
+// surface statusError produces for HTTP responses.
+func wireResultErr(r kvwire.Result) error {
+	switch r.Status {
+	case http.StatusOK, http.StatusNoContent:
+		return nil
+	case http.StatusNotFound:
+		return fmt.Errorf("%w: %s", db.ErrNotFound, r.Err)
+	case http.StatusPreconditionFailed:
+		return fmt.Errorf("%w: %s", db.ErrConflict, r.Err)
+	case http.StatusTooManyRequests:
+		return fmt.Errorf("%w: %s", db.ErrThrottled, r.Err)
+	case http.StatusGone:
+		return &cluster.MovedError{Owner: r.Owner, MapVersion: r.MapVersion}
+	case http.StatusGatewayTimeout:
+		return fmt.Errorf("%w: %s", context.DeadlineExceeded, r.Err)
+	default:
+		return fmt.Errorf("httpkv: server returned %d: %s", r.Status, r.Err)
+	}
+}

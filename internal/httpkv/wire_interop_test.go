@@ -1,0 +1,266 @@
+package httpkv
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"ycsbt/internal/db"
+	"ycsbt/internal/kvstore"
+	"ycsbt/internal/kvwire"
+	"ycsbt/internal/properties"
+)
+
+// startWireListenerFor boots a binary wire listener serving core and
+// returns its dial address.
+func startWireListenerFor(t *testing.T, core *kvwire.Core) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := kvwire.NewServer(core, kvwire.ServerOptions{})
+	go ws.Serve(ln)
+	t.Cleanup(func() { ws.Close() })
+	return ln.Addr().String()
+}
+
+// wireFixture serves one store through a wire-enabled HTTP front end
+// (advertising the binary listener) while counting the HTTP requests
+// that still arrive — the direct way to prove traffic moved off HTTP.
+type wireFixture struct {
+	store     *kvstore.Store
+	srv       *httptest.Server
+	wireAddr  string
+	httpCount atomic.Int64
+}
+
+func newWireFixture(t *testing.T) *wireFixture {
+	t.Helper()
+	store, err := kvstore.Open(kvstore.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	core := kvwire.NewCore(store, nil, 0)
+	f := &wireFixture{store: store, wireAddr: startWireListenerFor(t, core)}
+	inner := NewServerWithOptions(store, ServerOptions{Core: core, WireAddr: f.wireAddr})
+	f.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f.httpCount.Add(1)
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func newWireClient(t *testing.T, base string, props map[string]string) *Client {
+	t.Helper()
+	c := NewClient(base, nil)
+	p := properties.New()
+	for k, v := range props {
+		p.Set(k, v)
+	}
+	if err := c.Init(p); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Cleanup() })
+	return c
+}
+
+// TestWireInteropNewClientOldServer: a wire-capable client against a
+// server that never advertises a binary listener stays on HTTP with
+// full semantics — the protocol is invisible until offered.
+func TestWireInteropNewClientOldServer(t *testing.T) {
+	ctx := context.Background()
+	store, err := kvstore.Open(kvstore.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	srv := httptest.NewServer(NewServer(store))
+	t.Cleanup(srv.Close)
+	c := newWireClient(t, srv.URL, nil)
+
+	if err := c.Insert(ctx, "t", "k1", rec("v1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read(ctx, "t", "k1", nil)
+	if err != nil || string(got["f"]) != "v1" {
+		t.Fatalf("read = %v, %v; want v1", got, err)
+	}
+	res := c.ExecBatch(ctx, []db.BatchOp{{Op: db.OpRead, Table: "t", Key: "k1"}})
+	if res[0].Err != nil || string(res[0].Record["f"]) != "v1" {
+		t.Fatalf("batch read = %v, %v", res[0].Record, res[0].Err)
+	}
+	if c.caps.wireAddr.Load() != nil || c.caps.wireEp.Load() != nil {
+		t.Error("client invented a wire endpoint no server advertised")
+	}
+}
+
+// TestWireInteropOldClientNewServer: a client with the binary path
+// disabled (standing in for a pre-wire client, which likewise only
+// speaks HTTP) works unchanged against a wire-advertising server.
+func TestWireInteropOldClientNewServer(t *testing.T) {
+	ctx := context.Background()
+	f := newWireFixture(t)
+	c := newWireClient(t, f.srv.URL, map[string]string{"rawhttp.wire": WireModeOff})
+
+	if err := c.Insert(ctx, "t", "k1", rec("v1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read(ctx, "t", "k1", nil)
+	if err != nil || string(got["f"]) != "v1" {
+		t.Fatalf("read = %v, %v; want v1", got, err)
+	}
+	if c.caps.wireEp.Load() != nil {
+		t.Error("wire endpoint created despite rawhttp.wire=off")
+	}
+	// Every operation stayed on HTTP.
+	if n := f.httpCount.Load(); n < 2 {
+		t.Errorf("HTTP request count = %d, want every op over HTTP", n)
+	}
+}
+
+// TestWireInteropNewClientNewServer: the first HTTP response carries
+// the X-KV-Wire advertisement, and from then on single-record and
+// batch operations ride the binary protocol — the HTTP request count
+// freezes after the sniff while semantics (values, versions, 404s,
+// CAS conflicts) stay identical.
+func TestWireInteropNewClientNewServer(t *testing.T) {
+	ctx := context.Background()
+	f := newWireFixture(t)
+	c := newWireClient(t, f.srv.URL, nil)
+
+	// First op travels HTTP and sniffs the advertisement.
+	if err := c.Insert(ctx, "t", "k1", rec("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if c.caps.wireAddr.Load() == nil {
+		t.Fatal("wire address not sniffed from the first response")
+	}
+	base := f.httpCount.Load()
+
+	// Everything after the sniff rides the wire.
+	if err := c.Insert(ctx, "t", "k2", rec("v2")); err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range map[string]string{"k1": "v1", "k2": "v2"} {
+		got, err := c.Read(ctx, "t", key, nil)
+		if err != nil || string(got["f"]) != want {
+			t.Fatalf("wire read %s = %v, %v; want %q", key, got, err, want)
+		}
+	}
+	if _, err := c.Read(ctx, "t", "nope", nil); !errors.Is(err, db.ErrNotFound) {
+		t.Fatalf("wire read of missing key: %v, want ErrNotFound", err)
+	}
+	if err := c.Update(ctx, "t", "k1", rec("v1b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete(ctx, "t", "k2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read(ctx, "t", "k2", nil); !errors.Is(err, db.ErrNotFound) {
+		t.Fatalf("wire read of deleted key: %v, want ErrNotFound", err)
+	}
+	res := c.ExecBatch(ctx, []db.BatchOp{
+		{Op: db.OpRead, Table: "t", Key: "k1"},
+		{Op: db.OpInsert, Table: "t", Key: "k3", Values: rec("v3")},
+		{Op: db.OpRead, Table: "t", Key: "k2"},
+	})
+	if res[0].Err != nil || string(res[0].Record["f"]) != "v1b" {
+		t.Fatalf("wire batch read = %v, %v; want v1b", res[0].Record, res[0].Err)
+	}
+	if res[1].Err != nil {
+		t.Fatalf("wire batch insert: %v", res[1].Err)
+	}
+	if !errors.Is(res[2].Err, db.ErrNotFound) {
+		t.Fatalf("wire batch read of deleted key: %v, want ErrNotFound", res[2].Err)
+	}
+
+	if c.caps.wireEp.Load() == nil {
+		t.Fatal("no wire endpoint despite advertisement")
+	}
+	if c.caps.wireUnsupported.Load() {
+		t.Error("wire latched off against a healthy server")
+	}
+	if n := f.httpCount.Load(); n != base {
+		t.Errorf("HTTP requests grew %d -> %d after the sniff; ops did not ride the wire", base, n)
+	}
+
+	// The records really landed: read the store directly.
+	if rec, err := f.store.Get("t", "k3"); err != nil || string(rec.Fields["f"]) != "v3" {
+		t.Fatalf("store state after wire batch: %v, %v", rec, err)
+	}
+}
+
+// TestRouterPerEndpointWireLatch: one node of a fleet advertises a
+// wire address nothing listens on. Its endpoint must latch back to
+// HTTP after the first refused dial — without disabling the binary
+// path for the healthy nodes, and without failing a single operation.
+func TestRouterPerEndpointWireLatch(t *testing.T) {
+	nodes := startTestCluster(t, 2, 8)
+	a, b := nodes[0], nodes[1]
+
+	// Node a advertises a live wire listener sharing its core.
+	coreA := kvwire.NewCore(a.store, a.state, 0)
+	a.h.Store(NewServerWithOptions(a.store, ServerOptions{
+		Cluster: a.state, Core: coreA, WireAddr: startWireListenerFor(t, coreA),
+	}))
+	// Node b advertises a dead port: reserve one, then close it.
+	deadLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := deadLn.Addr().String()
+	deadLn.Close()
+	b.h.Store(NewServerWithOptions(b.store, ServerOptions{
+		Cluster: b.state, WireAddr: deadAddr,
+	}))
+
+	r := newTestRouter(t, nodes, nil)
+	ctx := context.Background()
+	m := r.Map()
+
+	seenA, seenB := false, false
+	var keys []string
+	for i := 0; len(keys) < 24; i++ {
+		k := fmt.Sprintf("user%05d", i)
+		switch owner, _ := m.Owner(k); owner {
+		case a.URL:
+			seenA = true
+		case b.URL:
+			seenB = true
+		}
+		keys = append(keys, k)
+		if err := r.Insert(ctx, "t", k, rec("v-"+k)); err != nil {
+			t.Fatalf("insert %s: %v", k, err)
+		}
+	}
+	if !seenA || !seenB {
+		t.Fatalf("test keys did not cover both nodes (a=%v b=%v)", seenA, seenB)
+	}
+	for _, k := range keys {
+		got, err := r.Read(ctx, "t", k, nil)
+		if err != nil || string(got["f"]) != "v-"+k {
+			t.Fatalf("read-back %s: %v %v", k, got, err)
+		}
+	}
+
+	r.mu.RLock()
+	capsA, capsB := r.caps[a.URL], r.caps[b.URL]
+	r.mu.RUnlock()
+	if !capsB.wireUnsupported.Load() {
+		t.Error("dead wire endpoint not latched back to HTTP")
+	}
+	if capsA.wireUnsupported.Load() {
+		t.Error("healthy node's wire path latched off by the dead node — latch must be per endpoint")
+	}
+	if capsA.wireEp.Load() == nil {
+		t.Error("healthy node never rode the binary path")
+	}
+}

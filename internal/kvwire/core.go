@@ -1,0 +1,487 @@
+// Package kvwire is the transport-neutral request core of the
+// key-value server: every front end — the HTTP/NDJSON protocol in
+// internal/httpkv, the framed binary protocol in this package — parses
+// its wire format into []Op, hands the slice to Core, and renders the
+// positional []Result back out. Dispatch, validation, batch
+// run-splitting, as-of grouping, cluster slot gating (MovedError),
+// per-request deadlines and the batch admission limit all live here,
+// once, so a new transport is only a codec plus a listener.
+//
+// Result statuses use the HTTP status space (200/204/400/404/410/412/
+// 429/500/503/504): the NDJSON /v1/batch protocol already committed to
+// it on the wire, and sharing it keeps the two transports'
+// error-mapping tables identical.
+package kvwire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"ycsbt/internal/cluster"
+	"ycsbt/internal/kvstore"
+)
+
+// Kind identifies one operation. The zero value is KindInvalid: a
+// front end that fails to parse an item (unknown op name, bad
+// conditional) ships it through as KindInvalid with Reason set, so the
+// item answers 400 positionally without disturbing the run-splitting
+// around it.
+type Kind uint8
+
+const (
+	KindInvalid Kind = iota
+	KindGet
+	KindPut
+	KindPatch
+	KindDelete
+	kindMax
+)
+
+// Op is one decoded operation, independent of the wire format that
+// carried it.
+//
+// Expect uses the kvstore encoding (kvstore.AnyVersion for
+// unconditional, kvstore.MustNotExist for create-only, else an exact
+// version). Note the Go zero value is MustNotExist — front ends must
+// set AnyVersion explicitly for unconditional writes.
+type Op struct {
+	Kind   Kind
+	Table  string
+	Key    string
+	Fields map[string][]byte
+	Expect uint64
+	// AsOf, on a get, asks for the newest version with commit ts ≤
+	// AsOf instead of the head; results echo it.
+	AsOf int64
+	// Reason carries the 400 message of a KindInvalid op.
+	Reason string
+}
+
+// Result is the positional outcome of one Op.
+type Result struct {
+	Status     int // HTTP status space
+	Version    uint64
+	HasVersion bool // distinguishes "version 0" from "no version"
+	Fields     map[string][]byte
+	Err        string
+	// AsOf echoes the op's as_of when the read was served from the
+	// version history (the echo is the client's proof the snapshot was
+	// honored).
+	AsOf int64
+	// Owner and MapVersion carry a 410's routing hints in cluster
+	// mode. Owner is empty while the key's slot drains for migration.
+	Owner      string
+	MapVersion int64
+}
+
+// Core executes decoded operations against the engine, applying the
+// cluster ownership gate and the shared admission limits. One Core is
+// shared by every transport of a server process, so the inflight batch
+// cap bounds the process, not each listener separately.
+type Core struct {
+	store    kvstore.Engine
+	cluster  *cluster.State
+	inflight chan struct{} // batch admission semaphore (nil = unlimited)
+}
+
+// NewCore builds a core over store. cs may be nil (single-node mode);
+// maxInflightBatches <= 0 means unlimited.
+func NewCore(store kvstore.Engine, cs *cluster.State, maxInflightBatches int) *Core {
+	c := &Core{store: store, cluster: cs}
+	if maxInflightBatches > 0 {
+		c.inflight = make(chan struct{}, maxInflightBatches)
+	}
+	return c
+}
+
+// Store exposes the engine (front-end routes that bypass the op model:
+// scans, ingest, tables, ts).
+func (c *Core) Store() kvstore.Engine { return c.store }
+
+// Cluster exposes the ownership gate; nil when not clustered.
+func (c *Core) Cluster() *cluster.State { return c.cluster }
+
+// AcquireBatch admits one batch execution under the shared inflight
+// cap. ok=false means the caller must shed the request (429 +
+// Retry-After); otherwise release must be called when the batch is
+// done. Load shedding, not queueing: a full semaphore rejects
+// immediately.
+func (c *Core) AcquireBatch() (release func(), ok bool) {
+	if c.inflight == nil {
+		return func() {}, true
+	}
+	select {
+	case c.inflight <- struct{}{}:
+		return func() { <-c.inflight }, true
+	default:
+		return nil, false
+	}
+}
+
+// GateRead applies the cluster ownership check to a single-key read;
+// nil when this node serves the key (or no cluster). The error is
+// always a *cluster.MovedError.
+func (c *Core) GateRead(key string) error {
+	if c.cluster == nil {
+		return nil
+	}
+	return c.cluster.CheckRead(key)
+}
+
+// EnterWrite takes the cluster freeze barrier and checks ownership
+// for a single-key mutation. The caller must invoke release around
+// the engine apply (it is non-nil even on error). The error is always
+// a *cluster.MovedError.
+func (c *Core) EnterWrite(key string) (release func(), err error) {
+	if c.cluster == nil {
+		return func() {}, nil
+	}
+	release = c.cluster.Enter()
+	if err := c.cluster.CheckWrite(key); err != nil {
+		release()
+		return func() {}, err
+	}
+	return release, nil
+}
+
+// Get serves one gated read, from the head or (ts > 0) the version
+// history.
+func (c *Core) Get(table, key string, ts int64) (*kvstore.VersionedRecord, error) {
+	if err := c.GateRead(key); err != nil {
+		return nil, err
+	}
+	if ts != 0 {
+		return c.store.GetAsOf(table, key, ts)
+	}
+	return c.store.Get(table, key)
+}
+
+// Put serves one gated conditional put.
+func (c *Core) Put(table, key string, fields map[string][]byte, expect uint64) (uint64, error) {
+	release, err := c.EnterWrite(key)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	return c.store.PutIfVersion(table, key, fields, expect)
+}
+
+// Update serves one gated merge-update.
+func (c *Core) Update(table, key string, fields map[string][]byte) (uint64, error) {
+	release, err := c.EnterWrite(key)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	return c.store.Update(table, key, fields)
+}
+
+// Delete serves one gated conditional delete.
+func (c *Core) Delete(table, key string, expect uint64) error {
+	release, err := c.EnterWrite(key)
+	if err != nil {
+		return err
+	}
+	defer release()
+	return c.store.DeleteIfVersion(table, key, expect)
+}
+
+// SnapshotTS draws a snapshot timestamp from the engine's commit
+// clock.
+func (c *Core) SnapshotTS() int64 { return c.store.SnapshotTS() }
+
+// Scan serves one ordered scan. In cluster mode the result is always
+// filtered — owned slots by default, exactly slot when slot ≥ 0 (the
+// migration copy path) — and pages through the engine until count
+// filtered records are found, so a routed scan is never silently
+// short. tombstones (cluster + as-of only, validated by the front
+// end) includes delete versions so a migration copy carries deletes.
+func (c *Core) Scan(table, start string, count int, ts int64, slot int, tombstones bool) ([]kvstore.VersionedKV, error) {
+	if c.cluster == nil {
+		if ts != 0 {
+			return c.store.ScanAsOf(table, start, count, ts)
+		}
+		return c.store.Scan(table, start, count)
+	}
+	m := c.cluster.Map()
+	keep := func(key string) bool {
+		sl := m.SlotOf(key)
+		if slot >= 0 {
+			return sl == slot
+		}
+		return m.OwnerOfSlot(sl) == c.cluster.Self()
+	}
+	pageSize := 1024
+	if count >= 0 && count > pageSize {
+		pageSize = count
+	}
+	var out []kvstore.VersionedKV
+	for {
+		var page []kvstore.VersionedKV
+		var err error
+		switch {
+		case tombstones:
+			page, err = c.store.ScanVersionsAsOf(table, start, pageSize, ts)
+		case ts != 0:
+			page, err = c.store.ScanAsOf(table, start, pageSize, ts)
+		default:
+			page, err = c.store.Scan(table, start, pageSize)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, kv := range page {
+			if !keep(kv.Key) {
+				continue
+			}
+			out = append(out, kv)
+			if count >= 0 && len(out) >= count {
+				return out, nil
+			}
+		}
+		if len(page) < pageSize {
+			return out, nil
+		}
+		start = page[len(page)-1].Key + "\x00"
+	}
+}
+
+// ExecBatch answers the decoded ops through the engine's multi-key
+// path, splitting the batch into maximal same-kind runs — consecutive
+// gets share one BatchGet, consecutive mutations one BatchApply — so
+// order within the batch is preserved while each run pays one lock
+// round per touched partition. If the request deadline expires
+// between runs, the remaining items report 504 instead of running. In
+// cluster mode each item is ownership-gated (410 + routing hints) and
+// mutation runs hold the freeze barrier across check and apply.
+func (c *Core) ExecBatch(ctx context.Context, ops []Op) []Result {
+	out := make([]Result, len(ops))
+	c.ExecBatchInto(ctx, ops, out)
+	return out
+}
+
+// ExecBatchInto is ExecBatch writing into a caller-owned result slice
+// (len(out) must equal len(ops)) so hot transports can pool it.
+func (c *Core) ExecBatchInto(ctx context.Context, ops []Op, out []Result) {
+	for lo := 0; lo < len(ops); {
+		hi := lo + 1
+		for hi < len(ops) && (ops[hi].Kind == KindGet) == (ops[lo].Kind == KindGet) {
+			hi++
+		}
+		if ctx.Err() != nil {
+			for i := lo; i < len(ops); i++ {
+				out[i] = Result{Status: http.StatusGatewayTimeout, Err: "deadline exceeded"}
+			}
+			return
+		}
+		if ops[lo].Kind == KindGet {
+			c.execGetRunClustered(ops[lo:hi], out[lo:hi])
+		} else {
+			c.execMutRunClustered(ops[lo:hi], out[lo:hi])
+		}
+		lo = hi
+	}
+}
+
+// execGetRunClustered gates a get run per item in cluster mode: items
+// this node does not own answer 410 with routing hints, the rest
+// share the usual engine rounds.
+func (c *Core) execGetRunClustered(ops []Op, out []Result) {
+	if c.cluster == nil {
+		c.execGetRun(ops, out)
+		return
+	}
+	kept, idx := c.clusterFilter(ops, out, c.cluster.CheckRead)
+	if len(kept) == 0 {
+		return
+	}
+	sub := make([]Result, len(kept))
+	c.execGetRun(kept, sub)
+	for j, i := range idx {
+		out[i] = sub[j]
+	}
+}
+
+// execMutRunClustered gates a mutation run per item, holding the
+// freeze barrier across check and engine apply so a migration
+// snapshot drawn after Freeze returns covers every write admitted
+// here.
+func (c *Core) execMutRunClustered(ops []Op, out []Result) {
+	if c.cluster == nil {
+		c.execMutRun(ops, out)
+		return
+	}
+	release := c.cluster.Enter()
+	defer release()
+	kept, idx := c.clusterFilter(ops, out, c.cluster.CheckWrite)
+	if len(kept) == 0 {
+		return
+	}
+	sub := make([]Result, len(kept))
+	c.execMutRun(kept, sub)
+	for j, i := range idx {
+		out[i] = sub[j]
+	}
+}
+
+// clusterFilter splits a run into the items this node serves
+// (returned with their original indices) and the ones it rejects (410
+// results written in place).
+func (c *Core) clusterFilter(ops []Op, out []Result, check func(string) error) ([]Op, []int) {
+	kept := make([]Op, 0, len(ops))
+	idx := make([]int, 0, len(ops))
+	for i, op := range ops {
+		if err := check(op.Key); err != nil {
+			out[i] = MovedResult(err.(*cluster.MovedError))
+			continue
+		}
+		kept = append(kept, op)
+		idx = append(idx, i)
+	}
+	return kept, idx
+}
+
+func (c *Core) execGetRun(ops []Op, out []Result) {
+	// Fast path: no item asks for a snapshot, one head BatchGet covers
+	// the whole run without any grouping overhead.
+	head := true
+	for _, op := range ops {
+		if op.AsOf != 0 {
+			head = false
+			break
+		}
+	}
+	if head {
+		reqs := make([]kvstore.GetReq, len(ops))
+		for i, op := range ops {
+			reqs[i] = kvstore.GetReq{Table: op.Table, Key: op.Key}
+		}
+		for i, r := range c.store.BatchGet(reqs) {
+			if r.Err != nil {
+				out[i] = ErrResult(r.Err)
+				continue
+			}
+			out[i] = Result{
+				Status:     http.StatusOK,
+				Version:    r.Record.Version,
+				HasVersion: true,
+				Fields:     r.Record.Fields,
+			}
+		}
+		return
+	}
+	// Mixed run: group the item indices by as_of timestamp so each
+	// distinct snapshot (and the head, ts 0) pays one engine round.
+	groups := make(map[int64][]int)
+	order := make([]int64, 0, 2)
+	for i, op := range ops {
+		if _, ok := groups[op.AsOf]; !ok {
+			order = append(order, op.AsOf)
+		}
+		groups[op.AsOf] = append(groups[op.AsOf], i)
+	}
+	for _, ts := range order {
+		idx := groups[ts]
+		if ts < 0 {
+			for _, i := range idx {
+				out[i] = Result{Status: http.StatusBadRequest, Err: fmt.Sprintf("bad as_of %d", ts)}
+			}
+			continue
+		}
+		reqs := make([]kvstore.GetReq, len(idx))
+		for j, i := range idx {
+			reqs[j] = kvstore.GetReq{Table: ops[i].Table, Key: ops[i].Key}
+		}
+		var results []kvstore.GetResult
+		if ts == 0 {
+			results = c.store.BatchGet(reqs)
+		} else {
+			results = c.store.BatchGetAsOf(reqs, ts)
+		}
+		for j, r := range results {
+			i := idx[j]
+			if r.Err != nil {
+				res := ErrResult(r.Err)
+				res.AsOf = ts
+				out[i] = res
+				continue
+			}
+			out[i] = Result{
+				Status:     http.StatusOK,
+				Version:    r.Record.Version,
+				HasVersion: true,
+				Fields:     r.Record.Fields,
+				AsOf:       ts,
+			}
+		}
+	}
+}
+
+func (c *Core) execMutRun(ops []Op, out []Result) {
+	muts := make([]kvstore.Mutation, 0, len(ops))
+	idx := make([]int, 0, len(ops))
+	for i, op := range ops {
+		var m kvstore.Mutation
+		switch op.Kind {
+		case KindPut:
+			m = kvstore.Mutation{Op: kvstore.MutPut, Table: op.Table, Key: op.Key, Fields: op.Fields, Expect: op.Expect}
+		case KindPatch:
+			m = kvstore.Mutation{Op: kvstore.MutUpdate, Table: op.Table, Key: op.Key, Fields: op.Fields}
+		case KindDelete:
+			m = kvstore.Mutation{Op: kvstore.MutDelete, Table: op.Table, Key: op.Key, Expect: op.Expect}
+		default:
+			reason := op.Reason
+			if reason == "" {
+				reason = "invalid op"
+			}
+			out[i] = Result{Status: http.StatusBadRequest, Err: reason}
+			continue
+		}
+		if (op.Kind == KindPut || op.Kind == KindPatch) && op.Fields == nil {
+			out[i] = Result{Status: http.StatusBadRequest, Err: "missing fields"}
+			continue
+		}
+		muts = append(muts, m)
+		idx = append(idx, i)
+	}
+	for j, r := range c.store.BatchApply(muts) {
+		i := idx[j]
+		if r.Err != nil {
+			out[i] = ErrResult(r.Err)
+			continue
+		}
+		status := http.StatusOK
+		if ops[i].Kind == KindDelete {
+			status = http.StatusNoContent
+		}
+		out[i] = Result{Status: status, Version: r.Version, HasVersion: true}
+	}
+}
+
+// ErrResult maps a store error to a per-item result, mirroring the
+// single-op handlers' status mapping.
+func ErrResult(err error) Result {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, kvstore.ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, kvstore.ErrVersionMismatch), errors.Is(err, kvstore.ErrExists):
+		status = http.StatusPreconditionFailed
+	case errors.Is(err, kvstore.ErrClosed):
+		status = http.StatusServiceUnavailable
+	}
+	return Result{Status: status, Err: err.Error()}
+}
+
+// MovedResult renders a per-item 410 carrying the same routing hints
+// as the single-op headers.
+func MovedResult(me *cluster.MovedError) Result {
+	return Result{
+		Status:     http.StatusGone,
+		Err:        me.Error(),
+		Owner:      me.Owner,
+		MapVersion: me.MapVersion,
+	}
+}

@@ -1,0 +1,455 @@
+package kvwire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The framed binary protocol. A connection opens with a 4-byte magic
+// ("KVW1") from the client; after the server echoes it, both sides
+// exchange length-prefixed frames:
+//
+//	u32 LE payload length | u8 frame type | u64 LE request id | payload
+//
+// Request ids are chosen by the client and echoed verbatim, so many
+// requests ride one TCP connection concurrently and responses return
+// in completion order, not request order (pipelining). Frame types:
+//
+//	1 request  — uvarint deadline_ms, uvarint op count, ops
+//	2 response — uvarint result count, results
+//	3 error    — uvarint status, uvarint retry-after secs, msg bytes
+//
+// Ops and results use uvarint lengths and values, varint (zigzag) for
+// signed timestamps, and single flags bytes for optional payload
+// sections — the encoding equivalent of omitempty. Strings ride as
+// raw bytes; there is no text anywhere on the hot path.
+//
+// An error frame answers a request that failed as a whole (admission
+// shed 429, oversized batch 400) — per-item failures are ordinary
+// results with non-2xx statuses, exactly like /v1/batch. A peer that
+// cannot parse a frame at all must close the connection: framing is
+// the only resync point.
+
+// Magic opens every connection, both directions. The trailing '1' is
+// the protocol version.
+const Magic = "KVW1"
+
+// Frame types.
+const (
+	frameRequest  = 1
+	frameResponse = 2
+	frameError    = 3
+)
+
+// MaxFramePayload bounds one frame. Larger length prefixes are a
+// protocol error: the reader refuses them before allocating, so a
+// hostile or corrupt peer cannot make the server reserve gigabytes.
+const MaxFramePayload = 16 << 20
+
+// MaxOpsPerFrame mirrors the HTTP front end's maxBatchItems cap.
+const MaxOpsPerFrame = 4096
+
+// maxFieldsPerOp bounds the per-record field map claimed by a frame.
+const maxFieldsPerOp = 1 << 16
+
+// Op flags.
+const (
+	opFlagExpect       = 1 << 0 // exact-version conditional follows
+	opFlagMustNotExist = 1 << 1 // create-only conditional
+	opFlagAsOf         = 1 << 2 // snapshot timestamp follows
+	opFlagFields       = 1 << 3 // field map follows
+)
+
+// Result flags.
+const (
+	resFlagVersion = 1 << 0
+	resFlagFields  = 1 << 1
+	resFlagErr     = 1 << 2
+	resFlagAsOf    = 1 << 3
+	resFlagMoved   = 1 << 4
+)
+
+// ErrFrameTooLarge reports a length prefix over MaxFramePayload.
+var ErrFrameTooLarge = errors.New("kvwire: frame exceeds size limit")
+
+// errTruncated reports a payload that ended mid-structure.
+var errTruncated = errors.New("kvwire: truncated payload")
+
+const frameHeaderLen = 4 + 1 + 8
+
+// appendFrameHeader reserves and fills the frame header; the caller
+// appends the payload and then calls finishFrame to patch the length.
+func appendFrameHeader(buf []byte, typ byte, id uint64) []byte {
+	buf = append(buf, 0, 0, 0, 0, typ)
+	buf = binary.LittleEndian.AppendUint64(buf, id)
+	return buf
+}
+
+// finishFrame patches the length prefix of the frame starting at off.
+func finishFrame(buf []byte, off int) []byte {
+	binary.LittleEndian.PutUint32(buf[off:], uint32(len(buf)-off-frameHeaderLen))
+	return buf
+}
+
+// AppendRequest encodes one request frame carrying ops.
+func AppendRequest(buf []byte, id uint64, deadlineMs uint64, ops []Op) []byte {
+	off := len(buf)
+	buf = appendFrameHeader(buf, frameRequest, id)
+	buf = binary.AppendUvarint(buf, deadlineMs)
+	buf = binary.AppendUvarint(buf, uint64(len(ops)))
+	for i := range ops {
+		buf = appendOp(buf, &ops[i])
+	}
+	return finishFrame(buf, off)
+}
+
+func appendOp(buf []byte, op *Op) []byte {
+	buf = append(buf, byte(op.Kind))
+	var flags byte
+	switch {
+	case op.Expect == 0: // kvstore.MustNotExist
+		flags |= opFlagMustNotExist
+	case op.Expect != ^uint64(0): // not kvstore.AnyVersion
+		flags |= opFlagExpect
+	}
+	if op.AsOf != 0 {
+		flags |= opFlagAsOf
+	}
+	if op.Fields != nil {
+		flags |= opFlagFields
+	}
+	buf = append(buf, flags)
+	buf = appendBytes(buf, op.Table)
+	buf = appendBytes(buf, op.Key)
+	if flags&opFlagExpect != 0 {
+		buf = binary.AppendUvarint(buf, op.Expect)
+	}
+	if flags&opFlagAsOf != 0 {
+		buf = binary.AppendVarint(buf, op.AsOf)
+	}
+	if flags&opFlagFields != 0 {
+		buf = binary.AppendUvarint(buf, uint64(len(op.Fields)))
+		for k, v := range op.Fields {
+			buf = appendBytes(buf, k)
+			buf = append(binary.AppendUvarint(buf, uint64(len(v))), v...)
+		}
+	}
+	return buf
+}
+
+// AppendResponse encodes one response frame carrying results.
+func AppendResponse(buf []byte, id uint64, res []Result) []byte {
+	off := len(buf)
+	buf = appendFrameHeader(buf, frameResponse, id)
+	buf = binary.AppendUvarint(buf, uint64(len(res)))
+	for i := range res {
+		buf = appendResult(buf, &res[i])
+	}
+	return finishFrame(buf, off)
+}
+
+func appendResult(buf []byte, r *Result) []byte {
+	buf = binary.AppendUvarint(buf, uint64(r.Status))
+	var flags byte
+	if r.HasVersion {
+		flags |= resFlagVersion
+	}
+	if r.Fields != nil {
+		flags |= resFlagFields
+	}
+	if r.Err != "" {
+		flags |= resFlagErr
+	}
+	if r.AsOf != 0 {
+		flags |= resFlagAsOf
+	}
+	if r.Owner != "" || r.MapVersion != 0 {
+		flags |= resFlagMoved
+	}
+	buf = append(buf, flags)
+	if flags&resFlagVersion != 0 {
+		buf = binary.AppendUvarint(buf, r.Version)
+	}
+	if flags&resFlagFields != 0 {
+		buf = binary.AppendUvarint(buf, uint64(len(r.Fields)))
+		for k, v := range r.Fields {
+			buf = appendBytes(buf, k)
+			buf = append(binary.AppendUvarint(buf, uint64(len(v))), v...)
+		}
+	}
+	if flags&resFlagErr != 0 {
+		buf = appendBytes(buf, r.Err)
+	}
+	if flags&resFlagAsOf != 0 {
+		buf = binary.AppendVarint(buf, r.AsOf)
+	}
+	if flags&resFlagMoved != 0 {
+		buf = appendBytes(buf, r.Owner)
+		buf = binary.AppendVarint(buf, r.MapVersion)
+	}
+	return buf
+}
+
+// AppendError encodes one error frame: a whole-request failure.
+func AppendError(buf []byte, id uint64, status int, retryAfterSecs uint64, msg string) []byte {
+	off := len(buf)
+	buf = appendFrameHeader(buf, frameError, id)
+	buf = binary.AppendUvarint(buf, uint64(status))
+	buf = binary.AppendUvarint(buf, retryAfterSecs)
+	buf = append(buf, msg...)
+	return finishFrame(buf, off)
+}
+
+func appendBytes(buf []byte, s string) []byte {
+	return append(binary.AppendUvarint(buf, uint64(len(s))), s...)
+}
+
+// ReadFrame reads one frame header + payload into payload (reused when
+// capacity allows) and returns the frame type, request id and payload
+// bytes. io.EOF with no bytes read means a clean close.
+func ReadFrame(r io.Reader, payload []byte) (typ byte, id uint64, out []byte, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, payload, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > MaxFramePayload {
+		return 0, 0, payload, ErrFrameTooLarge
+	}
+	typ = hdr[4]
+	id = binary.LittleEndian.Uint64(hdr[5:])
+	if cap(payload) < int(n) {
+		payload = make([]byte, n)
+	}
+	payload = payload[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, 0, payload, err
+	}
+	return typ, id, payload, nil
+}
+
+// DecodeRequest parses a request payload, appending the ops to dst
+// (pass dst[:0] of a pooled slice to avoid allocation).
+func DecodeRequest(payload []byte, dst []Op) (deadlineMs uint64, ops []Op, err error) {
+	deadlineMs, payload, err = readUvarint(payload)
+	if err != nil {
+		return 0, dst, err
+	}
+	count, payload, err := readUvarint(payload)
+	if err != nil {
+		return 0, dst, err
+	}
+	if count > MaxOpsPerFrame {
+		return 0, dst, fmt.Errorf("kvwire: request claims %d ops (max %d)", count, MaxOpsPerFrame)
+	}
+	// Every op costs at least 4 bytes on the wire (kind, flags, two
+	// zero lengths); a count beyond that is lying about the payload.
+	if count > uint64(len(payload)/4)+1 {
+		return 0, dst, errTruncated
+	}
+	ops = dst
+	for i := uint64(0); i < count; i++ {
+		var op Op
+		op, payload, err = readOp(payload)
+		if err != nil {
+			return 0, dst, err
+		}
+		ops = append(ops, op)
+	}
+	if len(payload) != 0 {
+		return 0, dst, fmt.Errorf("kvwire: %d trailing bytes after request", len(payload))
+	}
+	return deadlineMs, ops, nil
+}
+
+func readOp(b []byte) (Op, []byte, error) {
+	var op Op
+	if len(b) < 2 {
+		return op, b, errTruncated
+	}
+	kind, flags := Kind(b[0]), b[1]
+	if kind == KindInvalid || kind >= kindMax {
+		return op, b, fmt.Errorf("kvwire: bad op kind %d", kind)
+	}
+	op.Kind = kind
+	b = b[2:]
+	var err error
+	if op.Table, b, err = readString(b); err != nil {
+		return op, b, err
+	}
+	if op.Key, b, err = readString(b); err != nil {
+		return op, b, err
+	}
+	switch {
+	case flags&opFlagExpect != 0:
+		if op.Expect, b, err = readUvarint(b); err != nil {
+			return op, b, err
+		}
+	case flags&opFlagMustNotExist != 0:
+		op.Expect = 0 // kvstore.MustNotExist
+	default:
+		op.Expect = ^uint64(0) // kvstore.AnyVersion
+	}
+	if flags&opFlagAsOf != 0 {
+		if op.AsOf, b, err = readVarint(b); err != nil {
+			return op, b, err
+		}
+	}
+	if flags&opFlagFields != 0 {
+		if op.Fields, b, err = readFields(b); err != nil {
+			return op, b, err
+		}
+	}
+	return op, b, nil
+}
+
+// DecodeResponse parses a response payload, appending results to dst.
+func DecodeResponse(payload []byte, dst []Result) ([]Result, error) {
+	count, payload, err := readUvarint(payload)
+	if err != nil {
+		return dst, err
+	}
+	if count > MaxOpsPerFrame {
+		return dst, fmt.Errorf("kvwire: response claims %d results (max %d)", count, MaxOpsPerFrame)
+	}
+	if count > uint64(len(payload)/2)+1 {
+		return dst, errTruncated
+	}
+	res := dst
+	for i := uint64(0); i < count; i++ {
+		var r Result
+		r, payload, err = readResult(payload)
+		if err != nil {
+			return dst, err
+		}
+		res = append(res, r)
+	}
+	if len(payload) != 0 {
+		return dst, fmt.Errorf("kvwire: %d trailing bytes after response", len(payload))
+	}
+	return res, nil
+}
+
+func readResult(b []byte) (Result, []byte, error) {
+	var r Result
+	status, b, err := readUvarint(b)
+	if err != nil {
+		return r, b, err
+	}
+	if status > 999 {
+		return r, b, fmt.Errorf("kvwire: bad status %d", status)
+	}
+	r.Status = int(status)
+	if len(b) < 1 {
+		return r, b, errTruncated
+	}
+	flags := b[0]
+	b = b[1:]
+	if flags&resFlagVersion != 0 {
+		r.HasVersion = true
+		if r.Version, b, err = readUvarint(b); err != nil {
+			return r, b, err
+		}
+	}
+	if flags&resFlagFields != 0 {
+		if r.Fields, b, err = readFields(b); err != nil {
+			return r, b, err
+		}
+	}
+	if flags&resFlagErr != 0 {
+		if r.Err, b, err = readString(b); err != nil {
+			return r, b, err
+		}
+	}
+	if flags&resFlagAsOf != 0 {
+		if r.AsOf, b, err = readVarint(b); err != nil {
+			return r, b, err
+		}
+	}
+	if flags&resFlagMoved != 0 {
+		if r.Owner, b, err = readString(b); err != nil {
+			return r, b, err
+		}
+		if r.MapVersion, b, err = readVarint(b); err != nil {
+			return r, b, err
+		}
+	}
+	return r, b, nil
+}
+
+// DecodeError parses an error payload.
+func DecodeError(payload []byte) (status int, retryAfterSecs uint64, msg string, err error) {
+	st, payload, err := readUvarint(payload)
+	if err != nil {
+		return 0, 0, "", err
+	}
+	if st > 999 {
+		return 0, 0, "", fmt.Errorf("kvwire: bad status %d", st)
+	}
+	retryAfterSecs, payload, err = readUvarint(payload)
+	if err != nil {
+		return 0, 0, "", err
+	}
+	return int(st), retryAfterSecs, string(payload), nil
+}
+
+func readFields(b []byte) (map[string][]byte, []byte, error) {
+	count, b, err := readUvarint(b)
+	if err != nil {
+		return nil, b, err
+	}
+	if count > maxFieldsPerOp || count > uint64(len(b)/2)+1 {
+		return nil, b, errTruncated
+	}
+	fields := make(map[string][]byte, count)
+	for i := uint64(0); i < count; i++ {
+		var k string
+		if k, b, err = readString(b); err != nil {
+			return nil, b, err
+		}
+		var n uint64
+		if n, b, err = readUvarint(b); err != nil {
+			return nil, b, err
+		}
+		if n > uint64(len(b)) {
+			return nil, b, errTruncated
+		}
+		v := make([]byte, n)
+		copy(v, b[:n])
+		fields[k] = v
+		b = b[n:]
+	}
+	return fields, b, nil
+}
+
+func readString(b []byte) (string, []byte, error) {
+	n, b, err := readUvarint(b)
+	if err != nil {
+		return "", b, err
+	}
+	if n > uint64(len(b)) {
+		return "", b, errTruncated
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+func readUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, b, errTruncated
+	}
+	return v, b[n:], nil
+}
+
+func readVarint(b []byte) (int64, []byte, error) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, b, errTruncated
+	}
+	return v, b[n:], nil
+}

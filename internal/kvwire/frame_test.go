@@ -1,0 +1,175 @@
+package kvwire
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+
+	"ycsbt/internal/kvstore"
+)
+
+func sampleOps() []Op {
+	return []Op{
+		{Kind: KindGet, Table: "usertable", Key: "user42"},
+		{Kind: KindGet, Table: "t", Key: "k", AsOf: 123456789},
+		{Kind: KindPut, Table: "t", Key: "k2", Fields: map[string][]byte{"field0": []byte("v0"), "field1": {}}, Expect: kvstore.AnyVersion},
+		{Kind: KindPut, Table: "t", Key: "new", Fields: map[string][]byte{"a": []byte("b")}, Expect: kvstore.MustNotExist},
+		{Kind: KindPatch, Table: "t", Key: "k3", Fields: map[string][]byte{"f": []byte("x")}, Expect: kvstore.AnyVersion},
+		{Kind: KindDelete, Table: "t", Key: "k4", Expect: 7},
+	}
+}
+
+func sampleResults() []Result {
+	return []Result{
+		{Status: 200, Version: 3, HasVersion: true, Fields: map[string][]byte{"f": []byte("v")}},
+		{Status: 200, Version: 9, HasVersion: true, Fields: map[string][]byte{"f": []byte("v")}, AsOf: 42},
+		{Status: 404, Err: "not found"},
+		{Status: 204, Version: 8, HasVersion: true},
+		{Status: 410, Err: "moved", Owner: "http://127.0.0.1:9999", MapVersion: 4},
+		{Status: 410, Err: "draining", MapVersion: 5},
+		{Status: 429, Err: "too many in-flight batches"},
+	}
+}
+
+func TestFrameRequestRoundTrip(t *testing.T) {
+	ops := sampleOps()
+	buf := AppendRequest(nil, 77, 1500, ops)
+	typ, id, payload, err := ReadFrame(bytes.NewReader(buf), nil)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if typ != frameRequest || id != 77 {
+		t.Fatalf("typ=%d id=%d", typ, id)
+	}
+	deadline, got, err := DecodeRequest(payload, nil)
+	if err != nil {
+		t.Fatalf("DecodeRequest: %v", err)
+	}
+	if deadline != 1500 {
+		t.Fatalf("deadline=%d", deadline)
+	}
+	if !reflect.DeepEqual(got, ops) {
+		t.Fatalf("ops round trip:\n got %+v\nwant %+v", got, ops)
+	}
+}
+
+func TestFrameResponseRoundTrip(t *testing.T) {
+	res := sampleResults()
+	buf := AppendResponse(nil, 12345678901234, res)
+	typ, id, payload, err := ReadFrame(bytes.NewReader(buf), nil)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if typ != frameResponse || id != 12345678901234 {
+		t.Fatalf("typ=%d id=%d", typ, id)
+	}
+	got, err := DecodeResponse(payload, nil)
+	if err != nil {
+		t.Fatalf("DecodeResponse: %v", err)
+	}
+	if !reflect.DeepEqual(got, res) {
+		t.Fatalf("results round trip:\n got %+v\nwant %+v", got, res)
+	}
+}
+
+func TestFrameErrorRoundTrip(t *testing.T) {
+	buf := AppendError(nil, 5, 429, 2, "too many in-flight batches")
+	typ, id, payload, err := ReadFrame(bytes.NewReader(buf), nil)
+	if err != nil || typ != frameError || id != 5 {
+		t.Fatalf("typ=%d id=%d err=%v", typ, id, err)
+	}
+	status, retry, msg, err := DecodeError(payload)
+	if err != nil || status != 429 || retry != 2 || msg != "too many in-flight batches" {
+		t.Fatalf("status=%d retry=%d msg=%q err=%v", status, retry, msg, err)
+	}
+}
+
+func TestReadFrameRefusesOversizedPayload(t *testing.T) {
+	hdr := make([]byte, frameHeaderLen)
+	hdr[0], hdr[1], hdr[2], hdr[3] = 0xff, 0xff, 0xff, 0x7f
+	if _, _, _, err := ReadFrame(bytes.NewReader(hdr), nil); err != ErrFrameTooLarge {
+		t.Fatalf("err=%v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameCleanEOF(t *testing.T) {
+	if _, _, _, err := ReadFrame(bytes.NewReader(nil), nil); err != io.EOF {
+		t.Fatalf("err=%v, want io.EOF", err)
+	}
+}
+
+func TestDecodeRequestRejectsLyingCounts(t *testing.T) {
+	// deadline 0, then a count that claims far more ops than the
+	// payload could hold — must error before allocating them.
+	payload := []byte{0, 0xff, 0xff, 0x3f} // count = 1048575
+	if _, _, err := DecodeRequest(payload, nil); err == nil {
+		t.Fatal("accepted lying op count")
+	}
+}
+
+func TestDecodeRequestRejectsTrailingBytes(t *testing.T) {
+	buf := AppendRequest(nil, 1, 0, []Op{{Kind: KindGet, Table: "t", Key: "k"}})
+	payload := append(append([]byte(nil), buf[frameHeaderLen:]...), 0x00)
+	if _, _, err := DecodeRequest(payload, nil); err == nil {
+		t.Fatal("accepted trailing bytes")
+	}
+}
+
+// FuzzFrameCodec checks the decoder never panics on hostile input and
+// that whatever it accepts re-encodes to a frame that decodes equal
+// (structure round trip — overlong uvarints mean byte-exact stability
+// is not guaranteed, struct-exact is). The allocation guard is
+// implicit: lying counts error before reserving memory, so hostile
+// frames cannot make the decoder allocate beyond their own size.
+func FuzzFrameCodec(f *testing.F) {
+	reqSeed := AppendRequest(nil, 1, 250, sampleOps())
+	resSeed := AppendResponse(nil, 2, sampleResults())
+	f.Add(reqSeed[frameHeaderLen:], true)
+	f.Add(resSeed[frameHeaderLen:], false)
+	f.Add([]byte{}, true)
+	f.Add([]byte{0, 1, 1}, true)
+	f.Fuzz(func(t *testing.T, payload []byte, asRequest bool) {
+		if asRequest {
+			deadline, ops, err := DecodeRequest(payload, nil)
+			if err != nil {
+				return
+			}
+			re := AppendRequest(nil, 9, deadline, ops)
+			deadline2, ops2, err := DecodeRequest(re[frameHeaderLen:], nil)
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if deadline2 != deadline || !reflect.DeepEqual(normOps(ops2), normOps(ops)) {
+				t.Fatalf("request not stable:\n got %+v\nwant %+v", ops2, ops)
+			}
+			return
+		}
+		res, err := DecodeResponse(payload, nil)
+		if err != nil {
+			return
+		}
+		re := AppendResponse(nil, 9, res)
+		res2, err := DecodeResponse(re[frameHeaderLen:], nil)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(res2, res) {
+			t.Fatalf("response not stable:\n got %+v\nwant %+v", res2, res)
+		}
+	})
+}
+
+// normOps maps empty-but-non-nil field maps to nil so DeepEqual treats
+// a decoded zero-count map and an omitted one alike (the encoder
+// distinguishes them; the semantics do not).
+func normOps(ops []Op) []Op {
+	out := make([]Op, len(ops))
+	copy(out, ops)
+	for i := range out {
+		if len(out[i].Fields) == 0 {
+			out[i].Fields = nil
+		}
+	}
+	return out
+}

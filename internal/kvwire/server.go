@@ -1,0 +1,289 @@
+package kvwire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ycsbt/internal/obs"
+)
+
+// Server speaks the framed binary protocol over raw TCP connections,
+// answering every request frame through the shared Core. Connections
+// are persistent and multiplexed: each request frame is handled in its
+// own goroutine and its response frame is written whenever it
+// completes, so a pipelining client sees out-of-order responses keyed
+// by request id.
+type Server struct {
+	core    *Core
+	opts    ServerOptions
+	metrics *wireMetrics
+
+	mu       sync.Mutex
+	lns      map[net.Listener]struct{}
+	conns    map[net.Conn]struct{}
+	handlers sync.WaitGroup // in-flight request frames
+	closed   atomic.Bool
+}
+
+// ServerOptions tune a wire server.
+type ServerOptions struct {
+	// Metrics registers the kvwire_* series when non-nil.
+	Metrics *obs.Registry
+	// RetryAfter is the backoff hint carried by admission-shed error
+	// frames (default 1s).
+	RetryAfter time.Duration
+}
+
+// wireMetrics is the kvwire_* series; obs handles are nil-safe, so a
+// server without a registry pays two nil checks per frame and nothing
+// else.
+type wireMetrics struct {
+	connsOpen  *obs.Gauge
+	framesIn   *obs.Counter
+	framesOut  *obs.Counter
+	pipeline   *obs.Gauge
+	decodeErrs *obs.Counter
+}
+
+func newWireMetrics(reg *obs.Registry) *wireMetrics {
+	reg.Help("kvwire_conns_open", "Binary wire connections currently open.")
+	reg.Help("kvwire_frames_total", "Frames moved over the binary wire protocol, by direction.")
+	reg.Help("kvwire_pipeline_depth", "Request frames currently in flight across all wire connections.")
+	reg.Help("kvwire_decode_errors_total", "Wire frames the server failed to parse (the connection is closed after each).")
+	return &wireMetrics{
+		connsOpen:  reg.Gauge("kvwire_conns_open"),
+		framesIn:   reg.Counter("kvwire_frames_total", "dir", "in"),
+		framesOut:  reg.Counter("kvwire_frames_total", "dir", "out"),
+		pipeline:   reg.Gauge("kvwire_pipeline_depth"),
+		decodeErrs: reg.Counter("kvwire_decode_errors_total"),
+	}
+}
+
+// NewServer builds a wire server over core. Pass the same Core to the
+// HTTP front end so both transports share one admission limit and
+// ownership gate.
+func NewServer(core *Core, opts ServerOptions) *Server {
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = time.Second
+	}
+	return &Server{
+		core:    core,
+		opts:    opts,
+		metrics: newWireMetrics(opts.Metrics),
+		lns:     make(map[net.Listener]struct{}),
+		conns:   make(map[net.Conn]struct{}),
+	}
+}
+
+// Serve accepts connections on ln until the listener fails or the
+// server shuts down (which returns nil).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed.Load() {
+		s.mu.Unlock()
+		return errors.New("kvwire: server closed")
+	}
+	s.lns[ln] = struct{}{}
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn owns one connection: verify the magic, echo it, then read
+// request frames until the peer goes away, dispatching each to its own
+// handler goroutine.
+func (s *Server) serveConn(conn net.Conn) {
+	s.mu.Lock()
+	if s.closed.Load() {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	s.metrics.connsOpen.Add(1)
+	c := &serverConn{conn: conn}
+	defer func() {
+		// The read side is done (peer EOF or shutdown's CloseRead), but
+		// decoded requests may still be executing: their responses can
+		// still reach the peer, so the full close waits for them.
+		c.handlers.Wait()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.metrics.connsOpen.Add(-1)
+		conn.Close()
+	}()
+
+	var magic [len(Magic)]byte
+	if _, err := io.ReadFull(conn, magic[:]); err != nil || string(magic[:]) != Magic {
+		if err == nil {
+			s.metrics.decodeErrs.Inc()
+		}
+		return
+	}
+	if _, err := conn.Write([]byte(Magic)); err != nil {
+		return
+	}
+
+	var payload []byte
+	for {
+		var typ byte
+		var id uint64
+		var err error
+		typ, id, payload, err = ReadFrame(conn, payload)
+		if err != nil {
+			if err != io.EOF && !s.closed.Load() {
+				s.metrics.decodeErrs.Inc()
+			}
+			return
+		}
+		s.metrics.framesIn.Inc()
+		if typ != frameRequest {
+			s.metrics.decodeErrs.Inc()
+			return
+		}
+		deadlineMs, ops, err := DecodeRequest(payload, nil)
+		if err != nil {
+			s.metrics.decodeErrs.Inc()
+			return
+		}
+		s.handlers.Add(1)
+		c.handlers.Add(1)
+		s.metrics.pipeline.Add(1)
+		go func(id uint64, deadlineMs uint64, ops []Op) {
+			defer s.handlers.Done()
+			defer c.handlers.Done()
+			defer s.metrics.pipeline.Add(-1)
+			s.handleRequest(c, id, deadlineMs, ops)
+		}(id, deadlineMs, ops)
+	}
+}
+
+// serverConn serializes response writes on one connection and counts
+// its in-flight handlers so the close waits for their responses.
+type serverConn struct {
+	conn     net.Conn
+	handlers sync.WaitGroup
+	wmu      sync.Mutex
+	wbuf     []byte
+}
+
+func (s *Server) handleRequest(c *serverConn, id uint64, deadlineMs uint64, ops []Op) {
+	release, ok := s.core.AcquireBatch()
+	if !ok {
+		secs := uint64((s.opts.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		s.writeFrame(c, func(buf []byte) []byte {
+			return AppendError(buf, id, 429, secs, "too many in-flight batches")
+		})
+		return
+	}
+	defer release()
+	ctx := context.Background()
+	if deadlineMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(deadlineMs)*time.Millisecond)
+		defer cancel()
+	}
+	if len(ops) == 0 {
+		s.writeFrame(c, func(buf []byte) []byte {
+			return AppendError(buf, id, 400, 0, "empty batch")
+		})
+		return
+	}
+	res := resultsPool.Get().(*[]Result)
+	if cap(*res) < len(ops) {
+		*res = make([]Result, len(ops))
+	} else {
+		*res = (*res)[:len(ops)]
+	}
+	s.core.ExecBatchInto(ctx, ops, *res)
+	s.writeFrame(c, func(buf []byte) []byte {
+		return AppendResponse(buf, id, *res)
+	})
+	clear(*res)
+	*res = (*res)[:0]
+	resultsPool.Put(res)
+}
+
+var resultsPool = sync.Pool{New: func() any {
+	res := make([]Result, 0, 64)
+	return &res
+}}
+
+// writeFrame encodes into the connection's pooled buffer and writes
+// it under the write lock (one syscall per frame; the frame is the
+// flush unit).
+func (s *Server) writeFrame(c *serverConn, encode func([]byte) []byte) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.wbuf = encode(c.wbuf[:0])
+	if _, err := c.conn.Write(c.wbuf); err != nil {
+		return
+	}
+	s.metrics.framesOut.Inc()
+}
+
+// Shutdown drains the server: stop accepting, stop reading new request
+// frames, wait (bounded by ctx) for in-flight handlers to write their
+// responses, then close every connection. A pipelined request that was
+// already decoded when Shutdown began gets its response.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closed.Store(true)
+	s.mu.Lock()
+	for ln := range s.lns {
+		ln.Close()
+	}
+	// Half-close the read side so conn readers see EOF and stop
+	// accepting new frames while the write side stays usable for
+	// in-flight responses.
+	for conn := range s.conns {
+		if cr, ok := conn.(interface{ CloseRead() error }); ok {
+			cr.CloseRead()
+		}
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.handlers.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = fmt.Errorf("kvwire: shutdown: %w", ctx.Err())
+	}
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// Close is Shutdown with no grace.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Shutdown(ctx)
+	return nil
+}

@@ -1,0 +1,227 @@
+package kvwire
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"ycsbt/internal/kvstore"
+)
+
+// startWireServer boots a Server over a fresh volatile store and
+// returns its dial address plus the pieces tests poke at.
+func startWireServer(t *testing.T, core *Core, opts ServerOptions) (*Server, string) {
+	t.Helper()
+	srv := NewServer(core, opts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return srv, ln.Addr().String()
+}
+
+func newTestCore(t *testing.T) *Core {
+	t.Helper()
+	store, err := kvstore.Open(kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	return NewCore(store, nil, 0)
+}
+
+func TestWireExecRoundTrip(t *testing.T) {
+	core := newTestCore(t)
+	_, addr := startWireServer(t, core, ServerOptions{})
+	ep := NewEndpoint(addr, 0)
+	defer ep.Close()
+	ctx := context.Background()
+
+	res, err := ep.Exec(ctx, []Op{
+		{Kind: KindPut, Table: "t", Key: "a", Fields: map[string][]byte{"f": []byte("1")}, Expect: kvstore.AnyVersion},
+		{Kind: KindPut, Table: "t", Key: "b", Fields: map[string][]byte{"f": []byte("2")}, Expect: kvstore.MustNotExist},
+		{Kind: KindGet, Table: "t", Key: "a"},
+		{Kind: KindGet, Table: "t", Key: "missing"},
+		{Kind: KindDelete, Table: "t", Key: "b", Expect: kvstore.AnyVersion},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{200, 200, 200, 404, 204}
+	for i, st := range want {
+		if res[i].Status != st {
+			t.Errorf("res[%d].Status = %d, want %d (%+v)", i, res[i].Status, st, res[i])
+		}
+	}
+	if string(res[2].Fields["f"]) != "1" {
+		t.Errorf("get returned %q", res[2].Fields["f"])
+	}
+	if !res[0].HasVersion || res[0].Version == 0 {
+		t.Errorf("put result missing version: %+v", res[0])
+	}
+
+	// Create-only against an existing key must 412.
+	res, err = ep.Exec(ctx, []Op{{Kind: KindPut, Table: "t", Key: "a", Fields: map[string][]byte{"f": []byte("x")}, Expect: kvstore.MustNotExist}})
+	if err != nil || res[0].Status != 412 {
+		t.Fatalf("create-only overwrite: res=%+v err=%v", res, err)
+	}
+}
+
+func TestWirePipelinedConcurrentExecs(t *testing.T) {
+	core := newTestCore(t)
+	_, addr := startWireServer(t, core, ServerOptions{})
+	ep := NewEndpoint(addr, 1) // force one conn: all requests pipeline
+	defer ep.Close()
+
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := string(rune('a' + i%26))
+			res, err := ep.Exec(context.Background(), []Op{
+				{Kind: KindPut, Table: "t", Key: key, Fields: map[string][]byte{"f": []byte(key)}, Expect: kvstore.AnyVersion},
+				{Kind: KindGet, Table: "t", Key: key},
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if res[0].Status != 200 || res[1].Status != 200 {
+				errs <- errors.New("bad statuses")
+				return
+			}
+			if string(res[1].Fields["f"]) != key {
+				errs <- errors.New("cross-matched response: wrong field value")
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// blockingEngine parks BatchApply until released, so tests can hold a
+// request in flight deterministically.
+type blockingEngine struct {
+	kvstore.Engine
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (e *blockingEngine) BatchApply(muts []kvstore.Mutation) []kvstore.MutResult {
+	e.once.Do(func() { close(e.entered) })
+	<-e.release
+	return e.Engine.BatchApply(muts)
+}
+
+func TestWireShutdownDrainsInflightPipelinedRequest(t *testing.T) {
+	store, err := kvstore.Open(kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	eng := &blockingEngine{Engine: store, entered: make(chan struct{}), release: make(chan struct{})}
+	core := NewCore(eng, nil, 0)
+	srv, addr := startWireServer(t, core, ServerOptions{})
+	ep := NewEndpoint(addr, 1)
+	defer ep.Close()
+
+	// Park one mutation in the engine, pipelined behind nothing.
+	execDone := make(chan error, 1)
+	var res []Result
+	go func() {
+		var err error
+		res, err = ep.Exec(context.Background(), []Op{
+			{Kind: KindPut, Table: "t", Key: "k", Fields: map[string][]byte{"f": []byte("v")}, Expect: kvstore.AnyVersion},
+		})
+		execDone <- err
+	}()
+	<-eng.entered
+
+	// Shutdown with the request still in flight: it must not return
+	// until the handler has written its response.
+	shutDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutDone <- srv.Shutdown(ctx)
+	}()
+	// Give shutdown a moment to close the read side, then release the
+	// engine so the handler can finish.
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case <-shutDone:
+		t.Fatal("Shutdown returned while a request was still in flight")
+	default:
+	}
+	close(eng.release)
+
+	if err := <-shutDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-execDone; err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", err)
+	}
+	if len(res) != 1 || res[0].Status != 200 {
+		t.Fatalf("in-flight request answered %+v", res)
+	}
+
+	// The endpoint's connection is now closed; a new request fails.
+	if _, err := ep.Exec(context.Background(), []Op{{Kind: KindGet, Table: "t", Key: "k"}}); err == nil {
+		t.Fatal("request succeeded against a shut-down server")
+	}
+}
+
+func TestWireAdmissionShed(t *testing.T) {
+	store, err := kvstore.Open(kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	eng := &blockingEngine{Engine: store, entered: make(chan struct{}), release: make(chan struct{})}
+	defer close(eng.release)
+	core := NewCore(eng, nil, 1)
+	_, addr := startWireServer(t, core, ServerOptions{RetryAfter: 3 * time.Second})
+	ep := NewEndpoint(addr, 1)
+	defer ep.Close()
+
+	go ep.Exec(context.Background(), []Op{
+		{Kind: KindPut, Table: "t", Key: "k", Fields: map[string][]byte{"f": []byte("v")}, Expect: kvstore.AnyVersion},
+	})
+	<-eng.entered
+
+	_, err = ep.Exec(context.Background(), []Op{{Kind: KindGet, Table: "t", Key: "k"}})
+	var re *RequestError
+	if !errors.As(err, &re) || re.Status != 429 {
+		t.Fatalf("err=%v, want 429 RequestError", err)
+	}
+	if re.RetryAfter != 3*time.Second {
+		t.Fatalf("RetryAfter=%v, want 3s", re.RetryAfter)
+	}
+}
+
+func TestWireDialUnavailable(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nothing listens here now
+	ep := NewEndpoint(addr, 0)
+	defer ep.Close()
+	_, err = ep.Exec(context.Background(), []Op{{Kind: KindGet, Table: "t", Key: "k"}})
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err=%v, want ErrUnavailable", err)
+	}
+}
