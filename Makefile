@@ -7,11 +7,14 @@ GO ?= go
 
 # The full tier-1 gate: vet, build everything, the race-enabled short
 # test run, then a short coverage-guided fuzz of the binary frame
-# codec (hostile bytes off the network must never panic the decoder).
+# codec (hostile bytes off the network must never panic the decoder)
+# and of the history NDJSON decoder (hostile history files must never
+# panic the offline checker).
 check: vet build test-race fuzz-smoke
 
 fuzz-smoke:
 	$(GO) test -run xx -fuzz FuzzFrameCodec -fuzztime 10s ./internal/kvwire/
+	$(GO) test -run xx -fuzz FuzzHistoryDecoder -fuzztime 10s ./internal/history/
 
 vet:
 	$(GO) vet ./...
@@ -41,13 +44,15 @@ bench:
 # that records carry version chains) and BENCH_wire.json (the framed
 # binary transport vs HTTP/NDJSON at 32 client threads — the Read
 # cells carry the ≥2x acceptance bound) so all regressions are
-# visible per run.
+# visible per run. BENCH_history.json carries the history-capture
+# overhead cells (CaptureOn vs CaptureOff; budget ≤5%).
 bench-quick:
 	$(GO) test -run xx -bench BenchmarkBatchVsSingle -benchtime 3x -json . | tee BENCH_batch.json
 	$(GO) test -run xx -bench 'BenchmarkReadHeavy|BenchmarkGetScanParallel' -benchtime 300ms -cpu 4 -json ./internal/kvstore/ | tee BENCH_read.json
 	$(GO) test -run xx -bench BenchmarkAsOfScanUnderWrites -benchtime 300ms -cpu 4 -json ./internal/kvstore/ | tee BENCH_mvcc.json
 	$(GO) test -run xx -bench BenchmarkStoreParallel -benchtime 300ms -json . | tee -a BENCH_mvcc.json
 	$(GO) test -run xx -bench BenchmarkWireVsHTTP -benchtime 1s -json . | tee BENCH_wire.json
+	$(GO) test -run xx -bench BenchmarkHistoryCaptureOverhead -benchtime 500ms -cpu 4 -json . | tee BENCH_history.json
 
 # Cluster scaling acceptance bench: identical capacity-bound nodes,
 # read-heavy load routed by the shard map, 1 node vs 3. The 3-node

@@ -12,6 +12,7 @@ package ycsbt_test
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"ycsbt/internal/client"
 	"ycsbt/internal/cloudsim"
 	"ycsbt/internal/db"
+	"ycsbt/internal/history"
 	"ycsbt/internal/kvstore"
 	"ycsbt/internal/measurement"
 	"ycsbt/internal/properties"
@@ -455,4 +457,163 @@ func poolCell(b *testing.B, loadM, runM *txn.Manager) float64 {
 		b.Fatal(err)
 	}
 	return res.Throughput
+}
+
+// BenchmarkHistoryCaptureOverhead measures what history capture costs
+// per transaction, with and without a sink streaming to a real
+// history file. Two cell families:
+//
+//   - TxnKV: one RMW transaction through the txnkv binding (the
+//     native capture path — txn.Manager emits at commit). This is the
+//     deployment the ≤5% throughput budget governs; capture adds one
+//     record build and one channel send to a full prepare/TSR/
+//     roll-forward commit.
+//   - Middleware: the same RMW against the raw in-memory kvstore
+//     binding through the capture middleware — the adversarial floor,
+//     where the whole transaction is a handful of map operations and
+//     the write-behind encoder competes for the same cores. Overhead
+//     here bounds what any realistic binding can see.
+//
+// CI uploads both families as BENCH_history.json.
+func BenchmarkHistoryCaptureOverhead(b *testing.B) {
+	const keys = 1024
+	keyset := make([]string, keys)
+	for i := range keyset {
+		keyset[i] = fmt.Sprintf("key%07d", i)
+	}
+	val := db.Record{"field0": make([]byte, 100)}
+	ctx := context.Background()
+
+	for _, capture := range []bool{false, true} {
+		name := "TxnKV/CaptureOff"
+		if capture {
+			name = "TxnKV/CaptureOn"
+		}
+		b.Run(name, func(b *testing.B) {
+			s, err := kvstore.Open(kvstore.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			m, err := txn.NewManager(txn.Options{}, txn.NewLocalStore("local", s))
+			if err != nil {
+				b.Fatal(err)
+			}
+			binding := txn.NewBinding(m)
+			for i := range keyset {
+				if err := binding.Insert(ctx, "t", keyset[i], val); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var sink *history.Sink
+			if capture {
+				sink, err = history.OpenFile(filepath.Join(b.TempDir(), "history.ndjson"), history.SinkOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				binding.SetHistorySink(sink)
+			}
+			var goroutine atomic.Int64
+			b.ResetTimer()
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				g := goroutine.Add(1)
+				i := int(g * 31337 % keys)
+				for pb.Next() {
+					tctx, err := binding.Start(ctx)
+					if err != nil {
+						b.Fatal(err)
+					}
+					v := binding.WithTx(tctx)
+					k := keyset[i]
+					// Conflicts between racing goroutines are normal txnkv
+					// behaviour; an aborted attempt still counts as one
+					// iteration (both cells pay the same abort rate).
+					ok := true
+					if _, err := v.Read(ctx, "t", k, nil); err != nil {
+						ok = false
+					}
+					if ok && v.Update(ctx, "t", k, val) != nil {
+						ok = false
+					}
+					if !ok || binding.Commit(ctx, tctx) != nil {
+						binding.Abort(ctx, tctx)
+					}
+					i = (i + 7919) % keys
+				}
+			})
+			b.StopTimer()
+			if capture {
+				if err := sink.Close(); err != nil {
+					b.Fatal(err)
+				}
+				events, dropped := sink.Stats()
+				b.ReportMetric(float64(dropped)/float64(events+1), "dropped/event")
+			}
+		})
+	}
+
+	for _, capture := range []bool{false, true} {
+		name := "Middleware/CaptureOff"
+		if capture {
+			name = "Middleware/CaptureOn"
+		}
+		b.Run(name, func(b *testing.B) {
+			s, err := kvstore.Open(kvstore.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			binding := kvstore.NewBinding(s)
+			for i := range keyset {
+				if err := binding.Insert(ctx, "t", keyset[i], val); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var sink *history.Sink
+			if capture {
+				sink, err = history.OpenFile(filepath.Join(b.TempDir(), "history.ndjson"), history.SinkOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			var session atomic.Int64
+			b.ResetTimer()
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				d := db.DB(binding)
+				if capture {
+					d = db.Chain(binding, history.Middleware(sink, int(session.Add(1))))
+				}
+				tdb := db.Transactional(d)
+				g := session.Add(1)
+				i := int(g * 31337 % keys)
+				for pb.Next() {
+					tctx, err := tdb.Start(ctx)
+					if err != nil {
+						b.Fatal(err)
+					}
+					k := keyset[i]
+					if _, err := d.Read(ctx, "t", k, nil); err != nil {
+						b.Fatal(err)
+					}
+					if err := d.Update(ctx, "t", k, val); err != nil {
+						b.Fatal(err)
+					}
+					if err := tdb.Commit(ctx, tctx); err != nil {
+						b.Fatal(err)
+					}
+					i = (i + 7919) % keys
+				}
+			})
+			b.StopTimer()
+			if capture {
+				if err := sink.Close(); err != nil {
+					b.Fatal(err)
+				}
+				events, dropped := sink.Stats()
+				b.ReportMetric(float64(dropped)/float64(events+1), "dropped/event")
+			}
+		})
+	}
 }

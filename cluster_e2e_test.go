@@ -20,6 +20,7 @@ import (
 
 	"ycsbt/internal/client"
 	"ycsbt/internal/db"
+	"ycsbt/internal/history"
 	"ycsbt/internal/measurement"
 	"ycsbt/internal/properties"
 	"ycsbt/internal/workload"
@@ -154,8 +155,17 @@ func TestClusterCEWZeroAnomalyAcrossMigration(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Capture the full operation history — the offline checker must
+	// certify the cross-node, cross-migration run serializable.
+	histPath := filepath.Join(t.TempDir(), "history.ndjson")
+	sink, err := history.OpenFile(histPath, history.SinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	loadCfg := client.BuildConfig(p)
 	loadCfg.SkipValidation = true
+	loadCfg.History = sink
 	lc, err := client.New(loadCfg, w, d, reg)
 	if err != nil {
 		t.Fatal(err)
@@ -181,6 +191,7 @@ func TestClusterCEWZeroAnomalyAcrossMigration(t *testing.T) {
 	runCfg := client.BuildConfig(p)
 	runCfg.MaxExecutionTime = 2500 * time.Millisecond
 	runCfg.SkipValidation = true // the run deadline would cut the scan short; validate below
+	runCfg.History = sink
 	rc, err := client.New(runCfg, w, d, reg)
 	if err != nil {
 		t.Fatal(err)
@@ -239,5 +250,31 @@ func TestClusterCEWZeroAnomalyAcrossMigration(t *testing.T) {
 		if frames == 0 {
 			t.Errorf("node %d (%s): kvwire_frames_total{dir=in} = 0; cluster traffic never rode the wire", i, urls[i])
 		}
+	}
+
+	// Offline certification: replay the captured history and certify
+	// the whole run — client-coordinated transactions across three
+	// nodes and two live migrations — serializable.
+	if err := sink.Close(); err != nil {
+		t.Fatalf("history sink: %v", err)
+	}
+	events, dropped := sink.Stats()
+	if events == 0 {
+		t.Fatal("history sink captured nothing")
+	}
+	if dropped != 0 {
+		t.Errorf("history sink dropped %d records", dropped)
+	}
+	recs, _, err := history.LoadFile(histPath)
+	if err != nil {
+		t.Fatalf("decoding history: %v", err)
+	}
+	cert := history.Check(recs)
+	t.Logf("histcheck: %s", cert.Summary())
+	if cert.Committed == 0 {
+		t.Fatal("history holds no committed transactions")
+	}
+	if !cert.Serializable {
+		t.Errorf("cluster CEW history refuted: %+v", cert.Cycles)
 	}
 }

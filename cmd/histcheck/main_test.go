@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ycsbt/internal/history"
+)
+
+func writeHistory(t *testing.T, recs ...*history.TxnRecord) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "history.ndjson")
+	sink, err := history.OpenFile(path, history.SinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		sink.RecordTxn(r)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestHistcheckCertifies(t *testing.T) {
+	path := writeHistory(t,
+		&history.TxnRecord{ID: "t1", StartTS: 1, CommitTS: 10, Outcome: history.OutcomeCommit,
+			Ops: []history.Op{{Kind: history.OpWrite, Table: "u", Key: "x", Ver: 2}}},
+		&history.TxnRecord{ID: "t2", StartTS: 11, CommitTS: 12, Outcome: history.OutcomeCommit,
+			Ops: []history.Op{{Kind: history.OpRead, Table: "u", Key: "x", Ver: 2}}},
+	)
+	var out, errOut strings.Builder
+	verdictPath := filepath.Join(t.TempDir(), "verdict.json")
+	code := run([]string{"-json", verdictPath, path}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"certified: serializable", "certified: snapshot-isolation"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+	buf, err := os.ReadFile(verdictPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v struct {
+		File         string `json:"file"`
+		Serializable bool   `json:"serializable"`
+		SI           string `json:"si"`
+		Committed    int    `json:"committed"`
+	}
+	if err := json.Unmarshal(buf, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.File != path || !v.Serializable || v.SI != history.SICertified || v.Committed != 2 {
+		t.Fatalf("verdict = %+v", v)
+	}
+}
+
+func TestHistcheckRefutesWithWitness(t *testing.T) {
+	path := writeHistory(t,
+		&history.TxnRecord{ID: "t1", StartTS: 1, CommitTS: 10, Outcome: history.OutcomeCommit,
+			Ops: []history.Op{
+				{Kind: history.OpRead, Table: "u", Key: "x", Ver: 1},
+				{Kind: history.OpRead, Table: "u", Key: "y", Ver: 1},
+				{Kind: history.OpWrite, Table: "u", Key: "x", Ver: 2}}},
+		&history.TxnRecord{ID: "t2", StartTS: 2, CommitTS: 11, Outcome: history.OutcomeCommit,
+			Ops: []history.Op{
+				{Kind: history.OpRead, Table: "u", Key: "x", Ver: 1},
+				{Kind: history.OpRead, Table: "u", Key: "y", Ver: 1},
+				{Kind: history.OpWrite, Table: "u", Key: "y", Ver: 2}}},
+	)
+	var out, errOut strings.Builder
+	code := run([]string{path}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"refuted: serializable", "t1 --RW[u/y]--> t2", "t2 --RW[u/x]--> t1"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestHistcheckUsageAndErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("no-args exit = %d, want 2", code)
+	}
+	if code := run([]string{filepath.Join(t.TempDir(), "missing")}, &out, &errOut); code != 2 {
+		t.Fatalf("missing-file exit = %d, want 2", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad")
+	if err := os.WriteFile(bad, []byte("{\"t\":\"h\",\"version\":42}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{bad}, &out, &errOut); code != 2 {
+		t.Fatalf("bad-version exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unsupported format version") {
+		t.Fatalf("stderr: %s", errOut.String())
+	}
+}

@@ -28,6 +28,7 @@ import (
 
 	"ycsbt/internal/client"
 	"ycsbt/internal/db"
+	"ycsbt/internal/history"
 	"ycsbt/internal/measurement"
 	"ycsbt/internal/obs"
 	"ycsbt/internal/properties"
@@ -75,6 +76,7 @@ func run(args []string) error {
 		maxExec   = fs.Int64("maxexecutiontime", 0, "cap the transaction phase at this many seconds (overrides 'maxexecutiontime')")
 		timeline  = fs.Bool("timeline", false, "record and report 1-second throughput time series")
 		opsAddr   = fs.String("ops-addr", "", "ops listener address serving /metrics, /healthz, /debug/pprof with live run stats (sets obs.enabled=true)")
+		histFile  = fs.String("history", "", "write the run's operation history (NDJSON) to this file for offline certification with histcheck (overrides 'history.file')")
 		listDBs   = fs.Bool("list", false, "list registered bindings and workloads, then exit")
 	)
 	fs.Var(&propFiles, "P", "workload property file (repeatable)")
@@ -123,6 +125,9 @@ func run(args []string) error {
 	if *maxExec > 0 {
 		props.Set("maxexecutiontime", fmt.Sprint(*maxExec))
 	}
+	if *histFile != "" {
+		props.Set("history.file", *histFile)
+	}
 	if *opsAddr != "" {
 		// Instrument the binding's substrate too, not just the client.
 		props.Set("obs.enabled", "true")
@@ -155,6 +160,25 @@ func run(args []string) error {
 		}
 	}
 	defer c.DB().Cleanup()
+
+	if path := props.GetString("history.file", ""); path != "" {
+		sink, err := history.OpenFile(path, history.SinkOptions{
+			Queue:   props.GetInt("history.queue", 0),
+			Metrics: obs.Enabled(props.GetBool("obs.enabled", false)),
+		})
+		if err != nil {
+			return err
+		}
+		c.SetHistory(sink)
+		defer func() {
+			if err := sink.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "ycsbt: history sink:", err)
+			}
+			events, dropped := sink.Stats()
+			fmt.Printf("history: %d records captured, %d dropped -> %s (check with: histcheck %s)\n",
+				events, dropped, path, path)
+		}()
+	}
 
 	if *opsAddr != "" {
 		reg := obs.Default()

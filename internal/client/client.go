@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"ycsbt/internal/db"
+	"ycsbt/internal/history"
 	"ycsbt/internal/measurement"
 	"ycsbt/internal/properties"
 	"ycsbt/internal/trace"
@@ -63,6 +64,13 @@ type Config struct {
 	// Props carries the run properties that property-configured
 	// middlewares (retry, faultinject, …) read; nil means empty.
 	Props *properties.Properties
+	// History, when set, receives every finished transaction for
+	// offline consistency certification (cmd/histcheck). Bindings
+	// with native transaction machinery (history.CapableDB — txnkv)
+	// feed it from their commit paths; any other binding gets the
+	// capture middleware stacked innermost on every thread. cmd/ycsbt
+	// wires this from the "history.file" property / -history flag.
+	History history.TxnSink
 }
 
 // BuildConfig reads the standard YCSB/YCSB+T properties: threadcount,
@@ -114,6 +122,10 @@ type Client struct {
 	mwNames []string     // validated middleware stack, outermost first
 	opLog   *trace.OpLog // operation log, when the stack traces
 	shared  *db.MiddlewareState
+	// histNative is true when the binding records history itself
+	// (history.CapableDB); threads then skip the capture middleware so
+	// transactions are never recorded twice.
+	histNative bool
 }
 
 // New builds a client over an already-initialized workload and
@@ -146,7 +158,21 @@ func New(cfg Config, w workload.Workload, d db.DB, reg *measurement.Registry) (*
 			c.opLog = trace.NewOpLog(cfg.Props.GetInt("trace.oplog_size", trace.DefaultOpLogSize))
 		}
 	}
+	if cfg.History != nil {
+		c.SetHistory(cfg.History)
+	}
 	return c, nil
+}
+
+// SetHistory installs a history sink after construction (before the
+// first phase): capable bindings record natively, everything else is
+// captured by the per-thread middleware.
+func (c *Client) SetHistory(sink history.TxnSink) {
+	c.cfg.History = sink
+	if capable, ok := c.d.(history.CapableDB); ok {
+		capable.SetHistorySink(sink)
+		c.histNative = true
+	}
 }
 
 // Registry returns the client's shared measurement registry.
@@ -295,6 +321,11 @@ func (c *Client) threadLoop(ctx context.Context, phase string, th int, ops int64
 	if err != nil {
 		return fmt.Errorf("client: thread %d middleware stack: %w", th, err)
 	}
+	if c.cfg.History != nil && !c.histNative {
+		// Innermost, directly over the binding, so retries above do
+		// not distort the recorded history.
+		mws = append(mws, history.Middleware(c.cfg.History, th))
+	}
 	chain := db.Transactional(db.Chain(c.d, mws...))
 	// Whole-transaction (TX-<TYPE>) series handles, resolved once per
 	// op type; the map is thread-private, so lookups stay lock-free.
@@ -320,6 +351,11 @@ func (c *Client) threadLoop(ctx context.Context, phase string, th int, ops int64
 	// transfer that debited but never credited) — the paper's runs
 	// are bounded by operation count and never stop mid-operation.
 	opCtx := context.WithoutCancel(ctx)
+	if c.cfg.History != nil {
+		// Tag the thread's operations with their session id so the
+		// history feeder (manager or middleware) attributes them.
+		opCtx = db.WithSession(opCtx, th)
+	}
 	for i := int64(0); i < ops; i++ {
 		if ctx.Err() != nil {
 			return nil // deadline reached: stop cleanly

@@ -1,0 +1,75 @@
+package db
+
+import "context"
+
+// Session and version-capture context protocol. The history subsystem
+// (internal/history) needs two pieces of information that only exist
+// on opposite sides of the middleware chain: which client thread an
+// operation belongs to (known above the chain) and which record
+// version the binding actually read or installed (known below it).
+// Both travel through the operation context, so bindings stay free of
+// any history dependency — they report into plain context values that
+// cost nothing when no capture is active.
+
+type sessionKeyType struct{}
+
+var sessionKey sessionKeyType
+
+// WithSession tags ctx with the client session (thread) id that
+// issues the operations under it.
+func WithSession(ctx context.Context, session int) context.Context {
+	return context.WithValue(ctx, sessionKey, session)
+}
+
+// SessionFromContext returns the session id tagged by WithSession,
+// or -1 when the context carries none.
+func SessionFromContext(ctx context.Context) int {
+	if v, ok := ctx.Value(sessionKey).(int); ok {
+		return v
+	}
+	return -1
+}
+
+// VersionCapture receives the record versions one operation touched.
+// A capture struct is confined to one goroutine: the layer that
+// installs it reads the fields back immediately after the intercepted
+// call returns, and resets it before the next operation.
+type VersionCapture struct {
+	// ReadVer is the version the binding's read observed (0 = none
+	// reported).
+	ReadVer uint64
+	// WriteVer is the version the binding's write installed (0 = none
+	// reported).
+	WriteVer uint64
+}
+
+// Reset clears the capture for the next operation.
+func (c *VersionCapture) Reset() { c.ReadVer, c.WriteVer = 0, 0 }
+
+type captureKeyType struct{}
+
+var captureKey captureKeyType
+
+// WithVersionCapture arms ctx with a capture struct that bindings
+// report record versions into via ReportReadVersion /
+// ReportWriteVersion.
+func WithVersionCapture(ctx context.Context, c *VersionCapture) context.Context {
+	return context.WithValue(ctx, captureKey, c)
+}
+
+// ReportReadVersion records the version a read observed, when the
+// context is armed with a capture; otherwise it is a no-op. Bindings
+// whose reads know their record version call this on success.
+func ReportReadVersion(ctx context.Context, ver uint64) {
+	if c, ok := ctx.Value(captureKey).(*VersionCapture); ok {
+		c.ReadVer = ver
+	}
+}
+
+// ReportWriteVersion records the version a write installed, when the
+// context is armed with a capture; otherwise it is a no-op.
+func ReportWriteVersion(ctx context.Context, ver uint64) {
+	if c, ok := ctx.Value(captureKey).(*VersionCapture); ok {
+		c.WriteVer = ver
+	}
+}

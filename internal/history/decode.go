@@ -1,0 +1,166 @@
+package history
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// maxLineBytes bounds one NDJSON line; longer lines are a decode
+// error, not an allocation amplifier.
+const maxLineBytes = 1 << 20
+
+// DecodeStats reports what the decoder tolerated.
+type DecodeStats struct {
+	// Lines is the number of non-empty lines consumed.
+	Lines int
+	// AccessTxns is how many transactions were synthesized from bare
+	// "a" (spilled trace access) lines.
+	AccessTxns int
+	// TruncatedTail is true when the final line was malformed or
+	// unterminated and was skipped — the expected shape of a file cut
+	// short by a crash mid-write.
+	TruncatedTail bool
+}
+
+// Decode reads an NDJSON history stream. Malformed content anywhere
+// but the final line is an error; a malformed or unterminated final
+// line is tolerated (crashed runs truncate mid-line) and reported in
+// the stats. Bare access lines ("a", spilled by a streaming
+// trace.Recorder) are grouped by transaction id into synthesized
+// committed records without timestamps.
+func Decode(r io.Reader) ([]*TxnRecord, *DecodeStats, error) {
+	stats := &DecodeStats{}
+	var recs []*TxnRecord
+	seen := map[string]bool{}            // ids of "x" records
+	accessRecs := map[string]*TxnRecord{} // synthesized from "a" lines
+	var accessOrder []string
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
+	type pending struct {
+		line []byte
+		n    int
+	}
+	var prev *pending // one-line lookahead so only the true tail is forgiven
+
+	process := func(p *pending, last bool) error {
+		line := bytes.TrimSpace(p.line)
+		if len(line) == 0 {
+			return nil
+		}
+		stats.Lines++
+		var probe struct {
+			T string `json:"t"`
+		}
+		fail := func(format string, args ...any) error {
+			if last {
+				stats.TruncatedTail = true
+				stats.Lines--
+				return nil
+			}
+			return fmt.Errorf("history: line %d: %s", p.n, fmt.Sprintf(format, args...))
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return fail("%v", err)
+		}
+		switch probe.T {
+		case "h":
+			var h headerLine
+			if err := json.Unmarshal(line, &h); err != nil {
+				return fail("%v", err)
+			}
+			if h.Version != FormatVersion {
+				return fmt.Errorf("history: line %d: unsupported format version %d (want %d)", p.n, h.Version, FormatVersion)
+			}
+		case "x":
+			var x txnLine
+			if err := json.Unmarshal(line, &x); err != nil {
+				return fail("%v", err)
+			}
+			rec := x.TxnRecord
+			if rec.ID == "" {
+				return fail("transaction record without id")
+			}
+			if rec.Outcome != OutcomeCommit && rec.Outcome != OutcomeAbort {
+				return fail("transaction %s: unknown outcome %q", rec.ID, rec.Outcome)
+			}
+			for _, op := range rec.Ops {
+				if op.Kind != OpRead && op.Kind != OpWrite && op.Kind != OpDelete {
+					return fail("transaction %s: unknown op kind %q", rec.ID, op.Kind)
+				}
+			}
+			if seen[rec.ID] || accessRecs[rec.ID] != nil {
+				return fmt.Errorf("history: line %d: duplicate transaction id %q", p.n, rec.ID)
+			}
+			seen[rec.ID] = true
+			recs = append(recs, &rec)
+		case "a":
+			var a accessLine
+			if err := json.Unmarshal(line, &a); err != nil {
+				return fail("%v", err)
+			}
+			if a.Txn == "" {
+				return fail("access line without txn id")
+			}
+			if seen[a.Txn] {
+				return fmt.Errorf("history: line %d: duplicate transaction id %q", p.n, a.Txn)
+			}
+			rec := accessRecs[a.Txn]
+			if rec == nil {
+				rec = &TxnRecord{ID: a.Txn, Session: -1, Outcome: OutcomeCommit}
+				accessRecs[a.Txn] = rec
+				accessOrder = append(accessOrder, a.Txn)
+			}
+			kind := OpRead
+			if a.Write {
+				kind = OpWrite
+			}
+			rec.Ops = append(rec.Ops, Op{Kind: kind, Key: a.Key, Ver: a.Ver})
+		default:
+			return fail("unknown line type %q", probe.T)
+		}
+		return nil
+	}
+
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		cur := &pending{line: append([]byte(nil), sc.Bytes()...), n: lineNo}
+		if prev != nil {
+			if err := process(prev, false); err != nil {
+				return nil, nil, err
+			}
+		}
+		prev = cur
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("history: %w", err)
+	}
+	if prev != nil {
+		if err := process(prev, true); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	stats.AccessTxns = len(accessOrder)
+	sort.Strings(accessOrder)
+	for _, id := range accessOrder {
+		recs = append(recs, accessRecs[id])
+	}
+	return recs, stats, nil
+}
+
+// LoadFile decodes the history file at path.
+func LoadFile(path string) ([]*TxnRecord, *DecodeStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("history: %w", err)
+	}
+	defer f.Close()
+	return Decode(f)
+}

@@ -1,0 +1,138 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// sccs computes strongly connected components over the committed
+// transactions, iteratively (Tarjan), with sorted traversal for
+// deterministic output.
+func sccs(nodes []string, adj map[string][]Edge) [][]string {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var comps [][]string
+	counter := 0
+
+	successors := func(n string) []string {
+		seen := map[string]bool{}
+		out := make([]string, 0, len(adj[n]))
+		for _, e := range adj[n] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				out = append(out, e.To)
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	order := append([]string(nil), nodes...)
+	sort.Strings(order)
+
+	type frame struct {
+		node string
+		succ []string
+		i    int
+	}
+	for _, root := range order {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		frames := []frame{{node: root, succ: successors(root)}}
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.i < len(f.succ) {
+				next := f.succ[f.i]
+				f.i++
+				if _, seen := index[next]; !seen {
+					index[next] = counter
+					low[next] = counter
+					counter++
+					stack = append(stack, next)
+					onStack[next] = true
+					frames = append(frames, frame{node: next, succ: successors(next)})
+				} else if onStack[next] && index[next] < low[f.node] {
+					low[f.node] = index[next]
+				}
+				continue
+			}
+			n := f.node
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := frames[len(frames)-1].node
+				if low[n] < low[parent] {
+					low[parent] = low[n]
+				}
+			}
+			if low[n] == index[n] {
+				var comp []string
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[top] = false
+					comp = append(comp, top)
+					if top == n {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// Summary renders the human-readable certification report — the text
+// cmd/histcheck prints. Witness cycles name their transactions, edge
+// types and keys in order.
+func (res *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "history: %d txns (%d committed, %d aborted), %d ops (%d unversioned), edges: WR %d, WW %d, RW %d\n",
+		res.Txns, res.Committed, res.Aborted, res.Ops, res.UnversionedOps,
+		res.EdgeCount[EdgeWR], res.EdgeCount[EdgeWW], res.EdgeCount[EdgeRW])
+	if res.DuplicateInstalls > 0 {
+		fmt.Fprintf(&b, "warning: %d duplicate installs (merged or re-captured history?)\n", res.DuplicateInstalls)
+	}
+
+	if res.Serializable {
+		b.WriteString("certified: serializable\n")
+	} else {
+		b.WriteString("refuted: serializable\n")
+		for _, dr := range res.DirtyReads {
+			fmt.Fprintf(&b, "dirty read: %s read %s@v%d installed by aborted %s\n", dr.Reader, dr.Key, dr.Ver, dr.Writer)
+		}
+		for i, c := range res.Cycles {
+			shape := "SI-forbidden shape (no consecutive RW pair)"
+			if c.SIPermitted {
+				shape = "SI-permitted shape (consecutive RW anti-dependencies: write skew)"
+			}
+			fmt.Fprintf(&b, "cycle %d: %d txns, %s\n", i+1, len(c.Nodes), shape)
+			for _, e := range c.Edges {
+				fmt.Fprintf(&b, "  %s --%s[%s]--> %s\n", e.From, e.Type, e.Key, e.To)
+			}
+		}
+	}
+
+	switch res.SI {
+	case SICertified:
+		b.WriteString("certified: snapshot-isolation\n")
+	case SIRefuted:
+		b.WriteString("refuted: snapshot-isolation\n")
+		for _, v := range res.SIViolations {
+			fmt.Fprintf(&b, "si violation (%s): %s\n", v.Kind, v.Detail)
+		}
+	default:
+		b.WriteString("snapshot-isolation: not evaluated (history lacks start/commit timestamps)\n")
+	}
+	return b.String()
+}

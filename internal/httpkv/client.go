@@ -299,6 +299,7 @@ func (c *Client) Read(ctx context.Context, table, key string, fields []string) (
 			if err := wireResultErr(res); err != nil {
 				return nil, err
 			}
+			db.ReportReadVersion(ctx, res.Version)
 			return db.ProjectFields(res.Fields, fields), nil
 		}
 	}
@@ -307,6 +308,7 @@ func (c *Client) Read(ctx context.Context, table, key string, fields []string) (
 		if err != nil {
 			return nil, err
 		}
+		db.ReportReadVersion(ctx, wr.Version)
 		return db.ProjectFields(wr.Fields, fields), nil
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.recordURL(table, key), nil)
@@ -322,6 +324,7 @@ func (c *Client) Read(ctx context.Context, table, key string, fields []string) (
 	if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
 		return nil, fmt.Errorf("httpkv: decoding record: %w", err)
 	}
+	db.ReportReadVersion(ctx, wr.Version)
 	return db.ProjectFields(wr.Fields, fields), nil
 }
 
@@ -428,6 +431,11 @@ func (c *Client) writeReq(ctx context.Context, method, u string, values db.Recor
 		return err
 	}
 	resp.Body.Close()
+	// The server stamps write responses with the new version as the
+	// ETag; report it when a history capture is armed.
+	if ver, perr := strconv.ParseUint(resp.Header.Get("ETag"), 10, 64); perr == nil {
+		db.ReportWriteVersion(ctx, ver)
+	}
 	return nil
 }
 
@@ -456,7 +464,10 @@ func (c *Client) wireWrite(ctx context.Context, kind kvwire.Kind, table, key str
 
 // Update implements db.DB (merge semantics, key must exist).
 func (c *Client) Update(ctx context.Context, table, key string, values db.Record) error {
-	if _, served, err := c.wireWrite(ctx, kvwire.KindPatch, table, key, values, kvstore.AnyVersion); served {
+	if ver, served, err := c.wireWrite(ctx, kvwire.KindPatch, table, key, values, kvstore.AnyVersion); served {
+		if err == nil {
+			db.ReportWriteVersion(ctx, ver)
+		}
 		return err
 	}
 	return c.writeReq(ctx, http.MethodPatch, c.recordURL(table, key), values, nil)
@@ -464,7 +475,10 @@ func (c *Client) Update(ctx context.Context, table, key string, values db.Record
 
 // Insert implements db.DB (unconditional put).
 func (c *Client) Insert(ctx context.Context, table, key string, values db.Record) error {
-	if _, served, err := c.wireWrite(ctx, kvwire.KindPut, table, key, values, kvstore.AnyVersion); served {
+	if ver, served, err := c.wireWrite(ctx, kvwire.KindPut, table, key, values, kvstore.AnyVersion); served {
+		if err == nil {
+			db.ReportWriteVersion(ctx, ver)
+		}
 		return err
 	}
 	return c.writeReq(ctx, http.MethodPut, c.recordURL(table, key), values, nil)

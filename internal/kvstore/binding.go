@@ -113,7 +113,7 @@ func translate(err error) error {
 }
 
 // Read implements db.DB.
-func (b *Binding) Read(_ context.Context, table, key string, fields []string) (db.Record, error) {
+func (b *Binding) Read(ctx context.Context, table, key string, fields []string) (db.Record, error) {
 	var rec *VersionedRecord
 	var err error
 	if b.asOf != 0 {
@@ -124,6 +124,7 @@ func (b *Binding) Read(_ context.Context, table, key string, fields []string) (d
 	if err != nil {
 		return nil, translate(err)
 	}
+	db.ReportReadVersion(ctx, rec.Version)
 	return filterFields(rec.Fields, fields), nil
 }
 
@@ -147,15 +148,21 @@ func (b *Binding) Scan(_ context.Context, table, startKey string, count int, fie
 }
 
 // Update implements db.DB.
-func (b *Binding) Update(_ context.Context, table, key string, values db.Record) error {
-	_, err := b.eng.Update(table, key, values)
+func (b *Binding) Update(ctx context.Context, table, key string, values db.Record) error {
+	ver, err := b.eng.Update(table, key, values)
+	if err == nil {
+		db.ReportWriteVersion(ctx, ver)
+	}
 	return translate(err)
 }
 
 // Insert implements db.DB; like most key-value stores, an insert of
 // an existing key overwrites it.
-func (b *Binding) Insert(_ context.Context, table, key string, values db.Record) error {
-	_, err := b.eng.Put(table, key, values)
+func (b *Binding) Insert(ctx context.Context, table, key string, values db.Record) error {
+	ver, err := b.eng.Put(table, key, values)
+	if err == nil {
+		db.ReportWriteVersion(ctx, ver)
+	}
 	return translate(err)
 }
 

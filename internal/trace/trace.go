@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Access is one recorded read or write.
@@ -42,15 +43,61 @@ type Access struct {
 	Write bool
 }
 
-// Recorder accumulates accesses of committed transactions. It is safe
-// for concurrent use.
-type Recorder struct {
-	mu       sync.Mutex
-	accesses []Access
+// AccessSink receives batches of accesses from a streaming Recorder,
+// which hands them off instead of retaining them so long traced runs
+// stay memory-bounded. history.Sink implements it (spilled accesses
+// become durable NDJSON lines the offline checker replays).
+// Implementations must be safe for concurrent use; a handed-off batch
+// must not be mutated by the recorder afterwards.
+type AccessSink interface {
+	SpillAccesses([]Access)
 }
 
-// NewRecorder returns an empty recorder.
+// recorderStripes is the number of lock stripes. Like
+// internal/measurement's per-thread shards, striping keeps concurrent
+// committers off one mutex; the count is fixed and modest because a
+// stripe is only held for an append.
+const recorderStripes = 32
+
+// DefaultSpillBatch is the per-stripe batch size at which a streaming
+// recorder hands accesses to its sink.
+const DefaultSpillBatch = 1024
+
+// stripe is one lock shard, padded so adjacent stripes do not share a
+// cache line under concurrent commit storms.
+type stripe struct {
+	mu       sync.Mutex
+	accesses []Access
+	_        [24]byte
+}
+
+// Recorder accumulates accesses of committed transactions. It is safe
+// for concurrent use: accesses are striped by transaction id, so
+// concurrent committers contend only when they hash to the same
+// stripe. A plain recorder retains everything for Check; a streaming
+// recorder (NewStreamingRecorder) spills full batches to an
+// AccessSink and retains only the unspilled remainder.
+type Recorder struct {
+	stripes [recorderStripes]stripe
+	sink    AccessSink
+	batch   int
+	spilled atomic.Int64
+}
+
+// NewRecorder returns an empty retaining recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
+
+// NewStreamingRecorder returns a recorder that hands each stripe's
+// accesses to sink whenever batch accumulate (batch <= 0 uses
+// DefaultSpillBatch). Call Flush when the run ends to spill the
+// remainder. Check only covers retained accesses; a spilled trace is
+// checked offline from the sink's output (cmd/histcheck).
+func NewStreamingRecorder(sink AccessSink, batch int) *Recorder {
+	if batch <= 0 {
+		batch = DefaultSpillBatch
+	}
+	return &Recorder{sink: sink, batch: batch}
+}
 
 // Read records that txn read version of key.
 func (r *Recorder) Read(txn, key string, version uint64) {
@@ -62,24 +109,72 @@ func (r *Recorder) Write(txn, key string, version uint64) {
 	r.add(Access{Txn: txn, Key: key, Version: version, Write: true})
 }
 
+// stripeFor picks the stripe by FNV-1a hash of the txn id, keeping
+// one transaction's accesses together.
+func (r *Recorder) stripeFor(txn string) *stripe {
+	h := uint32(2166136261)
+	for i := 0; i < len(txn); i++ {
+		h = (h ^ uint32(txn[i])) * 16777619
+	}
+	return &r.stripes[h%recorderStripes]
+}
+
 func (r *Recorder) add(a Access) {
-	r.mu.Lock()
-	r.accesses = append(r.accesses, a)
-	r.mu.Unlock()
+	s := r.stripeFor(a.Txn)
+	s.mu.Lock()
+	s.accesses = append(s.accesses, a)
+	if r.sink != nil && len(s.accesses) >= r.batch {
+		out := s.accesses
+		s.accesses = nil
+		s.mu.Unlock()
+		r.spilled.Add(int64(len(out)))
+		r.sink.SpillAccesses(out)
+		return
+	}
+	s.mu.Unlock()
 }
 
-// Len returns the number of recorded accesses.
+// Flush hands any retained accesses to the sink (no-op for a
+// retaining recorder).
+func (r *Recorder) Flush() {
+	if r.sink == nil {
+		return
+	}
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		out := s.accesses
+		s.accesses = nil
+		s.mu.Unlock()
+		if len(out) > 0 {
+			r.spilled.Add(int64(len(out)))
+			r.sink.SpillAccesses(out)
+		}
+	}
+}
+
+// Len returns the number of recorded accesses, spilled included.
 func (r *Recorder) Len() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.accesses)
+	n := int(r.spilled.Load())
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		n += len(s.accesses)
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// Accesses returns a copy of the recorded accesses.
+// Accesses returns a copy of the retained (unspilled) accesses.
 func (r *Recorder) Accesses() []Access {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return append([]Access(nil), r.accesses...)
+	var out []Access
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		out = append(out, s.accesses...)
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // Report is the outcome of a serializability check.

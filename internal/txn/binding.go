@@ -9,8 +9,9 @@ import (
 	"time"
 
 	"ycsbt/internal/cloudsim"
-	"ycsbt/internal/httpkv"
 	"ycsbt/internal/db"
+	"ycsbt/internal/history"
+	"ycsbt/internal/httpkv"
 	"ycsbt/internal/kvstore"
 	"ycsbt/internal/obs"
 	"ycsbt/internal/properties"
@@ -135,6 +136,15 @@ func (b *Binding) Cleanup() error {
 
 // Manager exposes the underlying transaction manager.
 func (b *Binding) Manager() *Manager { return b.m }
+
+// SetHistorySink implements history.CapableDB: the transaction
+// manager feeds the sink natively from its commit and abort paths —
+// richer than the capture middleware (store-qualified keys, commit
+// timestamps drawn at the TSR write, aborted read sets) — so the
+// client installs the sink here instead of stacking the middleware.
+func (b *Binding) SetHistorySink(sink history.TxnSink) { b.m.SetHistory(sink) }
+
+var _ history.CapableDB = (*Binding)(nil)
 
 // storeFor partitions a key across the registered stores.
 func (b *Binding) storeFor(key string) string {

@@ -50,6 +50,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ycsbt/internal/db"
+	"ycsbt/internal/history"
 	"ycsbt/internal/kvstore"
 	"ycsbt/internal/oracle"
 )
@@ -145,6 +147,17 @@ type Options struct {
 	// the version sequence and the version-ordered graph stays sound
 	// across delete/insert cycles.
 	Tracer Tracer
+	// History, when set, receives one record per finished transaction
+	// — committed or aborted — with the versions read and installed,
+	// the session (from db.WithSession on the Begin context), and
+	// start/commit timestamps, for offline certification
+	// (internal/history, cmd/histcheck). Unlike Tracer it sees aborts
+	// too, which the checker needs for dirty-read detection. Install
+	// it before the first Begin. Read-only snapshot transactions
+	// (BeginReadOnly) are not recorded: they read a fixed as-of
+	// timestamp, take no part in the version-ordered graph, and would
+	// need their own snapshot-read semantics in the checker.
+	History history.TxnSink
 }
 
 // Tracer receives committed transactions' access sets.
@@ -266,17 +279,24 @@ func (m *Manager) store(name string) (Store, error) {
 	return s, nil
 }
 
-// Begin starts a transaction.
-func (m *Manager) Begin(_ context.Context) (*Txn, error) {
+// Begin starts a transaction. When the context carries a session id
+// (db.WithSession) it is recorded into the transaction's history
+// record.
+func (m *Manager) Begin(ctx context.Context) (*Txn, error) {
 	startTS := m.opts.Clock.Now()
 	return &Txn{
 		m:       m,
 		id:      fmt.Sprintf("t%s-%x-%x", m.id, startTS, m.seq.Add(1)),
 		startTS: startTS,
+		session: db.SessionFromContext(ctx),
 		reads:   make(map[wkey]uint64),
 		writes:  make(map[wkey]*pendingWrite),
 	}, nil
 }
+
+// SetHistory installs (or clears) the history sink. Call it before
+// the first Begin; transactions read it at finish time.
+func (m *Manager) SetHistory(sink history.TxnSink) { m.opts.History = sink }
 
 // RunInTxn executes fn inside a transaction, committing on success
 // and retrying (up to maxRetries) when the commit conflicts. fn must
@@ -347,6 +367,7 @@ type Txn struct {
 	m       *Manager
 	id      string
 	startTS int64
+	session int
 	done    bool
 
 	reads  map[wkey]uint64 // version observed for each read key
@@ -501,6 +522,7 @@ func (t *Txn) Abort(ctx context.Context) error {
 	}
 	t.done = true
 	t.m.aborts.Add(1)
+	t.emitHistory(false, 0)
 	return t.rollbackPrepared(ctx)
 }
 
@@ -533,10 +555,13 @@ func (t *Txn) Commit(ctx context.Context) error {
 	}
 	if len(t.writes) == 0 {
 		// Read-only transactions commit trivially: every read already
-		// returned a committed image.
+		// returned a committed image. No TSR is written, so the
+		// history commit timestamp is drawn here — any timestamp at
+		// or after the last read is a valid serialization point.
 		t.done = true
 		t.m.commits.Add(1)
 		t.emitTrace()
+		t.emitHistory(true, t.m.opts.Clock.Now())
 		return nil
 	}
 
@@ -584,6 +609,7 @@ func (t *Txn) Commit(ctx context.Context) error {
 			t.done = true
 			t.m.conflicts.Add(1)
 			t.m.aborts.Add(1)
+			t.emitHistory(false, 0)
 			t.rollbackPrepared(cleanupCtx)
 			return fmt.Errorf("%w: preparing %s: %v", ErrConflict, k, err)
 		}
@@ -594,6 +620,7 @@ func (t *Txn) Commit(ctx context.Context) error {
 	if time.Since(prepareStart) > t.m.opts.RecoveryTimeout/2 {
 		t.done = true
 		t.m.aborts.Add(1)
+		t.emitHistory(false, 0)
 		t.rollbackPrepared(cleanupCtx)
 		return fmt.Errorf("%w: commit deadline exceeded", ErrConflict)
 	}
@@ -611,6 +638,7 @@ func (t *Txn) Commit(ctx context.Context) error {
 	if _, err := coord.Put(ctx, tsrTable, t.id, tsrFields, kvstore.MustNotExist); err != nil {
 		t.done = true
 		t.m.aborts.Add(1)
+		t.emitHistory(false, 0)
 		t.rollbackPrepared(cleanupCtx)
 		return fmt.Errorf("%w: writing TSR: %v", ErrConflict, err)
 	}
@@ -629,6 +657,7 @@ func (t *Txn) Commit(ctx context.Context) error {
 	t.done = true
 	t.m.commits.Add(1)
 	t.emitTrace()
+	t.emitHistory(true, commitTS)
 	return nil
 }
 
@@ -653,6 +682,53 @@ func (t *Txn) emitTrace() {
 		if w.prepared {
 			tr.Write(t.id, k.String(), w.preparedVer+1)
 		}
+	}
+}
+
+// emitHistory reports this finished transaction to the history sink.
+// Unlike emitTrace it fires for aborts too (the checker needs them
+// for dirty-read analysis) and includes reads of keys the transaction
+// also wrote. Aborted transactions report only their reads: their
+// prepared images were rolled back, so no version was durably
+// installed. Installed versions follow emitTrace's reasoning:
+// preparedVer+1, the roll-forward version. Read-around reads report
+// the in-flight prepared record's version (see resolveRecord): the
+// checker then sees no committed writer for that version — losing a
+// WR edge, never inventing a cycle — while the RW anti-dependency to
+// the in-flight writer's install lands correctly.
+func (t *Txn) emitHistory(committed bool, commitTS int64) {
+	sink := t.m.opts.History
+	if sink == nil {
+		return
+	}
+	rec := &history.TxnRecord{
+		ID:      t.id,
+		Session: t.session,
+		StartTS: t.startTS,
+		Outcome: history.OutcomeAbort,
+	}
+	if committed {
+		rec.Outcome = history.OutcomeCommit
+		rec.CommitTS = commitTS
+	}
+	rec.Ops = make([]history.Op, 0, len(t.reads)+len(t.writes))
+	for k, ver := range t.reads {
+		rec.Ops = append(rec.Ops, history.Op{Kind: history.OpRead, Store: k.store, Table: k.table, Key: k.key, Ver: ver})
+	}
+	if committed {
+		for k, w := range t.writes {
+			if !w.prepared {
+				continue
+			}
+			kind := history.OpWrite
+			if w.kind == kindDelete {
+				kind = history.OpDelete
+			}
+			rec.Ops = append(rec.Ops, history.Op{Kind: kind, Store: k.store, Table: k.table, Key: k.key, Ver: w.preparedVer + 1})
+		}
+	}
+	if len(rec.Ops) > 0 {
+		sink.RecordTxn(rec)
 	}
 }
 
