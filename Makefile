@@ -53,6 +53,7 @@ bench-quick:
 	$(GO) test -run xx -bench BenchmarkStoreParallel -benchtime 300ms -json . | tee -a BENCH_mvcc.json
 	$(GO) test -run xx -bench BenchmarkWireVsHTTP -benchtime 1s -json . | tee BENCH_wire.json
 	$(GO) test -run xx -bench BenchmarkHistoryCaptureOverhead -benchtime 500ms -cpu 4 -json . | tee BENCH_history.json
+	$(GO) test -run xx -bench BenchmarkScanWireVsHTTP -benchtime 1s -json . | tee BENCH_scan.json
 
 # Cluster scaling acceptance bench: identical capacity-bound nodes,
 # read-heavy load routed by the shard map, 1 node vs 3. The 3-node

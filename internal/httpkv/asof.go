@@ -146,6 +146,12 @@ func (c *Client) scanWireAsOf(ctx context.Context, table, startKey string, count
 	if c.caps.asOfUnsupported.Load() {
 		return nil, errAsOfUnsupported
 	}
+	// The streamed scan carries the as-of ts in the request frame and
+	// the server's paging loop reads from the version history, so the
+	// snapshot is honored by construction — no echo check needed.
+	if wrs, _, served, err := c.scanStream(ctx, table, startKey, count, ts, -1, false); served {
+		return wrs, err
+	}
 	u := c.base + "/v1/" + url.PathEscape(table) + "?start=" + url.QueryEscape(startKey) + "&count=" + strconv.Itoa(count)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
@@ -165,16 +171,7 @@ func (c *Client) scanWireAsOf(ctx context.Context, table, startKey string, count
 		return nil, statusError(resp)
 	}
 	if strings.Contains(resp.Header.Get("Content-Type"), NDJSONContentType) {
-		var wrs []wireRecord
-		dec := json.NewDecoder(resp.Body)
-		for dec.More() {
-			var wr wireRecord
-			if err := dec.Decode(&wr); err != nil {
-				return nil, fmt.Errorf("httpkv: decoding scan line %d: %w", len(wrs)+1, err)
-			}
-			wrs = append(wrs, wr)
-		}
-		return wrs, nil
+		return decodeScanNDJSON(resp.Body, count)
 	}
 	var wrs []wireRecord
 	if err := json.NewDecoder(resp.Body).Decode(&wrs); err != nil {

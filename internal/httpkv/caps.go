@@ -37,6 +37,12 @@ type endpointCaps struct {
 	wireAddr        atomic.Pointer[string]
 	wireEp          atomic.Pointer[kvwire.Endpoint]
 	wireUnsupported atomic.Bool
+	// wireStream records that the endpoint advertised streaming frame
+	// support (X-KV-Wire-Stream alongside X-KV-Wire): scans and ingest
+	// may ride chunked streams. An old wire server that only speaks
+	// request/response frames never sets the header, so new clients
+	// never send it stream frames it would reject.
+	wireStream atomic.Bool
 }
 
 // closeWire tears down the endpoint's wire pool, if one was dialed.

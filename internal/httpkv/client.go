@@ -364,6 +364,16 @@ func (c *Client) ReadVersioned(ctx context.Context, table, key string) (*kvstore
 // fan-out compares it across nodes to detect a scan that straddled a
 // migration cutover.
 func (c *Client) scanWire(ctx context.Context, table, startKey string, count int) (wrs []wireRecord, mapVer int64, err error) {
+	if wrs, mapVer, served, err := c.scanStream(ctx, table, startKey, count, 0, -1, false); served {
+		return wrs, mapVer, err
+	}
+	return c.scanWireHTTP(ctx, table, startKey, count)
+}
+
+// scanWireHTTP is the HTTP page fetch under scanWire — also the
+// fallback the router's streaming cursor uses directly, so a failed
+// stream open does not re-probe the stream path within the same call.
+func (c *Client) scanWireHTTP(ctx context.Context, table, startKey string, count int) (wrs []wireRecord, mapVer int64, err error) {
 	u := c.base + "/v1/" + url.PathEscape(table) + "?start=" + url.QueryEscape(startKey) + "&count=" + strconv.Itoa(count)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
@@ -377,13 +387,9 @@ func (c *Client) scanWire(ctx context.Context, table, startKey string, count int
 	defer resp.Body.Close()
 	mapVer, _ = strconv.ParseInt(resp.Header.Get(cluster.HeaderMapVersion), 10, 64)
 	if strings.Contains(resp.Header.Get("Content-Type"), NDJSONContentType) {
-		dec := json.NewDecoder(resp.Body)
-		for dec.More() {
-			var wr wireRecord
-			if err := dec.Decode(&wr); err != nil {
-				return nil, 0, fmt.Errorf("httpkv: decoding scan line %d: %w", len(wrs)+1, err)
-			}
-			wrs = append(wrs, wr)
+		wrs, err := decodeScanNDJSON(resp.Body, count)
+		if err != nil {
+			return nil, 0, err
 		}
 		return wrs, mapVer, nil
 	}

@@ -11,6 +11,7 @@ import (
 	"strconv"
 
 	"ycsbt/internal/cluster"
+	"ycsbt/internal/kvwire"
 )
 
 // Slot migration: move one shard-map slot between live nodes with no
@@ -74,6 +75,11 @@ const (
 // MigrateSlot moves slot to dest under the given map, returning the
 // successor map it installed across the fleet.
 func MigrateSlot(ctx context.Context, hc *http.Client, m *cluster.Map, slot int, dest string) (*cluster.Map, error) {
+	return MigrateSlotOpts(ctx, hc, m, slot, dest, MigrateOptions{})
+}
+
+// MigrateSlotOpts is MigrateSlot with tuning options.
+func MigrateSlotOpts(ctx context.Context, hc *http.Client, m *cluster.Map, slot int, dest string, opts MigrateOptions) (*cluster.Map, error) {
 	if hc == nil {
 		hc = newPooledHTTPClient(DefaultPoolSize, DefaultTimeout)
 	}
@@ -130,7 +136,29 @@ func MigrateSlot(ctx context.Context, hc *http.Client, m *cluster.Map, slot int,
 	if err != nil {
 		return fail("listing tables", err)
 	}
+	// Copy over the framed wire when both ends negotiated streams;
+	// otherwise — or on any wire failure mid-table — over HTTP. The
+	// fallback re-copies the table from the top, which is safe: the
+	// scan is pinned to ts and the ingest is idempotent.
+	var srcEp, dstEp *kvwire.Endpoint
+	if !opts.DisableWire {
+		if sa, ok := sniffNodeWireStream(ctx, hc, src); ok {
+			if da, ok := sniffNodeWireStream(ctx, hc, dest); ok {
+				srcEp = kvwire.NewEndpoint(sa, 1)
+				dstEp = kvwire.NewEndpoint(da, 1)
+				defer srcEp.Close()
+				defer dstEp.Close()
+			}
+		}
+	}
 	for _, table := range tables {
+		if srcEp != nil {
+			if err := copySlotWire(ctx, srcEp, dstEp, table, slot, ts); err == nil {
+				continue
+			} else if ctx.Err() != nil {
+				return fail(fmt.Sprintf("copying table %q", table), err)
+			}
+		}
 		if err := copySlot(ctx, hc, src, dest, table, slot, ts); err != nil {
 			return fail(fmt.Sprintf("copying table %q", table), err)
 		}

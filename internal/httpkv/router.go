@@ -439,14 +439,13 @@ func (r *Router) Delete(ctx context.Context, table, key string) error {
 }
 
 // Scan implements db.DB: every node scans its owned slice (the server
-// filters), and the router k-way merges the sorted, disjoint pages
+// filters), and the router k-way merges the sorted, disjoint results
 // back into one global key order.
 func (r *Router) Scan(ctx context.Context, table, startKey string, count int, fields []string) ([]db.KV, error) {
-	pages, err := r.scanAllNodes(ctx, table, startKey, count)
+	merged, err := r.scanMerged(ctx, table, startKey, count)
 	if err != nil {
 		return nil, err
 	}
-	merged := mergeWirePages(pages, count)
 	out := make([]db.KV, 0, len(merged))
 	for _, wr := range merged {
 		out = append(out, db.KV{Key: wr.Key, Record: db.ProjectFields(wr.Fields, fields)})
@@ -454,60 +453,39 @@ func (r *Router) Scan(ctx context.Context, table, startKey string, count int, fi
 	return out, nil
 }
 
-// scanAllNodes fans one scan out to the whole fleet. Nodes that
-// answer 404 for the table contribute an empty page (a table can live
-// on a subset of nodes until writes spread).
+// scanMerged fans one scan out to the whole fleet and merges the
+// per-node sorted, disjoint results into one slice of at most count
+// records. Nodes that answer 404 for the table contribute nothing (a
+// table can live on a subset of nodes until writes spread).
 //
-// Each node echoes the shard map version it scanned under. If the
-// echoes disagree, the fan-out straddled a migration cutover: the
+// Stream-capable nodes are consumed lazily through scanCursor: each
+// buffers at most a credit window of chunks, and the moment the merge
+// has count records every remaining stream is cancelled — the fleet no
+// longer materializes count records per node for a merge that keeps
+// only count total. HTTP-only nodes still contribute one eager page.
+//
+// Each node reports the shard map version it scanned under. If the
+// reports disagree, the fan-out straddled a migration cutover: the
 // node still at v filters the migrating slot out (it no longer owns
 // it... or doesn't own it yet), and so does the node at v+1 — the
 // slot's records would silently vanish from the merged result. The
-// router refetches the map, backs off, and rescans until the fleet
-// answers under one version, bounded by the usual retry budget.
+// same applies when one node's stream aborts 409 (its map changed
+// mid-scan) or a wire connection dies partway. In every case the
+// router refetches the map, backs off, and rescans until a round
+// completes under one version, bounded by the usual retry budget.
 // Pre-echo servers report version 0 and are exempt from the check —
 // best effort is all a mixed-version fleet can offer.
-func (r *Router) scanAllNodes(ctx context.Context, table, startKey string, count int) ([][]wireRecord, error) {
+func (r *Router) scanMerged(ctx context.Context, table, startKey string, count int) ([]wireRecord, error) {
 	for attempt := 0; ; attempt++ {
-		m := r.cur.Load()
-		pages := make([][]wireRecord, len(m.Nodes))
-		vers := make([]int64, len(m.Nodes))
-		errs := make([]error, len(m.Nodes))
-		var wg sync.WaitGroup
-		for i, addr := range m.Nodes {
-			wg.Add(1)
-			go func(i int, c *Client) {
-				defer wg.Done()
-				page, ver, err := c.scanWire(ctx, table, startKey, count)
-				if err != nil && errors.Is(err, db.ErrNotFound) {
-					err = nil
-				}
-				pages[i], vers[i], errs[i] = page, ver, err
-			}(i, r.node(addr))
+		out, err := r.scanRound(ctx, table, startKey, count)
+		if err == nil {
+			return out, nil
 		}
-		wg.Wait()
-		for i, err := range errs {
-			if err != nil {
-				return nil, fmt.Errorf("cluster: scan on %s: %w", m.Nodes[i], err)
-			}
-		}
-		skew := int64(0)
-		for _, v := range vers {
-			if v == 0 {
-				continue // pre-echo server; nothing to compare
-			}
-			if skew == 0 {
-				skew = v
-			} else if v != skew {
-				skew = -1
-				break
-			}
-		}
-		if skew >= 0 {
-			return pages, nil
+		if !errors.Is(err, errScanRescan) {
+			return nil, err
 		}
 		if attempt >= r.retries {
-			return nil, fmt.Errorf("cluster: scan still straddling a map change after %d retries (node versions %v)", attempt, vers)
+			return nil, fmt.Errorf("cluster: scan still straddling a map change after %d retries: %w", attempt, err)
 		}
 		wait := r.backoff << attempt
 		if wait > time.Second {
@@ -522,30 +500,93 @@ func (r *Router) scanAllNodes(ctx context.Context, table, startKey string, count
 	}
 }
 
-// mergeWirePages merges per-node sorted pages (disjoint key sets) into
-// one sorted slice of at most count records.
-func mergeWirePages(pages [][]wireRecord, count int) []wireRecord {
-	total := 0
-	for _, p := range pages {
-		total += len(p)
+// scanRound runs one fan-out round: open a cursor per node (priming
+// each with its first record concurrently), verify the fleet answered
+// under one map version, then merge. Any errScanRescan — from a
+// stream's 409, a dead wire connection, or cross-node version skew —
+// aborts the round for scanMerged to retry.
+func (r *Router) scanRound(ctx context.Context, table, startKey string, count int) ([]wireRecord, error) {
+	m := r.cur.Load()
+	roundCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	cursors := make([]*scanCursor, len(m.Nodes))
+	heads := make([]*wireRecord, len(m.Nodes))
+	errs := make([]error, len(m.Nodes))
+	var wg sync.WaitGroup
+	for i, addr := range m.Nodes {
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			sc, err := c.openScanCursor(roundCtx, table, startKey, count)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			cursors[i] = sc
+			heads[i], errs[i] = sc.next()
+		}(i, r.node(addr))
 	}
-	out := make([]wireRecord, 0, total)
-	heads := make([]int, len(pages))
+	wg.Wait()
+	defer func() {
+		for _, sc := range cursors {
+			if sc != nil {
+				sc.close()
+			}
+		}
+	}()
+	for i, err := range errs {
+		if err == nil || errors.Is(err, db.ErrNotFound) {
+			continue
+		}
+		if errors.Is(err, errScanRescan) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("cluster: scan on %s: %w", m.Nodes[i], err)
+	}
+	// After priming, every cursor knows its node's map version (streams
+	// learn it from the first chunk or the end frame) and per-node
+	// consistency is the stream's own 409 check — so one cross-node
+	// comparison here covers the whole round.
+	skew := int64(0)
+	for _, sc := range cursors {
+		if sc == nil || sc.ver == 0 {
+			continue // pre-echo server or single-node; nothing to compare
+		}
+		if skew == 0 {
+			skew = sc.ver
+		} else if sc.ver != skew {
+			return nil, errScanRescan
+		}
+	}
+	var out []wireRecord
+	if count >= 0 {
+		out = make([]wireRecord, 0, count)
+	}
 	for {
 		best := -1
-		for i, p := range pages {
-			if heads[i] >= len(p) {
+		for i, h := range heads {
+			if h == nil {
 				continue
 			}
-			if best < 0 || p[heads[i]].Key < pages[best][heads[best]].Key {
+			if best < 0 || h.Key < heads[best].Key {
 				best = i
 			}
 		}
 		if best < 0 || (count >= 0 && len(out) >= count) {
-			return out
+			return out, nil
 		}
-		out = append(out, pages[best][heads[best]])
-		heads[best]++
+		out = append(out, *heads[best])
+		h, err := cursors[best].next()
+		if err != nil {
+			if errors.Is(err, db.ErrNotFound) {
+				h = nil
+			} else if errors.Is(err, errScanRescan) {
+				return nil, err
+			} else {
+				return nil, fmt.Errorf("cluster: scan on %s: %w", m.Nodes[best], err)
+			}
+		}
+		heads[best] = h
 	}
 }
 

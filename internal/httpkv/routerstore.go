@@ -69,14 +69,13 @@ func (s *RouterStore) Delete(ctx context.Context, table, key string, expect uint
 	}))
 }
 
-// Scan implements the store interface: per-node sorted pages merged
+// Scan implements the store interface: per-node sorted results merged
 // into global key order, like the binding's Scan.
 func (s *RouterStore) Scan(ctx context.Context, table, startKey string, count int) ([]kvstore.VersionedKV, error) {
-	pages, err := s.r.scanAllNodes(ctx, table, startKey, count)
+	merged, err := s.r.scanMerged(ctx, table, startKey, count)
 	if err != nil {
 		return nil, remoteTranslate(err)
 	}
-	merged := mergeWirePages(pages, count)
 	out := make([]kvstore.VersionedKV, 0, len(merged))
 	for _, wr := range merged {
 		out = append(out, kvstore.VersionedKV{

@@ -1,0 +1,62 @@
+package httpkv
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Pooled NDJSON scan decoding. scanWire and scanWireAsOf used to spin
+// up a fresh json.Decoder (plus its internal read buffer, grown from
+// 512 bytes) and grow the result slice from nil on every page — all
+// per-page steady-state garbage on the scan hot path, the decode-side
+// sibling of the pooled response encoder in batch.go. json.Decoder has
+// no Reset, so the pool wraps each decoder around a swappable reader:
+// point it at the next body, decode, and recycle the pair once the
+// page is fully consumed.
+type scanDecoder struct {
+	src swapReader
+	dec *json.Decoder
+}
+
+// swapReader is the retargetable io.Reader under a pooled decoder.
+type swapReader struct{ r io.Reader }
+
+func (s *swapReader) Read(p []byte) (int, error) { return s.r.Read(p) }
+
+var scanDecPool = sync.Pool{New: func() any {
+	sd := &scanDecoder{}
+	sd.dec = json.NewDecoder(&sd.src)
+	return sd
+}}
+
+// decodeScanNDJSON reads one NDJSON scan page. count sizes the result
+// slice up front when the caller asked for a bounded page (count <= 0
+// — unbounded migration scans — starts empty and grows).
+func decodeScanNDJSON(body io.Reader, count int) ([]wireRecord, error) {
+	sd := scanDecPool.Get().(*scanDecoder)
+	sd.src.r = body
+	var wrs []wireRecord
+	if count > 0 {
+		wrs = make([]wireRecord, 0, count)
+	}
+	for sd.dec.More() {
+		var wr wireRecord
+		if err := sd.dec.Decode(&wr); err != nil {
+			// Mid-value state is poisoned; drop the decoder, not repool.
+			return nil, fmt.Errorf("httpkv: decoding scan line %d: %w", len(wrs)+1, err)
+		}
+		wrs = append(wrs, wr)
+	}
+	// Recycle only a decoder that drained the page completely: More()
+	// also returns false on a buffered non-value byte (say a stray ']'),
+	// which would leak into the next page's decode.
+	var tail [16]byte
+	if n, _ := sd.dec.Buffered().Read(tail[:]); len(bytes.TrimSpace(tail[:n])) == 0 {
+		sd.src.r = nil // drop the response body before pooling
+		scanDecPool.Put(sd)
+	}
+	return wrs, nil
+}

@@ -1,0 +1,84 @@
+package httpkv
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+func ndjsonScanPage(t testing.TB, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := 0; i < n; i++ {
+		wr := wireRecord{
+			Key:     fmt.Sprintf("user%06d", i),
+			Version: uint64(i + 1),
+			Fields:  map[string][]byte{"field0": []byte("0123456789abcdef0123456789abcdef")},
+		}
+		if err := enc.Encode(wr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestDecodeScanNDJSON(t *testing.T) {
+	data := ndjsonScanPage(t, 100)
+	wrs, err := decodeScanNDJSON(bytes.NewReader(data), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wrs) != 100 {
+		t.Fatalf("decoded %d records, want 100", len(wrs))
+	}
+	if wrs[42].Key != "user000042" || wrs[42].Version != 43 {
+		t.Fatalf("record 42 = %+v", wrs[42])
+	}
+	if string(wrs[99].Fields["field0"]) != "0123456789abcdef0123456789abcdef" {
+		t.Fatalf("record 99 fields = %v", wrs[99].Fields)
+	}
+	// Garbage mid-page surfaces as a decode error, not a short page.
+	bad := append(append([]byte{}, data...), []byte("{oops\n")...)
+	if _, err := decodeScanNDJSON(bytes.NewReader(bad), 100); err == nil {
+		t.Fatal("accepted malformed scan line")
+	}
+	// No trailing newline on the last line still decodes.
+	trimmed := bytes.TrimRight(data, "\n")
+	wrs, err = decodeScanNDJSON(bytes.NewReader(trimmed), 100)
+	if err != nil || len(wrs) != 100 {
+		t.Fatalf("no-final-newline page: %d records, err=%v", len(wrs), err)
+	}
+}
+
+// The pooled line decoder must beat the old fresh-json.Decoder-per-page
+// shape on allocations — that machinery (decoder state + its growing
+// read buffer) was per-page garbage on the scan hot path.
+func TestDecodeScanNDJSONPooledAllocs(t *testing.T) {
+	data := ndjsonScanPage(t, 100)
+	fresh := testing.AllocsPerRun(100, func() {
+		dec := json.NewDecoder(bytes.NewReader(data))
+		var wrs []wireRecord
+		for dec.More() {
+			var wr wireRecord
+			if err := dec.Decode(&wr); err != nil {
+				t.Fatal(err)
+			}
+			wrs = append(wrs, wr)
+		}
+		if len(wrs) != 100 {
+			t.Fatalf("decoded %d", len(wrs))
+		}
+	})
+	pooled := testing.AllocsPerRun(100, func() {
+		wrs, err := decodeScanNDJSON(bytes.NewReader(data), 100)
+		if err != nil || len(wrs) != 100 {
+			t.Fatalf("decoded %d, err=%v", len(wrs), err)
+		}
+	})
+	t.Logf("allocs/page: fresh decoder %.0f, pooled %.0f", fresh, pooled)
+	if pooled >= fresh {
+		t.Fatalf("pooled decode allocates %.0f/page, fresh decoder %.0f/page — pooling regressed", pooled, fresh)
+	}
+}

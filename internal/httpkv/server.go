@@ -159,6 +159,11 @@ func NewServerWithOptions(store kvstore.Engine, opts ServerOptions) *Server {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if s.opts.WireAddr != "" {
 		w.Header().Set(WireAddrHeader, s.opts.WireAddr)
+		// Same build serves both listeners, so advertising the wire
+		// listener implies it speaks the streaming frames too; clients
+		// sniff this before sending stream frames an older wire server
+		// would treat as a protocol violation.
+		w.Header().Set(WireStreamHeader, "1")
 	}
 	if s.metrics != nil {
 		s.metrics.inflight.Add(1)
@@ -316,7 +321,10 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request, table string
 		// nodes filter by different maps.
 		w.Header().Set(cluster.HeaderMapVersion, strconv.FormatInt(s.opts.Cluster.Map().Version, 10))
 	}
-	kvs, err := s.core.Scan(table, start, count, ts, slot, tombstones)
+	// r.Context() dies when the client disconnects: the core checks it
+	// between engine pages, so an abandoned scan stops paging instead
+	// of draining the table for nobody.
+	kvs, err := s.core.Scan(r.Context(), table, start, count, ts, slot, tombstones)
 	if err != nil {
 		writeStoreError(w, err)
 		return

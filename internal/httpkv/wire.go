@@ -36,6 +36,13 @@ import (
 // Old servers never set it; clients simply stay on HTTP.
 const WireAddrHeader = "X-KV-Wire"
 
+// WireStreamHeader advertises that the server's binary listener also
+// speaks the streaming frames (scan/ingest chunks with credit flow
+// control). Servers set it whenever they set WireAddrHeader; its
+// absence tells a new client the wire endpoint is an older
+// request/response-only build, so scans stay on HTTP.
+const WireStreamHeader = "X-KV-Wire-Stream"
+
 // WireModeOff disables the binary transport ("rawhttp.wire=off").
 const WireModeOff = "off"
 
@@ -57,7 +64,26 @@ func (c *Client) sniffWire(resp *http.Response) {
 	if addr == "" {
 		return
 	}
+	if resp.Header.Get(WireStreamHeader) != "" {
+		c.caps.wireStream.Store(true)
+	}
 	c.caps.wireAddr.CompareAndSwap(nil, &addr)
+}
+
+// wireStreamEndpoint returns the binary pool when streaming frames may
+// be used on it: the endpoint advertised stream support, or the dial
+// address was configured explicitly (an operator pointing at a stream-
+// capable listener).
+func (c *Client) wireStreamEndpoint() (*kvwire.Endpoint, bool) {
+	switch c.wireMode {
+	case WireModeOff:
+		return nil, false
+	case "", WireModeAuto:
+		if !c.caps.wireStream.Load() {
+			return nil, false
+		}
+	}
+	return c.wireEndpoint()
 }
 
 // resolveWireAddr turns an advertised listener address into a dialable
@@ -65,12 +91,18 @@ func (c *Client) sniffWire(resp *http.Response) {
 // "[::]:9077") from the endpoint's base URL — the server knows its
 // port but not necessarily the name clients reach it by.
 func (c *Client) resolveWireAddr(adv string) string {
+	return resolveWireAddrAgainst(c.base, adv)
+}
+
+// resolveWireAddrAgainst is resolveWireAddr for callers without a
+// Client (the migrator sniffs fleet nodes by base URL).
+func resolveWireAddrAgainst(base, adv string) string {
 	host, port, err := net.SplitHostPort(adv)
 	if err != nil || port == "" {
 		return ""
 	}
 	if host == "" || host == "0.0.0.0" || host == "::" {
-		u, err := url.Parse(c.base)
+		u, err := url.Parse(base)
 		if err != nil {
 			return ""
 		}

@@ -165,7 +165,11 @@ func (e *Endpoint) dial(ctx context.Context) (*clientConn, error) {
 		return nil, fmt.Errorf("%w: bad handshake", ErrUnavailable)
 	}
 	conn.SetDeadline(time.Time{})
-	c := &clientConn{conn: conn, pending: make(map[uint64]chan<- wireReply)}
+	c := &clientConn{
+		conn:    conn,
+		pending: make(map[uint64]chan<- wireReply),
+		streams: make(map[uint64]*clientStream),
+	}
 	go c.readLoop()
 	return c, nil
 }
@@ -214,6 +218,7 @@ type clientConn struct {
 
 	mu      sync.Mutex
 	pending map[uint64]chan<- wireReply
+	streams map[uint64]*clientStream
 	nextID  uint64
 
 	inflight atomic.Int64
@@ -274,6 +279,12 @@ func (c *clientConn) readLoop() {
 				return
 			}
 			reply.reqErr = &RequestError{Status: status, RetryAfter: time.Duration(retry) * time.Second, Msg: msg}
+		case frameChunk, frameStreamEnd, frameCredit:
+			if err := c.handleStreamFrame(typ, id, payload); err != nil {
+				c.fail(err)
+				return
+			}
+			continue
 		default:
 			c.fail(fmt.Errorf("kvwire: unexpected frame type %d", typ))
 			return
@@ -291,7 +302,8 @@ func (c *clientConn) readLoop() {
 	}
 }
 
-// fail marks the conn dead and answers every waiter with err.
+// fail marks the conn dead and answers every waiter — pending
+// requests and open streams — with err.
 func (c *clientConn) fail(err error) {
 	c.dead.Store(true)
 	if err == io.EOF {
@@ -305,4 +317,5 @@ func (c *clientConn) fail(err error) {
 		c.inflight.Add(-1)
 		ch <- wireReply{err: fmt.Errorf("kvwire: connection failed: %w", err)}
 	}
+	c.failStreams(fmt.Errorf("kvwire: connection failed: %w", err))
 }

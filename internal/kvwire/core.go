@@ -198,12 +198,42 @@ func (c *Core) SnapshotTS() int64 { return c.store.SnapshotTS() }
 // filtered records are found, so a routed scan is never silently
 // short. tombstones (cluster + as-of only, validated by the front
 // end) includes delete versions so a migration copy carries deletes.
-func (c *Core) Scan(table, start string, count int, ts int64, slot int, tombstones bool) ([]kvstore.VersionedKV, error) {
+// ctx is checked between engine pages, so a scan whose client has
+// gone away stops paging instead of draining the table for nobody.
+func (c *Core) Scan(ctx context.Context, table, start string, count int, ts int64, slot int, tombstones bool) ([]kvstore.VersionedKV, error) {
+	var out []kvstore.VersionedKV
+	err := c.scanPages(ctx, table, start, count, ts, slot, tombstones, func(kv kvstore.VersionedKV) error {
+		out = append(out, kv)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// scanPages is the shared paging loop under Scan and StreamScan: it
+// pages through the engine, applies the cluster slot/ownership filter,
+// and hands every kept record to emit until count records are emitted,
+// the table is exhausted, ctx is done, or emit returns an error.
+func (c *Core) scanPages(ctx context.Context, table, start string, count int, ts int64, slot int, tombstones bool, emit func(kvstore.VersionedKV) error) error {
 	if c.cluster == nil {
+		var page []kvstore.VersionedKV
+		var err error
 		if ts != 0 {
-			return c.store.ScanAsOf(table, start, count, ts)
+			page, err = c.store.ScanAsOf(table, start, count, ts)
+		} else {
+			page, err = c.store.Scan(table, start, count)
 		}
-		return c.store.Scan(table, start, count)
+		if err != nil {
+			return err
+		}
+		for _, kv := range page {
+			if err := emit(kv); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	m := c.cluster.Map()
 	keep := func(key string) bool {
@@ -217,8 +247,11 @@ func (c *Core) Scan(table, start string, count int, ts int64, slot int, tombston
 	if count >= 0 && count > pageSize {
 		pageSize = count
 	}
-	var out []kvstore.VersionedKV
+	emitted := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		var page []kvstore.VersionedKV
 		var err error
 		switch {
@@ -230,21 +263,146 @@ func (c *Core) Scan(table, start string, count int, ts int64, slot int, tombston
 			page, err = c.store.Scan(table, start, pageSize)
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, kv := range page {
 			if !keep(kv.Key) {
 				continue
 			}
-			out = append(out, kv)
-			if count >= 0 && len(out) >= count {
-				return out, nil
+			if err := emit(kv); err != nil {
+				return err
+			}
+			emitted++
+			if count >= 0 && emitted >= count {
+				return nil
 			}
 		}
 		if len(page) < pageSize {
-			return out, nil
+			return nil
 		}
 		start = page[len(page)-1].Key + "\x00"
+	}
+}
+
+// StreamError aborts a stream with a status in the HTTP space, which
+// the wire server renders as the stream-end frame's status.
+type StreamError struct {
+	Status int
+	Msg    string
+}
+
+func (e *StreamError) Error() string {
+	return fmt.Sprintf("kvwire: stream failed: %d %s", e.Status, e.Msg)
+}
+
+// ValidateScan applies the front ends' shared scan-parameter rules
+// (the same checks the HTTP route enforces with 400s).
+func (c *Core) ValidateScan(req *ScanRequest) *StreamError {
+	if req.Count < -1 || (req.Count == -1 && c.cluster == nil) {
+		return &StreamError{Status: http.StatusBadRequest, Msg: "bad count"}
+	}
+	if req.Slot >= 0 && c.cluster == nil {
+		return &StreamError{Status: http.StatusBadRequest, Msg: "not a cluster node"}
+	}
+	if c.cluster != nil && req.Slot >= c.cluster.Map().Slots {
+		return &StreamError{Status: http.StatusBadRequest, Msg: "bad slot"}
+	}
+	if req.AsOf < 0 {
+		return &StreamError{Status: http.StatusBadRequest, Msg: "bad as-of ts"}
+	}
+	if req.Tombstones && (c.cluster == nil || req.AsOf == 0) {
+		return &StreamError{Status: http.StatusBadRequest, Msg: "tombstones requires cluster mode and an as-of ts"}
+	}
+	return nil
+}
+
+// StreamScan serves one scan as a sequence of bounded chunks: emit is
+// called with each full chunk (and the shard map version it was
+// filtered under) as the paging loop produces it, so the caller's
+// memory holds one chunk, not the result. In cluster mode the shard
+// map version is re-checked per chunk: a map change mid-stream means
+// the slot filter silently changed underneath the scan, so the stream
+// aborts with 409 and the client rescans under the new map — the
+// streaming form of the router's fan-out skew check. An emit error
+// (credits gone, peer gone, ctx done) stops the scan immediately.
+// The returned map version is the one the whole stream was filtered
+// under (0 single-node), reported even when the scan emits nothing so
+// an empty node still participates in the fan-out skew check.
+func (c *Core) StreamScan(ctx context.Context, req *ScanRequest, emit func(chunk []kvstore.VersionedKV, mapVersion int64) error) (int64, error) {
+	var mapVer int64
+	if c.cluster != nil {
+		mapVer = c.cluster.Map().Version
+	}
+	if serr := c.ValidateScan(req); serr != nil {
+		return mapVer, serr
+	}
+	chunk := make([]kvstore.VersionedKV, 0, streamChunkRecords)
+	bytes := 0
+	flush := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		if c.cluster != nil && c.cluster.Map().Version != mapVer {
+			return &StreamError{Status: http.StatusConflict, Msg: "shard map changed mid-scan"}
+		}
+		if err := emit(chunk, mapVer); err != nil {
+			return err
+		}
+		chunk = chunk[:0]
+		bytes = 0
+		return nil
+	}
+	err := c.scanPages(ctx, req.Table, req.Start, req.Count, req.AsOf, req.Slot, req.Tombstones, func(kv kvstore.VersionedKV) error {
+		chunk = append(chunk, kv)
+		bytes += len(kv.Key) + recordBytes(kv.Record)
+		if len(chunk) >= streamChunkRecords || bytes >= streamChunkBytes {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return mapVer, err
+	}
+	return mapVer, flush()
+}
+
+// recordBytes estimates a record's encoded size for chunk flushing.
+func recordBytes(r *kvstore.VersionedRecord) int {
+	n := 16
+	for k, v := range r.Fields {
+		n += len(k) + len(v) + 4
+	}
+	return n
+}
+
+// StreamIngest merges streamed record chunks into table, preserving
+// versions and commit timestamps. next returns one decoded chunk at a
+// time (nil, nil at end of stream); the records land through the same
+// Engine.Ingest the HTTP route uses, chunk by chunk, so server memory
+// is bounded by the chunk size regardless of how much one migration
+// moves. Returns the total records ingested.
+func (c *Core) StreamIngest(ctx context.Context, table string, next func() ([]kvstore.BulkKV, error)) (uint64, error) {
+	var total uint64
+	for {
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
+		kvs, err := next()
+		if err != nil {
+			return total, err
+		}
+		if kvs == nil {
+			return total, nil
+		}
+		for i := range kvs {
+			if kvs[i].Key == "" {
+				return total, &StreamError{Status: http.StatusBadRequest, Msg: "ingest record missing key"}
+			}
+		}
+		if err := c.store.Ingest(table, kvs); err != nil {
+			return total, err
+		}
+		total += uint64(len(kvs))
 	}
 }
 

@@ -116,21 +116,43 @@ func TestDecodeRequestRejectsTrailingBytes(t *testing.T) {
 	}
 }
 
-// FuzzFrameCodec checks the decoder never panics on hostile input and
-// that whatever it accepts re-encodes to a frame that decodes equal
-// (structure round trip — overlong uvarints mean byte-exact stability
-// is not guaranteed, struct-exact is). The allocation guard is
-// implicit: lying counts error before reserving memory, so hostile
-// frames cannot make the decoder allocate beyond their own size.
+// FuzzFrameCodec checks every frame decoder never panics on hostile
+// input and that whatever it accepts re-encodes to a frame that
+// decodes equal (structure round trip — overlong uvarints mean
+// byte-exact stability is not guaranteed, struct-exact is). The
+// allocation guard is implicit: lying counts error before reserving
+// memory, so hostile frames cannot make the decoder allocate beyond
+// their own size. mode selects the decoder under test: 0 request,
+// 1 response, 2 scan-request, 3 chunk, 4 stream-end, 5 credit,
+// 6 ingest-request.
 func FuzzFrameCodec(f *testing.F) {
 	reqSeed := AppendRequest(nil, 1, 250, sampleOps())
 	resSeed := AppendResponse(nil, 2, sampleResults())
-	f.Add(reqSeed[frameHeaderLen:], true)
-	f.Add(resSeed[frameHeaderLen:], false)
-	f.Add([]byte{}, true)
-	f.Add([]byte{0, 1, 1}, true)
-	f.Fuzz(func(t *testing.T, payload []byte, asRequest bool) {
-		if asRequest {
+	scanSeed := AppendScanRequest(nil, 3, &ScanRequest{Table: "t", Start: "user1", Count: 100, AsOf: 42, Slot: 3, Tombstones: true, Window: 4})
+	chunkSeed := AppendChunk(nil, 4, 7, sampleStreamRecords())
+	endSeed := AppendStreamEnd(nil, 5, 409, 7, 12, "shard map changed mid-scan")
+	creditSeed := AppendCredit(nil, 6, 3)
+	ingestSeed := AppendIngestRequest(nil, 7, "usertable")
+	f.Add(reqSeed[frameHeaderLen:], byte(0))
+	f.Add(resSeed[frameHeaderLen:], byte(1))
+	f.Add(scanSeed[frameHeaderLen:], byte(2))
+	f.Add(chunkSeed[frameHeaderLen:], byte(3))
+	f.Add(endSeed[frameHeaderLen:], byte(4))
+	f.Add(creditSeed[frameHeaderLen:], byte(5))
+	f.Add(ingestSeed[frameHeaderLen:], byte(6))
+	f.Add([]byte{}, byte(0))
+	f.Add([]byte{0, 1, 1}, byte(0))
+	// Hostile: a chunk truncated mid-record and one claiming far more
+	// records than its bytes could carry.
+	f.Add(chunkSeed[frameHeaderLen:len(chunkSeed)-5], byte(3))
+	f.Add([]byte{0x0e, 0xff, 0xff, 0x3f}, byte(3))
+	// Hostile: lying credits — a zero grant and one far past the
+	// window cap, both of which the decoder must refuse.
+	f.Add([]byte{0x00}, byte(5))
+	f.Add([]byte{0xff, 0xff, 0x7f}, byte(5))
+	f.Fuzz(func(t *testing.T, payload []byte, mode byte) {
+		switch mode % 7 {
+		case 0:
 			deadline, ops, err := DecodeRequest(payload, nil)
 			if err != nil {
 				return
@@ -143,21 +165,104 @@ func FuzzFrameCodec(f *testing.F) {
 			if deadline2 != deadline || !reflect.DeepEqual(normOps(ops2), normOps(ops)) {
 				t.Fatalf("request not stable:\n got %+v\nwant %+v", ops2, ops)
 			}
-			return
-		}
-		res, err := DecodeResponse(payload, nil)
-		if err != nil {
-			return
-		}
-		re := AppendResponse(nil, 9, res)
-		res2, err := DecodeResponse(re[frameHeaderLen:], nil)
-		if err != nil {
-			t.Fatalf("re-decode failed: %v", err)
-		}
-		if !reflect.DeepEqual(res2, res) {
-			t.Fatalf("response not stable:\n got %+v\nwant %+v", res2, res)
+		case 1:
+			res, err := DecodeResponse(payload, nil)
+			if err != nil {
+				return
+			}
+			re := AppendResponse(nil, 9, res)
+			res2, err := DecodeResponse(re[frameHeaderLen:], nil)
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if !reflect.DeepEqual(res2, res) {
+				t.Fatalf("response not stable:\n got %+v\nwant %+v", res2, res)
+			}
+		case 2:
+			req, _, err := DecodeScanRequest(payload)
+			if err != nil {
+				return
+			}
+			re := AppendScanRequest(nil, 9, &req)
+			req2, _, err := DecodeScanRequest(re[frameHeaderLen:])
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if !reflect.DeepEqual(req2, req) {
+				t.Fatalf("scan request not stable:\n got %+v\nwant %+v", req2, req)
+			}
+		case 3:
+			mapVer, recs, err := DecodeChunk(payload, nil)
+			if err != nil {
+				return
+			}
+			re := AppendChunk(nil, 9, mapVer, recs)
+			mapVer2, recs2, err := DecodeChunk(re[frameHeaderLen:], nil)
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if mapVer2 != mapVer || !reflect.DeepEqual(normRecs(recs2), normRecs(recs)) {
+				t.Fatalf("chunk not stable:\n got %+v\nwant %+v", recs2, recs)
+			}
+		case 4:
+			status, mapVer, count, msg, err := DecodeStreamEnd(payload)
+			if err != nil {
+				return
+			}
+			re := AppendStreamEnd(nil, 9, status, mapVer, count, msg)
+			status2, mapVer2, count2, msg2, err := DecodeStreamEnd(re[frameHeaderLen:])
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if status2 != status || mapVer2 != mapVer || count2 != count || msg2 != msg {
+				t.Fatalf("stream end not stable: got %d/%d/%d/%q want %d/%d/%d/%q",
+					status2, mapVer2, count2, msg2, status, mapVer, count, msg)
+			}
+		case 5:
+			n, err := DecodeCredit(payload)
+			if err != nil {
+				return
+			}
+			re := AppendCredit(nil, 9, n)
+			n2, err := DecodeCredit(re[frameHeaderLen:])
+			if err != nil || n2 != n {
+				t.Fatalf("credit not stable: got %d err=%v want %d", n2, err, n)
+			}
+		case 6:
+			table, err := DecodeIngestRequest(payload)
+			if err != nil {
+				return
+			}
+			re := AppendIngestRequest(nil, 9, table)
+			table2, err := DecodeIngestRequest(re[frameHeaderLen:])
+			if err != nil || table2 != table {
+				t.Fatalf("ingest request not stable: got %q err=%v want %q", table2, err, table)
+			}
 		}
 	})
+}
+
+// sampleStreamRecords covers the chunk record shapes: live records
+// with fields, a tombstone, and an empty field map.
+func sampleStreamRecords() []StreamRecord {
+	return []StreamRecord{
+		{Key: "user1", Version: 3, CommitTS: 100, Fields: map[string][]byte{"f0": []byte("v0"), "f1": {}}},
+		{Key: "user2", Version: 9, CommitTS: 107, Deleted: true},
+		{Key: "user3", Version: 1, CommitTS: 90, Fields: map[string][]byte{}},
+	}
+}
+
+// normRecs is normOps for chunk records: empty-but-non-nil field maps
+// compare equal to omitted ones.
+func normRecs(recs []StreamRecord) []StreamRecord {
+	out := make([]StreamRecord, len(recs))
+	copy(out, recs)
+	for i := range out {
+		if len(out[i].Fields) == 0 {
+			out[i].Fields = nil
+		}
+	}
+	return out
 }
 
 // normOps maps empty-but-non-nil field maps to nil so DeepEqual treats

@@ -44,11 +44,14 @@ type ServerOptions struct {
 // server without a registry pays two nil checks per frame and nothing
 // else.
 type wireMetrics struct {
-	connsOpen  *obs.Gauge
-	framesIn   *obs.Counter
-	framesOut  *obs.Counter
-	pipeline   *obs.Gauge
-	decodeErrs *obs.Counter
+	connsOpen      *obs.Gauge
+	framesIn       *obs.Counter
+	framesOut      *obs.Counter
+	pipeline       *obs.Gauge
+	decodeErrs     *obs.Counter
+	scanChunks     *obs.Counter
+	creditsStalled *obs.Counter
+	ingestRecords  *obs.Counter
 }
 
 func newWireMetrics(reg *obs.Registry) *wireMetrics {
@@ -56,12 +59,18 @@ func newWireMetrics(reg *obs.Registry) *wireMetrics {
 	reg.Help("kvwire_frames_total", "Frames moved over the binary wire protocol, by direction.")
 	reg.Help("kvwire_pipeline_depth", "Request frames currently in flight across all wire connections.")
 	reg.Help("kvwire_decode_errors_total", "Wire frames the server failed to parse (the connection is closed after each).")
+	reg.Help("kvwire_scan_chunks_total", "Scan chunk frames streamed to wire clients.")
+	reg.Help("kvwire_stream_credits_stalled_total", "Times a stream producer blocked waiting for consumer credits.")
+	reg.Help("kvwire_ingest_records_total", "Records ingested over streaming wire ingest.")
 	return &wireMetrics{
-		connsOpen:  reg.Gauge("kvwire_conns_open"),
-		framesIn:   reg.Counter("kvwire_frames_total", "dir", "in"),
-		framesOut:  reg.Counter("kvwire_frames_total", "dir", "out"),
-		pipeline:   reg.Gauge("kvwire_pipeline_depth"),
-		decodeErrs: reg.Counter("kvwire_decode_errors_total"),
+		connsOpen:      reg.Gauge("kvwire_conns_open"),
+		framesIn:       reg.Counter("kvwire_frames_total", "dir", "in"),
+		framesOut:      reg.Counter("kvwire_frames_total", "dir", "out"),
+		pipeline:       reg.Gauge("kvwire_pipeline_depth"),
+		decodeErrs:     reg.Counter("kvwire_decode_errors_total"),
+		scanChunks:     reg.Counter("kvwire_scan_chunks_total"),
+		creditsStalled: reg.Counter("kvwire_stream_credits_stalled_total"),
+		ingestRecords:  reg.Counter("kvwire_ingest_records_total"),
 	}
 }
 
@@ -116,11 +125,21 @@ func (s *Server) serveConn(conn net.Conn) {
 	s.conns[conn] = struct{}{}
 	s.mu.Unlock()
 	s.metrics.connsOpen.Add(1)
-	c := &serverConn{conn: conn}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &serverConn{
+		conn:    conn,
+		ctx:     ctx,
+		cancel:  cancel,
+		scans:   make(map[uint64]*serverScan),
+		ingests: make(map[uint64]*serverIngest),
+	}
 	defer func() {
 		// The read side is done (peer EOF or shutdown's CloseRead), but
 		// decoded requests may still be executing: their responses can
-		// still reach the peer, so the full close waits for them.
+		// still reach the peer, so the full close waits for them. Stream
+		// producers blocked on credits (or ingest handlers blocked on
+		// chunks) would wait forever — the conn context wakes them first.
+		c.cancel()
 		c.handlers.Wait()
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -153,34 +172,50 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		s.metrics.framesIn.Inc()
-		if typ != frameRequest {
+		switch typ {
+		case frameRequest:
+			deadlineMs, ops, err := DecodeRequest(payload, nil)
+			if err != nil {
+				s.metrics.decodeErrs.Inc()
+				return
+			}
+			s.handlers.Add(1)
+			c.handlers.Add(1)
+			s.metrics.pipeline.Add(1)
+			go func(id uint64, deadlineMs uint64, ops []Op) {
+				defer s.handlers.Done()
+				defer c.handlers.Done()
+				defer s.metrics.pipeline.Add(-1)
+				s.handleRequest(c, id, deadlineMs, ops)
+			}(id, deadlineMs, ops)
+		case frameScanReq, frameChunk, frameStreamEnd, frameCredit, frameIngestReq:
+			if !s.handleStreamFrame(c, typ, id, payload) {
+				s.metrics.decodeErrs.Inc()
+				return
+			}
+		default:
 			s.metrics.decodeErrs.Inc()
 			return
 		}
-		deadlineMs, ops, err := DecodeRequest(payload, nil)
-		if err != nil {
-			s.metrics.decodeErrs.Inc()
-			return
-		}
-		s.handlers.Add(1)
-		c.handlers.Add(1)
-		s.metrics.pipeline.Add(1)
-		go func(id uint64, deadlineMs uint64, ops []Op) {
-			defer s.handlers.Done()
-			defer c.handlers.Done()
-			defer s.metrics.pipeline.Add(-1)
-			s.handleRequest(c, id, deadlineMs, ops)
-		}(id, deadlineMs, ops)
 	}
 }
 
 // serverConn serializes response writes on one connection and counts
-// its in-flight handlers so the close waits for their responses.
+// its in-flight handlers so the close waits for their responses. ctx
+// is cancelled when the read side dies, waking stream handlers blocked
+// on credits or chunks; scans/ingests route stream frames read off the
+// connection to the stream's handler goroutine.
 type serverConn struct {
 	conn     net.Conn
+	ctx      context.Context
+	cancel   context.CancelFunc
 	handlers sync.WaitGroup
 	wmu      sync.Mutex
 	wbuf     []byte
+
+	smu     sync.Mutex
+	scans   map[uint64]*serverScan
+	ingests map[uint64]*serverIngest
 }
 
 func (s *Server) handleRequest(c *serverConn, id uint64, deadlineMs uint64, ops []Op) {
@@ -230,15 +265,18 @@ var resultsPool = sync.Pool{New: func() any {
 
 // writeFrame encodes into the connection's pooled buffer and writes
 // it under the write lock (one syscall per frame; the frame is the
-// flush unit).
-func (s *Server) writeFrame(c *serverConn, encode func([]byte) []byte) {
+// flush unit). Chunk frames from streams interleave with pipelined
+// responses here. The error lets stream producers stop scanning for a
+// peer that is gone; response writers ignore it.
+func (s *Server) writeFrame(c *serverConn, encode func([]byte) []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	c.wbuf = encode(c.wbuf[:0])
 	if _, err := c.conn.Write(c.wbuf); err != nil {
-		return
+		return err
 	}
 	s.metrics.framesOut.Inc()
+	return nil
 }
 
 // Shutdown drains the server: stop accepting, stop reading new request

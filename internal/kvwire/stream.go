@@ -1,0 +1,341 @@
+package kvwire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The streaming half of the framed protocol: scans and migration
+// ingest move as sequences of bounded chunk frames instead of one
+// monolithic response, governed by credit-based flow control so the
+// producer's memory is bounded by the consumer's granted window, not
+// by the result size.
+//
+//	4 scan-request  — flags, table, start, varint count, varint as-of
+//	                  ts, varint slot, uvarint credits: opens a scan
+//	                  stream; the request id names the stream.
+//	5 chunk         — varint map-version echo, uvarint record count,
+//	                  records: one bounded slice of a stream. Server →
+//	                  client on scans, client → server on ingests.
+//	6 stream-end    — uvarint status, varint map-version, uvarint
+//	                  record count, msg bytes: terminates a stream.
+//	                  Status 200 is a clean end; 0 from the consumer
+//	                  means cancel; anything else is the error that
+//	                  killed the stream.
+//	7 credit        — uvarint n: the consumer grants the producer n
+//	                  more chunk frames. A producer that has exhausted
+//	                  its credits blocks; a producer that sends past
+//	                  them is violating the protocol and the peer
+//	                  closes the connection.
+//	8 ingest-request — table bytes: opens an ingest stream. The server
+//	                  answers with a credit frame (its window) or a
+//	                  stream-end error (admission shed); the client
+//	                  then streams chunk frames and a final stream-end,
+//	                  and the server acks with a stream-end carrying
+//	                  the ingested record count.
+//
+// Streams share the connection with pipelined request/response
+// frames: chunk frames interleave with ordinary responses under the
+// same per-connection write lock, so one slow scan never parks the
+// point lookups pipelined next to it.
+
+// Streaming frame types (continuing the request/response/error space).
+const (
+	frameScanReq   = 4
+	frameChunk     = 5
+	frameStreamEnd = 6
+	frameCredit    = 7
+	frameIngestReq = 8
+)
+
+// MaxChunkRecords bounds the records one chunk frame may claim.
+const MaxChunkRecords = 1024
+
+// maxStreamWindow bounds a credit grant: windows are meant to be a
+// handful of chunks, so a grant beyond this is a lying or corrupt
+// frame, not a generous consumer.
+const maxStreamWindow = 1 << 16
+
+// streamChunkRecords / streamChunkBytes bound one encoded chunk on
+// the producer side: a chunk flushes at whichever limit it hits
+// first, keeping frames well under MaxFramePayload.
+const (
+	streamChunkRecords = 256
+	streamChunkBytes   = 256 << 10
+)
+
+// DefaultStreamWindow is the credit window consumers grant when the
+// caller does not choose one: enough chunks in flight to hide one
+// round trip, small enough that an abandoned stream strands little.
+const DefaultStreamWindow = 4
+
+// ScanRequest names one streaming scan: the same parameter surface as
+// the HTTP scan route (and Core.Scan). Count < 0 means unlimited
+// (cluster-internal drains), Slot < 0 means no slot filter.
+type ScanRequest struct {
+	Table      string
+	Start      string
+	Count      int
+	AsOf       int64
+	Slot       int
+	Tombstones bool
+	// Window is the initial credit grant (chunks the server may send
+	// before blocking); 0 means DefaultStreamWindow.
+	Window int
+}
+
+// StreamRecord is one record on a stream: the superset both scans
+// (versioned reads) and migration ingest (version/commit-ts-preserving
+// copies, tombstones included) need.
+type StreamRecord struct {
+	Key      string
+	Version  uint64
+	CommitTS int64
+	Deleted  bool
+	Fields   map[string][]byte
+}
+
+// Record flags.
+const (
+	recFlagDeleted = 1 << 0
+	recFlagFields  = 1 << 1
+)
+
+// Scan-request flags.
+const scanFlagTombstones = 1 << 0
+
+// AppendScanRequest encodes one scan-request frame.
+func AppendScanRequest(buf []byte, id uint64, req *ScanRequest) []byte {
+	off := len(buf)
+	buf = appendFrameHeader(buf, frameScanReq, id)
+	var flags byte
+	if req.Tombstones {
+		flags |= scanFlagTombstones
+	}
+	buf = append(buf, flags)
+	buf = appendBytes(buf, req.Table)
+	buf = appendBytes(buf, req.Start)
+	buf = binary.AppendVarint(buf, int64(req.Count))
+	buf = binary.AppendVarint(buf, req.AsOf)
+	buf = binary.AppendVarint(buf, int64(req.Slot))
+	window := req.Window
+	if window <= 0 {
+		window = DefaultStreamWindow
+	}
+	buf = binary.AppendUvarint(buf, uint64(window))
+	return finishFrame(buf, off)
+}
+
+// DecodeScanRequest parses a scan-request payload. The returned window
+// is always in [1, maxStreamWindow].
+func DecodeScanRequest(payload []byte) (req ScanRequest, window int, err error) {
+	if len(payload) < 1 {
+		return req, 0, errTruncated
+	}
+	flags := payload[0]
+	payload = payload[1:]
+	req.Tombstones = flags&scanFlagTombstones != 0
+	if req.Table, payload, err = readString(payload); err != nil {
+		return req, 0, err
+	}
+	if req.Start, payload, err = readString(payload); err != nil {
+		return req, 0, err
+	}
+	var v int64
+	if v, payload, err = readVarint(payload); err != nil {
+		return req, 0, err
+	}
+	req.Count = int(v)
+	if req.AsOf, payload, err = readVarint(payload); err != nil {
+		return req, 0, err
+	}
+	if v, payload, err = readVarint(payload); err != nil {
+		return req, 0, err
+	}
+	req.Slot = int(v)
+	var w uint64
+	if w, payload, err = readUvarint(payload); err != nil {
+		return req, 0, err
+	}
+	if w == 0 || w > maxStreamWindow {
+		return req, 0, fmt.Errorf("kvwire: bad credit window %d", w)
+	}
+	if len(payload) != 0 {
+		return req, 0, fmt.Errorf("kvwire: %d trailing bytes after scan request", len(payload))
+	}
+	req.Window = int(w)
+	return req, int(w), nil
+}
+
+// AppendChunk encodes one chunk frame carrying recs.
+func AppendChunk(buf []byte, id uint64, mapVersion int64, recs []StreamRecord) []byte {
+	off := len(buf)
+	buf = appendFrameHeader(buf, frameChunk, id)
+	buf = binary.AppendVarint(buf, mapVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(recs)))
+	for i := range recs {
+		buf = appendStreamRecord(buf, &recs[i])
+	}
+	return finishFrame(buf, off)
+}
+
+func appendStreamRecord(buf []byte, r *StreamRecord) []byte {
+	var flags byte
+	if r.Deleted {
+		flags |= recFlagDeleted
+	}
+	if r.Fields != nil {
+		flags |= recFlagFields
+	}
+	buf = append(buf, flags)
+	buf = appendBytes(buf, r.Key)
+	buf = binary.AppendUvarint(buf, r.Version)
+	buf = binary.AppendVarint(buf, r.CommitTS)
+	if flags&recFlagFields != 0 {
+		buf = binary.AppendUvarint(buf, uint64(len(r.Fields)))
+		for k, v := range r.Fields {
+			buf = appendBytes(buf, k)
+			buf = append(binary.AppendUvarint(buf, uint64(len(v))), v...)
+		}
+	}
+	return buf
+}
+
+// DecodeChunk parses a chunk payload, appending records to dst.
+func DecodeChunk(payload []byte, dst []StreamRecord) (mapVersion int64, recs []StreamRecord, err error) {
+	mapVersion, payload, err = readVarint(payload)
+	if err != nil {
+		return 0, dst, err
+	}
+	count, payload, err := readUvarint(payload)
+	if err != nil {
+		return 0, dst, err
+	}
+	if count > MaxChunkRecords {
+		return 0, dst, fmt.Errorf("kvwire: chunk claims %d records (max %d)", count, MaxChunkRecords)
+	}
+	// Every record costs at least 4 bytes (flags, zero-length key,
+	// version, commit ts); a larger claim is lying about the payload.
+	if count > uint64(len(payload)/4)+1 {
+		return 0, dst, errTruncated
+	}
+	recs = dst
+	for i := uint64(0); i < count; i++ {
+		var r StreamRecord
+		r, payload, err = readStreamRecord(payload)
+		if err != nil {
+			return 0, dst, err
+		}
+		recs = append(recs, r)
+	}
+	if len(payload) != 0 {
+		return 0, dst, fmt.Errorf("kvwire: %d trailing bytes after chunk", len(payload))
+	}
+	return mapVersion, recs, nil
+}
+
+func readStreamRecord(b []byte) (StreamRecord, []byte, error) {
+	var r StreamRecord
+	if len(b) < 1 {
+		return r, b, errTruncated
+	}
+	flags := b[0]
+	b = b[1:]
+	r.Deleted = flags&recFlagDeleted != 0
+	var err error
+	if r.Key, b, err = readString(b); err != nil {
+		return r, b, err
+	}
+	if r.Version, b, err = readUvarint(b); err != nil {
+		return r, b, err
+	}
+	if r.CommitTS, b, err = readVarint(b); err != nil {
+		return r, b, err
+	}
+	if flags&recFlagFields != 0 {
+		if r.Fields, b, err = readFields(b); err != nil {
+			return r, b, err
+		}
+	}
+	return r, b, nil
+}
+
+// AppendStreamEnd encodes one stream-end frame. Status 200 with count
+// is the producer's clean end (count meaningful on ingest acks);
+// status 0 is the consumer's cancel; anything else aborts the stream
+// with msg.
+func AppendStreamEnd(buf []byte, id uint64, status int, mapVersion int64, count uint64, msg string) []byte {
+	off := len(buf)
+	buf = appendFrameHeader(buf, frameStreamEnd, id)
+	buf = binary.AppendUvarint(buf, uint64(status))
+	buf = binary.AppendVarint(buf, mapVersion)
+	buf = binary.AppendUvarint(buf, count)
+	buf = append(buf, msg...)
+	return finishFrame(buf, off)
+}
+
+// DecodeStreamEnd parses a stream-end payload.
+func DecodeStreamEnd(payload []byte) (status int, mapVersion int64, count uint64, msg string, err error) {
+	st, payload, err := readUvarint(payload)
+	if err != nil {
+		return 0, 0, 0, "", err
+	}
+	if st > 999 {
+		return 0, 0, 0, "", fmt.Errorf("kvwire: bad status %d", st)
+	}
+	if mapVersion, payload, err = readVarint(payload); err != nil {
+		return 0, 0, 0, "", err
+	}
+	if count, payload, err = readUvarint(payload); err != nil {
+		return 0, 0, 0, "", err
+	}
+	return int(st), mapVersion, count, string(payload), nil
+}
+
+// AppendCredit encodes one credit frame granting n chunks.
+func AppendCredit(buf []byte, id uint64, n uint64) []byte {
+	off := len(buf)
+	buf = appendFrameHeader(buf, frameCredit, id)
+	buf = binary.AppendUvarint(buf, n)
+	return finishFrame(buf, off)
+}
+
+// DecodeCredit parses a credit payload. Grants of zero or beyond the
+// window bound are protocol errors — a peer lying about credits gets
+// its connection closed, not a giant buffer.
+func DecodeCredit(payload []byte) (uint64, error) {
+	n, payload, err := readUvarint(payload)
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 || n > maxStreamWindow {
+		return 0, fmt.Errorf("kvwire: bad credit grant %d", n)
+	}
+	if len(payload) != 0 {
+		return 0, fmt.Errorf("kvwire: %d trailing bytes after credit", len(payload))
+	}
+	return n, nil
+}
+
+// AppendIngestRequest encodes one ingest-request frame for table.
+func AppendIngestRequest(buf []byte, id uint64, table string) []byte {
+	off := len(buf)
+	buf = appendFrameHeader(buf, frameIngestReq, id)
+	buf = appendBytes(buf, table)
+	return finishFrame(buf, off)
+}
+
+// DecodeIngestRequest parses an ingest-request payload.
+func DecodeIngestRequest(payload []byte) (table string, err error) {
+	table, payload, err = readString(payload)
+	if err != nil {
+		return "", err
+	}
+	if table == "" {
+		return "", fmt.Errorf("kvwire: ingest request missing table")
+	}
+	if len(payload) != 0 {
+		return "", fmt.Errorf("kvwire: %d trailing bytes after ingest request", len(payload))
+	}
+	return table, nil
+}

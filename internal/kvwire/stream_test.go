@@ -1,0 +1,292 @@
+package kvwire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"ycsbt/internal/kvstore"
+	"ycsbt/internal/obs"
+)
+
+// newTestStore opens a fresh volatile engine.
+func newTestStore(t *testing.T) kvstore.Engine {
+	t.Helper()
+	store, err := kvstore.Open(kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	return store
+}
+
+// loadKeys writes n ordered records k0000..k<n-1> into table t.
+func loadKeys(t *testing.T, store kvstore.Engine, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("k%04d", i)
+		if _, err := store.PutIfVersion("t", key, map[string][]byte{"f": []byte(key)}, kvstore.AnyVersion); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStreamScanRoundTrip(t *testing.T) {
+	store := newTestStore(t)
+	loadKeys(t, store, 1000)
+	core := NewCore(store, nil, 0)
+	_, addr := startWireServer(t, core, ServerOptions{})
+	ep := NewEndpoint(addr, 0)
+	defer ep.Close()
+
+	for _, tc := range []struct {
+		name  string
+		req   ScanRequest
+		first string
+		n     int
+	}{
+		{"all", ScanRequest{Table: "t", Count: 1000, Slot: -1}, "k0000", 1000},
+		{"limited", ScanRequest{Table: "t", Count: 7, Slot: -1}, "k0000", 7},
+		{"offset", ScanRequest{Table: "t", Start: "k0500", Count: 10, Slot: -1}, "k0500", 10},
+		{"pastEnd", ScanRequest{Table: "t", Start: "k0998", Count: 100, Slot: -1}, "k0998", 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := ep.Scan(context.Background(), &tc.req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			var got []string
+			for s.Next() {
+				rec := s.Record()
+				if string(rec.Fields["f"]) != rec.Key {
+					t.Fatalf("record %q carries fields %q", rec.Key, rec.Fields["f"])
+				}
+				if rec.Version == 0 {
+					t.Fatalf("record %q missing version", rec.Key)
+				}
+				got = append(got, rec.Key)
+			}
+			if err := s.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != tc.n {
+				t.Fatalf("scanned %d records, want %d", len(got), tc.n)
+			}
+			if got[0] != tc.first {
+				t.Fatalf("first key %q, want %q", got[0], tc.first)
+			}
+			for i := 1; i < len(got); i++ {
+				if got[i] <= got[i-1] {
+					t.Fatalf("out of order: %q after %q", got[i], got[i-1])
+				}
+			}
+		})
+	}
+}
+
+// TestStreamScanSlowConsumerBounded proves the credit window bounds
+// the server: a consumer that grants window=2 and then stops consuming
+// sees exactly 2 chunk frames, with the producer parked (stall counter
+// moving), until credits flow again.
+func TestStreamScanSlowConsumerBounded(t *testing.T) {
+	store := newTestStore(t)
+	loadKeys(t, store, 2000) // ≥ 7 chunks of 256
+	core := NewCore(store, nil, 0)
+	srv, addr := startWireServer(t, core, ServerOptions{Metrics: obs.NewRegistry()})
+	ep := NewEndpoint(addr, 0)
+	defer ep.Close()
+
+	s, err := ep.Scan(context.Background(), &ScanRequest{Table: "t", Count: 2000, Slot: -1, Window: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Without consuming anything, the server may send exactly the
+	// granted window and must then stall.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.metrics.scanChunks.Value() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("server sent %d chunks, want 2", srv.metrics.scanChunks.Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for srv.metrics.creditsStalled.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("producer never recorded a credit stall")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if n := srv.metrics.scanChunks.Value(); n != 2 {
+		t.Fatalf("stalled server sent %d chunks, want exactly the window of 2", n)
+	}
+
+	// Resume consuming: the rest of the stream arrives.
+	n := 0
+	for s.Next() {
+		n++
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2000 {
+		t.Fatalf("scanned %d records after stall, want 2000", n)
+	}
+}
+
+// TestStreamScanClientCancelReleasesServer cancels the consumer's
+// context while the producer is parked on credits and asserts the
+// server goroutine exits.
+func TestStreamScanClientCancelReleasesServer(t *testing.T) {
+	store := newTestStore(t)
+	loadKeys(t, store, 2000)
+	core := NewCore(store, nil, 0)
+	srv, addr := startWireServer(t, core, ServerOptions{Metrics: obs.NewRegistry()})
+	ep := NewEndpoint(addr, 0)
+	defer ep.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s, err := ep.Scan(ctx, &ScanRequest{Table: "t", Count: 2000, Slot: -1, Window: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Park the producer: one chunk sent, no credits coming.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.metrics.creditsStalled.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("producer never stalled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cancel()
+	if s.Next() {
+		t.Fatal("Next succeeded after ctx cancel")
+	}
+	if err := s.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err() = %v, want context.Canceled", err)
+	}
+
+	// The cancel frame must release the parked producer goroutine.
+	done := make(chan struct{})
+	go func() {
+		srv.handlers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server scan goroutine still running after client cancel")
+	}
+}
+
+func TestStreamIngestRoundTrip(t *testing.T) {
+	store := newTestStore(t)
+	core := NewCore(store, nil, 0)
+	srv, addr := startWireServer(t, core, ServerOptions{Metrics: obs.NewRegistry()})
+	ep := NewEndpoint(addr, 0)
+	defer ep.Close()
+
+	in, err := ep.Ingest(context.Background(), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []StreamRecord
+	for i := 0; i < 700; i++ {
+		recs = append(recs, StreamRecord{
+			Key:      fmt.Sprintf("k%04d", i),
+			Version:  uint64(i + 7),
+			CommitTS: int64(1000 + i),
+			Fields:   map[string][]byte{"f": []byte(fmt.Sprintf("v%d", i))},
+		})
+	}
+	// One tombstone rides along, like a migration copy's deletes.
+	recs = append(recs, StreamRecord{Key: "kdead", Version: 9, CommitTS: 2000, Deleted: true})
+	if err := in.Send(recs); err != nil {
+		t.Fatal(err)
+	}
+	n, err := in.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 701 {
+		t.Fatalf("server ingested %d records, want 701", n)
+	}
+	if v := srv.metrics.ingestRecords.Value(); v != 701 {
+		t.Fatalf("kvwire_ingest_records_total = %d, want 701", v)
+	}
+
+	// Versions and commit timestamps are preserved.
+	rec, err := store.Get("t", "k0042")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Version != 49 || rec.CommitTS != 1042 {
+		t.Fatalf("k0042 = v%d@%d, want v49@1042", rec.Version, rec.CommitTS)
+	}
+	if _, err := store.Get("t", "kdead"); !errors.Is(err, kvstore.ErrNotFound) {
+		t.Fatalf("tombstoned key readable: %v", err)
+	}
+}
+
+func TestStreamIngestAdmissionShed(t *testing.T) {
+	store, err := kvstore.Open(kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	eng := &blockingEngine{Engine: store, entered: make(chan struct{}), release: make(chan struct{})}
+	defer close(eng.release)
+	core := NewCore(eng, nil, 1)
+	_, addr := startWireServer(t, core, ServerOptions{})
+	ep := NewEndpoint(addr, 1)
+	defer ep.Close()
+
+	// Occupy the only admission slot.
+	go ep.Exec(context.Background(), []Op{
+		{Kind: KindPut, Table: "t", Key: "k", Fields: map[string][]byte{"f": []byte("v")}, Expect: kvstore.AnyVersion},
+	})
+	<-eng.entered
+
+	in, err := ep.Ingest(context.Background(), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = in.Close()
+	var re *RequestError
+	if !errors.As(err, &re) || re.Status != 429 {
+		t.Fatalf("err = %v, want 429 RequestError", err)
+	}
+}
+
+func TestStreamScanRejectsBadParams(t *testing.T) {
+	store := newTestStore(t)
+	core := NewCore(store, nil, 0)
+	_, addr := startWireServer(t, core, ServerOptions{})
+	ep := NewEndpoint(addr, 0)
+	defer ep.Close()
+
+	for _, req := range []ScanRequest{
+		{Table: "t", Count: -1, Slot: -1},                   // unlimited is cluster-only
+		{Table: "t", Count: 10, Slot: 3},                    // slot filter is cluster-only
+		{Table: "t", Count: 10, Slot: -1, AsOf: -1},         // negative snapshot
+		{Table: "t", Count: 10, Slot: -1, Tombstones: true}, // tombstones need cluster + as-of
+	} {
+		s, err := ep.Scan(context.Background(), &req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s.Next() {
+		}
+		var re *RequestError
+		if err := s.Err(); !errors.As(err, &re) || re.Status != 400 {
+			t.Fatalf("req %+v: Err() = %v, want 400 RequestError", req, s.Err())
+		}
+		s.Close()
+	}
+}
